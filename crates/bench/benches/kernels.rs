@@ -1,0 +1,135 @@
+//! Criterion micro-benchmarks for the performance-facing kernels behind
+//! every experiment: GEMM, SVD, quantization, co-occurrence counting, the
+//! embedding distance measures, and downstream training.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use embedstab_core::measures::{
+    DistanceMeasure, EigenspaceOverlap, EisMeasure, KnnMeasure, PipLoss, SemanticDisplacement,
+};
+use embedstab_corpus::{Cooc, CoocConfig, CorpusConfig, LatentModel, LatentModelConfig};
+use embedstab_downstream::models::{LogReg, TrainSpec};
+use embedstab_embeddings::{CorpusStats, Embedding};
+use embedstab_linalg::Mat;
+use embedstab_quant::{quantize, Precision};
+use rand::SeedableRng;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let a = Mat::random_normal(256, 256, &mut rng);
+    let b = Mat::random_normal(256, 256, &mut rng);
+    c.bench_function("gemm_256", |bench| {
+        bench.iter(|| black_box(a.matmul(black_box(&b))));
+    });
+    let tall = Mat::random_normal(1000, 64, &mut rng);
+    c.bench_function("gram_1000x64", |bench| {
+        bench.iter(|| black_box(tall.gram()));
+    });
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    for &(n, d) in &[(200usize, 16usize), (500, 32), (1000, 64)] {
+        let a = Mat::random_normal(n, d, &mut rng);
+        c.bench_function(&format!("jacobi_svd_{n}x{d}"), |bench| {
+            bench.iter(|| black_box(a.svd()));
+        });
+    }
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let emb = Embedding::new(Mat::random_normal(1000, 64, &mut rng));
+    for bits in [1u8, 4, 8] {
+        c.bench_function(&format!("quantize_1000x64_b{bits}"), |bench| {
+            bench.iter(|| black_box(quantize(&emb, Precision::new(bits), None)));
+        });
+    }
+}
+
+fn bench_cooccurrence(c: &mut Criterion) {
+    let model = LatentModel::new(&LatentModelConfig {
+        vocab_size: 500,
+        ..Default::default()
+    });
+    let corpus = model.generate_corpus(&CorpusConfig { n_tokens: 50_000, ..Default::default() });
+    c.bench_function("cooc_50k_tokens_w8", |bench| {
+        bench.iter(|| {
+            black_box(Cooc::count(
+                &corpus,
+                500,
+                &CoocConfig { window: 8, distance_weighting: false },
+            ))
+        });
+    });
+}
+
+fn bench_measures(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let x = Embedding::new(Mat::random_normal(1000, 32, &mut rng));
+    let mut noisy = x.mat().clone();
+    noisy.axpy(0.1, &Mat::random_normal(1000, 32, &mut rng));
+    let y = Embedding::new(noisy);
+    let e17 = Embedding::new(Mat::random_normal(1000, 64, &mut rng));
+    let e18 = Embedding::new(Mat::random_normal(1000, 64, &mut rng));
+    let eis = EisMeasure::new(&e17, &e18, 3.0);
+    c.bench_function("measure_eis_1000x32", |bench| {
+        bench.iter(|| black_box(eis.distance_between(&x, &y)));
+    });
+    let knn = KnnMeasure::new(5, 200, 0);
+    c.bench_function("measure_knn_1000x32_q200", |bench| {
+        bench.iter(|| black_box(knn.distance(&x, &y)));
+    });
+    c.bench_function("measure_pip_1000x32", |bench| {
+        bench.iter(|| black_box(PipLoss.distance(&x, &y)));
+    });
+    c.bench_function("measure_semdisp_1000x32", |bench| {
+        bench.iter(|| black_box(SemanticDisplacement.distance(&x, &y)));
+    });
+    c.bench_function("measure_overlap_1000x32", |bench| {
+        bench.iter(|| black_box(EigenspaceOverlap.distance(&x, &y)));
+    });
+}
+
+fn bench_training(c: &mut Criterion) {
+    let model = LatentModel::new(&LatentModelConfig {
+        vocab_size: 300,
+        ..Default::default()
+    });
+    let corpus = model.generate_corpus(&CorpusConfig { n_tokens: 20_000, ..Default::default() });
+    let stats = CorpusStats::compute(Arc::new(corpus), 300, 6);
+    c.bench_function("train_mc_d16_20k", |bench| {
+        bench.iter(|| {
+            black_box(embedstab_embeddings::train_embedding(
+                embedstab_embeddings::Algo::Mc,
+                &stats,
+                &model.vocab,
+                16,
+                0,
+            ))
+        });
+    });
+    // Logistic regression on synthetic features.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let feats = Mat::random_normal(500, 32, &mut rng);
+    let labels: Vec<bool> = (0..500).map(|i| feats[(i, 0)] > 0.0).collect();
+    c.bench_function("train_logreg_500x32", |bench| {
+        bench.iter(|| {
+            black_box(LogReg::train(
+                &feats,
+                &labels,
+                &TrainSpec { epochs: 10, ..Default::default() },
+            ))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gemm, bench_svd, bench_quantization, bench_cooccurrence,
+              bench_measures, bench_training
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Table 3: average absolute gap (in % disagreement) to the oracle when
+//! selecting the dimension-precision combination under fixed memory
+//! budgets, including the naive high/low-precision baselines.
+
+use embedstab_bench::{config_points_per_seed, rows_for_algo, standard_rows};
+use embedstab_core::measures::MeasureKind;
+use embedstab_core::selection::{budget_baseline, budget_selection, BudgetBaseline};
+use embedstab_core::stats;
+use embedstab_pipeline::report::{num, print_table};
+use embedstab_pipeline::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = standard_rows(scale, &["sst2", "subj", "ner"]);
+    let algos = ["CBOW", "GloVe", "MC"];
+    let tasks = ["sst2", "subj", "ner"];
+
+    println!("\n=== Table 3: mean gap to oracle under fixed memory budgets (abs %) ===");
+    let mut header: Vec<String> = vec!["selector".into()];
+    for task in tasks {
+        for algo in algos {
+            header.push(format!("{task}/{algo}"));
+        }
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Vec::new();
+
+    // Measure-driven selectors.
+    for kind in MeasureKind::ALL {
+        let mut line = vec![kind.name().to_string()];
+        for task in tasks {
+            for algo in algos {
+                let sub = rows_for_algo(&rows[task], algo);
+                let gaps: Vec<f64> = config_points_per_seed(&sub, kind)
+                    .iter()
+                    .map(|pts| 100.0 * budget_selection(pts).mean_gap)
+                    .collect();
+                line.push(if gaps.is_empty() { "n/a".into() } else { num(stats::mean(&gaps), 2) });
+            }
+        }
+        table.push(line);
+    }
+    // Naive baselines (measure values irrelevant; any kind's points work).
+    for (name, baseline) in [
+        ("High Precision", BudgetBaseline::HighPrecision),
+        ("Low Precision", BudgetBaseline::LowPrecision),
+    ] {
+        let mut line = vec![name.to_string()];
+        for task in tasks {
+            for algo in algos {
+                let sub = rows_for_algo(&rows[task], algo);
+                let gaps: Vec<f64> = config_points_per_seed(&sub, MeasureKind::Eis)
+                    .iter()
+                    .map(|pts| 100.0 * budget_baseline(pts, baseline).mean_gap)
+                    .collect();
+                line.push(if gaps.is_empty() { "n/a".into() } else { num(stats::mean(&gaps), 2) });
+            }
+        }
+        table.push(line);
+    }
+    print_table(&header_refs, &table);
+    println!("\nPaper shape: EIS and 1-k-NN stay closest to the oracle; PIP and the");
+    println!("low-precision baseline can be several points worse.");
+}

@@ -1,0 +1,286 @@
+//! Shared analysis helpers for the table/figure reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the paper (see
+//! DESIGN.md section 4 for the full index). The helpers here aggregate
+//! per-seed rows, convert them into the selection-evaluation inputs of
+//! `embedstab-core`, and compute the per-(task, algorithm) Spearman
+//! tables.
+
+use std::collections::BTreeMap;
+
+use embedstab_core::measures::MeasureKind;
+use embedstab_core::selection::ConfigPoint;
+use embedstab_core::stats;
+use embedstab_pipeline::{EmbeddingGrid, Row, Scale, World};
+
+/// A built experiment context: world plus trained embedding grid.
+pub struct Experiment {
+    /// The corpus pair and datasets.
+    pub world: World,
+    /// The trained full-precision embedding pairs.
+    pub grid: EmbeddingGrid,
+}
+
+/// Builds a world and trains the grid for the given algorithms at the
+/// given scale (master seed 0, shared by all binaries so grids agree).
+pub fn setup(scale: Scale, algos: &[embedstab_embeddings::Algo]) -> Experiment {
+    let params = scale.params();
+    let world = World::build(&params, 0);
+    let dims = params.dims.clone();
+    let seeds = params.seeds.clone();
+    let grid = EmbeddingGrid::build(&world, algos, &dims, &seeds);
+    Experiment { world, grid }
+}
+
+/// A row aggregated over seeds for one `(task, algo, dim, bits)`.
+#[derive(Clone, Debug)]
+pub struct AggRow {
+    /// Task name.
+    pub task: String,
+    /// Algorithm name.
+    pub algo: String,
+    /// Dimension.
+    pub dim: usize,
+    /// Precision bits.
+    pub bits: u8,
+    /// Bits/word.
+    pub memory: u64,
+    /// Mean disagreement over seeds, in `[0, 1]`.
+    pub mean_di: f64,
+    /// Standard deviation of disagreement over seeds.
+    pub std_di: f64,
+    /// Mean '17-side quality over seeds.
+    pub mean_quality: f64,
+    /// Number of seeds aggregated.
+    pub n_seeds: usize,
+}
+
+/// Aggregates raw rows over seeds, keyed by `(task, algo, dim, bits)` and
+/// sorted by `(task, algo, memory, bits)`.
+pub fn aggregate(rows: &[Row]) -> Vec<AggRow> {
+    let mut groups: BTreeMap<(String, String, usize, u8), Vec<&Row>> = BTreeMap::new();
+    for r in rows {
+        groups
+            .entry((r.task.clone(), r.algo.clone(), r.dim, r.bits))
+            .or_default()
+            .push(r);
+    }
+    let mut out: Vec<AggRow> = groups
+        .into_iter()
+        .map(|((task, algo, dim, bits), rs)| {
+            let dis: Vec<f64> = rs.iter().map(|r| r.disagreement).collect();
+            let qs: Vec<f64> = rs.iter().map(|r| r.quality17).collect();
+            AggRow {
+                task,
+                algo,
+                dim,
+                bits,
+                memory: rs[0].memory,
+                mean_di: stats::mean(&dis),
+                std_di: stats::std_dev(&dis),
+                mean_quality: stats::mean(&qs),
+                n_seeds: rs.len(),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        (&a.task, &a.algo, a.memory, a.bits).cmp(&(&b.task, &b.algo, b.memory, b.bits))
+    });
+    out
+}
+
+/// Spearman correlation between one measure and disagreement over all rows
+/// (the paper computes this per task and algorithm across the
+/// dimension-precision grid).
+///
+/// Returns `None` if any row lacks measures or there are fewer than 3 rows.
+pub fn spearman_for(rows: &[Row], kind: MeasureKind) -> Option<f64> {
+    if rows.len() < 3 {
+        return None;
+    }
+    let mut xs = Vec::with_capacity(rows.len());
+    let mut ys = Vec::with_capacity(rows.len());
+    for r in rows {
+        xs.push(r.measures?.get(kind));
+        ys.push(r.disagreement);
+    }
+    Some(stats::spearman(&xs, &ys))
+}
+
+/// Splits rows by seed and converts each seed's grid into selection
+/// inputs for one measure — the paper evaluates selection per seed and
+/// averages (Section 5.2).
+///
+/// Rows without measures are skipped.
+pub fn config_points_per_seed(rows: &[Row], kind: MeasureKind) -> Vec<Vec<ConfigPoint>> {
+    let mut by_seed: BTreeMap<u64, Vec<ConfigPoint>> = BTreeMap::new();
+    for r in rows {
+        let Some(m) = r.measures else { continue };
+        by_seed.entry(r.seed).or_default().push(ConfigPoint {
+            dim: r.dim,
+            bits: r.bits,
+            measure: m.get(kind),
+            instability: r.disagreement,
+        });
+    }
+    by_seed.into_values().collect()
+}
+
+/// Filters rows to one algorithm.
+pub fn rows_for_algo(rows: &[Row], algo: &str) -> Vec<Row> {
+    rows.iter().filter(|r| r.algo == algo).cloned().collect()
+}
+
+/// Loads cached rows from `results/<name>.json`, or computes and caches
+/// them. Several tables share the same (expensive) grid rows; the first
+/// binary to run pays, the rest reuse. Pass `--fresh` to any binary to
+/// bypass the cache.
+pub fn rows_cached(name: &str, compute: impl FnOnce() -> Vec<Row>) -> Vec<Row> {
+    let fresh = std::env::args().any(|a| a == "--fresh");
+    let path = std::path::Path::new("results").join(format!("{name}.json"));
+    if !fresh {
+        if let Ok(body) = std::fs::read_to_string(&path) {
+            if let Ok(rows) = serde_json::from_str::<Vec<Row>>(&body) {
+                eprintln!("[cache] loaded {} rows from {}", rows.len(), path.display());
+                return rows;
+            }
+        }
+    }
+    let rows = compute();
+    if let Err(e) = embedstab_pipeline::report::save_json(name, &rows) {
+        eprintln!("[cache] warning: could not save {name}: {e}");
+    }
+    rows
+}
+
+/// The scale name as a cache-key suffix.
+pub fn scale_tag(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+    }
+}
+
+/// Copies measure values from `with` onto `rows` by matching
+/// `(algo, dim, bits, seed)` — measures depend only on the embedding pair,
+/// not on the downstream task, so one task's grid can supply them all.
+pub fn attach_measures(rows: &mut [Row], with: &[Row]) {
+    let map: BTreeMap<(String, usize, u8, u64), embedstab_core::MeasureValues> = with
+        .iter()
+        .filter_map(|r| {
+            r.measures.map(|m| ((r.algo.clone(), r.dim, r.bits, r.seed), m))
+        })
+        .collect();
+    for r in rows.iter_mut() {
+        if r.measures.is_none() {
+            r.measures = map.get(&(r.algo.clone(), r.dim, r.bits, r.seed)).copied();
+        }
+    }
+}
+
+/// Computes (or loads) the standard full-grid rows for the given tasks
+/// over the three main algorithms. Measures are computed once — during the
+/// first task's grid — and attached to the rest, since they only depend on
+/// the embedding pair.
+///
+/// Row caches live under `results/rows_<task>_<scale>.json`.
+pub fn standard_rows(scale: Scale, tasks: &[&str]) -> BTreeMap<String, Vec<Row>> {
+    use embedstab_pipeline::{run_ner_grid, run_sentiment_grid, GridOptions};
+    let tag = scale_tag(scale);
+    let mut exp: Option<Experiment> = None;
+    let mut out: BTreeMap<String, Vec<Row>> = BTreeMap::new();
+    let mut measure_source: Option<Vec<Row>> = None;
+    for (i, &task) in tasks.iter().enumerate() {
+        let name = format!("rows_{task}_{tag}");
+        let first = i == 0;
+        let rows = {
+            let exp_ref = &mut exp;
+            rows_cached(&name, || {
+                let e = exp_ref.get_or_insert_with(|| {
+                    eprintln!("[setup] building world + embedding grid ({tag})...");
+                    setup(scale, &embedstab_embeddings::Algo::MAIN)
+                });
+                let opts = GridOptions { with_measures: first, ..Default::default() };
+                eprintln!("[run] {task} grid...");
+                if task == "ner" {
+                    run_ner_grid(&e.world, &e.grid, &opts)
+                } else {
+                    run_sentiment_grid(&e.world, &e.grid, task, &opts)
+                }
+            })
+        };
+        let mut rows = rows;
+        if first {
+            measure_source = Some(rows.clone());
+        } else if let Some(src) = &measure_source {
+            attach_measures(&mut rows, src);
+        }
+        out.insert(task.to_string(), rows);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embedstab_core::MeasureValues;
+
+    fn row(task: &str, algo: &str, dim: usize, bits: u8, seed: u64, di: f64) -> Row {
+        Row {
+            task: task.into(),
+            algo: algo.into(),
+            dim,
+            bits,
+            memory: dim as u64 * bits as u64,
+            seed,
+            disagreement: di,
+            quality17: 0.8,
+            quality18: 0.8,
+            measures: Some(MeasureValues {
+                eis: di * 0.9,
+                knn_dist: di * 1.1,
+                semantic_displacement: 0.5,
+                pip_loss: 1.0,
+                overlap_dist: 0.5,
+            }),
+        }
+    }
+
+    #[test]
+    fn aggregate_means_and_stds() {
+        let rows = vec![
+            row("sst2", "MC", 8, 4, 0, 0.10),
+            row("sst2", "MC", 8, 4, 1, 0.20),
+            row("sst2", "MC", 16, 4, 0, 0.05),
+        ];
+        let agg = aggregate(&rows);
+        assert_eq!(agg.len(), 2);
+        let g = agg.iter().find(|a| a.dim == 8).expect("group");
+        assert!((g.mean_di - 0.15).abs() < 1e-12);
+        assert_eq!(g.n_seeds, 2);
+    }
+
+    #[test]
+    fn spearman_uses_requested_measure() {
+        // EIS tracks DI perfectly (rank-wise) in the fixture.
+        let rows: Vec<Row> = (0..6)
+            .map(|i| row("sst2", "MC", 4 << i, 32, 0, 0.02 * (6 - i) as f64))
+            .collect();
+        let rho = spearman_for(&rows, MeasureKind::Eis).expect("measures present");
+        assert!((rho - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn config_points_split_by_seed() {
+        let rows = vec![
+            row("sst2", "MC", 8, 4, 0, 0.1),
+            row("sst2", "MC", 8, 8, 0, 0.05),
+            row("sst2", "MC", 8, 4, 1, 0.2),
+        ];
+        let per_seed = config_points_per_seed(&rows, MeasureKind::Knn);
+        assert_eq!(per_seed.len(), 2);
+        assert_eq!(per_seed[0].len(), 2);
+        assert_eq!(per_seed[1].len(), 1);
+    }
+}

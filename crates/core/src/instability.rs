@@ -1,0 +1,81 @@
+//! Downstream instability (paper Definition 1).
+
+/// Fraction of positions where two prediction sequences disagree
+/// (Definition 1 with the zero-one loss). Returns a value in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+///
+/// # Example
+///
+/// ```
+/// use embedstab_core::disagreement;
+/// assert_eq!(disagreement(&[1, 2, 3, 4], &[1, 0, 3, 0]), 0.5);
+/// ```
+pub fn disagreement<T: PartialEq>(a: &[T], b: &[T]) -> f64 {
+    assert_eq!(a.len(), b.len(), "prediction sequences must have equal length");
+    assert!(!a.is_empty(), "cannot measure disagreement of empty predictions");
+    let differing = a.iter().zip(b).filter(|(x, y)| x != y).count();
+    differing as f64 / a.len() as f64
+}
+
+/// Disagreement restricted to positions where `mask` is true.
+///
+/// The paper measures NER instability "only over the tokens for which the
+/// true value is an entity"; the mask encodes that restriction.
+///
+/// Returns 0 if the mask selects no positions.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn masked_disagreement<T: PartialEq>(a: &[T], b: &[T], mask: &[bool]) -> f64 {
+    assert_eq!(a.len(), b.len(), "prediction sequences must have equal length");
+    assert_eq!(a.len(), mask.len(), "mask must match prediction length");
+    let mut total = 0usize;
+    let mut differing = 0usize;
+    for ((x, y), &m) in a.iter().zip(b).zip(mask) {
+        if m {
+            total += 1;
+            if x != y {
+                differing += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        differing as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_predictions_agree() {
+        assert_eq!(disagreement(&[true, false], &[true, false]), 0.0);
+    }
+
+    #[test]
+    fn fully_different() {
+        assert_eq!(disagreement(&[0, 0], &[1, 1]), 1.0);
+    }
+
+    #[test]
+    fn masked_counts_only_selected() {
+        let a = [1, 2, 3, 4];
+        let b = [9, 2, 9, 4];
+        assert_eq!(masked_disagreement(&a, &b, &[true, true, false, false]), 0.5);
+        assert_eq!(masked_disagreement(&a, &b, &[false, true, false, true]), 0.0);
+        assert_eq!(masked_disagreement(&a, &b, &[false; 4]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn length_mismatch_panics() {
+        let _ = disagreement(&[1], &[1, 2]);
+    }
+}

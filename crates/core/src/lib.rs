@@ -1,0 +1,46 @@
+//! The paper's core contribution, as a library.
+//!
+//! *Understanding the Downstream Instability of Word Embeddings*
+//! (Leszczynski et al., MLSys 2020) introduces:
+//!
+//! - **Downstream instability** (Definition 1): the fraction of test
+//!   predictions that disagree between models trained on two embeddings —
+//!   [`instability`].
+//! - The **eigenspace instability measure** (Definition 2, Proposition 1): a
+//!   pairwise embedding distance that provably equals the expected
+//!   disagreement of linear regression models trained on the two embeddings
+//!   — [`measures::EisMeasure`], with the theory in [`theory`].
+//! - Four baseline embedding distance measures from the literature
+//!   (Section 2.4): the k-NN measure, semantic displacement, the PIP loss,
+//!   and the eigenspace overlap score — [`measures`].
+//! - **Dimension-precision selection** (Section 4.2, Tables 2-3): using a
+//!   measure to pick embedding hyperparameters that minimize downstream
+//!   instability without training downstream models — [`selection`].
+//! - The **stability-memory rule of thumb** (Section 3.3):
+//!   `DI ≈ C_T - 1.3 log2(bits/word)` — [`trend`], fit with [`stats`].
+//!
+//! # Example
+//!
+//! ```
+//! use embedstab_core::measures::{MeasureSuite, MeasureKind};
+//! use embedstab_embeddings::Embedding;
+//! use embedstab_linalg::Mat;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let e = Embedding::new(Mat::random_normal(60, 8, &mut rng));
+//! let suite = MeasureSuite::new(&e, &e, 3.0, 42);
+//! let vals = suite.compute_all(&e, &e);
+//! // Identical embeddings: EIS is zero.
+//! assert!(vals.get(MeasureKind::Eis) < 1e-9);
+//! ```
+
+pub mod instability;
+pub mod measures;
+pub mod selection;
+pub mod stats;
+pub mod theory;
+pub mod trend;
+
+pub use instability::{disagreement, masked_disagreement};
+pub use measures::{MeasureKind, MeasureSuite, MeasureValues};

@@ -1,0 +1,82 @@
+//! The eigenspace overlap score (May et al., 2019).
+
+use embedstab_embeddings::Embedding;
+use embedstab_linalg::Mat;
+
+use super::{left_singular_basis, DistanceMeasure};
+
+/// The eigenspace overlap score `1/max(d, k) * ||U^T U~||_F^2` where `U`,
+/// `U~` are the left singular vectors of the two embeddings, reported as
+/// the distance `1 - overlap`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EigenspaceOverlap;
+
+impl EigenspaceOverlap {
+    /// The overlap score in `[0, 1]` (1 = identical column spaces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embeddings have different vocabulary sizes.
+    pub fn overlap(&self, x: &Embedding, y: &Embedding) -> f64 {
+        assert_eq!(x.vocab_size(), y.vocab_size(), "vocabulary mismatch");
+        let ux = left_singular_basis(x.mat());
+        let uy = left_singular_basis(y.mat());
+        overlap_from_bases(&ux, &uy)
+    }
+}
+
+impl DistanceMeasure for EigenspaceOverlap {
+    fn name(&self) -> &'static str {
+        "1 - Eigenspace Overlap"
+    }
+
+    fn distance(&self, x: &Embedding, y: &Embedding) -> f64 {
+        1.0 - self.overlap(x, y)
+    }
+}
+
+/// Overlap score from precomputed orthonormal bases.
+pub(crate) fn overlap_from_bases(ux: &Mat, uy: &Mat) -> f64 {
+    let denom = ux.cols().max(uy.cols()).max(1) as f64;
+    ux.matmul_tn(uy).frobenius_norm_sq() / denom
+}
+
+/// `1 - overlap` from precomputed bases (used by [`super::MeasureSuite`]).
+pub(crate) fn overlap_distance_from_bases(ux: &Mat, uy: &Mat) -> f64 {
+    (1.0 - overlap_from_bases(ux, uy)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_overlap_for_same_span() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let x = Mat::random_normal(30, 4, &mut rng);
+        // y spans the same column space: x times an invertible matrix.
+        let t = Mat::random_normal(4, 4, &mut rng).add(&Mat::identity(4).scale(3.0));
+        let y = x.matmul(&t);
+        let s = EigenspaceOverlap.overlap(&Embedding::new(x), &Embedding::new(y));
+        assert!((s - 1.0).abs() < 1e-8, "same span must overlap fully, got {s}");
+    }
+
+    #[test]
+    fn orthogonal_spans_have_zero_overlap() {
+        // Columns of x live on even coordinates, y on odd ones.
+        let x = Mat::from_fn(10, 2, |i, j| if i == 2 * j { 1.0 } else { 0.0 });
+        let y = Mat::from_fn(10, 2, |i, j| if i == 2 * j + 1 { 1.0 } else { 0.0 });
+        let s = EigenspaceOverlap.overlap(&Embedding::new(x), &Embedding::new(y));
+        assert!(s.abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_bounded_by_one_for_mixed_dims() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let x = Embedding::new(Mat::random_normal(30, 3, &mut rng));
+        let y = Embedding::new(Mat::random_normal(30, 7, &mut rng));
+        let s = EigenspaceOverlap.overlap(&x, &y);
+        assert!((0.0..=1.0 + 1e-12).contains(&s), "overlap {s}");
+    }
+}

@@ -1,0 +1,252 @@
+//! Dimension-precision selection (paper Section 4.2, Tables 2, 3, 10, 11).
+//!
+//! Given per-configuration measure values and ground-truth downstream
+//! instabilities, these routines score how well a measure *selects* stable
+//! configurations:
+//!
+//! - [`pairwise_selection`] — Table 2 / Table 10: among all pairs of
+//!   configurations, how often does picking the lower-measure one pick the
+//!   lower-instability one?
+//! - [`budget_selection`] — Table 3 / Table 11: within each fixed memory
+//!   budget, how close is the measure's pick to the oracle's?
+//! - [`budget_baseline`] — the naive high-precision / low-precision
+//!   baselines of Table 3.
+
+/// One embedding-pair configuration: its hyperparameters, the measure value
+/// predicted from the embeddings alone, and the observed downstream
+/// instability.
+#[derive(Clone, Copy, Debug)]
+pub struct ConfigPoint {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Precision in bits.
+    pub bits: u8,
+    /// The embedding distance measure value (higher = predicted less
+    /// stable).
+    pub measure: f64,
+    /// Ground-truth downstream instability (e.g. fraction disagreement).
+    pub instability: f64,
+}
+
+impl ConfigPoint {
+    /// Memory footprint in bits/word.
+    pub fn memory(&self) -> u64 {
+        self.dim as u64 * self.bits as u64
+    }
+}
+
+/// Result of the pairwise selection evaluation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairwiseReport {
+    /// Fraction of configuration pairs where the measure picked the less
+    /// stable configuration (Table 2).
+    pub error_rate: f64,
+    /// Worst absolute instability increase incurred by a wrong pick
+    /// (Table 10); same units as `ConfigPoint::instability`.
+    pub worst_case_increase: f64,
+    /// Number of pairs evaluated.
+    pub pairs: usize,
+}
+
+/// Evaluates a measure as a pairwise selector (paper Section 5.2, first
+/// setting): over all unordered pairs of distinct configurations, pick the
+/// one with the lower measure and check it has the lower instability.
+///
+/// Ties: equal instabilities cannot be picked wrongly and are skipped;
+/// equal measure values count as half an error.
+///
+/// Returns a zeroed report if fewer than two configurations are given.
+pub fn pairwise_selection(points: &[ConfigPoint]) -> PairwiseReport {
+    let mut errors = 0.0;
+    let mut pairs = 0usize;
+    let mut worst: f64 = 0.0;
+    for (a_idx, a) in points.iter().enumerate() {
+        for b in &points[a_idx + 1..] {
+            if a.instability == b.instability {
+                continue;
+            }
+            pairs += 1;
+            let (chosen, other) = if a.measure < b.measure {
+                (a, b)
+            } else if b.measure < a.measure {
+                (b, a)
+            } else {
+                errors += 0.5;
+                worst = worst.max((a.instability - b.instability).abs() * 0.5);
+                continue;
+            };
+            if chosen.instability > other.instability {
+                errors += 1.0;
+                worst = worst.max(chosen.instability - other.instability);
+            }
+        }
+    }
+    if pairs == 0 {
+        return PairwiseReport { error_rate: 0.0, worst_case_increase: 0.0, pairs: 0 };
+    }
+    PairwiseReport { error_rate: errors / pairs as f64, worst_case_increase: worst, pairs }
+}
+
+/// Result of the memory-budget selection evaluation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BudgetReport {
+    /// Mean absolute instability gap to the per-budget oracle (Table 3).
+    pub mean_gap: f64,
+    /// Worst per-budget gap (Table 11).
+    pub worst_gap: f64,
+    /// Number of budgets with at least two candidate configurations.
+    pub budgets: usize,
+}
+
+/// Naive budget baselines from Table 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetBaseline {
+    /// Pick the candidate with the highest precision in the budget.
+    HighPrecision,
+    /// Pick the candidate with the lowest precision in the budget.
+    LowPrecision,
+}
+
+/// Evaluates a measure under fixed memory budgets (paper Section 5.2,
+/// second setting): group configurations by `dim * bits`, and within each
+/// group of two or more candidates pick the one with the lowest measure;
+/// the score is the instability gap to the group's oracle (most stable)
+/// candidate, averaged (and maxed) over budgets.
+pub fn budget_selection(points: &[ConfigPoint]) -> BudgetReport {
+    budget_eval(points, |group| {
+        group
+            .iter()
+            .min_by(|a, b| a.measure.partial_cmp(&b.measure).expect("non-NaN measure"))
+            .expect("group is non-empty")
+    })
+}
+
+/// Evaluates a naive baseline under fixed memory budgets.
+pub fn budget_baseline(points: &[ConfigPoint], baseline: BudgetBaseline) -> BudgetReport {
+    budget_eval(points, move |group| match baseline {
+        BudgetBaseline::HighPrecision => {
+            group.iter().max_by_key(|p| p.bits).expect("group is non-empty")
+        }
+        BudgetBaseline::LowPrecision => {
+            group.iter().min_by_key(|p| p.bits).expect("group is non-empty")
+        }
+    })
+}
+
+fn budget_eval<'a, F>(points: &'a [ConfigPoint], pick: F) -> BudgetReport
+where
+    F: Fn(&[&'a ConfigPoint]) -> &'a ConfigPoint,
+{
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<u64, Vec<&ConfigPoint>> = BTreeMap::new();
+    for p in points {
+        groups.entry(p.memory()).or_default().push(p);
+    }
+    let mut gaps = Vec::new();
+    for (_, group) in groups {
+        if group.len() < 2 {
+            continue;
+        }
+        let oracle = group
+            .iter()
+            .map(|p| p.instability)
+            .fold(f64::INFINITY, f64::min);
+        let chosen = pick(&group);
+        gaps.push(chosen.instability - oracle);
+    }
+    if gaps.is_empty() {
+        return BudgetReport { mean_gap: 0.0, worst_gap: 0.0, budgets: 0 };
+    }
+    let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    let worst_gap = gaps.iter().cloned().fold(0.0f64, f64::max);
+    BudgetReport { mean_gap, worst_gap, budgets: gaps.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(dim: usize, bits: u8, measure: f64, instability: f64) -> ConfigPoint {
+        ConfigPoint { dim, bits, measure, instability }
+    }
+
+    #[test]
+    fn perfect_measure_has_zero_error() {
+        // Measure ordered exactly like instability.
+        let points = vec![
+            pt(25, 32, 0.1, 0.05),
+            pt(50, 16, 0.2, 0.07),
+            pt(100, 8, 0.3, 0.09),
+            pt(200, 4, 0.4, 0.11),
+        ];
+        let rep = pairwise_selection(&points);
+        assert_eq!(rep.error_rate, 0.0);
+        assert_eq!(rep.worst_case_increase, 0.0);
+        assert_eq!(rep.pairs, 6);
+    }
+
+    #[test]
+    fn inverted_measure_has_full_error() {
+        let points = vec![pt(25, 32, 0.9, 0.05), pt(50, 16, 0.1, 0.30)];
+        let rep = pairwise_selection(&points);
+        assert_eq!(rep.error_rate, 1.0);
+        assert!((rep.worst_case_increase - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measure_ties_count_half() {
+        let points = vec![pt(25, 32, 0.5, 0.05), pt(50, 16, 0.5, 0.10)];
+        let rep = pairwise_selection(&points);
+        assert_eq!(rep.error_rate, 0.5);
+    }
+
+    #[test]
+    fn equal_instability_pairs_skipped() {
+        let points = vec![pt(25, 32, 0.1, 0.05), pt(50, 16, 0.9, 0.05)];
+        let rep = pairwise_selection(&points);
+        assert_eq!(rep.pairs, 0);
+        assert_eq!(rep.error_rate, 0.0);
+    }
+
+    #[test]
+    fn budget_selection_oracle_gap() {
+        // Budget 800: (100, 8) vs (25, 32) vs (200, 4); oracle instability
+        // 0.04; a measure that picks (100,8) incurs gap 0.02.
+        let points = vec![
+            pt(100, 8, 0.2, 0.06),
+            pt(25, 32, 0.5, 0.04),
+            pt(200, 4, 0.9, 0.10),
+            // Budget 1600 group.
+            pt(100, 16, 0.1, 0.03),
+            pt(50, 32, 0.3, 0.05),
+            // Singleton budget: ignored.
+            pt(400, 1, 0.7, 0.20),
+        ];
+        let rep = budget_selection(&points);
+        assert_eq!(rep.budgets, 2);
+        // Budget 800 gap 0.02; budget 1600 gap 0 (picked oracle).
+        assert!((rep.mean_gap - 0.01).abs() < 1e-12);
+        assert!((rep.worst_gap - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_baselines() {
+        let points = vec![
+            pt(100, 8, 0.0, 0.06),
+            pt(25, 32, 0.0, 0.04),
+            pt(200, 4, 0.0, 0.10),
+        ];
+        let high = budget_baseline(&points, BudgetBaseline::HighPrecision);
+        assert!((high.mean_gap - 0.0).abs() < 1e-12, "32-bit pick is the oracle here");
+        let low = budget_baseline(&points, BudgetBaseline::LowPrecision);
+        assert!((low.mean_gap - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_zeroed() {
+        let rep = pairwise_selection(&[]);
+        assert_eq!(rep.pairs, 0);
+        let b = budget_selection(&[]);
+        assert_eq!(b.budgets, 0);
+    }
+}

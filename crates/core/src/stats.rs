@@ -1,0 +1,215 @@
+//! Statistics used throughout the evaluation: correlations, summary
+//! statistics, and multi-task linear-log regression (paper Appendix C.4).
+
+use embedstab_linalg::{lstsq, Mat};
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Pearson correlation coefficient; 0 if either input is constant.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson requires equal lengths");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let (dx, dy) = (x - mx, y - my);
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Average ranks (1-based), with ties receiving the mean of their rank
+/// range — the standard tie handling for Spearman correlation.
+pub fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("non-NaN values"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j are tied; average rank is the midpoint (1-based).
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation (tie-aware), used by the paper to score how
+/// well each embedding distance measure predicts downstream disagreement
+/// (Table 1).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or contain NaN.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "spearman requires equal lengths");
+    pearson(&average_ranks(xs), &average_ranks(ys))
+}
+
+/// One observation for the multi-task linear-log fit: a task id, a memory
+/// (or dimension/precision) value, and an observed instability.
+#[derive(Clone, Copy, Debug)]
+pub struct TrendPoint {
+    /// Which task (or task-group) this point belongss to; each task gets
+    /// its own intercept.
+    pub task: usize,
+    /// The x value whose log2 is regressed on (e.g. bits/word).
+    pub x: f64,
+    /// The observed instability (e.g. percent disagreement).
+    pub y: f64,
+}
+
+/// Result of the linear-log fit `y ≈ intercept_task - slope * log2(x)`.
+#[derive(Clone, Debug)]
+pub struct LinearLogFit {
+    /// The shared slope; positive when `y` decreases as `x` doubles.
+    /// Doubling `x` reduces `y` by `slope` (the paper reports 1.3% for
+    /// memory).
+    pub slope: f64,
+    /// Per-task intercepts `C_T`.
+    pub intercepts: Vec<f64>,
+}
+
+/// Fits the paper's rule-of-thumb model (Appendix C.4): one shared
+/// coefficient on `log2(x)` plus a per-task intercept, by least squares.
+///
+/// Returns `None` if there are no points or the design is degenerate.
+///
+/// # Panics
+///
+/// Panics if any `x` is not strictly positive or a task id is out of range.
+pub fn linear_log_fit(points: &[TrendPoint], n_tasks: usize) -> Option<LinearLogFit> {
+    if points.is_empty() || n_tasks == 0 {
+        return None;
+    }
+    let rows = points.len();
+    let cols = 1 + n_tasks;
+    let mut design = Mat::zeros(rows, cols);
+    let mut target = Mat::zeros(rows, 1);
+    for (r, p) in points.iter().enumerate() {
+        assert!(p.x > 0.0, "x values must be positive for log2");
+        assert!(p.task < n_tasks, "task id out of range");
+        design[(r, 0)] = p.x.log2();
+        design[(r, 1 + p.task)] = 1.0;
+        target[(r, 0)] = p.y;
+    }
+    let beta = lstsq(&design, &target, 1e-9)?;
+    let slope = -beta[(0, 0)];
+    let intercepts = (0..n_tasks).map(|t| beta[(1 + t, 0)]).collect();
+    Some(LinearLogFit { slope, intercepts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.138).abs() < 0.01);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert!((pearson(&x, &[2.0, 4.0, 6.0, 8.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &[8.0, 6.0, 4.0, 2.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[5.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = average_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_invariant_under_monotone_transform() {
+        let x = [0.1, 0.5, 0.2, 0.9, 0.3];
+        let y = [1.0, 25.0, 4.0, 81.0, 9.0]; // y = (10x)^2, monotone
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((spearman(&x, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_known_value() {
+        // Classic example with one swapped pair.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 2.0, 3.0, 5.0, 4.0];
+        assert!((spearman(&x, &y) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_log_fit_recovers_planted_trend() {
+        // y = C_t - 1.3 log2(x) with two tasks.
+        let mut points = Vec::new();
+        for (task, c) in [(0usize, 10.0), (1usize, 20.0)] {
+            for &x in &[32.0, 64.0, 128.0, 256.0, 512.0] {
+                points.push(TrendPoint { task, x, y: c - 1.3 * x.log2() });
+            }
+        }
+        let fit = linear_log_fit(&points, 2).expect("solvable");
+        assert!((fit.slope - 1.3).abs() < 1e-6, "slope {}", fit.slope);
+        assert!((fit.intercepts[0] - 10.0).abs() < 1e-6);
+        assert!((fit.intercepts[1] - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_log_fit_with_noise_is_close() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut points = Vec::new();
+        for &x in &[16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0] {
+            for _ in 0..5 {
+                let noise: f64 = rng.random_range(-0.3..0.3);
+                points.push(TrendPoint { task: 0, x, y: 15.0 - 2.0 * x.log2() + noise });
+            }
+        }
+        let fit = linear_log_fit(&points, 1).expect("solvable");
+        assert!((fit.slope - 2.0).abs() < 0.15, "slope {}", fit.slope);
+    }
+
+    #[test]
+    fn degenerate_fit_is_none() {
+        assert!(linear_log_fit(&[], 1).is_none());
+    }
+}

@@ -1,0 +1,232 @@
+//! Proposition 1 machinery: the exact link between the eigenspace
+//! instability measure and expected downstream disagreement of linear
+//! regression models.
+//!
+//! Proposition 1 (paper Appendix B): for full-rank embeddings `X`, `X~` and
+//! a random label vector `y` with mean zero and covariance `Sigma`,
+//!
+//! ```text
+//! E_y[ sum_i (f_y(x_i) - f~_y(x~_i))^2 ] / E_y[ ||y||^2 ] = EI_Sigma(X, X~)
+//! ```
+//!
+//! where `f_y` / `f~_y` are the least-squares linear models trained on
+//! `(X, y)` / `(X~, y)`. This module provides the dense reference
+//! implementation of the measure, OLS training-point predictions, and a
+//! Monte-Carlo estimator of the left-hand side, so the identity can be
+//! verified numerically (see `prop1_validation` in the bench crate and the
+//! integration tests).
+
+use embedstab_linalg::Mat;
+use rand::SeedableRng;
+
+/// The projector `U U^T` onto the column space of `m` (dense `n x n`;
+/// reference implementation for tests and small inputs).
+pub fn projector(m: &Mat) -> Mat {
+    let u = m.svd().u_rank(1e-10);
+    u.matmul_nt(&u)
+}
+
+/// Dense `Sigma = (E E^T)^alpha + (E~ E~^T)^alpha` (reference
+/// implementation; forms `n x n` matrices).
+pub fn sigma_dense(e17: &Mat, e18: &Mat, alpha: f64) -> Mat {
+    gram_power(e17, alpha).add(&gram_power(e18, alpha))
+}
+
+/// `(M M^T)^alpha` via the SVD of `M`.
+fn gram_power(m: &Mat, alpha: f64) -> Mat {
+    let svd = m.svd();
+    let rank = svd.rank(1e-10);
+    let mut uw = svd.u.truncate_cols(rank);
+    for j in 0..rank {
+        let w = svd.s[j].powf(alpha); // eigenvalue s^2 raised to alpha/... see below
+        // (M M^T)^alpha has eigenvalues (s_i^2)^alpha = s_i^{2 alpha}; we
+        // split as (s^alpha) * (s^alpha) across the two factors.
+        for i in 0..uw.rows() {
+            uw[(i, j)] *= w;
+        }
+    }
+    uw.matmul_nt(&uw)
+}
+
+/// The dense Definition-2 eigenspace instability
+/// `tr((P + P~ - 2 P~ P) Sigma) / tr(Sigma)` with explicit projectors.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent or `tr(Sigma) <= 0`.
+pub fn eis_dense(x: &Mat, y: &Mat, sigma: &Mat) -> f64 {
+    assert_eq!(x.rows(), y.rows(), "embeddings must share a vocabulary");
+    assert_eq!(sigma.rows(), x.rows(), "Sigma must be n x n");
+    let p = projector(x);
+    let pt = projector(y);
+    let combo = p.add(&pt).sub(&pt.matmul(&p).scale(2.0));
+    let ts = sigma.trace();
+    assert!(ts > 0.0, "Sigma must have positive trace");
+    combo.matmul(sigma).trace() / ts
+}
+
+/// Predictions of the least-squares linear model trained on `(x, y)`,
+/// evaluated at the training points: `X w* = U U^T y` (paper footnote 7).
+///
+/// # Panics
+///
+/// Panics if `y.len() != x.rows()`.
+pub fn ols_train_predictions(x: &Mat, y: &[f64]) -> Vec<f64> {
+    assert_eq!(y.len(), x.rows(), "label vector length must equal rows");
+    let u = x.svd().u_rank(1e-10);
+    let uty = u.matvec_t(y);
+    u.matvec(&uty)
+}
+
+/// A factored label covariance `Sigma = Z Z^T`, supporting exact sampling
+/// of `y ~ (0, Sigma)` without a Cholesky factorization (which would fail
+/// for the rank-deficient `Sigma` arising from low-rank references).
+#[derive(Clone, Debug)]
+pub struct SigmaFactor {
+    z: Mat,
+}
+
+impl SigmaFactor {
+    /// Builds the factor for `Sigma = (E E^T)^alpha + (E~ E~^T)^alpha`:
+    /// `Z = [U diag(s^alpha) | U~ diag(s~^alpha)]`.
+    pub fn from_references(e17: &Mat, e18: &Mat, alpha: f64) -> Self {
+        let a = weighted_u(e17, alpha);
+        let b = weighted_u(e18, alpha);
+        let mut z = Mat::zeros(a.rows(), a.cols() + b.cols());
+        for i in 0..a.rows() {
+            z.row_mut(i)[..a.cols()].copy_from_slice(a.row(i));
+            z.row_mut(i)[a.cols()..].copy_from_slice(b.row(i));
+        }
+        SigmaFactor { z }
+    }
+
+    /// The dense `Sigma` (tests only).
+    pub fn dense(&self) -> Mat {
+        self.z.matmul_nt(&self.z)
+    }
+
+    /// `tr(Sigma)`.
+    pub fn trace(&self) -> f64 {
+        self.z.frobenius_norm_sq()
+    }
+
+    /// Samples one label vector `y = Z g`, `g ~ N(0, I)`.
+    pub fn sample(&self, rng: &mut impl rand::Rng) -> Vec<f64> {
+        let g = Mat::random_normal(self.z.cols(), 1, rng);
+        self.z.matvec(g.col(0).as_slice())
+    }
+}
+
+fn weighted_u(m: &Mat, alpha: f64) -> Mat {
+    let svd = m.svd();
+    let rank = svd.rank(1e-10);
+    let mut u = svd.u.truncate_cols(rank);
+    for j in 0..rank {
+        let w = svd.s[j].powf(alpha);
+        for i in 0..u.rows() {
+            u[(i, j)] *= w;
+        }
+    }
+    u
+}
+
+/// Monte-Carlo estimate of the left-hand side of Proposition 1:
+/// draws `samples` label vectors `y ~ (0, Sigma)`, trains the two OLS
+/// models, and returns
+/// `sum_t ||P y_t - P~ y_t||^2 / sum_t ||y_t||^2`.
+///
+/// By Proposition 1 this converges to `EI_Sigma(X, X~)` as `samples` grows.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero or shapes are inconsistent.
+pub fn monte_carlo_disagreement(
+    x: &Mat,
+    y_emb: &Mat,
+    sigma: &SigmaFactor,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    assert_eq!(x.rows(), y_emb.rows(), "embeddings must share a vocabulary");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let ux = x.svd().u_rank(1e-10);
+    let uy = y_emb.svd().u_rank(1e-10);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for _ in 0..samples {
+        let label = sigma.sample(&mut rng);
+        let px = ux.matvec(&ux.matvec_t(&label));
+        let py = uy.matvec(&uy.matvec_t(&label));
+        num += px.iter().zip(&py).map(|(a, b)| (a - b) * (a - b)).sum::<f64>();
+        den += label.iter().map(|v| v * v).sum::<f64>();
+    }
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_mat(n: usize, d: usize, seed: u64) -> Mat {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Mat::random_normal(n, d, &mut rng)
+    }
+
+    #[test]
+    fn projector_is_idempotent_and_symmetric() {
+        let x = rand_mat(15, 4, 0);
+        let p = projector(&x);
+        assert!(p.matmul(&p).sub(&p).frobenius_norm() < 1e-8);
+        assert!(p.sub(&p.transpose()).frobenius_norm() < 1e-9);
+        assert!((p.trace() - 4.0).abs() < 1e-8, "trace = rank");
+    }
+
+    #[test]
+    fn ols_predictions_match_normal_equations() {
+        let x = rand_mat(20, 5, 1);
+        let y = rand_mat(20, 1, 2).into_vec();
+        let via_proj = ols_train_predictions(&x, &y);
+        let w = embedstab_linalg::lstsq(&x, &Mat::from_vec(20, 1, y.clone()), 0.0)
+            .expect("full rank");
+        let via_w = x.matmul(&w);
+        for i in 0..20 {
+            assert!((via_proj[i] - via_w[(i, 0)]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn sigma_factor_matches_dense() {
+        let e17 = rand_mat(18, 4, 3);
+        let e18 = rand_mat(18, 3, 4);
+        let f = SigmaFactor::from_references(&e17, &e18, 2.0);
+        let dense = sigma_dense(&e17, &e18, 2.0);
+        assert!(f.dense().sub(&dense).frobenius_norm() / dense.frobenius_norm() < 1e-9);
+        assert!((f.trace() - dense.trace()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn gram_power_one_is_gram() {
+        let e = rand_mat(12, 3, 5);
+        let g = e.matmul_nt(&e);
+        assert!(gram_power(&e, 1.0).sub(&g).frobenius_norm() / g.frobenius_norm() < 1e-9);
+    }
+
+    /// Proposition 1, numerically: the Monte-Carlo expected disagreement of
+    /// OLS model pairs equals the eigenspace instability measure.
+    #[test]
+    fn proposition_1_holds() {
+        let x = rand_mat(30, 5, 6);
+        let y = rand_mat(30, 7, 7);
+        let e17 = rand_mat(30, 8, 8);
+        let e18 = rand_mat(30, 8, 9);
+        let alpha = 1.5;
+        let sigma = SigmaFactor::from_references(&e17, &e18, alpha);
+        let exact = eis_dense(&x, &y, &sigma.dense());
+        let mc = monte_carlo_disagreement(&x, &y, &sigma, 4000, 0);
+        assert!(
+            (exact - mc).abs() < 0.02,
+            "Proposition 1 violated: EIS {exact:.4} vs Monte-Carlo {mc:.4}"
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Walker's alias method for O(1) categorical sampling.
+
+use rand::{Rng, RngExt};
+
+/// A Walker alias table over `n` categories, supporting O(1) sampling from a
+/// fixed discrete distribution.
+///
+/// Corpus generation draws hundreds of thousands of tokens per corpus from
+/// per-topic word distributions; the alias method keeps that linear in the
+/// token count instead of `O(tokens * vocab)`.
+///
+/// # Example
+///
+/// ```
+/// use embedstab_corpus::AliasTable;
+/// use rand::SeedableRng;
+///
+/// let table = AliasTable::new(&[1.0, 0.0, 3.0]);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let s = table.sample(&mut rng);
+/// assert!(s == 0 || s == 2); // category 1 has zero mass
+/// ```
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative weights (not necessarily
+    /// normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "weights must be non-negative, finite, and not all zero"
+        );
+        let n = weights.len();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0u32; n];
+        let scale = n as f64 / total;
+        let mut scaled: Vec<f64> = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0 && w.is_finite(), "weights must be non-negative");
+                w * scale
+            })
+            .collect();
+
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        for &l in &large {
+            prob[l as usize] = 1.0;
+        }
+        for &s in &small {
+            prob[s as usize] = 1.0; // numerical leftovers
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if the table has no categories (never constructible; kept for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category index.
+    #[inline]
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_distribution() {
+        let weights = [0.5, 0.0, 2.0, 1.5];
+        let table = AliasTable::new(&weights);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for i in 0..4 {
+            let expected = weights[i] / total;
+            let got = counts[i] as f64 / draws as f64;
+            assert!(
+                (expected - got).abs() < 0.01,
+                "category {i}: expected {expected}, got {got}"
+            );
+        }
+        assert_eq!(counts[1], 0, "zero-weight category must never be drawn");
+    }
+
+    #[test]
+    fn single_category() {
+        let table = AliasTable::new(&[42.0]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not all zero")]
+    fn all_zero_panics() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_panics() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    fn uniform_is_uniform() {
+        let table = AliasTable::new(&[1.0; 10]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 100_000.0 - 0.1).abs() < 0.01);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Windowed co-occurrence counting.
+
+use std::collections::HashMap;
+
+use crate::generate::Corpus;
+
+/// Configuration for co-occurrence counting.
+#[derive(Clone, Copy, Debug)]
+pub struct CoocConfig {
+    /// Symmetric context window size.
+    pub window: usize,
+    /// If true, a pair at distance `d` contributes weight `1/d`
+    /// (GloVe-style); otherwise weight `1`.
+    pub distance_weighting: bool,
+}
+
+impl Default for CoocConfig {
+    fn default() -> Self {
+        CoocConfig { window: 8, distance_weighting: false }
+    }
+}
+
+/// A symmetric co-occurrence table over a vocabulary of size `n`.
+///
+/// Both `(i, j)` and `(j, i)` are stored, so row sums are the standard
+/// marginals used by PPMI.
+#[derive(Clone, Debug)]
+pub struct Cooc {
+    n: usize,
+    map: HashMap<u64, f64>,
+    total: f64,
+}
+
+#[inline]
+fn key(i: u32, j: u32) -> u64 {
+    ((i as u64) << 32) | j as u64
+}
+
+impl Cooc {
+    /// Counts co-occurrences over all documents of a corpus. Windows do not
+    /// cross document boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.window` is zero or a token id is `>= vocab_size`.
+    pub fn count(corpus: &Corpus, vocab_size: usize, config: &CoocConfig) -> Self {
+        assert!(config.window > 0, "window must be positive");
+        let mut map: HashMap<u64, f64> = HashMap::new();
+        let mut total = 0.0;
+        for doc in corpus.docs() {
+            for (t, &a) in doc.iter().enumerate() {
+                assert!((a as usize) < vocab_size, "token id out of vocabulary");
+                let end = (t + config.window + 1).min(doc.len());
+                for (dist, &b) in doc[t + 1..end].iter().enumerate() {
+                    let w = if config.distance_weighting {
+                        1.0 / (dist + 1) as f64
+                    } else {
+                        1.0
+                    };
+                    *map.entry(key(a, b)).or_insert(0.0) += w;
+                    *map.entry(key(b, a)).or_insert(0.0) += w;
+                    total += 2.0 * w;
+                }
+            }
+        }
+        Cooc { n: vocab_size, map, total }
+    }
+
+    /// Vocabulary size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored (directed) non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total mass (sum over all stored entries).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// The count for pair `(i, j)`, zero if unobserved.
+    pub fn get(&self, i: u32, j: u32) -> f64 {
+        self.map.get(&key(i, j)).copied().unwrap_or(0.0)
+    }
+
+    /// All `(i, j, count)` entries, sorted by `(i, j)` for determinism.
+    pub fn entries(&self) -> Vec<(u32, u32, f64)> {
+        let mut out: Vec<(u32, u32, f64)> = self
+            .map
+            .iter()
+            .map(|(&k, &v)| ((k >> 32) as u32, k as u32, v))
+            .collect();
+        out.sort_unstable_by_key(|&(i, j, _)| ((i as u64) << 32) | j as u64);
+        out
+    }
+
+    /// Row marginals `r_i = sum_j count(i, j)`.
+    pub fn row_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.n];
+        for (&k, &v) in &self.map {
+            sums[(k >> 32) as usize] += v;
+        }
+        sums
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_corpus() -> Corpus {
+        Corpus::from_docs(vec![vec![0, 1, 2], vec![1, 1]])
+    }
+
+    #[test]
+    fn window_one_flat_counts() {
+        let c = Cooc::count(&tiny_corpus(), 3, &CoocConfig { window: 1, distance_weighting: false });
+        assert_eq!(c.get(0, 1), 1.0);
+        assert_eq!(c.get(1, 0), 1.0);
+        assert_eq!(c.get(1, 2), 1.0);
+        assert_eq!(c.get(0, 2), 0.0);
+        // (1,1) appears once in doc 2, stored in both directions onto the
+        // same key, so it accumulates 2.
+        assert_eq!(c.get(1, 1), 2.0);
+        // Three undirected pairs, each stored in both directions.
+        assert_eq!(c.total(), 6.0);
+    }
+
+    #[test]
+    fn window_two_distance_weighted() {
+        let c = Cooc::count(&tiny_corpus(), 3, &CoocConfig { window: 2, distance_weighting: true });
+        assert_eq!(c.get(0, 1), 1.0);
+        assert_eq!(c.get(0, 2), 0.5);
+        assert_eq!(c.get(2, 0), 0.5);
+    }
+
+    #[test]
+    fn symmetric() {
+        let docs = vec![vec![0, 1, 2, 3, 0, 2], vec![3, 2, 1]];
+        let c = Cooc::count(&Corpus::from_docs(docs), 4, &CoocConfig::default());
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                assert_eq!(c.get(i, j), c.get(j, i), "asymmetry at ({i},{j})");
+            }
+        }
+        let sums = c.row_sums();
+        assert!((sums.iter().sum::<f64>() - c.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_cross_document_pairs() {
+        let docs = vec![vec![0], vec![1]];
+        let c = Cooc::count(&Corpus::from_docs(docs), 2, &CoocConfig { window: 5, distance_weighting: false });
+        assert_eq!(c.get(0, 1), 0.0);
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn out_of_vocab_panics() {
+        let docs = vec![vec![0, 9]];
+        let _ = Cooc::count(&Corpus::from_docs(docs), 2, &CoocConfig::default());
+    }
+
+    #[test]
+    fn entries_sorted_and_deterministic() {
+        let docs = vec![vec![2, 0, 1, 2, 0]];
+        let corpus = Corpus::from_docs(docs);
+        let a = Cooc::count(&corpus, 3, &CoocConfig::default()).entries();
+        let b = Cooc::count(&corpus, 3, &CoocConfig::default()).entries();
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Synthetic vocabulary with morphologically structured word strings.
+
+use std::collections::HashMap;
+
+/// A vocabulary mapping between word ids (`u32`, dense from 0) and synthetic
+/// word strings.
+///
+/// Word strings are synthesized with a topic-dependent prefix syllable plus a
+/// consonant–vowel encoding of the word id. The shared prefixes give
+/// character n-grams real signal, which is what the fastText subword
+/// extension (paper Appendix E.1) needs to be meaningful on synthetic data.
+///
+/// # Example
+///
+/// ```
+/// use embedstab_corpus::Vocab;
+///
+/// let vocab = Vocab::synthetic(&[0, 0, 1]);
+/// assert_eq!(vocab.len(), 3);
+/// let w = vocab.word(2);
+/// assert_eq!(vocab.id(w), Some(2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Vocab {
+    words: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+const PREFIXES: [&str; 24] = [
+    "ba", "ke", "mu", "so", "ti", "re", "la", "po", "du", "vi", "no", "fa", "ga", "he", "zi",
+    "wo", "cha", "ne", "ry", "qua", "lo", "sha", "pe", "tru",
+];
+
+const CONSONANTS: [char; 10] = ['b', 'd', 'f', 'g', 'k', 'l', 'm', 'n', 'r', 's'];
+const VOWELS: [char; 5] = ['a', 'e', 'i', 'o', 'u'];
+
+/// Synthesizes a pronounceable word string for word `idx` in topic `topic`.
+pub fn synth_word(idx: usize, topic: usize) -> String {
+    let mut s = String::from(PREFIXES[topic % PREFIXES.len()]);
+    let mut rest = idx;
+    loop {
+        s.push(CONSONANTS[rest % 10]);
+        rest /= 10;
+        s.push(VOWELS[rest % 5]);
+        rest /= 5;
+        if rest == 0 {
+            break;
+        }
+    }
+    s
+}
+
+impl Vocab {
+    /// Builds a synthetic vocabulary, one word per entry of `word_topics`
+    /// (word `i` gets a string derived from `word_topics[i]`).
+    pub fn synthetic(word_topics: &[usize]) -> Self {
+        let words: Vec<String> = word_topics
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| synth_word(i, t))
+            .collect();
+        let index = words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i as u32))
+            .collect();
+        Vocab { words, index }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The string for word id `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn word(&self, i: u32) -> &str {
+        &self.words[i as usize]
+    }
+
+    /// The id for a word string, if present.
+    pub fn id(&self, word: &str) -> Option<u32> {
+        self.index.get(word).copied()
+    }
+
+    /// Iterator over `(id, word)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.words.iter().enumerate().map(|(i, w)| (i as u32, w.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_are_unique() {
+        let topics: Vec<usize> = (0..500).map(|i| i % 7).collect();
+        let vocab = Vocab::synthetic(&topics);
+        let mut seen = std::collections::HashSet::new();
+        for (_, w) in vocab.iter() {
+            assert!(seen.insert(w.to_string()), "duplicate word {w}");
+        }
+        assert_eq!(vocab.len(), 500);
+    }
+
+    #[test]
+    fn roundtrip_lookup() {
+        let vocab = Vocab::synthetic(&[0, 1, 2, 3]);
+        for i in 0..4u32 {
+            assert_eq!(vocab.id(vocab.word(i)), Some(i));
+        }
+        assert_eq!(vocab.id("notaword"), None);
+    }
+
+    #[test]
+    fn topic_prefix_shared() {
+        // Two words in the same topic share their prefix syllable.
+        let a = synth_word(10, 3);
+        let b = synth_word(20, 3);
+        assert_eq!(&a[..2], &b[..2]);
+        // Different topics get different prefixes (for small topic ids).
+        let c = synth_word(10, 4);
+        assert_ne!(&a[..2], &c[..2]);
+    }
+}

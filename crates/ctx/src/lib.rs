@@ -1,0 +1,36 @@
+//! Contextual word-embedding substrate: a from-scratch mini-BERT.
+//!
+//! For the paper's Section 6.2 extension, shallow (3-layer) BERT models
+//! are pre-trained on sub-sampled Wiki'17/Wiki'18 dumps with varying
+//! transformer output dimensionality, then used as *fixed* feature
+//! extractors for linear sentiment classifiers; the stability-memory
+//! tradeoff is measured over the output dimension and the precision of the
+//! extracted features (paper Figure 11).
+//!
+//! This crate implements the full substrate with no deep-learning
+//! framework: token+position embeddings, pre-norm multi-head
+//! self-attention blocks with GELU feed-forward networks, a masked
+//! language modeling objective, and complete backpropagation (verified
+//! against finite differences in the test suite).
+//!
+//! # Example
+//!
+//! ```
+//! use embedstab_corpus::{CorpusConfig, LatentModel, LatentModelConfig};
+//! use embedstab_ctx::{BertConfig, MiniBert, MlmTrainConfig};
+//!
+//! let model = LatentModel::new(&LatentModelConfig { vocab_size: 50, ..Default::default() });
+//! let corpus = model.generate_corpus(&CorpusConfig { n_tokens: 2_000, ..Default::default() });
+//! let mut bert = MiniBert::new(&BertConfig {
+//!     vocab_size: 50, dim: 8, heads: 2, layers: 1, ..Default::default()
+//! });
+//! bert.train_mlm(&corpus, &MlmTrainConfig { epochs: 1, ..Default::default() });
+//! let features = bert.sentence_embedding(&[3, 1, 4]);
+//! assert_eq!(features.len(), 8);
+//! ```
+
+mod mlm;
+mod model;
+
+pub use mlm::MlmTrainConfig;
+pub use model::{BertConfig, MiniBert};

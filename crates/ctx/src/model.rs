@@ -1,0 +1,763 @@
+//! The mini-BERT model: parameters, forward pass, and backpropagation.
+
+use embedstab_linalg::{vecops, Mat};
+use rand::{Rng, SeedableRng};
+
+/// Architecture of the mini-BERT encoder.
+#[derive(Clone, Debug)]
+pub struct BertConfig {
+    /// Vocabulary size (the `[MASK]` token is appended internally).
+    pub vocab_size: usize,
+    /// Maximum sequence length (longer documents are chunked).
+    pub max_len: usize,
+    /// Transformer model dimension — the "output dimensionality" swept in
+    /// paper Figure 11a.
+    pub dim: usize,
+    /// Number of attention heads (`dim` must be divisible by `heads`).
+    pub heads: usize,
+    /// Number of transformer layers (the paper uses 3).
+    pub layers: usize,
+    /// Feed-forward width as a multiple of `dim` (BERT uses 4).
+    pub ffn_mult: usize,
+    /// Initialization seed.
+    pub seed: u64,
+}
+
+impl Default for BertConfig {
+    fn default() -> Self {
+        BertConfig {
+            vocab_size: 1000,
+            max_len: 32,
+            dim: 32,
+            heads: 4,
+            layers: 3,
+            ffn_mult: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// One transformer layer's parameters.
+#[derive(Clone, Debug)]
+pub(crate) struct Layer {
+    pub ln1_g: Vec<f64>,
+    pub ln1_b: Vec<f64>,
+    pub wq: Mat,
+    pub bq: Vec<f64>,
+    pub wk: Mat,
+    pub bk: Vec<f64>,
+    pub wv: Mat,
+    pub bv: Vec<f64>,
+    pub wo: Mat,
+    pub bo: Vec<f64>,
+    pub ln2_g: Vec<f64>,
+    pub ln2_b: Vec<f64>,
+    pub w1: Mat,
+    pub b1: Vec<f64>,
+    pub w2: Mat,
+    pub b2: Vec<f64>,
+}
+
+impl Layer {
+    fn new(d: usize, ffn: usize, rng: &mut impl Rng) -> Self {
+        let s_attn = (1.0 / d as f64).sqrt();
+        let s_ffn = (1.0 / d as f64).sqrt();
+        let s_out = (1.0 / ffn as f64).sqrt();
+        Layer {
+            ln1_g: vec![1.0; d],
+            ln1_b: vec![0.0; d],
+            wq: Mat::random_normal(d, d, rng).scale(s_attn),
+            bq: vec![0.0; d],
+            wk: Mat::random_normal(d, d, rng).scale(s_attn),
+            bk: vec![0.0; d],
+            wv: Mat::random_normal(d, d, rng).scale(s_attn),
+            bv: vec![0.0; d],
+            wo: Mat::random_normal(d, d, rng).scale(s_attn),
+            bo: vec![0.0; d],
+            ln2_g: vec![1.0; d],
+            ln2_b: vec![0.0; d],
+            w1: Mat::random_normal(ffn, d, rng).scale(s_ffn),
+            b1: vec![0.0; ffn],
+            w2: Mat::random_normal(d, ffn, rng).scale(s_out),
+            b2: vec![0.0; d],
+        }
+    }
+
+    fn visit_mut(&mut self, f: &mut impl FnMut(&mut [f64])) {
+        f(&mut self.ln1_g);
+        f(&mut self.ln1_b);
+        f(self.wq.as_mut_slice());
+        f(&mut self.bq);
+        f(self.wk.as_mut_slice());
+        f(&mut self.bk);
+        f(self.wv.as_mut_slice());
+        f(&mut self.bv);
+        f(self.wo.as_mut_slice());
+        f(&mut self.bo);
+        f(&mut self.ln2_g);
+        f(&mut self.ln2_b);
+        f(self.w1.as_mut_slice());
+        f(&mut self.b1);
+        f(self.w2.as_mut_slice());
+        f(&mut self.b2);
+    }
+
+    fn zeros_like(&self) -> Layer {
+        Layer {
+            ln1_g: vec![0.0; self.ln1_g.len()],
+            ln1_b: vec![0.0; self.ln1_b.len()],
+            wq: Mat::zeros(self.wq.rows(), self.wq.cols()),
+            bq: vec![0.0; self.bq.len()],
+            wk: Mat::zeros(self.wk.rows(), self.wk.cols()),
+            bk: vec![0.0; self.bk.len()],
+            wv: Mat::zeros(self.wv.rows(), self.wv.cols()),
+            bv: vec![0.0; self.bv.len()],
+            wo: Mat::zeros(self.wo.rows(), self.wo.cols()),
+            bo: vec![0.0; self.bo.len()],
+            ln2_g: vec![0.0; self.ln2_g.len()],
+            ln2_b: vec![0.0; self.ln2_b.len()],
+            w1: Mat::zeros(self.w1.rows(), self.w1.cols()),
+            b1: vec![0.0; self.b1.len()],
+            w2: Mat::zeros(self.w2.rows(), self.w2.cols()),
+            b2: vec![0.0; self.b2.len()],
+        }
+    }
+}
+
+/// The mini-BERT encoder with a masked-LM decoder head.
+#[derive(Clone, Debug)]
+pub struct MiniBert {
+    pub(crate) config: BertConfig,
+    pub(crate) tok_emb: Mat, // (vocab + 1) x d, last row = [MASK]
+    pub(crate) pos_emb: Mat, // max_len x d
+    pub(crate) layers: Vec<Layer>,
+    pub(crate) fin_g: Vec<f64>,
+    pub(crate) fin_b: Vec<f64>,
+    pub(crate) decoder: Mat, // vocab x d
+    pub(crate) dec_b: Vec<f64>,
+}
+
+/// Forward-pass caches for one layer.
+pub(crate) struct LayerCache {
+    x_in: Mat,
+    ln1: LnCache,
+    q: Mat,
+    k: Mat,
+    v: Mat,
+    /// Attention probabilities, one `T x T` matrix per head.
+    probs: Vec<Mat>,
+    ctx: Mat,
+    ln2: LnCache,
+    /// FFN pre-activation (`T x ffn`).
+    pre: Mat,
+    /// GELU output (`T x ffn`).
+    act: Mat,
+}
+
+pub(crate) struct LnCache {
+    xhat: Mat,
+    inv_std: Vec<f64>,
+}
+
+/// Everything needed to backprop one sequence.
+pub(crate) struct Caches {
+    pub ids: Vec<u32>,
+    layers: Vec<LayerCache>,
+    fin: LnCache,
+    /// Final layer-normed output (`T x d`).
+    pub out: Mat,
+}
+
+/// Gradients mirror the parameter layout.
+pub(crate) struct Grads {
+    pub tok_emb: Mat,
+    pub pos_emb: Mat,
+    pub layers: Vec<Layer>,
+    pub fin_g: Vec<f64>,
+    pub fin_b: Vec<f64>,
+    pub decoder: Mat,
+    pub dec_b: Vec<f64>,
+}
+
+impl Grads {
+    /// Mirror of [`MiniBert::visit_mut`] over the gradient blocks.
+    pub(crate) fn visit_mut(&mut self, f: &mut impl FnMut(&mut [f64])) {
+        f(self.tok_emb.as_mut_slice());
+        f(self.pos_emb.as_mut_slice());
+        for l in &mut self.layers {
+            l.visit_mut(f);
+        }
+        f(&mut self.fin_g);
+        f(&mut self.fin_b);
+        f(self.decoder.as_mut_slice());
+        f(&mut self.dec_b);
+    }
+}
+
+impl MiniBert {
+    /// Builds a randomly initialized model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim % heads != 0` or any size is zero.
+    pub fn new(config: &BertConfig) -> Self {
+        assert!(config.dim > 0 && config.heads > 0 && config.layers > 0, "sizes must be positive");
+        assert!(config.vocab_size > 0 && config.max_len > 0, "sizes must be positive");
+        assert_eq!(config.dim % config.heads, 0, "dim must be divisible by heads");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        let d = config.dim;
+        let ffn = config.ffn_mult.max(1) * d;
+        MiniBert {
+            tok_emb: Mat::random_normal(config.vocab_size + 1, d, &mut rng).scale(0.02 * (d as f64).sqrt()),
+            pos_emb: Mat::random_normal(config.max_len, d, &mut rng).scale(0.02 * (d as f64).sqrt()),
+            layers: (0..config.layers).map(|_| Layer::new(d, ffn, &mut rng)).collect(),
+            fin_g: vec![1.0; d],
+            fin_b: vec![0.0; d],
+            decoder: Mat::random_normal(config.vocab_size, d, &mut rng).scale(0.02),
+            dec_b: vec![0.0; config.vocab_size],
+            config: config.clone(),
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &BertConfig {
+        &self.config
+    }
+
+    /// The `[MASK]` token id.
+    pub fn mask_id(&self) -> u32 {
+        self.config.vocab_size as u32
+    }
+
+    /// Encodes a token sequence, returning the last transformer layer's
+    /// output (`T x dim`) — the contextual word representations the paper
+    /// feeds to downstream classifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty or longer than `max_len`, or a
+    /// token id exceeds the vocabulary (the mask id is allowed).
+    pub fn encode(&self, tokens: &[u32]) -> Mat {
+        self.forward(tokens).out
+    }
+
+    /// Mean-pooled sentence embedding from [`MiniBert::encode`].
+    pub fn sentence_embedding(&self, tokens: &[u32]) -> Vec<f64> {
+        let enc = self.encode(tokens);
+        let mut out = vec![0.0; enc.cols()];
+        for t in 0..enc.rows() {
+            vecops::axpy(1.0 / enc.rows() as f64, enc.row(t), &mut out);
+        }
+        out
+    }
+
+    pub(crate) fn forward(&self, tokens: &[u32]) -> Caches {
+        let t_len = tokens.len();
+        assert!(t_len > 0, "cannot encode an empty sequence");
+        assert!(t_len <= self.config.max_len, "sequence exceeds max_len");
+        let d = self.config.dim;
+        let mut x = Mat::zeros(t_len, d);
+        for (t, &id) in tokens.iter().enumerate() {
+            assert!((id as usize) < self.tok_emb.rows(), "token id out of range");
+            let row = x.row_mut(t);
+            row.copy_from_slice(self.tok_emb.row(id as usize));
+            vecops::axpy(1.0, self.pos_emb.row(t), row);
+        }
+        let mut layer_caches = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let (next, cache) = self.layer_forward(layer, x);
+            layer_caches.push(cache);
+            x = next;
+        }
+        let (out, fin) = ln_forward(&x, &self.fin_g, &self.fin_b);
+        Caches { ids: tokens.to_vec(), layers: layer_caches, fin, out }
+    }
+
+    fn layer_forward(&self, l: &Layer, x: Mat) -> (Mat, LayerCache) {
+        let (t_len, d) = x.shape();
+        let heads = self.config.heads;
+        let dh = d / heads;
+        let (h1, ln1) = ln_forward(&x, &l.ln1_g, &l.ln1_b);
+        let q = linear(&h1, &l.wq, &l.bq);
+        let k = linear(&h1, &l.wk, &l.bk);
+        let v = linear(&h1, &l.wv, &l.bv);
+        let scale = 1.0 / (dh as f64).sqrt();
+        let mut probs = Vec::with_capacity(heads);
+        let mut ctx = Mat::zeros(t_len, d);
+        for h in 0..heads {
+            let cols = h * dh..(h + 1) * dh;
+            // scores = Q_h K_h^T * scale
+            let mut p = Mat::zeros(t_len, t_len);
+            for i in 0..t_len {
+                for j in 0..t_len {
+                    p[(i, j)] = scale
+                        * vecops::dot(&q.row(i)[cols.clone()], &k.row(j)[cols.clone()]);
+                }
+                vecops::softmax_inplace(p.row_mut(i));
+            }
+            for i in 0..t_len {
+                for j in 0..t_len {
+                    let w = p[(i, j)];
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let vr = &v.row(j)[cols.clone()];
+                    let cr = &mut ctx.row_mut(i)[cols.clone()];
+                    for (c, &vv) in cr.iter_mut().zip(vr) {
+                        *c += w * vv;
+                    }
+                }
+            }
+            probs.push(p);
+        }
+        let attn = linear(&ctx, &l.wo, &l.bo);
+        let x_mid = x.add(&attn);
+        let (h2, ln2) = ln_forward(&x_mid, &l.ln2_g, &l.ln2_b);
+        let pre = linear(&h2, &l.w1, &l.b1);
+        let mut act = pre.clone();
+        for a in act.as_mut_slice() {
+            *a = gelu(*a);
+        }
+        let ff = linear(&act, &l.w2, &l.b2);
+        let x_out = x_mid.add(&ff);
+        (
+            x_out,
+            LayerCache { x_in: x, ln1, q, k, v, probs, ctx, ln2, pre, act },
+        )
+    }
+
+    /// Backpropagates `d_out` (gradient w.r.t. the final normed output)
+    /// through the whole model, accumulating into `grads`.
+    pub(crate) fn backward(&self, caches: &Caches, d_out: &Mat, grads: &mut Grads) {
+        let mut dx = ln_backward(
+            d_out,
+            &caches.fin,
+            &self.fin_g,
+            &mut grads.fin_g,
+            &mut grads.fin_b,
+        );
+        for i in (0..self.layers.len()).rev() {
+            dx = self.layer_backward(&self.layers[i], &caches.layers[i], dx, grads, i);
+        }
+        // Embedding gradients.
+        for (t, &id) in caches.ids.iter().enumerate() {
+            vecops::axpy(1.0, dx.row(t), grads.tok_emb.row_mut(id as usize));
+            vecops::axpy(1.0, dx.row(t), grads.pos_emb.row_mut(t));
+        }
+    }
+
+    fn layer_backward(
+        &self,
+        l: &Layer,
+        c: &LayerCache,
+        d_out: Mat,
+        grads: &mut Grads,
+        layer_idx: usize,
+    ) -> Mat {
+        let g = &mut grads.layers[layer_idx];
+        let (t_len, d) = c.x_in.shape();
+        let heads = self.config.heads;
+        let dh = d / heads;
+        // FFN branch: x_out = x_mid + W2 gelu(W1 ln2(x_mid) + b1) + b2.
+        let d_ff = &d_out; // gradient into the ff output
+        let (d_act, dw2, db2) = linear_backward(d_ff, &c.act, &l.w2);
+        g.w2.axpy(1.0, &dw2);
+        vecops::axpy(1.0, &db2, &mut g.b2);
+        let mut d_pre = d_act;
+        for (dp, &p) in d_pre.as_mut_slice().iter_mut().zip(c.pre.as_slice()) {
+            *dp *= gelu_grad(p);
+        }
+        let h2 = reconstruct_ln_output(&c.ln2, &l.ln2_g, &l.ln2_b);
+        let (d_h2, dw1, db1) = linear_backward(&d_pre, &h2, &l.w1);
+        g.w1.axpy(1.0, &dw1);
+        vecops::axpy(1.0, &db1, &mut g.b1);
+        let mut d_xmid = ln_backward(&d_h2, &c.ln2, &l.ln2_g, &mut g.ln2_g, &mut g.ln2_b);
+        d_xmid.axpy(1.0, &d_out); // residual
+
+        // Attention branch: x_mid = x_in + Wo ctx + bo.
+        let (d_ctx, dwo, dbo) = linear_backward(&d_xmid, &c.ctx, &l.wo);
+        g.wo.axpy(1.0, &dwo);
+        vecops::axpy(1.0, &dbo, &mut g.bo);
+        let scale = 1.0 / (dh as f64).sqrt();
+        let mut dq = Mat::zeros(t_len, d);
+        let mut dk = Mat::zeros(t_len, d);
+        let mut dv = Mat::zeros(t_len, d);
+        for h in 0..heads {
+            let cols = h * dh..(h + 1) * dh;
+            let p = &c.probs[h];
+            // dv and dp.
+            let mut dp = Mat::zeros(t_len, t_len);
+            for i in 0..t_len {
+                let dctx_i = &d_ctx.row(i)[cols.clone()];
+                for j in 0..t_len {
+                    dp[(i, j)] = vecops::dot(dctx_i, &c.v.row(j)[cols.clone()]);
+                    let w = p[(i, j)];
+                    if w != 0.0 {
+                        let dvr = &mut dv.row_mut(j)[cols.clone()];
+                        for (dvv, &dc) in dvr.iter_mut().zip(dctx_i) {
+                            *dvv += w * dc;
+                        }
+                    }
+                }
+            }
+            // Softmax backward per row: ds = (dp - <dp, p>) * p.
+            for i in 0..t_len {
+                let dot = vecops::dot(dp.row(i), p.row(i));
+                for j in 0..t_len {
+                    let ds = (dp[(i, j)] - dot) * p[(i, j)] * scale;
+                    if ds == 0.0 {
+                        continue;
+                    }
+                    // dq_i += ds * k_j; dk_j += ds * q_i.
+                    let kj = &c.k.row(j)[cols.clone()];
+                    let dqr = &mut dq.row_mut(i)[cols.clone()];
+                    for (a, &b) in dqr.iter_mut().zip(kj) {
+                        *a += ds * b;
+                    }
+                    let qi = &c.q.row(i)[cols.clone()];
+                    let dkr = &mut dk.row_mut(j)[cols.clone()];
+                    for (a, &b) in dkr.iter_mut().zip(qi) {
+                        *a += ds * b;
+                    }
+                }
+            }
+        }
+        let h1 = reconstruct_ln_output(&c.ln1, &l.ln1_g, &l.ln1_b);
+        let (d_h1q, dwq, dbq) = linear_backward(&dq, &h1, &l.wq);
+        let (d_h1k, dwk, dbk) = linear_backward(&dk, &h1, &l.wk);
+        let (d_h1v, dwv, dbv) = linear_backward(&dv, &h1, &l.wv);
+        g.wq.axpy(1.0, &dwq);
+        g.wk.axpy(1.0, &dwk);
+        g.wv.axpy(1.0, &dwv);
+        vecops::axpy(1.0, &dbq, &mut g.bq);
+        vecops::axpy(1.0, &dbk, &mut g.bk);
+        vecops::axpy(1.0, &dbv, &mut g.bv);
+        let d_h1 = d_h1q.add(&d_h1k).add(&d_h1v);
+        let mut dx = ln_backward(&d_h1, &c.ln1, &l.ln1_g, &mut g.ln1_g, &mut g.ln1_b);
+        dx.axpy(1.0, &d_xmid); // residual
+        dx
+    }
+
+    /// Visits every parameter block as a mutable slice, in a fixed order
+    /// shared with [`Grads::visit_mut`]; the MLM optimizer pairs parameter
+    /// and gradient blocks through this traversal.
+    pub(crate) fn visit_mut(&mut self, f: &mut impl FnMut(&mut [f64])) {
+        f(self.tok_emb.as_mut_slice());
+        f(self.pos_emb.as_mut_slice());
+        for l in &mut self.layers {
+            l.visit_mut(f);
+        }
+        f(&mut self.fin_g);
+        f(&mut self.fin_b);
+        f(self.decoder.as_mut_slice());
+        f(&mut self.dec_b);
+    }
+
+    pub(crate) fn zero_grads(&self) -> Grads {
+        Grads {
+            tok_emb: Mat::zeros(self.tok_emb.rows(), self.tok_emb.cols()),
+            pos_emb: Mat::zeros(self.pos_emb.rows(), self.pos_emb.cols()),
+            layers: self.layers.iter().map(Layer::zeros_like).collect(),
+            fin_g: vec![0.0; self.fin_g.len()],
+            fin_b: vec![0.0; self.fin_b.len()],
+            decoder: Mat::zeros(self.decoder.rows(), self.decoder.cols()),
+            dec_b: vec![0.0; self.dec_b.len()],
+        }
+    }
+}
+
+/// `y = x W^T + b` for `x: T x in`, `W: out x in`.
+pub(crate) fn linear(x: &Mat, w: &Mat, b: &[f64]) -> Mat {
+    let mut y = x.matmul_nt(w);
+    for i in 0..y.rows() {
+        vecops::axpy(1.0, b, y.row_mut(i));
+    }
+    y
+}
+
+/// Backward of [`linear`]: returns `(dx, dW, db)`.
+pub(crate) fn linear_backward(dy: &Mat, x: &Mat, w: &Mat) -> (Mat, Mat, Vec<f64>) {
+    let dx = dy.matmul(w);
+    let dw = dy.matmul_tn(x);
+    let mut db = vec![0.0; dy.cols()];
+    for i in 0..dy.rows() {
+        vecops::axpy(1.0, dy.row(i), &mut db);
+    }
+    (dx, dw, db)
+}
+
+const LN_EPS: f64 = 1e-5;
+
+pub(crate) fn ln_forward(x: &Mat, gamma: &[f64], beta: &[f64]) -> (Mat, LnCache) {
+    let (t_len, d) = x.shape();
+    let mut out = Mat::zeros(t_len, d);
+    let mut xhat = Mat::zeros(t_len, d);
+    let mut inv_std = Vec::with_capacity(t_len);
+    for t in 0..t_len {
+        let row = x.row(t);
+        let mean = row.iter().sum::<f64>() / d as f64;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / d as f64;
+        let istd = 1.0 / (var + LN_EPS).sqrt();
+        inv_std.push(istd);
+        for j in 0..d {
+            let xh = (row[j] - mean) * istd;
+            xhat[(t, j)] = xh;
+            out[(t, j)] = gamma[j] * xh + beta[j];
+        }
+    }
+    (out, LnCache { xhat, inv_std })
+}
+
+pub(crate) fn ln_backward(
+    dy: &Mat,
+    cache: &LnCache,
+    gamma: &[f64],
+    dgamma: &mut [f64],
+    dbeta: &mut [f64],
+) -> Mat {
+    let (t_len, d) = dy.shape();
+    let mut dx = Mat::zeros(t_len, d);
+    for t in 0..t_len {
+        let mut sum_dxhat = 0.0;
+        let mut sum_dxhat_xhat = 0.0;
+        for j in 0..d {
+            let dyv = dy[(t, j)];
+            let xh = cache.xhat[(t, j)];
+            dgamma[j] += dyv * xh;
+            dbeta[j] += dyv;
+            let dxhat = dyv * gamma[j];
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += dxhat * xh;
+        }
+        let istd = cache.inv_std[t];
+        for j in 0..d {
+            let dxhat = dy[(t, j)] * gamma[j];
+            dx[(t, j)] = istd / d as f64
+                * (d as f64 * dxhat - sum_dxhat - cache.xhat[(t, j)] * sum_dxhat_xhat);
+        }
+    }
+    dx
+}
+
+/// Re-materializes the LN output from its cache (cheaper than storing it).
+fn reconstruct_ln_output(cache: &LnCache, gamma: &[f64], beta: &[f64]) -> Mat {
+    let (t_len, d) = cache.xhat.shape();
+    Mat::from_fn(t_len, d, |t, j| gamma[j] * cache.xhat[(t, j)] + beta[j])
+}
+
+const GELU_C: f64 = 0.797_884_560_802_865_4; // sqrt(2/pi)
+const GELU_A: f64 = 0.044715;
+
+/// GELU activation (tanh approximation, as in BERT).
+pub(crate) fn gelu(x: f64) -> f64 {
+    0.5 * x * (1.0 + (GELU_C * (x + GELU_A * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu`].
+pub(crate) fn gelu_grad(x: f64) -> f64 {
+    let u = GELU_C * (x + GELU_A * x * x * x);
+    let t = u.tanh();
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * GELU_C * (1.0 + 3.0 * GELU_A * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MiniBert {
+        MiniBert::new(&BertConfig {
+            vocab_size: 12,
+            max_len: 8,
+            dim: 8,
+            heads: 2,
+            layers: 2,
+            ffn_mult: 2,
+            seed: 0,
+        })
+    }
+
+    #[test]
+    fn encode_shapes() {
+        let bert = tiny();
+        let enc = bert.encode(&[1, 5, 3]);
+        assert_eq!(enc.shape(), (3, 8));
+        assert!(enc.is_finite());
+        assert_eq!(bert.sentence_embedding(&[1, 5, 3]).len(), 8);
+    }
+
+    #[test]
+    fn encoding_is_contextual() {
+        // The same token in different contexts gets different vectors.
+        let bert = tiny();
+        let a = bert.encode(&[4, 2, 7]);
+        let b = bert.encode(&[9, 2, 1]);
+        let va = a.row(1);
+        let vb = b.row(1);
+        assert!(
+            vecops::sq_distance(va, vb) > 1e-8,
+            "token 2 should encode differently across contexts"
+        );
+    }
+
+    #[test]
+    fn gelu_matches_known_values() {
+        assert!((gelu(0.0)).abs() < 1e-12);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert!((gelu(-1.0) + 0.1588).abs() < 1e-3);
+        // Gradient vs finite differences.
+        for &x in &[-2.0, -0.5, 0.0, 0.3, 1.7] {
+            let eps = 1e-6;
+            let fd = (gelu(x + eps) - gelu(x - eps)) / (2.0 * eps);
+            assert!((fd - gelu_grad(x)).abs() < 1e-8, "gelu'({x})");
+        }
+    }
+
+    #[test]
+    fn layernorm_forward_and_backward() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let x = Mat::random_normal(3, 6, &mut rng);
+        let gamma: Vec<f64> = (0..6).map(|i| 0.5 + 0.1 * i as f64).collect();
+        let beta: Vec<f64> = (0..6).map(|i| -0.2 + 0.05 * i as f64).collect();
+        let (y, cache) = ln_forward(&x, &gamma, &beta);
+        // Rows of xhat have zero mean and unit variance.
+        for t in 0..3 {
+            let m: f64 = cache.xhat.row(t).iter().sum::<f64>() / 6.0;
+            assert!(m.abs() < 1e-10);
+        }
+        // Finite-difference check of dx for a random upstream gradient.
+        let dy = Mat::random_normal(3, 6, &mut rng);
+        let mut dgamma = vec![0.0; 6];
+        let mut dbeta = vec![0.0; 6];
+        let dx = ln_backward(&dy, &cache, &gamma, &mut dgamma, &mut dbeta);
+        let loss = |xx: &Mat| -> f64 {
+            let (yy, _) = ln_forward(xx, &gamma, &beta);
+            yy.frob_inner(&dy)
+        };
+        let eps = 1e-6;
+        for t in 0..3 {
+            for j in 0..6 {
+                let mut up = x.clone();
+                up[(t, j)] += eps;
+                let mut down = x.clone();
+                down[(t, j)] -= eps;
+                let fd = (loss(&up) - loss(&down)) / (2.0 * eps);
+                assert!(
+                    (fd - dx[(t, j)]).abs() < 1e-6,
+                    "LN dx ({t},{j}): fd {fd} vs {}",
+                    dx[(t, j)]
+                );
+            }
+        }
+        let _ = y;
+    }
+
+    /// Full-model gradient check: backprop through 2 transformer layers
+    /// against finite differences, for a sample of parameters in every
+    /// block type.
+    #[test]
+    fn full_backprop_gradient_check() {
+        let bert = tiny();
+        let tokens = [3u32, 7, 1, 9];
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let d_out_fixed = Mat::random_normal(4, 8, &mut rng);
+        // Loss = <encode(tokens), d_out_fixed> so d(loss)/d(out) = d_out_fixed.
+        let loss = |m: &MiniBert| -> f64 { m.encode(&tokens).frob_inner(&d_out_fixed) };
+        let caches = bert.forward(&tokens);
+        let mut grads = bert.zero_grads();
+        bert.backward(&caches, &d_out_fixed, &mut grads);
+        let eps = 1e-6;
+        let tol = 1e-5;
+
+        // Token embedding of a used id.
+        let mut m2 = bert.clone();
+        for j in [0usize, 3, 7] {
+            let orig = m2.tok_emb[(3, j)];
+            m2.tok_emb[(3, j)] = orig + eps;
+            let up = loss(&m2);
+            m2.tok_emb[(3, j)] = orig - eps;
+            let down = loss(&m2);
+            m2.tok_emb[(3, j)] = orig;
+            let fd = (up - down) / (2.0 * eps);
+            assert!(
+                (fd - grads.tok_emb[(3, j)]).abs() < tol,
+                "tok_emb (3,{j}): fd {fd} vs {}",
+                grads.tok_emb[(3, j)]
+            );
+        }
+        // Attention weights in layer 0 and FFN in layer 1.
+        for (r, cc) in [(0usize, 1usize), (3, 5), (7, 2)] {
+            let orig = m2.layers[0].wq[(r, cc)];
+            m2.layers[0].wq[(r, cc)] = orig + eps;
+            let up = loss(&m2);
+            m2.layers[0].wq[(r, cc)] = orig - eps;
+            let down = loss(&m2);
+            m2.layers[0].wq[(r, cc)] = orig;
+            let fd = (up - down) / (2.0 * eps);
+            assert!(
+                (fd - grads.layers[0].wq[(r, cc)]).abs() < tol,
+                "wq ({r},{cc}): fd {fd} vs {}",
+                grads.layers[0].wq[(r, cc)]
+            );
+        }
+        for (r, cc) in [(0usize, 0usize), (5, 3), (12, 7)] {
+            let orig = m2.layers[1].w1[(r, cc)];
+            m2.layers[1].w1[(r, cc)] = orig + eps;
+            let up = loss(&m2);
+            m2.layers[1].w1[(r, cc)] = orig - eps;
+            let down = loss(&m2);
+            m2.layers[1].w1[(r, cc)] = orig;
+            let fd = (up - down) / (2.0 * eps);
+            assert!(
+                (fd - grads.layers[1].w1[(r, cc)]).abs() < tol,
+                "w1 ({r},{cc}): fd {fd} vs {}",
+                grads.layers[1].w1[(r, cc)]
+            );
+        }
+        // Wo, Wv, LN gains, and final LN.
+        for j in 0..4 {
+            let orig = m2.layers[0].ln1_g[j];
+            m2.layers[0].ln1_g[j] = orig + eps;
+            let up = loss(&m2);
+            m2.layers[0].ln1_g[j] = orig - eps;
+            let down = loss(&m2);
+            m2.layers[0].ln1_g[j] = orig;
+            let fd = (up - down) / (2.0 * eps);
+            assert!(
+                (fd - grads.layers[0].ln1_g[j]).abs() < tol,
+                "ln1_g {j}: fd {fd} vs {}",
+                grads.layers[0].ln1_g[j]
+            );
+        }
+        type Access = (&'static str, fn(&mut MiniBert) -> &mut Mat, fn(&Grads) -> &Mat);
+        let blocks: [Access; 3] = [
+            ("wo", |m| &mut m.layers[0].wo, |g| &g.layers[0].wo),
+            ("wv", |m| &mut m.layers[0].wv, |g| &g.layers[0].wv),
+            ("wk", |m| &mut m.layers[0].wk, |g| &g.layers[0].wk),
+        ];
+        for (r, cc) in [(2usize, 2usize), (6, 1)] {
+            for (name, param, grad) in &blocks {
+                let gval = grad(&grads)[(r, cc)];
+                let orig = param(&mut m2)[(r, cc)];
+                param(&mut m2)[(r, cc)] = orig + eps;
+                let up = loss(&m2);
+                param(&mut m2)[(r, cc)] = orig - eps;
+                let down = loss(&m2);
+                param(&mut m2)[(r, cc)] = orig;
+                let fd = (up - down) / (2.0 * eps);
+                assert!((fd - gval).abs() < tol, "{name} ({r},{cc}): fd {fd} vs {gval}");
+            }
+        }
+        for j in 0..8 {
+            let orig = m2.fin_g[j];
+            m2.fin_g[j] = orig + eps;
+            let up = loss(&m2);
+            m2.fin_g[j] = orig - eps;
+            let down = loss(&m2);
+            m2.fin_g[j] = orig;
+            let fd = (up - down) / (2.0 * eps);
+            assert!((fd - grads.fin_g[j]).abs() < tol, "fin_g {j}: fd {fd} vs {}", grads.fin_g[j]);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Quality metrics for the downstream tasks (the instability metrics live
+//! in `embedstab-core`).
+
+use crate::tasks::ner::TaggedSentence;
+
+/// Fraction of equal elements between two equal-length sequences.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the sequences are empty.
+pub fn accuracy<T: PartialEq>(preds: &[T], golds: &[T]) -> f64 {
+    assert_eq!(preds.len(), golds.len(), "length mismatch");
+    assert!(!preds.is_empty(), "empty predictions");
+    let correct = preds.iter().zip(golds).filter(|(p, g)| p == g).count();
+    correct as f64 / preds.len() as f64
+}
+
+/// Token-level micro-F1 over entity classes (tag != O), the quality metric
+/// for the NER task (a token-level simplification of CoNLL span F1).
+///
+/// # Panics
+///
+/// Panics if the prediction and sentence shapes disagree.
+pub fn entity_micro_f1(preds: &[Vec<u8>], sentences: &[TaggedSentence]) -> f64 {
+    assert_eq!(preds.len(), sentences.len(), "sentence count mismatch");
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for (p, s) in preds.iter().zip(sentences) {
+        assert_eq!(p.len(), s.tags.len(), "token count mismatch");
+        for (&pt, &gt) in p.iter().zip(&s.tags) {
+            match (pt != 0, gt != 0) {
+                (true, true) => {
+                    if pt == gt {
+                        tp += 1;
+                    } else {
+                        fp += 1;
+                        fn_ += 1;
+                    }
+                }
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    if 2 * tp + fp + fn_ == 0 {
+        return 0.0;
+    }
+    2.0 * tp as f64 / (2 * tp + fp + fn_) as f64
+}
+
+/// Flattens per-sentence tag predictions and the entity mask for
+/// disagreement computation over entity tokens only (paper Section 3).
+///
+/// Both models' predictions must be flattened with the same sentences so
+/// the positions line up.
+pub fn flatten_tags(preds: &[Vec<u8>], sentences: &[TaggedSentence]) -> (Vec<u8>, Vec<bool>) {
+    assert_eq!(preds.len(), sentences.len(), "sentence count mismatch");
+    let mut flat = Vec::new();
+    let mut mask = Vec::new();
+    for (p, s) in preds.iter().zip(sentences) {
+        assert_eq!(p.len(), s.tags.len(), "token count mismatch");
+        flat.extend_from_slice(p);
+        mask.extend(s.entity_mask());
+    }
+    (flat, mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sent(tokens: Vec<u32>, tags: Vec<u8>) -> TaggedSentence {
+        TaggedSentence { tokens, tags }
+    }
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 0, 3]), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn perfect_predictions_give_f1_one() {
+        let sents = vec![sent(vec![0, 1, 2], vec![0, 1, 2])];
+        let preds = vec![vec![0u8, 1, 2]];
+        assert_eq!(entity_micro_f1(&preds, &sents), 1.0);
+    }
+
+    #[test]
+    fn all_o_predictions_give_f1_zero() {
+        let sents = vec![sent(vec![0, 1], vec![1, 2])];
+        let preds = vec![vec![0u8, 0]];
+        assert_eq!(entity_micro_f1(&preds, &sents), 0.0);
+    }
+
+    #[test]
+    fn wrong_class_counts_both_fp_and_fn() {
+        // gold PER predicted ORG: tp 0, fp 1, fn 1 -> F1 0.
+        let sents = vec![sent(vec![0], vec![1])];
+        let preds = vec![vec![2u8]];
+        assert_eq!(entity_micro_f1(&preds, &sents), 0.0);
+    }
+
+    #[test]
+    fn flatten_aligns_mask() {
+        let sents = vec![sent(vec![0, 1], vec![0, 3]), sent(vec![2], vec![4])];
+        let preds = vec![vec![0u8, 3], vec![0u8]];
+        let (flat, mask) = flatten_tags(&preds, &sents);
+        assert_eq!(flat, vec![0, 3, 0]);
+        assert_eq!(mask, vec![false, true, true]);
+    }
+}

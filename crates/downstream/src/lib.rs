@@ -1,0 +1,27 @@
+//! Downstream NLP substrate: the tasks and models whose prediction
+//! disagreement the paper measures.
+//!
+//! The paper trains, on top of *fixed* word embeddings:
+//!
+//! - a **linear bag-of-words** sentiment classifier on four datasets
+//!   (SST-2, MR, Subj, MPQA) — here [`models::BowSentimentModel`] over the
+//!   synthetic datasets of [`tasks::sentiment`];
+//! - a **BiLSTM** named-entity tagger on CoNLL-2003 — here
+//!   [`models::BiLstmTagger`] over [`tasks::ner`];
+//! - robustness extensions: a **CNN** classifier (Appendix E.2,
+//!   [`models::CnnSentimentModel`]), a **BiLSTM-CRF** (Appendix E.2,
+//!   [`models::BiLstmCrfTagger`]), and **fine-tuned** embeddings
+//!   (Appendix E.4, [`models::BowTrainOptions`]).
+//!
+//! All models are trained with from-scratch backpropagation (gradient
+//! checked in the test suite) and are deterministic given their
+//! initialization and sampling seeds — the two downstream randomness
+//! sources the paper isolates in Appendix E.3.
+
+pub mod eval;
+pub mod models;
+pub mod nn;
+pub mod tasks;
+
+pub use tasks::ner::{NerDataset, NerSpec, TaggedSentence, N_TAGS, TAG_NAMES};
+pub use tasks::sentiment::{SentimentDataset, SentimentExample, SentimentSpec};

@@ -1,0 +1,216 @@
+//! The linear bag-of-words sentiment model (paper Appendix C.3.1), with the
+//! optional embedding fine-tuning mode of Appendix E.4.
+
+use embedstab_embeddings::Embedding;
+use embedstab_linalg::{vecops, Mat};
+use rand::SeedableRng;
+
+use crate::models::logreg::{LogReg, TrainSpec};
+use crate::nn::{shuffle, Adam};
+use crate::tasks::sentiment::SentimentExample;
+
+/// Builds the averaged-embedding feature matrix for a set of examples.
+///
+/// Row `i` is the mean of the embedding vectors of the tokens of example
+/// `i` (empty sentences yield a zero row).
+pub fn bow_features(emb: &Embedding, examples: &[SentimentExample]) -> Mat {
+    let d = emb.dim();
+    let mut out = Mat::zeros(examples.len(), d);
+    for (i, ex) in examples.iter().enumerate() {
+        if ex.tokens.is_empty() {
+            continue;
+        }
+        let row = out.row_mut(i);
+        let inv = 1.0 / ex.tokens.len() as f64;
+        for &t in &ex.tokens {
+            vecops::axpy(inv, emb.vector(t), row);
+        }
+    }
+    out
+}
+
+/// Options for [`BowSentimentModel::train`].
+#[derive(Clone, Debug, Default)]
+pub struct BowTrainOptions {
+    /// If set, the embedding is copied and fine-tuned during training with
+    /// SGD at the given learning rate (paper Appendix E.4); otherwise the
+    /// embedding stays fixed, as in the main study.
+    pub fine_tune_lr: Option<f64>,
+}
+
+/// The linear bag-of-words sentiment classifier.
+///
+/// When fine-tuning is disabled (the paper's main setting) this is a
+/// logistic regression over [`bow_features`]. With fine-tuning the model
+/// owns a trained copy of the embedding used at prediction time.
+#[derive(Clone, Debug)]
+pub struct BowSentimentModel {
+    logreg: LogReg,
+    tuned: Option<Embedding>,
+}
+
+impl BowSentimentModel {
+    /// Trains the model on fixed embeddings.
+    pub fn train(emb: &Embedding, train: &[SentimentExample], spec: &TrainSpec) -> Self {
+        let features = bow_features(emb, train);
+        let labels: Vec<bool> = train.iter().map(|e| e.label).collect();
+        BowSentimentModel { logreg: LogReg::train(&features, &labels, spec), tuned: None }
+    }
+
+    /// Trains with options (fixed or fine-tuned embeddings).
+    pub fn train_with_options(
+        emb: &Embedding,
+        train: &[SentimentExample],
+        spec: &TrainSpec,
+        options: &BowTrainOptions,
+    ) -> Self {
+        match options.fine_tune_lr {
+            None => Self::train(emb, train, spec),
+            Some(emb_lr) => Self::train_fine_tuned(emb, train, spec, emb_lr),
+        }
+    }
+
+    /// Joint training of the classifier and a copy of the embedding.
+    fn train_fine_tuned(
+        emb: &Embedding,
+        train: &[SentimentExample],
+        spec: &TrainSpec,
+        emb_lr: f64,
+    ) -> Self {
+        let d = emb.dim();
+        let mut tuned = emb.mat().clone();
+        let mut init_rng = rand::rngs::StdRng::seed_from_u64(spec.init_seed);
+        let mut params = Mat::random_normal(1, d + 1, &mut init_rng).scale(0.01).into_vec();
+        let mut opt = Adam::new(d + 1, spec.lr);
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        let mut sample_rng = rand::rngs::StdRng::seed_from_u64(spec.sample_seed);
+        let mut grads = vec![0.0; d + 1];
+        let mut h = vec![0.0; d];
+        for _ in 0..spec.epochs {
+            shuffle(&mut order, &mut sample_rng);
+            for chunk in order.chunks(spec.batch.max(1)) {
+                grads.iter_mut().for_each(|g| *g = 0.0);
+                let inv = 1.0 / chunk.len() as f64;
+                for &i in chunk {
+                    let ex = &train[i];
+                    if ex.tokens.is_empty() {
+                        continue;
+                    }
+                    h.iter_mut().for_each(|x| *x = 0.0);
+                    let tok_inv = 1.0 / ex.tokens.len() as f64;
+                    for &t in &ex.tokens {
+                        vecops::axpy(tok_inv, tuned.row(t as usize), &mut h);
+                    }
+                    let (w, b) = params.split_at(d);
+                    let z = vecops::dot(w, &h) + b[0];
+                    let p = vecops::sigmoid(z);
+                    let g = (p - if ex.label { 1.0 } else { 0.0 }) * inv;
+                    vecops::axpy(g, &h, &mut grads[..d]);
+                    grads[d] += g;
+                    // SGD step on the embedding rows used by this example.
+                    let row_g = g * tok_inv * emb_lr;
+                    for &t in &ex.tokens {
+                        vecops::axpy(-row_g, w, tuned.row_mut(t as usize));
+                    }
+                }
+                if spec.l2 > 0.0 {
+                    for j in 0..d {
+                        grads[j] += spec.l2 * params[j];
+                    }
+                }
+                opt.step(&mut params, &grads);
+            }
+        }
+        // Rebuild a LogReg for prediction from the final parameters by
+        // training a fresh one on the tuned features; simpler and exact:
+        let tuned_emb = Embedding::new(tuned);
+        let b = params[d];
+        params.truncate(d);
+        BowSentimentModel {
+            logreg: LogReg::from_parts(params, b),
+            tuned: Some(tuned_emb),
+        }
+    }
+
+    /// Predicted labels for a set of examples.
+    pub fn predict(&self, emb: &Embedding, examples: &[SentimentExample]) -> Vec<bool> {
+        let emb = self.tuned.as_ref().unwrap_or(emb);
+        let features = bow_features(emb, examples);
+        self.logreg.predict_all(&features)
+    }
+
+    /// Classification accuracy on a set of examples.
+    pub fn accuracy(&self, emb: &Embedding, examples: &[SentimentExample]) -> f64 {
+        let preds = self.predict(emb, examples);
+        let correct = preds
+            .iter()
+            .zip(examples)
+            .filter(|(p, e)| **p == e.label)
+            .count();
+        correct as f64 / examples.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::sentiment::SentimentSpec;
+    use embedstab_corpus::{LatentModel, LatentModelConfig};
+
+    fn setup() -> (LatentModel, crate::tasks::sentiment::SentimentDataset, Embedding) {
+        let model = LatentModel::new(&LatentModelConfig {
+            vocab_size: 300,
+            n_topics: 8,
+            ..Default::default()
+        });
+        let spec = SentimentSpec { n_train: 400, n_valid: 50, n_test: 200, ..SentimentSpec::sst2() };
+        let ds = spec.generate(&model);
+        // Ground-truth latent vectors are the ideal embedding.
+        let emb = Embedding::new(model.word_vecs.clone());
+        (model, ds, emb)
+    }
+
+    #[test]
+    fn learns_sentiment_from_good_embeddings() {
+        let (_m, ds, emb) = setup();
+        let model = BowSentimentModel::train(
+            &emb,
+            &ds.train,
+            &TrainSpec { lr: 0.01, epochs: 60, ..Default::default() },
+        );
+        let acc = model.accuracy(&emb, &ds.test);
+        assert!(acc > 0.72, "accuracy {acc}");
+    }
+
+    #[test]
+    fn feature_rows_are_token_averages() {
+        let emb = Embedding::new(Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, 2.0]]));
+        let ex = vec![SentimentExample { tokens: vec![0, 1], label: true }];
+        let f = bow_features(&emb, &ex);
+        assert_eq!(f.row(0), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn fine_tuning_changes_embeddings_and_still_learns() {
+        let (_m, ds, emb) = setup();
+        let spec = TrainSpec { lr: 0.01, epochs: 30, ..Default::default() };
+        let model = BowSentimentModel::train_with_options(
+            &emb,
+            &ds.train,
+            &spec,
+            &BowTrainOptions { fine_tune_lr: Some(0.05) },
+        );
+        let tuned = model.tuned.as_ref().expect("fine-tuned embedding stored");
+        assert_ne!(tuned.mat(), emb.mat(), "fine-tuning must move the embedding");
+        let acc = model.accuracy(&emb, &ds.test);
+        assert!(acc > 0.75, "fine-tuned accuracy {acc}");
+    }
+
+    #[test]
+    fn empty_sentence_gets_zero_feature() {
+        let emb = Embedding::new(Mat::from_rows(&[&[1.0, 1.0]]));
+        let ex = vec![SentimentExample { tokens: vec![], label: false }];
+        let f = bow_features(&emb, &ex);
+        assert_eq!(f.row(0), &[0.0, 0.0]);
+    }
+}

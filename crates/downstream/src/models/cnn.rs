@@ -1,0 +1,369 @@
+//! A CNN sentence classifier (Kim, 2014), the paper's "more complex
+//! downstream model" robustness check for sentiment (Appendix E.2).
+//!
+//! Architecture: parallel 1-D convolutions over the word-vector sequence
+//! (one filter bank per width), ReLU, max-over-time pooling, dropout, and a
+//! linear classifier — trained with Adam and from-scratch backprop.
+
+use embedstab_embeddings::Embedding;
+use embedstab_linalg::{vecops, Mat};
+use rand::{RngExt, SeedableRng};
+
+use crate::models::logreg::TrainSpec;
+use crate::nn::{shuffle, Adam};
+use crate::tasks::sentiment::SentimentExample;
+
+/// CNN architecture hyperparameters (paper Table 12b uses widths 3/4/5,
+/// 100 channels, dropout 0.5; channels are scaled down here).
+#[derive(Clone, Debug)]
+pub struct CnnConfig {
+    /// Convolution widths.
+    pub widths: Vec<usize>,
+    /// Output channels per width.
+    pub channels: usize,
+    /// Dropout probability on the pooled feature vector.
+    pub dropout: f64,
+}
+
+impl Default for CnnConfig {
+    fn default() -> Self {
+        CnnConfig { widths: vec![2, 3, 4], channels: 12, dropout: 0.5 }
+    }
+}
+
+/// A trained CNN sentiment classifier over fixed embeddings.
+#[derive(Clone, Debug)]
+pub struct CnnSentimentModel {
+    widths: Vec<usize>,
+    channels: usize,
+    dim: usize,
+    /// One filter bank per width: `channels x (width * dim)`.
+    filters: Vec<Mat>,
+    /// One bias vector per width.
+    fbias: Vec<Vec<f64>>,
+    w_out: Vec<f64>,
+    b_out: f64,
+}
+
+struct Forward {
+    /// Pooled (post-ReLU) features, length `widths * channels`.
+    features: Vec<f64>,
+    /// Argmax position per feature unit; `None` when the unit is dead
+    /// (all activations non-positive).
+    argmax: Vec<Option<usize>>,
+}
+
+impl CnnSentimentModel {
+    /// Trains the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has no widths, a zero width/channel count, or
+    /// the training set is empty.
+    pub fn train(
+        emb: &Embedding,
+        train: &[SentimentExample],
+        config: &CnnConfig,
+        spec: &TrainSpec,
+    ) -> Self {
+        assert!(!config.widths.is_empty(), "need at least one width");
+        assert!(config.channels > 0, "channels must be positive");
+        assert!(config.widths.iter().all(|&w| w > 0), "widths must be positive");
+        assert!(!train.is_empty(), "cannot train on an empty dataset");
+        let dim = emb.dim();
+        let mut init_rng = rand::rngs::StdRng::seed_from_u64(spec.init_seed);
+        let mut model = CnnSentimentModel {
+            widths: config.widths.clone(),
+            channels: config.channels,
+            dim,
+            filters: config
+                .widths
+                .iter()
+                .map(|&w| {
+                    let fan_in = (w * dim) as f64;
+                    Mat::random_normal(config.channels, w * dim, &mut init_rng)
+                        .scale(1.0 / fan_in.sqrt())
+                })
+                .collect(),
+            fbias: config.widths.iter().map(|_| vec![0.0; config.channels]).collect(),
+            w_out: Mat::random_normal(1, config.widths.len() * config.channels, &mut init_rng)
+                .scale(0.01)
+                .into_vec(),
+            b_out: 0.0,
+        };
+
+        let n_feat = model.w_out.len();
+        let mut opts: Vec<Adam> = model
+            .filters
+            .iter()
+            .map(|f| Adam::new(f.rows() * f.cols(), spec.lr))
+            .collect();
+        let mut bias_opts: Vec<Adam> =
+            model.fbias.iter().map(|b| Adam::new(b.len(), spec.lr)).collect();
+        let mut out_opt = Adam::new(n_feat + 1, spec.lr);
+
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        let mut sample_rng = rand::rngs::StdRng::seed_from_u64(spec.sample_seed);
+        for _ in 0..spec.epochs {
+            shuffle(&mut order, &mut sample_rng);
+            for chunk in order.chunks(spec.batch.max(1)) {
+                let mut gfilters: Vec<Mat> =
+                    model.filters.iter().map(|f| Mat::zeros(f.rows(), f.cols())).collect();
+                let mut gbias: Vec<Vec<f64>> =
+                    model.fbias.iter().map(|b| vec![0.0; b.len()]).collect();
+                let mut gout = vec![0.0; n_feat + 1];
+                let inv = 1.0 / chunk.len() as f64;
+                for &i in chunk {
+                    let ex = &train[i];
+                    let x = embed_sentence(emb, &ex.tokens, model.max_width());
+                    let fwd = model.forward(&x);
+                    // Inverted dropout on the pooled features.
+                    let keep = 1.0 - config.dropout;
+                    let mask: Vec<f64> = (0..n_feat)
+                        .map(|_| {
+                            if config.dropout > 0.0 && sample_rng.random::<f64>() < config.dropout
+                            {
+                                0.0
+                            } else {
+                                1.0 / keep
+                            }
+                        })
+                        .collect();
+                    let dropped: Vec<f64> =
+                        fwd.features.iter().zip(&mask).map(|(f, m)| f * m).collect();
+                    let z = vecops::dot(&model.w_out, &dropped) + model.b_out;
+                    let p = vecops::sigmoid(z);
+                    let dz = (p - if ex.label { 1.0 } else { 0.0 }) * inv;
+                    // Output layer gradients.
+                    for j in 0..n_feat {
+                        gout[j] += dz * dropped[j];
+                    }
+                    gout[n_feat] += dz;
+                    // Back through dropout, pooling, ReLU, convolution.
+                    for (unit, am) in fwd.argmax.iter().enumerate() {
+                        let Some(pos) = am else { continue };
+                        let df = dz * model.w_out[unit] * mask[unit];
+                        if df == 0.0 {
+                            continue;
+                        }
+                        let wi = unit / model.channels;
+                        let c = unit % model.channels;
+                        let w = model.widths[wi];
+                        let window = &x.as_slice()[pos * dim..(pos + w) * dim];
+                        vecops::axpy(df, window, gfilters[wi].row_mut(c));
+                        gbias[wi][c] += df;
+                    }
+                }
+                for (f, (g, opt)) in
+                    model.filters.iter_mut().zip(gfilters.iter().zip(opts.iter_mut()))
+                {
+                    opt.step(f.as_mut_slice(), g.as_slice());
+                }
+                for (b, (g, opt)) in
+                    model.fbias.iter_mut().zip(gbias.iter().zip(bias_opts.iter_mut()))
+                {
+                    opt.step(b, g);
+                }
+                let mut out_params: Vec<f64> = model.w_out.clone();
+                out_params.push(model.b_out);
+                out_opt.step(&mut out_params, &gout);
+                model.b_out = out_params.pop().expect("bias present");
+                model.w_out = out_params;
+            }
+        }
+        model
+    }
+
+    fn max_width(&self) -> usize {
+        self.widths.iter().copied().max().unwrap_or(1)
+    }
+
+    /// Forward pass over an embedded sentence (rows = positions).
+    fn forward(&self, x: &Mat) -> Forward {
+        let len = x.rows();
+        let dim = self.dim;
+        let mut features = Vec::with_capacity(self.widths.len() * self.channels);
+        let mut argmax = Vec::with_capacity(features.capacity());
+        for (wi, &w) in self.widths.iter().enumerate() {
+            let positions = len.saturating_sub(w) + 1;
+            for c in 0..self.channels {
+                let filter = self.filters[wi].row(c);
+                let mut best = 0.0f64;
+                let mut best_pos = None;
+                for p in 0..positions {
+                    let window = &x.as_slice()[p * dim..(p + w) * dim];
+                    let act = vecops::dot(filter, window) + self.fbias[wi][c];
+                    let relu = act.max(0.0);
+                    if relu > best {
+                        best = relu;
+                        best_pos = Some(p);
+                    }
+                }
+                features.push(best);
+                argmax.push(best_pos);
+            }
+        }
+        Forward { features, argmax }
+    }
+
+    /// Predicted labels for a set of examples.
+    pub fn predict(&self, emb: &Embedding, examples: &[SentimentExample]) -> Vec<bool> {
+        examples
+            .iter()
+            .map(|ex| {
+                let x = embed_sentence(emb, &ex.tokens, self.max_width());
+                let fwd = self.forward(&x);
+                vecops::dot(&self.w_out, &fwd.features) + self.b_out > 0.0
+            })
+            .collect()
+    }
+
+    /// Classification accuracy.
+    pub fn accuracy(&self, emb: &Embedding, examples: &[SentimentExample]) -> f64 {
+        let preds = self.predict(emb, examples);
+        let correct =
+            preds.iter().zip(examples).filter(|(p, e)| **p == e.label).count();
+        correct as f64 / examples.len().max(1) as f64
+    }
+}
+
+/// Embeds a token sequence as a `len x dim` matrix, zero-padding to at
+/// least `min_len` rows so every convolution width fits.
+fn embed_sentence(emb: &Embedding, tokens: &[u32], min_len: usize) -> Mat {
+    let len = tokens.len().max(min_len).max(1);
+    let mut x = Mat::zeros(len, emb.dim());
+    for (i, &t) in tokens.iter().enumerate() {
+        x.row_mut(i).copy_from_slice(emb.vector(t));
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::sentiment::SentimentSpec;
+    use embedstab_corpus::{LatentModel, LatentModelConfig};
+
+    #[test]
+    fn learns_sentiment() {
+        let model = LatentModel::new(&LatentModelConfig {
+            vocab_size: 200,
+            n_topics: 6,
+            ..Default::default()
+        });
+        let ds = SentimentSpec {
+            n_train: 300,
+            n_valid: 20,
+            n_test: 150,
+            ..SentimentSpec::sst2()
+        }
+        .generate(&model);
+        let emb = Embedding::new(model.word_vecs.clone());
+        let cnn = CnnSentimentModel::train(
+            &emb,
+            &ds.train,
+            &CnnConfig { widths: vec![2, 3], channels: 8, dropout: 0.3 },
+            &TrainSpec { lr: 5e-3, epochs: 12, ..Default::default() },
+        );
+        let acc = cnn.accuracy(&emb, &ds.test);
+        assert!(acc > 0.7, "CNN accuracy {acc}");
+    }
+
+    #[test]
+    fn handles_sentences_shorter_than_widths() {
+        let emb = Embedding::new(Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
+        let train = vec![
+            SentimentExample { tokens: vec![0], label: true },
+            SentimentExample { tokens: vec![1], label: false },
+        ];
+        let cnn = CnnSentimentModel::train(
+            &emb,
+            &train,
+            &CnnConfig { widths: vec![3], channels: 4, dropout: 0.0 },
+            &TrainSpec { epochs: 2, ..Default::default() },
+        );
+        let preds = cnn.predict(&emb, &train);
+        assert_eq!(preds.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let model = LatentModel::new(&LatentModelConfig {
+            vocab_size: 100,
+            n_topics: 6,
+            ..Default::default()
+        });
+        let ds = SentimentSpec {
+            n_train: 60,
+            n_valid: 5,
+            n_test: 30,
+            ..SentimentSpec::sst2()
+        }
+        .generate(&model);
+        let emb = Embedding::new(model.word_vecs.clone());
+        let cfg = CnnConfig { widths: vec![2], channels: 4, dropout: 0.2 };
+        let spec = TrainSpec { epochs: 3, ..Default::default() };
+        let a = CnnSentimentModel::train(&emb, &ds.train, &cfg, &spec);
+        let b = CnnSentimentModel::train(&emb, &ds.train, &cfg, &spec);
+        assert_eq!(a.predict(&emb, &ds.test), b.predict(&emb, &ds.test));
+    }
+
+    #[test]
+    fn gradient_check_conv_filters() {
+        // Finite-difference check of the (dropout-free) loss w.r.t. a few
+        // filter entries.
+        let emb = Embedding::new(Mat::from_rows(&[
+            &[0.5, -0.2, 0.1],
+            &[-0.3, 0.8, 0.4],
+            &[0.2, 0.1, -0.6],
+        ]));
+        let ex = SentimentExample { tokens: vec![0, 1, 2, 1], label: true };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut model = CnnSentimentModel {
+            widths: vec![2],
+            channels: 3,
+            dim: 3,
+            filters: vec![Mat::random_normal(3, 6, &mut rng).scale(0.5)],
+            fbias: vec![vec![0.05, -0.02, 0.01]],
+            w_out: vec![0.3, -0.4, 0.2],
+            b_out: 0.1,
+        };
+        let loss = |m: &CnnSentimentModel| -> f64 {
+            let x = embed_sentence(&emb, &ex.tokens, 2);
+            let fwd = m.forward(&x);
+            let z = vecops::dot(&m.w_out, &fwd.features) + m.b_out;
+            // BCE with label 1.
+            z.max(0.0) - z + (1.0 + (-z.abs()).exp()).ln()
+        };
+        // Analytic gradient of one filter entry via the backward formulas.
+        let x = embed_sentence(&emb, &ex.tokens, 2);
+        let fwd = model.forward(&x);
+        let z = vecops::dot(&model.w_out, &fwd.features) + model.b_out;
+        let p = vecops::sigmoid(z);
+        let dz = p - 1.0;
+        let mut gfilter = Mat::zeros(3, 6);
+        for (unit, am) in fwd.argmax.iter().enumerate() {
+            let Some(pos) = am else { continue };
+            let df = dz * model.w_out[unit];
+            let window = &x.as_slice()[pos * 3..(pos + 2) * 3];
+            vecops::axpy(df, window, gfilter.row_mut(unit));
+        }
+        let eps = 1e-6;
+        for c in 0..3 {
+            for j in 0..6 {
+                let orig = model.filters[0][(c, j)];
+                model.filters[0][(c, j)] = orig + eps;
+                let up = loss(&model);
+                model.filters[0][(c, j)] = orig - eps;
+                let down = loss(&model);
+                model.filters[0][(c, j)] = orig;
+                let fd = (up - down) / (2.0 * eps);
+                assert!(
+                    (fd - gfilter[(c, j)]).abs() < 1e-5,
+                    "filter ({c},{j}): fd {fd} vs analytic {}",
+                    gfilter[(c, j)]
+                );
+            }
+        }
+    }
+}

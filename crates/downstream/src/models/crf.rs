@@ -1,0 +1,313 @@
+//! A linear-chain conditional random field decoding layer, used by the
+//! BiLSTM-CRF robustness experiment (paper Appendix E.2).
+
+use embedstab_linalg::{vecops, Mat};
+
+/// A linear-chain CRF over `n_tags` classes: learned transition scores
+/// plus start/end potentials, trained by exact negative log-likelihood via
+/// the forward-backward algorithm and decoded with Viterbi.
+#[derive(Clone, Debug)]
+pub struct Crf {
+    n_tags: usize,
+    /// `trans[(i, j)]` scores the transition from tag `i` to tag `j`.
+    pub(crate) trans: Mat,
+    pub(crate) start: Vec<f64>,
+    pub(crate) end: Vec<f64>,
+}
+
+/// Gradients of the CRF's own parameters for one sequence.
+#[derive(Clone, Debug)]
+pub struct CrfGrads {
+    /// Gradient of the transition matrix.
+    pub trans: Mat,
+    /// Gradient of the start potentials.
+    pub start: Vec<f64>,
+    /// Gradient of the end potentials.
+    pub end: Vec<f64>,
+}
+
+impl Crf {
+    /// Creates a CRF with zero-initialized potentials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tags` is zero.
+    pub fn new(n_tags: usize) -> Self {
+        assert!(n_tags > 0, "need at least one tag");
+        Crf {
+            n_tags,
+            trans: Mat::zeros(n_tags, n_tags),
+            start: vec![0.0; n_tags],
+            end: vec![0.0; n_tags],
+        }
+    }
+
+    /// Number of tag classes.
+    pub fn n_tags(&self) -> usize {
+        self.n_tags
+    }
+
+    /// Negative log-likelihood of `tags` under `emissions` (`T x n_tags`),
+    /// together with the gradients w.r.t. the CRF parameters and the
+    /// emissions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty or shapes/tags are inconsistent.
+    pub fn nll_and_grads(&self, emissions: &Mat, tags: &[u8]) -> (f64, CrfGrads, Mat) {
+        let t_len = emissions.rows();
+        let k = self.n_tags;
+        assert!(t_len > 0, "empty sequence");
+        assert_eq!(emissions.cols(), k, "emission width must equal tag count");
+        assert_eq!(tags.len(), t_len, "tag sequence length mismatch");
+        assert!(tags.iter().all(|&t| (t as usize) < k), "tag out of range");
+
+        // Forward recursion (log space).
+        let mut alpha = Mat::zeros(t_len, k);
+        for j in 0..k {
+            alpha[(0, j)] = self.start[j] + emissions[(0, j)];
+        }
+        let mut scratch = vec![0.0; k];
+        for t in 1..t_len {
+            for j in 0..k {
+                for i in 0..k {
+                    scratch[i] = alpha[(t - 1, i)] + self.trans[(i, j)];
+                }
+                alpha[(t, j)] = vecops::logsumexp(&scratch) + emissions[(t, j)];
+            }
+        }
+        for j in 0..k {
+            scratch[j] = alpha[(t_len - 1, j)] + self.end[j];
+        }
+        let log_z = vecops::logsumexp(&scratch);
+
+        // Backward recursion.
+        let mut beta = Mat::zeros(t_len, k);
+        for j in 0..k {
+            beta[(t_len - 1, j)] = self.end[j];
+        }
+        for t in (0..t_len - 1).rev() {
+            for i in 0..k {
+                for j in 0..k {
+                    scratch[j] = self.trans[(i, j)] + emissions[(t + 1, j)] + beta[(t + 1, j)];
+                }
+                beta[(t, i)] = vecops::logsumexp(&scratch);
+            }
+        }
+
+        // Gold score.
+        let mut gold = self.start[tags[0] as usize] + emissions[(0, tags[0] as usize)];
+        for t in 1..t_len {
+            gold += self.trans[(tags[t - 1] as usize, tags[t] as usize)]
+                + emissions[(t, tags[t] as usize)];
+        }
+        gold += self.end[tags[t_len - 1] as usize];
+        let nll = log_z - gold;
+
+        // Gradients from marginals.
+        let mut d_emis = Mat::zeros(t_len, k);
+        for t in 0..t_len {
+            for j in 0..k {
+                let marg = (alpha[(t, j)] + beta[(t, j)] - log_z).exp();
+                d_emis[(t, j)] = marg - if tags[t] as usize == j { 1.0 } else { 0.0 };
+            }
+        }
+        let mut d_trans = Mat::zeros(k, k);
+        for t in 0..t_len - 1 {
+            for i in 0..k {
+                for j in 0..k {
+                    let p = (alpha[(t, i)]
+                        + self.trans[(i, j)]
+                        + emissions[(t + 1, j)]
+                        + beta[(t + 1, j)]
+                        - log_z)
+                        .exp();
+                    d_trans[(i, j)] += p;
+                }
+            }
+            d_trans[(tags[t] as usize, tags[t + 1] as usize)] -= 1.0;
+        }
+        let mut d_start = vec![0.0; k];
+        let mut d_end = vec![0.0; k];
+        for j in 0..k {
+            d_start[j] = (alpha[(0, j)] + beta[(0, j)] - log_z).exp()
+                - if tags[0] as usize == j { 1.0 } else { 0.0 };
+            d_end[j] = (alpha[(t_len - 1, j)] + self.end[j] - log_z).exp()
+                - if tags[t_len - 1] as usize == j { 1.0 } else { 0.0 };
+        }
+        (nll, CrfGrads { trans: d_trans, start: d_start, end: d_end }, d_emis)
+    }
+
+    /// Viterbi decoding: the highest-scoring tag sequence for `emissions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty or widths disagree.
+    pub fn viterbi(&self, emissions: &Mat) -> Vec<u8> {
+        let t_len = emissions.rows();
+        let k = self.n_tags;
+        assert!(t_len > 0, "empty sequence");
+        assert_eq!(emissions.cols(), k, "emission width must equal tag count");
+        let mut score = vec![0.0f64; k];
+        for j in 0..k {
+            score[j] = self.start[j] + emissions[(0, j)];
+        }
+        let mut back: Vec<Vec<usize>> = Vec::with_capacity(t_len.saturating_sub(1));
+        for t in 1..t_len {
+            let mut next = vec![f64::NEG_INFINITY; k];
+            let mut ptr = vec![0usize; k];
+            for j in 0..k {
+                for i in 0..k {
+                    let s = score[i] + self.trans[(i, j)];
+                    if s > next[j] {
+                        next[j] = s;
+                        ptr[j] = i;
+                    }
+                }
+                next[j] += emissions[(t, j)];
+            }
+            score = next;
+            back.push(ptr);
+        }
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for j in 0..k {
+            let s = score[j] + self.end[j];
+            if s > best_score {
+                best_score = s;
+                best = j;
+            }
+        }
+        let mut tags = vec![best as u8; t_len];
+        for t in (1..t_len).rev() {
+            best = back[t - 1][best];
+            tags[t - 1] = best as u8;
+        }
+        tags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn random_crf(k: usize, seed: u64) -> Crf {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut crf = Crf::new(k);
+        crf.trans = Mat::random_normal(k, k, &mut rng).scale(0.5);
+        crf.start = Mat::random_normal(1, k, &mut rng).into_vec();
+        crf.end = Mat::random_normal(1, k, &mut rng).into_vec();
+        crf
+    }
+
+    #[test]
+    fn nll_is_nonnegative_and_zero_only_in_limit() {
+        let crf = random_crf(3, 0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let emis = Mat::random_normal(5, 3, &mut rng);
+        let (nll, _, _) = crf.nll_and_grads(&emis, &[0, 1, 2, 1, 0]);
+        assert!(nll > 0.0, "finite potentials leave probability elsewhere");
+    }
+
+    #[test]
+    fn gradient_check_emissions_and_transitions() {
+        let crf = random_crf(3, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let emis = Mat::random_normal(4, 3, &mut rng);
+        let tags = [2u8, 0, 1, 1];
+        let (_, grads, d_emis) = crf.nll_and_grads(&emis, &tags);
+        let eps = 1e-6;
+        // Emissions.
+        for t in 0..4 {
+            for j in 0..3 {
+                let mut up = emis.clone();
+                up[(t, j)] += eps;
+                let mut down = emis.clone();
+                down[(t, j)] -= eps;
+                let fd = (crf.nll_and_grads(&up, &tags).0
+                    - crf.nll_and_grads(&down, &tags).0)
+                    / (2.0 * eps);
+                assert!(
+                    (fd - d_emis[(t, j)]).abs() < 1e-5,
+                    "emission ({t},{j}): fd {fd} vs {}",
+                    d_emis[(t, j)]
+                );
+            }
+        }
+        // Transitions.
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut c2 = crf.clone();
+                c2.trans[(i, j)] += eps;
+                let up = c2.nll_and_grads(&emis, &tags).0;
+                c2.trans[(i, j)] -= 2.0 * eps;
+                let down = c2.nll_and_grads(&emis, &tags).0;
+                let fd = (up - down) / (2.0 * eps);
+                assert!(
+                    (fd - grads.trans[(i, j)]).abs() < 1e-5,
+                    "trans ({i},{j}): fd {fd} vs {}",
+                    grads.trans[(i, j)]
+                );
+            }
+        }
+        // Start / end.
+        for j in 0..3 {
+            let mut c2 = crf.clone();
+            c2.start[j] += eps;
+            let up = c2.nll_and_grads(&emis, &tags).0;
+            c2.start[j] -= 2.0 * eps;
+            let down = c2.nll_and_grads(&emis, &tags).0;
+            let fd = (up - down) / (2.0 * eps);
+            assert!((fd - grads.start[j]).abs() < 1e-5, "start {j}");
+        }
+    }
+
+    #[test]
+    fn viterbi_matches_brute_force() {
+        let crf = random_crf(3, 5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let emis = Mat::random_normal(4, 3, &mut rng);
+        let vit = crf.viterbi(&emis);
+        // Brute-force best sequence.
+        let mut best_seq = vec![0u8; 4];
+        let mut best = f64::NEG_INFINITY;
+        for a in 0..3u8 {
+            for b in 0..3u8 {
+                for c in 0..3u8 {
+                    for d in 0..3u8 {
+                        let seq = [a, b, c, d];
+                        let mut s = crf.start[a as usize] + emis[(0, a as usize)];
+                        for t in 1..4 {
+                            s += crf.trans[(seq[t - 1] as usize, seq[t] as usize)]
+                                + emis[(t, seq[t] as usize)];
+                        }
+                        s += crf.end[d as usize];
+                        if s > best {
+                            best = s;
+                            best_seq = seq.to_vec();
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(vit, best_seq);
+    }
+
+    #[test]
+    fn viterbi_single_token() {
+        let crf = random_crf(4, 7);
+        let emis = Mat::from_rows(&[&[0.0, 5.0, 1.0, -2.0]]);
+        let tags = crf.viterbi(&emis);
+        assert_eq!(tags.len(), 1);
+        // Best tag maximizes start + emission + end.
+        let expected = (0..4)
+            .max_by(|&i, &j| {
+                let si = crf.start[i] + emis[(0, i)] + crf.end[i];
+                let sj = crf.start[j] + emis[(0, j)] + crf.end[j];
+                si.partial_cmp(&sj).expect("finite")
+            })
+            .expect("non-empty") as u8;
+        assert_eq!(tags[0], expected);
+    }
+}

@@ -1,0 +1,658 @@
+//! BiLSTM sequence tagger (Akbik et al., 2018 architecture, minus the
+//! character-level features), used for the paper's NER task, plus the
+//! BiLSTM-CRF variant of Appendix E.2.
+//!
+//! The LSTM forward and backward passes (backpropagation through time) are
+//! written from scratch and verified against finite differences in the
+//! test suite.
+
+use embedstab_embeddings::Embedding;
+use embedstab_linalg::{vecops, Mat};
+use rand::{Rng, RngExt, SeedableRng};
+
+use crate::models::crf::Crf;
+use crate::nn::{clip_global_norm, shuffle, Adam};
+use crate::tasks::ner::{TaggedSentence, N_TAGS};
+
+/// Hyperparameters for the BiLSTM taggers.
+#[derive(Clone, Debug)]
+pub struct LstmConfig {
+    /// Hidden units per direction.
+    pub hidden: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Probability of zeroing a whole word vector during training
+    /// (flair-style word dropout; paper Table 6b uses 0.05).
+    pub word_dropout: f64,
+    /// Maximum global gradient norm per parameter block.
+    pub clip: f64,
+    /// Seed for weight initialization.
+    pub init_seed: u64,
+    /// Seed for sentence order and dropout.
+    pub sample_seed: u64,
+}
+
+impl Default for LstmConfig {
+    fn default() -> Self {
+        LstmConfig {
+            hidden: 16,
+            lr: 0.01,
+            epochs: 5,
+            word_dropout: 0.05,
+            clip: 5.0,
+            init_seed: 0,
+            sample_seed: 0,
+        }
+    }
+}
+
+/// One LSTM direction: gates stacked as `[i; f; g; o]` in a
+/// `4h x (d + h)` weight matrix plus a `4h` bias.
+#[derive(Clone, Debug)]
+struct LstmDir {
+    w: Mat,
+    b: Vec<f64>,
+    h: usize,
+    d: usize,
+}
+
+/// Per-timestep activations saved by the forward pass.
+struct DirCache {
+    gates: Vec<Vec<f64>>, // 4h per step: [i, f, g, o] post-activation
+    cs: Vec<Vec<f64>>,
+    tanh_cs: Vec<Vec<f64>>,
+    hs: Vec<Vec<f64>>,
+}
+
+impl LstmDir {
+    fn new(d: usize, h: usize, rng: &mut impl Rng) -> Self {
+        let scale = 1.0 / (h as f64).sqrt();
+        let w = Mat::random_uniform(4 * h, d + h, -scale, scale, rng);
+        let mut b = vec![0.0; 4 * h];
+        // Standard forget-gate bias initialization.
+        for fb in b[h..2 * h].iter_mut() {
+            *fb = 1.0;
+        }
+        LstmDir { w, b, h, d }
+    }
+
+    /// Runs the direction over `xs` (already in processing order).
+    fn forward(&self, xs: &[Vec<f64>]) -> DirCache {
+        let (h, d) = (self.h, self.d);
+        let t_len = xs.len();
+        let mut cache = DirCache {
+            gates: Vec::with_capacity(t_len),
+            cs: Vec::with_capacity(t_len),
+            tanh_cs: Vec::with_capacity(t_len),
+            hs: Vec::with_capacity(t_len),
+        };
+        let mut h_prev = vec![0.0; h];
+        let mut c_prev = vec![0.0; h];
+        let mut zin = vec![0.0; d + h];
+        for x in xs {
+            zin[..d].copy_from_slice(x);
+            zin[d..].copy_from_slice(&h_prev);
+            let mut gates = vec![0.0; 4 * h];
+            for (r, gr) in gates.iter_mut().enumerate() {
+                *gr = vecops::dot(self.w.row(r), &zin) + self.b[r];
+            }
+            let mut c = vec![0.0; h];
+            let mut tanh_c = vec![0.0; h];
+            let mut h_new = vec![0.0; h];
+            for j in 0..h {
+                let i = vecops::sigmoid(gates[j]);
+                let f = vecops::sigmoid(gates[h + j]);
+                let g = gates[2 * h + j].tanh();
+                let o = vecops::sigmoid(gates[3 * h + j]);
+                gates[j] = i;
+                gates[h + j] = f;
+                gates[2 * h + j] = g;
+                gates[3 * h + j] = o;
+                c[j] = f * c_prev[j] + i * g;
+                tanh_c[j] = c[j].tanh();
+                h_new[j] = o * tanh_c[j];
+            }
+            cache.gates.push(gates);
+            cache.cs.push(c.clone());
+            cache.tanh_cs.push(tanh_c);
+            cache.hs.push(h_new.clone());
+            h_prev = h_new;
+            c_prev = c;
+        }
+        cache
+    }
+
+    /// Backpropagation through time. `dhs[t]` is the loss gradient flowing
+    /// into `h_t` from the output layer; returns `(dW, db)`.
+    fn backward(&self, xs: &[Vec<f64>], cache: &DirCache, dhs: &[Vec<f64>]) -> (Mat, Vec<f64>) {
+        let (h, d) = (self.h, self.d);
+        let t_len = xs.len();
+        let mut gw = Mat::zeros(4 * h, d + h);
+        let mut gb = vec![0.0; 4 * h];
+        let mut dh_rec = vec![0.0; h];
+        let mut dc_rec = vec![0.0; h];
+        let mut da = vec![0.0; 4 * h];
+        let mut zin = vec![0.0; d + h];
+        for t in (0..t_len).rev() {
+            let gates = &cache.gates[t];
+            let tanh_c = &cache.tanh_cs[t];
+            let c_prev: &[f64] = if t == 0 { &[] } else { &cache.cs[t - 1] };
+            let h_prev: &[f64] = if t == 0 { &[] } else { &cache.hs[t - 1] };
+            for j in 0..h {
+                let dh_tot = dhs[t][j] + dh_rec[j];
+                let o = gates[3 * h + j];
+                let dc_tot = dc_rec[j] + dh_tot * o * (1.0 - tanh_c[j] * tanh_c[j]);
+                let i = gates[j];
+                let f = gates[h + j];
+                let g = gates[2 * h + j];
+                let cp = if t == 0 { 0.0 } else { c_prev[j] };
+                da[j] = dc_tot * g * i * (1.0 - i);
+                da[h + j] = dc_tot * cp * f * (1.0 - f);
+                da[2 * h + j] = dc_tot * i * (1.0 - g * g);
+                da[3 * h + j] = dh_tot * tanh_c[j] * o * (1.0 - o);
+                dc_rec[j] = dc_tot * f;
+            }
+            zin[..d].copy_from_slice(&xs[t]);
+            if t == 0 {
+                zin[d..].iter_mut().for_each(|z| *z = 0.0);
+            } else {
+                zin[d..].copy_from_slice(h_prev);
+            }
+            for (r, &da_r) in da.iter().enumerate() {
+                if da_r != 0.0 {
+                    vecops::axpy(da_r, &zin, gw.row_mut(r));
+                    gb[r] += da_r;
+                }
+            }
+            // Recurrent gradient into h_{t-1}.
+            dh_rec.iter_mut().for_each(|x| *x = 0.0);
+            for (r, &da_r) in da.iter().enumerate() {
+                if da_r != 0.0 {
+                    let wrow = &self.w.row(r)[d..];
+                    vecops::axpy(da_r, wrow, &mut dh_rec);
+                }
+            }
+        }
+        (gw, gb)
+    }
+}
+
+/// Shared BiLSTM encoder + linear emission layer.
+#[derive(Clone, Debug)]
+struct BiLstmCore {
+    fwd: LstmDir,
+    bwd: LstmDir,
+    w_out: Mat, // n_tags x 2h
+    b_out: Vec<f64>,
+}
+
+struct CoreGrads {
+    wf: Mat,
+    bf: Vec<f64>,
+    wb: Mat,
+    bb: Vec<f64>,
+    wout: Mat,
+    bout: Vec<f64>,
+}
+
+impl BiLstmCore {
+    fn new(d: usize, h: usize, n_tags: usize, rng: &mut impl Rng) -> Self {
+        BiLstmCore {
+            fwd: LstmDir::new(d, h, rng),
+            bwd: LstmDir::new(d, h, rng),
+            w_out: Mat::random_uniform(n_tags, 2 * h, -0.1, 0.1, rng),
+            b_out: vec![0.0; n_tags],
+        }
+    }
+
+    /// Emission scores (`T x n_tags`) plus the direction caches.
+    fn emissions(&self, xs: &[Vec<f64>]) -> (Mat, DirCache, DirCache) {
+        let t_len = xs.len();
+        let h = self.fwd.h;
+        let fcache = self.fwd.forward(xs);
+        let rev: Vec<Vec<f64>> = xs.iter().rev().cloned().collect();
+        let bcache = self.bwd.forward(&rev);
+        let n_tags = self.w_out.rows();
+        let mut emis = Mat::zeros(t_len, n_tags);
+        let mut concat = vec![0.0; 2 * h];
+        for t in 0..t_len {
+            concat[..h].copy_from_slice(&fcache.hs[t]);
+            concat[h..].copy_from_slice(&bcache.hs[t_len - 1 - t]);
+            for k in 0..n_tags {
+                emis[(t, k)] = vecops::dot(self.w_out.row(k), &concat) + self.b_out[k];
+            }
+        }
+        (emis, fcache, bcache)
+    }
+
+    /// Backward pass from emission gradients to all parameter gradients.
+    fn backward(
+        &self,
+        xs: &[Vec<f64>],
+        fcache: &DirCache,
+        bcache: &DirCache,
+        d_emis: &Mat,
+    ) -> CoreGrads {
+        let t_len = xs.len();
+        let h = self.fwd.h;
+        let n_tags = self.w_out.rows();
+        let mut gout = Mat::zeros(n_tags, 2 * h);
+        let mut gbout = vec![0.0; n_tags];
+        let mut dh_f: Vec<Vec<f64>> = vec![vec![0.0; h]; t_len];
+        let mut dh_b: Vec<Vec<f64>> = vec![vec![0.0; h]; t_len];
+        let mut concat = vec![0.0; 2 * h];
+        for t in 0..t_len {
+            concat[..h].copy_from_slice(&fcache.hs[t]);
+            concat[h..].copy_from_slice(&bcache.hs[t_len - 1 - t]);
+            for k in 0..n_tags {
+                let dl = d_emis[(t, k)];
+                if dl == 0.0 {
+                    continue;
+                }
+                vecops::axpy(dl, &concat, gout.row_mut(k));
+                gbout[k] += dl;
+                let wrow = self.w_out.row(k);
+                vecops::axpy(dl, &wrow[..h], &mut dh_f[t]);
+                vecops::axpy(dl, &wrow[h..], &mut dh_b[t_len - 1 - t]);
+            }
+        }
+        let (gwf, gbf) = self.fwd.backward(xs, fcache, &dh_f);
+        let rev: Vec<Vec<f64>> = xs.iter().rev().cloned().collect();
+        let (gwb, gbb) = self.bwd.backward(&rev, bcache, &dh_b);
+        CoreGrads { wf: gwf, bf: gbf, wb: gwb, bb: gbb, wout: gout, bout: gbout }
+    }
+}
+
+/// Optimizer bundle for the core (one Adam per parameter block).
+struct CoreOpt {
+    wf: Adam,
+    bf: Adam,
+    wb: Adam,
+    bb: Adam,
+    wout: Adam,
+    bout: Adam,
+}
+
+impl CoreOpt {
+    fn new(core: &BiLstmCore, lr: f64) -> Self {
+        CoreOpt {
+            wf: Adam::new(core.fwd.w.as_slice().len(), lr),
+            bf: Adam::new(core.fwd.b.len(), lr),
+            wb: Adam::new(core.bwd.w.as_slice().len(), lr),
+            bb: Adam::new(core.bwd.b.len(), lr),
+            wout: Adam::new(core.w_out.as_slice().len(), lr),
+            bout: Adam::new(core.b_out.len(), lr),
+        }
+    }
+
+    fn step(&mut self, core: &mut BiLstmCore, mut grads: CoreGrads, clip: f64) {
+        clip_global_norm(grads.wf.as_mut_slice(), clip);
+        clip_global_norm(&mut grads.bf, clip);
+        clip_global_norm(grads.wb.as_mut_slice(), clip);
+        clip_global_norm(&mut grads.bb, clip);
+        clip_global_norm(grads.wout.as_mut_slice(), clip);
+        clip_global_norm(&mut grads.bout, clip);
+        self.wf.step(core.fwd.w.as_mut_slice(), grads.wf.as_slice());
+        self.bf.step(&mut core.fwd.b, &grads.bf);
+        self.wb.step(core.bwd.w.as_mut_slice(), grads.wb.as_slice());
+        self.bb.step(&mut core.bwd.b, &grads.bb);
+        self.wout.step(core.w_out.as_mut_slice(), grads.wout.as_slice());
+        self.bout.step(&mut core.b_out, &grads.bout);
+    }
+}
+
+/// Looks up token vectors, optionally applying word dropout.
+fn embed_tokens(
+    emb: &Embedding,
+    tokens: &[u32],
+    dropout: f64,
+    rng: Option<&mut rand::rngs::StdRng>,
+) -> Vec<Vec<f64>> {
+    let mut rng = rng;
+    tokens
+        .iter()
+        .map(|&t| {
+            if let Some(r) = rng.as_deref_mut() {
+                if dropout > 0.0 && r.random::<f64>() < dropout {
+                    return vec![0.0; emb.dim()];
+                }
+            }
+            emb.vector(t).to_vec()
+        })
+        .collect()
+}
+
+/// Softmax cross-entropy over emissions; returns `(loss, d_emissions)`.
+fn softmax_ce(emis: &Mat, tags: &[u8]) -> (f64, Mat) {
+    let t_len = emis.rows();
+    let k = emis.cols();
+    let mut d = Mat::zeros(t_len, k);
+    let mut loss = 0.0;
+    let inv = 1.0 / t_len as f64;
+    for t in 0..t_len {
+        let mut probs: Vec<f64> = emis.row(t).to_vec();
+        vecops::softmax_inplace(&mut probs);
+        let gold = tags[t] as usize;
+        loss -= probs[gold].max(1e-12).ln() * inv;
+        for j in 0..k {
+            d[(t, j)] = (probs[j] - if j == gold { 1.0 } else { 0.0 }) * inv;
+        }
+    }
+    (loss, d)
+}
+
+/// The BiLSTM tagger used for the paper's NER experiments (no CRF layer,
+/// as in the main study).
+#[derive(Clone, Debug)]
+pub struct BiLstmTagger {
+    core: BiLstmCore,
+}
+
+impl BiLstmTagger {
+    /// Trains the tagger on fixed embeddings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training set is empty or `config.hidden` is zero.
+    pub fn train(emb: &Embedding, train: &[TaggedSentence], config: &LstmConfig) -> Self {
+        Self::train_with_report(emb, train, config).0
+    }
+
+    /// Trains and returns per-epoch mean losses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training set is empty or `config.hidden` is zero.
+    pub fn train_with_report(
+        emb: &Embedding,
+        train: &[TaggedSentence],
+        config: &LstmConfig,
+    ) -> (Self, Vec<f64>) {
+        assert!(!train.is_empty(), "cannot train on an empty dataset");
+        assert!(config.hidden > 0, "hidden size must be positive");
+        let mut init_rng = rand::rngs::StdRng::seed_from_u64(config.init_seed);
+        let mut core = BiLstmCore::new(emb.dim(), config.hidden, N_TAGS, &mut init_rng);
+        let mut opt = CoreOpt::new(&core, config.lr);
+        let mut sample_rng = rand::rngs::StdRng::seed_from_u64(config.sample_seed);
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        let mut losses = Vec::with_capacity(config.epochs);
+        for _ in 0..config.epochs {
+            shuffle(&mut order, &mut sample_rng);
+            let mut epoch_loss = 0.0;
+            for &i in &order {
+                let s = &train[i];
+                if s.tokens.is_empty() {
+                    continue;
+                }
+                let xs =
+                    embed_tokens(emb, &s.tokens, config.word_dropout, Some(&mut sample_rng));
+                let (emis, fc, bc) = core.emissions(&xs);
+                let (loss, d_emis) = softmax_ce(&emis, &s.tags);
+                epoch_loss += loss;
+                let grads = core.backward(&xs, &fc, &bc, &d_emis);
+                opt.step(&mut core, grads, config.clip);
+            }
+            losses.push(epoch_loss / train.len() as f64);
+        }
+        (BiLstmTagger { core }, losses)
+    }
+
+    /// Predicted tags for one sentence.
+    pub fn predict(&self, emb: &Embedding, tokens: &[u32]) -> Vec<u8> {
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        let xs = embed_tokens(emb, tokens, 0.0, None);
+        let (emis, _, _) = self.core.emissions(&xs);
+        argmax_tags(&emis)
+    }
+
+    /// Predicted tags for every sentence of a dataset split.
+    pub fn predict_all(&self, emb: &Embedding, sentences: &[TaggedSentence]) -> Vec<Vec<u8>> {
+        sentences.iter().map(|s| self.predict(emb, &s.tokens)).collect()
+    }
+}
+
+/// The BiLSTM-CRF tagger (paper Appendix E.2).
+#[derive(Clone, Debug)]
+pub struct BiLstmCrfTagger {
+    core: BiLstmCore,
+    crf: Crf,
+}
+
+impl BiLstmCrfTagger {
+    /// Trains the tagger (CRF negative log-likelihood objective).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training set is empty or `config.hidden` is zero.
+    pub fn train(emb: &Embedding, train: &[TaggedSentence], config: &LstmConfig) -> Self {
+        assert!(!train.is_empty(), "cannot train on an empty dataset");
+        assert!(config.hidden > 0, "hidden size must be positive");
+        let mut init_rng = rand::rngs::StdRng::seed_from_u64(config.init_seed);
+        let mut core = BiLstmCore::new(emb.dim(), config.hidden, N_TAGS, &mut init_rng);
+        let mut crf = Crf::new(N_TAGS);
+        let mut opt = CoreOpt::new(&core, config.lr);
+        let mut crf_trans_opt = Adam::new(N_TAGS * N_TAGS, config.lr);
+        let mut crf_start_opt = Adam::new(N_TAGS, config.lr);
+        let mut crf_end_opt = Adam::new(N_TAGS, config.lr);
+        let mut sample_rng = rand::rngs::StdRng::seed_from_u64(config.sample_seed);
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        for _ in 0..config.epochs {
+            shuffle(&mut order, &mut sample_rng);
+            for &i in &order {
+                let s = &train[i];
+                if s.tokens.is_empty() {
+                    continue;
+                }
+                let xs =
+                    embed_tokens(emb, &s.tokens, config.word_dropout, Some(&mut sample_rng));
+                let (emis, fc, bc) = core.emissions(&xs);
+                let inv = 1.0 / s.tokens.len() as f64;
+                let (_nll, mut cgrads, d_emis) = crf.nll_and_grads(&emis, &s.tags);
+                let d_emis = d_emis.scale(inv);
+                let grads = core.backward(&xs, &fc, &bc, &d_emis);
+                opt.step(&mut core, grads, config.clip);
+                let mut gt = cgrads.trans.scale(inv);
+                clip_global_norm(gt.as_mut_slice(), config.clip);
+                crf_trans_opt.step(crf.trans.as_mut_slice(), gt.as_slice());
+                for g in cgrads.start.iter_mut() {
+                    *g *= inv;
+                }
+                for g in cgrads.end.iter_mut() {
+                    *g *= inv;
+                }
+                crf_start_opt.step(&mut crf.start, &cgrads.start);
+                crf_end_opt.step(&mut crf.end, &cgrads.end);
+            }
+        }
+        BiLstmCrfTagger { core, crf }
+    }
+
+    /// Predicted tags for one sentence (Viterbi decoding).
+    pub fn predict(&self, emb: &Embedding, tokens: &[u32]) -> Vec<u8> {
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        let xs = embed_tokens(emb, tokens, 0.0, None);
+        let (emis, _, _) = self.core.emissions(&xs);
+        self.crf.viterbi(&emis)
+    }
+
+    /// Predicted tags for every sentence of a dataset split.
+    pub fn predict_all(&self, emb: &Embedding, sentences: &[TaggedSentence]) -> Vec<Vec<u8>> {
+        sentences.iter().map(|s| self.predict(emb, &s.tokens)).collect()
+    }
+}
+
+fn argmax_tags(emis: &Mat) -> Vec<u8> {
+    (0..emis.rows())
+        .map(|t| {
+            let row = emis.row(t);
+            let mut best = 0usize;
+            for j in 1..row.len() {
+                if row[j] > row[best] {
+                    best = j;
+                }
+            }
+            best as u8
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::ner::NerSpec;
+    use embedstab_corpus::{LatentModel, LatentModelConfig};
+
+    fn setup() -> (LatentModel, crate::tasks::ner::NerDataset, Embedding) {
+        let model = LatentModel::new(&LatentModelConfig {
+            vocab_size: 300,
+            n_topics: 10,
+            ..Default::default()
+        });
+        let ds = NerSpec { n_train: 150, n_valid: 20, n_test: 80, ..Default::default() }
+            .generate(&model);
+        let emb = Embedding::new(model.word_vecs.clone());
+        (model, ds, emb)
+    }
+
+    #[test]
+    fn lstm_gradient_check() {
+        // Finite differences through the full BiLSTM + softmax CE loss for
+        // a handful of parameters in every block.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let core = BiLstmCore::new(3, 4, N_TAGS, &mut rng);
+        let xs: Vec<Vec<f64>> = (0..5)
+            .map(|_| Mat::random_normal(1, 3, &mut rng).into_vec())
+            .collect();
+        let tags = [0u8, 2, 1, 4, 0];
+        let loss_of = |c: &BiLstmCore| -> f64 {
+            let (emis, _, _) = c.emissions(&xs);
+            softmax_ce(&emis, &tags).0
+        };
+        let (emis, fc, bc) = core.emissions(&xs);
+        let (_, d_emis) = softmax_ce(&emis, &tags);
+        let grads = core.backward(&xs, &fc, &bc, &d_emis);
+        let eps = 1e-6;
+        // Forward-direction weights: sample a grid of entries.
+        let mut c2 = core.clone();
+        for r in (0..16).step_by(3) {
+            for col in (0..7).step_by(2) {
+                let orig = c2.fwd.w[(r, col)];
+                c2.fwd.w[(r, col)] = orig + eps;
+                let up = loss_of(&c2);
+                c2.fwd.w[(r, col)] = orig - eps;
+                let down = loss_of(&c2);
+                c2.fwd.w[(r, col)] = orig;
+                let fd = (up - down) / (2.0 * eps);
+                assert!(
+                    (fd - grads.wf[(r, col)]).abs() < 1e-5,
+                    "fwd w ({r},{col}): fd {fd} vs analytic {}",
+                    grads.wf[(r, col)]
+                );
+            }
+        }
+        // Backward-direction bias and output weights.
+        for j in 0..8 {
+            let orig = c2.bwd.b[j];
+            c2.bwd.b[j] = orig + eps;
+            let up = loss_of(&c2);
+            c2.bwd.b[j] = orig - eps;
+            let down = loss_of(&c2);
+            c2.bwd.b[j] = orig;
+            let fd = (up - down) / (2.0 * eps);
+            assert!((fd - grads.bf.len().pow(0) as f64 * grads.bb[j]).abs() < 1e-5,
+                "bwd b {j}: fd {fd} vs {}", grads.bb[j]);
+        }
+        for k in 0..N_TAGS {
+            for col in 0..8 {
+                let orig = c2.w_out[(k, col)];
+                c2.w_out[(k, col)] = orig + eps;
+                let up = loss_of(&c2);
+                c2.w_out[(k, col)] = orig - eps;
+                let down = loss_of(&c2);
+                c2.w_out[(k, col)] = orig;
+                let fd = (up - down) / (2.0 * eps);
+                assert!(
+                    (fd - grads.wout[(k, col)]).abs() < 1e-5,
+                    "w_out ({k},{col}): fd {fd} vs {}",
+                    grads.wout[(k, col)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn learns_ner_from_good_embeddings() {
+        let (_m, ds, emb) = setup();
+        let (tagger, losses) = BiLstmTagger::train_with_report(
+            &emb,
+            &ds.train,
+            &LstmConfig { epochs: 6, hidden: 12, ..Default::default() },
+        );
+        assert!(
+            losses.last().expect("losses") < &losses[0],
+            "loss should fall: {losses:?}"
+        );
+        // Entity-token accuracy well above the 1-in-5 chance level.
+        let preds = tagger.predict_all(&emb, &ds.test);
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (p, s) in preds.iter().zip(&ds.test) {
+            for (j, (&pt, &gt)) in p.iter().zip(&s.tags).enumerate() {
+                let _ = j;
+                if gt != 0 {
+                    total += 1;
+                    if pt == gt {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.5, "entity-token accuracy {acc}");
+    }
+
+    #[test]
+    fn crf_tagger_trains_and_predicts() {
+        let (_m, ds, emb) = setup();
+        let small: Vec<TaggedSentence> = ds.train[..60].to_vec();
+        let tagger = BiLstmCrfTagger::train(
+            &emb,
+            &small,
+            &LstmConfig { epochs: 3, hidden: 8, ..Default::default() },
+        );
+        let preds = tagger.predict_all(&emb, &ds.test[..20]);
+        for (p, s) in preds.iter().zip(&ds.test[..20]) {
+            assert_eq!(p.len(), s.tokens.len());
+            assert!(p.iter().all(|&t| (t as usize) < N_TAGS));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let (_m, ds, emb) = setup();
+        let cfg = LstmConfig { epochs: 2, hidden: 8, ..Default::default() };
+        let a = BiLstmTagger::train(&emb, &ds.train[..40], &cfg);
+        let b = BiLstmTagger::train(&emb, &ds.train[..40], &cfg);
+        assert_eq!(
+            a.predict_all(&emb, &ds.test[..10]),
+            b.predict_all(&emb, &ds.test[..10])
+        );
+    }
+
+    #[test]
+    fn empty_sentence_predicts_empty() {
+        let (_m, ds, emb) = setup();
+        let tagger = BiLstmTagger::train(
+            &emb,
+            &ds.train[..20],
+            &LstmConfig { epochs: 1, hidden: 4, ..Default::default() },
+        );
+        assert!(tagger.predict(&emb, &[]).is_empty());
+    }
+}

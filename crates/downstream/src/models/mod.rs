@@ -1,0 +1,13 @@
+//! Downstream models trained on top of (fixed) embeddings.
+
+pub mod bow;
+pub mod cnn;
+pub mod crf;
+pub mod logreg;
+pub mod lstm;
+
+pub use bow::{bow_features, BowSentimentModel, BowTrainOptions};
+pub use cnn::{CnnConfig, CnnSentimentModel};
+pub use crf::Crf;
+pub use logreg::{LogReg, TrainSpec};
+pub use lstm::{BiLstmCrfTagger, BiLstmTagger, LstmConfig};

@@ -1,0 +1,57 @@
+//! Neural-network training primitives shared by the downstream models.
+
+pub use embedstab_linalg::opt::Adam;
+
+use rand::{Rng, RngExt};
+
+/// Seeded Fisher-Yates shuffle used by every trainer's sampling loop.
+pub fn shuffle<T>(xs: &mut [T], rng: &mut impl Rng) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+/// Clips a gradient vector to a maximum global L2 norm, in place.
+/// Returns the pre-clip norm.
+pub fn clip_global_norm(grad: &mut [f64], max_norm: f64) -> f64 {
+    let norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let s = max_norm / norm;
+        for g in grad.iter_mut() {
+            *g *= s;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b: Vec<u32> = (0..50).collect();
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(5);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(5);
+        shuffle(&mut a, &mut r1);
+        shuffle(&mut b, &mut r2);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn clip_reduces_large_norms_only() {
+        let mut g = vec![3.0, 4.0];
+        let norm = clip_global_norm(&mut g, 1.0);
+        assert!((norm - 5.0).abs() < 1e-12);
+        assert!((g[0] - 0.6).abs() < 1e-12);
+        let mut small = vec![0.1, 0.1];
+        clip_global_norm(&mut small, 1.0);
+        assert_eq!(small, vec![0.1, 0.1]);
+    }
+}

@@ -1,0 +1,8 @@
+//! Synthetic downstream task generators.
+//!
+//! Both task families are generated from the *base* ('17) latent model so
+//! that, as in the paper, the downstream training data is held fixed while
+//! the embeddings change underneath it.
+
+pub mod ner;
+pub mod sentiment;

@@ -1,0 +1,224 @@
+//! Synthetic named-entity recognition standing in for CoNLL-2003 (paper
+//! Section 3, Appendix C.3.2).
+//!
+//! Entity types (PER/ORG/LOC/MISC) are anchored to four latent topics:
+//! the lexicon of type `t` is the set of words assigned to topic `t`.
+//! Sentences are background text (from the remaining topics) with one to
+//! three entity spans spliced in. A tagger can therefore identify entities
+//! exactly to the extent that embeddings separate the latent clusters —
+//! the same mechanism that makes real NER depend on embedding quality.
+
+use embedstab_corpus::LatentModel;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Number of tag classes (`O` plus four entity types).
+pub const N_TAGS: usize = 5;
+
+/// Tag names, indexed by tag id.
+pub const TAG_NAMES: [&str; N_TAGS] = ["O", "PER", "ORG", "LOC", "MISC"];
+
+/// A token sequence with per-token tags.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaggedSentence {
+    /// Word ids.
+    pub tokens: Vec<u32>,
+    /// Tag ids (`0 = O`, `1..=4` = entity types).
+    pub tags: Vec<u8>,
+}
+
+impl TaggedSentence {
+    /// Mask that is true at entity tokens — instability is measured only
+    /// there (paper Section 3).
+    pub fn entity_mask(&self) -> Vec<bool> {
+        self.tags.iter().map(|&t| t != 0).collect()
+    }
+}
+
+/// A generated NER dataset with train/validation/test splits.
+#[derive(Clone, Debug)]
+pub struct NerDataset {
+    /// Training split.
+    pub train: Vec<TaggedSentence>,
+    /// Validation split.
+    pub valid: Vec<TaggedSentence>,
+    /// Test split.
+    pub test: Vec<TaggedSentence>,
+    /// The four topic ids used as entity lexicons (`PER, ORG, LOC, MISC`).
+    pub entity_topics: [usize; 4],
+}
+
+/// Generator parameters for the NER dataset.
+#[derive(Clone, Debug)]
+pub struct NerSpec {
+    /// Split sizes.
+    pub n_train: usize,
+    /// Validation size.
+    pub n_valid: usize,
+    /// Test size.
+    pub n_test: usize,
+    /// Sentence length range before entity insertion (inclusive).
+    pub len_range: (usize, usize),
+    /// Maximum entity spans per sentence (at least 1 is always inserted).
+    pub max_spans: usize,
+    /// Maximum entity span length.
+    pub max_span_len: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for NerSpec {
+    fn default() -> Self {
+        NerSpec {
+            n_train: 600,
+            n_valid: 150,
+            n_test: 400,
+            len_range: (8, 16),
+            max_spans: 3,
+            max_span_len: 3,
+            seed: 201,
+        }
+    }
+}
+
+impl NerSpec {
+    /// Generates the dataset from a latent model (deterministic given the
+    /// spec).
+    ///
+    /// The first four topics become the entity lexicons; background tokens
+    /// are sampled from the remaining topics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model has fewer than 6 topics (4 entity + 2
+    /// background) or a lexicon would be empty.
+    pub fn generate(&self, model: &LatentModel) -> NerDataset {
+        assert!(model.n_topics() >= 6, "need at least 6 topics for NER generation");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let entity_topics = [0usize, 1, 2, 3];
+        // Lexicons: words assigned to each entity topic.
+        let lexicons: Vec<Vec<u32>> = entity_topics
+            .iter()
+            .map(|&t| {
+                let lex: Vec<u32> = (0..model.vocab_size() as u32)
+                    .filter(|&w| model.word_topics[w as usize] == t)
+                    .collect();
+                assert!(!lex.is_empty(), "entity lexicon for topic {t} is empty");
+                lex
+            })
+            .collect();
+        let background_topics: Vec<usize> = (4..model.n_topics()).collect();
+
+        let total = self.n_train + self.n_valid + self.n_test;
+        let mut sentences = Vec::with_capacity(total);
+        for _ in 0..total {
+            sentences.push(self.sample_sentence(model, &lexicons, &background_topics, &mut rng));
+        }
+        let mut valid = sentences.split_off(self.n_train);
+        let test = valid.split_off(self.n_valid);
+        NerDataset { train: sentences, valid, test, entity_topics }
+    }
+
+    fn sample_sentence(
+        &self,
+        model: &LatentModel,
+        lexicons: &[Vec<u32>],
+        background_topics: &[usize],
+        rng: &mut impl Rng,
+    ) -> TaggedSentence {
+        let len = rng.random_range(self.len_range.0..=self.len_range.1);
+        // Background text: a fixed pair of background topics per sentence.
+        let t1 = background_topics[rng.random_range(0..background_topics.len())];
+        let t2 = background_topics[rng.random_range(0..background_topics.len())];
+        let mut tokens: Vec<u32> = (0..len)
+            .map(|_| {
+                let t = if rng.random::<f64>() < 0.5 { t1 } else { t2 };
+                model.sample_word(t, rng)
+            })
+            .collect();
+        let mut tags = vec![0u8; len];
+        // Splice in entity spans.
+        let n_spans = rng.random_range(1..=self.max_spans);
+        for _ in 0..n_spans {
+            let ty = rng.random_range(0..4usize);
+            let span_len = rng.random_range(1..=self.max_span_len).min(tokens.len());
+            let start = rng.random_range(0..=(tokens.len() - span_len));
+            // Skip if it would overlap an existing entity.
+            if tags[start..start + span_len].iter().any(|&t| t != 0) {
+                continue;
+            }
+            for k in 0..span_len {
+                let lex = &lexicons[ty];
+                tokens[start + k] = lex[rng.random_range(0..lex.len())];
+                tags[start + k] = (ty + 1) as u8;
+            }
+        }
+        TaggedSentence { tokens, tags }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embedstab_corpus::{LatentModel, LatentModelConfig};
+
+    fn model() -> LatentModel {
+        LatentModel::new(&LatentModelConfig {
+            vocab_size: 400,
+            n_topics: 10,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn splits_and_shapes() {
+        let ds = NerSpec { n_train: 50, n_valid: 10, n_test: 20, ..Default::default() }
+            .generate(&model());
+        assert_eq!(ds.train.len(), 50);
+        assert_eq!(ds.valid.len(), 10);
+        assert_eq!(ds.test.len(), 20);
+        for s in ds.train.iter().chain(&ds.valid).chain(&ds.test) {
+            assert_eq!(s.tokens.len(), s.tags.len());
+            assert!(s.tags.iter().all(|&t| (t as usize) < N_TAGS));
+        }
+    }
+
+    #[test]
+    fn every_sentence_has_an_entity() {
+        let ds = NerSpec::default().generate(&model());
+        for s in &ds.train {
+            assert!(s.tags.iter().any(|&t| t != 0), "sentence without entity");
+        }
+    }
+
+    #[test]
+    fn entity_tokens_come_from_their_lexicon() {
+        let m = model();
+        let ds = NerSpec::default().generate(&m);
+        for s in ds.train.iter().take(100) {
+            for (tok, &tag) in s.tokens.iter().zip(&s.tags) {
+                if tag != 0 {
+                    let topic = m.word_topics[*tok as usize];
+                    assert_eq!(
+                        topic,
+                        ds.entity_topics[(tag - 1) as usize],
+                        "entity token from wrong topic"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn entity_mask_matches_tags() {
+        let s = TaggedSentence { tokens: vec![1, 2, 3], tags: vec![0, 2, 0] };
+        assert_eq!(s.entity_mask(), vec![false, true, false]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = model();
+        let a = NerSpec::default().generate(&m);
+        let b = NerSpec::default().generate(&m);
+        assert_eq!(a.train, b.train);
+    }
+}

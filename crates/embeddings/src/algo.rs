@@ -1,0 +1,127 @@
+//! Unified dispatch over the embedding algorithms in the study.
+
+use std::fmt;
+
+use embedstab_corpus::Vocab;
+
+use crate::cbow::CbowTrainer;
+use crate::fasttext::FastTextTrainer;
+use crate::glove::GloveTrainer;
+use crate::mc::McTrainer;
+use crate::stats::CorpusStats;
+use crate::Embedding;
+
+/// The embedding algorithms studied by the paper: CBOW, GloVe, and MC in
+/// the main body, fastText skipgram in Appendix E.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Algo {
+    /// word2vec continuous bag-of-words with negative sampling.
+    Cbow,
+    /// GloVe weighted co-occurrence factorization.
+    Glove,
+    /// Online matrix completion on PPMI.
+    Mc,
+    /// fastText subword skipgram.
+    FastTextSg,
+}
+
+impl Algo {
+    /// The three main-body algorithms (Figures 1-2, Tables 1-3).
+    pub const MAIN: [Algo; 3] = [Algo::Cbow, Algo::Glove, Algo::Mc];
+
+    /// Short display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Cbow => "CBOW",
+            Algo::Glove => "GloVe",
+            Algo::Mc => "MC",
+            Algo::FastTextSg => "FT-SG",
+        }
+    }
+}
+
+impl fmt::Display for Algo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Trains an embedding with the named algorithm at its default
+/// hyperparameters.
+///
+/// This is the pipeline's single entry point; per-algorithm configuration
+/// lives on the individual trainers ([`CbowTrainer`], [`GloveTrainer`],
+/// [`McTrainer`], [`FastTextTrainer`]).
+///
+/// # Panics
+///
+/// Panics if `dim` is zero or the statistics are inconsistent (see the
+/// individual trainers).
+pub fn train_embedding(
+    algo: Algo,
+    stats: &CorpusStats,
+    vocab: &Vocab,
+    dim: usize,
+    seed: u64,
+) -> Embedding {
+    match algo {
+        Algo::Cbow => CbowTrainer::default().train(stats, dim, seed),
+        Algo::Glove => GloveTrainer::default().train(&stats.cooc_weighted, dim, seed),
+        Algo::Mc => McTrainer::default().train(&stats.ppmi, dim, seed),
+        Algo::FastTextSg => FastTextTrainer::default().train(stats, vocab, dim, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embedstab_corpus::{CorpusConfig, LatentModel, LatentModelConfig};
+    use embedstab_linalg::vecops;
+
+    /// The load-bearing sanity check for the whole reproduction: embeddings
+    /// trained on a synthetic corpus must recover the latent topic
+    /// structure, i.e. same-topic words should be more similar than
+    /// different-topic words on average.
+    #[test]
+    fn all_algorithms_recover_topic_structure() {
+        let model = LatentModel::new(&LatentModelConfig {
+            vocab_size: 120,
+            n_topics: 4,
+            ..Default::default()
+        });
+        let corpus =
+            model.generate_corpus(&CorpusConfig { n_tokens: 40_000, ..Default::default() });
+        let stats = CorpusStats::compute(std::sync::Arc::new(corpus), 120, 6);
+        for algo in [Algo::Cbow, Algo::Glove, Algo::Mc, Algo::FastTextSg] {
+            let emb = train_embedding(algo, &stats, &model.vocab, 16, 0);
+            let mut same = (0.0, 0usize);
+            let mut diff = (0.0, 0usize);
+            for i in 0..60u32 {
+                for j in (i + 1)..60u32 {
+                    let sim = vecops::cosine_similarity(emb.vector(i), emb.vector(j));
+                    if model.word_topics[i as usize] == model.word_topics[j as usize] {
+                        same = (same.0 + sim, same.1 + 1);
+                    } else {
+                        diff = (diff.0 + sim, diff.1 + 1);
+                    }
+                }
+            }
+            let same_mean = same.0 / same.1 as f64;
+            let diff_mean = diff.0 / diff.1 as f64;
+            assert!(
+                same_mean > diff_mean + 0.05,
+                "{algo}: same-topic similarity {same_mean:.3} should exceed \
+                 different-topic {diff_mean:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Algo::Cbow.name(), "CBOW");
+        assert_eq!(Algo::Glove.name(), "GloVe");
+        assert_eq!(Algo::Mc.name(), "MC");
+        assert_eq!(Algo::FastTextSg.name(), "FT-SG");
+        assert_eq!(Algo::MAIN.len(), 3);
+    }
+}

@@ -1,0 +1,128 @@
+//! The embedding matrix type shared by trainers, measures, and downstream
+//! models.
+
+use embedstab_linalg::{align, Mat};
+
+/// A trained word embedding: a `vocab_size x dim` matrix whose row order is
+/// the vocabulary's frequency order (row 0 = most frequent word).
+///
+/// The frequency ordering matters: the paper computes all embedding distance
+/// measures over the top 10k most frequent words, which here is simply a
+/// row-prefix ([`Embedding::top_rows`]).
+///
+/// # Example
+///
+/// ```
+/// use embedstab_embeddings::Embedding;
+/// use embedstab_linalg::Mat;
+///
+/// let emb = Embedding::new(Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
+/// assert_eq!(emb.dim(), 2);
+/// assert_eq!(emb.vocab_size(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Embedding {
+    mat: Mat,
+}
+
+impl Embedding {
+    /// Wraps a `vocab_size x dim` matrix as an embedding.
+    pub fn new(mat: Mat) -> Self {
+        Embedding { mat }
+    }
+
+    /// Number of words.
+    pub fn vocab_size(&self) -> usize {
+        self.mat.rows()
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.mat.cols()
+    }
+
+    /// `(vocab_size, dim)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.mat.shape()
+    }
+
+    /// The vector for word id `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range.
+    pub fn vector(&self, w: u32) -> &[f64] {
+        self.mat.row(w as usize)
+    }
+
+    /// The underlying matrix.
+    pub fn mat(&self) -> &Mat {
+        &self.mat
+    }
+
+    /// Consumes the embedding, returning the matrix.
+    pub fn into_mat(self) -> Mat {
+        self.mat
+    }
+
+    /// The embedding restricted to the `m` most frequent words (a row
+    /// prefix, since rows are frequency-ordered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > vocab_size`.
+    pub fn top_rows(&self, m: usize) -> Embedding {
+        assert!(m <= self.vocab_size(), "cannot take more rows than exist");
+        let sub = self.mat.select_rows(&(0..m).collect::<Vec<_>>());
+        Embedding::new(sub)
+    }
+
+    /// Aligns this embedding to `reference` with orthogonal Procrustes
+    /// (Schönemann, 1966), as the paper does for every Wiki'18/Wiki'17 pair
+    /// before compression and downstream training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn align_to(&self, reference: &Embedding) -> Embedding {
+        Embedding::new(align(reference.mat(), self.mat()))
+    }
+
+    /// Average squared entry value, used by quantization diagnostics.
+    pub fn mean_sq_entry(&self) -> f64 {
+        let (n, d) = self.shape();
+        self.mat.frobenius_norm_sq() / (n * d) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn accessors() {
+        let emb = Embedding::new(Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]));
+        assert_eq!(emb.shape(), (3, 2));
+        assert_eq!(emb.vector(1), &[3.0, 4.0]);
+        assert_eq!(emb.top_rows(2).shape(), (2, 2));
+        assert_eq!(emb.top_rows(2).vector(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn align_to_reduces_distance() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let x = Embedding::new(Mat::random_normal(40, 6, &mut rng));
+        // y = rotated x plus noise.
+        let g = Mat::random_normal(6, 6, &mut rng);
+        let (q, _) = g.qr();
+        let mut noisy = x.mat().matmul(&q);
+        noisy.axpy(0.05, &Mat::random_normal(40, 6, &mut rng));
+        let y = Embedding::new(noisy);
+        let aligned = y.align_to(&x);
+        let before = x.mat().sub(y.mat()).frobenius_norm();
+        let after = x.mat().sub(aligned.mat()).frobenius_norm();
+        assert!(after < before, "alignment should reduce distance ({after} !< {before})");
+        assert!(after < 0.1 * before, "rotation should be mostly removed");
+    }
+}

@@ -1,0 +1,55 @@
+//! Word-embedding algorithms for the `embedstab` workspace, written from
+//! scratch.
+//!
+//! The paper's study covers three pre-trained embedding algorithms —
+//! word2vec **CBOW**, **GloVe**, and online **matrix completion (MC)** on the
+//! PPMI matrix — plus the **fastText** subword extension (Appendix E.1).
+//! This crate implements all four against the synthetic corpora from
+//! [`embedstab_corpus`]:
+//!
+//! - [`cbow::CbowTrainer`] — continuous bag-of-words with negative sampling
+//!   (Mikolov et al., 2013).
+//! - [`glove::GloveTrainer`] — weighted co-occurrence factorization with
+//!   AdaGrad (Pennington et al., 2014).
+//! - [`mc::McTrainer`] — SGD matrix completion on observed PPMI entries
+//!   (Jin et al., 2016).
+//! - [`fasttext::FastTextTrainer`] — skipgram with character n-gram buckets
+//!   (Bojanowski et al., 2017).
+//!
+//! All trainers are deterministic given their seed, and all return an
+//! [`Embedding`] (a `vocab x dim` matrix with frequency-ordered rows).
+//!
+//! # Example
+//!
+//! ```
+//! use embedstab_corpus::{CorpusConfig, LatentModel, LatentModelConfig};
+//! use embedstab_embeddings::{Algo, CorpusStats, train_embedding};
+//!
+//! let model = LatentModel::new(&LatentModelConfig { vocab_size: 100, ..Default::default() });
+//! let corpus = model.generate_corpus(&CorpusConfig { n_tokens: 3_000, ..Default::default() });
+//! let stats = CorpusStats::compute(std::sync::Arc::new(corpus), 100, 4);
+//! let emb = train_embedding(Algo::Mc, &stats, &model.vocab, 8, 0);
+//! assert_eq!(emb.shape(), (100, 8));
+//! ```
+
+pub mod algo;
+pub mod cbow;
+pub mod embedding;
+pub mod fasttext;
+pub mod glove;
+pub mod mc;
+pub mod negative;
+pub mod stats;
+
+pub use algo::{train_embedding, Algo};
+pub use embedding::Embedding;
+pub use stats::CorpusStats;
+
+/// Loss bookkeeping returned by the `train_with_report` trainer entry points.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainReport {
+    /// Mean training loss over the first epoch.
+    pub initial_loss: f64,
+    /// Mean training loss over the final epoch.
+    pub final_loss: f64,
+}

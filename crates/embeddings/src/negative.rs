@@ -1,0 +1,93 @@
+//! Negative sampling table (unigram distribution raised to the 3/4 power).
+
+use embedstab_corpus::AliasTable;
+use rand::Rng;
+
+/// The word2vec negative-sampling distribution: word probabilities
+/// proportional to `count^0.75`, with O(1) sampling via an alias table.
+#[derive(Clone, Debug)]
+pub struct NegativeTable {
+    table: AliasTable,
+}
+
+impl NegativeTable {
+    /// Builds the table from raw unigram counts.
+    ///
+    /// Words with zero count get a tiny floor weight so the distribution is
+    /// well-defined even when the corpus misses rare vocabulary entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty.
+    pub fn new(counts: &[u64]) -> Self {
+        assert!(!counts.is_empty(), "counts must be non-empty");
+        let weights: Vec<f64> =
+            counts.iter().map(|&c| (c as f64).powf(0.75).max(1e-3)).collect();
+        NegativeTable { table: AliasTable::new(&weights) }
+    }
+
+    /// Draws a negative sample different from `exclude`.
+    pub fn sample(&self, exclude: u32, rng: &mut impl Rng) -> u32 {
+        // Rejection on the excluded id terminates quickly because no single
+        // word carries most of the ^0.75-smoothed mass.
+        for _ in 0..64 {
+            let w = self.table.sample(rng) as u32;
+            if w != exclude {
+                return w;
+            }
+        }
+        // Pathological fallback (single-word vocabularies in tests).
+        (exclude + 1) % self.table.len() as u32
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True if the table is empty (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn smoothing_flattens_distribution() {
+        let counts = [1000u64, 10, 10, 10];
+        let table = NegativeTable::new(&counts);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut hits = [0usize; 4];
+        for _ in 0..50_000 {
+            hits[table.sample(u32::MAX, &mut rng) as usize] += 1;
+        }
+        // Raw ratio would be 1000/1030 ~ 0.97; smoothed is
+        // 1000^.75/(1000^.75+3*10^.75) ~ 0.91.
+        let p0 = hits[0] as f64 / 50_000.0;
+        assert!(p0 < 0.94 && p0 > 0.86, "p0 = {p0}");
+    }
+
+    #[test]
+    fn excludes_requested_word() {
+        let table = NegativeTable::new(&[5, 5]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(table.sample(0, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn zero_counts_still_sampleable() {
+        let table = NegativeTable::new(&[0, 0, 7]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        // Should not loop forever or panic.
+        for _ in 0..100 {
+            let w = table.sample(2, &mut rng);
+            assert!(w < 2);
+        }
+    }
+}

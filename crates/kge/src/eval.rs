@@ -1,0 +1,349 @@
+//! Evaluation for TransE embeddings: link prediction (mean rank,
+//! unstable-rank@10) and triplet classification with per-relation
+//! thresholds (paper Section 6.1, Figures 3 and 10).
+
+use std::collections::HashSet;
+
+use rand::{RngExt, SeedableRng};
+
+use crate::graph::{KnowledgeGraph, Triplet};
+use crate::transe::TranseEmbeddings;
+
+/// Head and tail ranks of one test triplet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankPair {
+    /// Rank of the true head among all corrupted heads (1-based).
+    pub head: usize,
+    /// Rank of the true tail among all corrupted tails (1-based).
+    pub tail: usize,
+}
+
+/// Computes raw link-prediction ranks for each triplet: the position of the
+/// true entity when all entities are sorted by the TransE score.
+pub fn link_prediction_ranks(
+    emb: &TranseEmbeddings,
+    n_entities: usize,
+    triplets: &[Triplet],
+) -> Vec<RankPair> {
+    let dim = emb.entities.cols();
+    triplets
+        .iter()
+        .map(|t| {
+            let h = emb.entities.row(t.head as usize);
+            let r = emb.relations.row(t.rel as usize);
+            let tl = emb.entities.row(t.tail as usize);
+            // target for tail ranking: h + r; for head ranking: t - r.
+            let mut tail_target = vec![0.0; dim];
+            let mut head_target = vec![0.0; dim];
+            for j in 0..dim {
+                tail_target[j] = h[j] + r[j];
+                head_target[j] = tl[j] - r[j];
+            }
+            let d_tail_true = l1_dist(&tail_target, tl);
+            let d_head_true = l1_dist(&head_target, h);
+            let mut tail_rank = 1usize;
+            let mut head_rank = 1usize;
+            for e in 0..n_entities {
+                let row = emb.entities.row(e);
+                if l1_dist(&tail_target, row) < d_tail_true {
+                    tail_rank += 1;
+                }
+                if l1_dist(&head_target, row) < d_head_true {
+                    head_rank += 1;
+                }
+            }
+            RankPair { head: head_rank, tail: tail_rank }
+        })
+        .collect()
+}
+
+fn l1_dist(a: &[f64], b: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        s += (x - y).abs();
+    }
+    s
+}
+
+/// Mean of all head and tail ranks (the paper's link-prediction quality
+/// metric).
+///
+/// Returns 0 for an empty input.
+pub fn mean_rank(ranks: &[RankPair]) -> f64 {
+    if ranks.is_empty() {
+        return 0.0;
+    }
+    let total: usize = ranks.iter().map(|r| r.head + r.tail).sum();
+    total as f64 / (2 * ranks.len()) as f64
+}
+
+/// `unstable-rank@10` (paper Section 6.1): the fraction of rank changes
+/// greater than 10 between two embeddings' rankings of the same triplets.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn unstable_rank_at_10(a: &[RankPair], b: &[RankPair]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rank lists must align");
+    assert!(!a.is_empty(), "no ranks to compare");
+    let mut unstable = 0usize;
+    for (x, y) in a.iter().zip(b) {
+        if x.head.abs_diff(y.head) > 10 {
+            unstable += 1;
+        }
+        if x.tail.abs_diff(y.tail) > 10 {
+            unstable += 1;
+        }
+    }
+    unstable as f64 / (2 * a.len()) as f64
+}
+
+/// Generates one negative per triplet by corrupting the tail with a random
+/// entity such that the corrupted triplet is not in the graph (Socher et
+/// al., 2013 protocol).
+pub fn make_negatives(kg: &KnowledgeGraph, split: &[Triplet], seed: u64) -> Vec<Triplet> {
+    let known: HashSet<Triplet> = kg.all_triplets();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    split
+        .iter()
+        .map(|t| {
+            for _ in 0..256 {
+                let tail = rng.random_range(0..kg.n_entities as u32);
+                let cand = Triplet { tail, ..*t };
+                if tail != t.tail && !known.contains(&cand) {
+                    return cand;
+                }
+            }
+            // Degenerate graphs (tests): give up on the known-filter.
+            Triplet { tail: (t.tail + 1) % kg.n_entities as u32, ..*t }
+        })
+        .collect()
+}
+
+/// Triplet classification (paper Section 6.1): predict "fact" when the
+/// TransE score is below a per-relation threshold tuned on validation
+/// data.
+#[derive(Clone, Debug)]
+pub struct TripletClassifier {
+    thresholds: Vec<f64>,
+}
+
+impl TripletClassifier {
+    /// Fits per-relation thresholds maximizing validation accuracy over
+    /// the given positive and negative triplets.
+    ///
+    /// Relations unseen in the validation data fall back to the global
+    /// median threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_relations` is zero.
+    pub fn fit(
+        emb: &TranseEmbeddings,
+        positives: &[Triplet],
+        negatives: &[Triplet],
+        n_relations: usize,
+    ) -> Self {
+        assert!(n_relations > 0, "need at least one relation");
+        let mut per_rel: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); n_relations];
+        for t in positives {
+            per_rel[t.rel as usize].0.push(emb.score(t.head, t.rel, t.tail));
+        }
+        for t in negatives {
+            per_rel[t.rel as usize].1.push(emb.score(t.head, t.rel, t.tail));
+        }
+        let mut thresholds = vec![f64::NAN; n_relations];
+        let mut known = Vec::new();
+        for (r, (pos, neg)) in per_rel.iter().enumerate() {
+            if pos.is_empty() && neg.is_empty() {
+                continue;
+            }
+            thresholds[r] = best_threshold(pos, neg);
+            known.push(thresholds[r]);
+        }
+        // Fallback for unseen relations: median of known thresholds.
+        known.sort_by(|a, b| a.partial_cmp(b).expect("finite thresholds"));
+        let fallback = if known.is_empty() { 0.0 } else { known[known.len() / 2] };
+        for t in thresholds.iter_mut() {
+            if t.is_nan() {
+                *t = fallback;
+            }
+        }
+        TripletClassifier { thresholds }
+    }
+
+    /// Predicts whether each triplet is a fact (`score <= threshold`).
+    pub fn predict(&self, emb: &TranseEmbeddings, triplets: &[Triplet]) -> Vec<bool> {
+        triplets
+            .iter()
+            .map(|t| emb.score(t.head, t.rel, t.tail) <= self.thresholds[t.rel as usize])
+            .collect()
+    }
+
+    /// Classification accuracy over interleaved positives and negatives.
+    pub fn accuracy(
+        &self,
+        emb: &TranseEmbeddings,
+        positives: &[Triplet],
+        negatives: &[Triplet],
+    ) -> f64 {
+        let p = self.predict(emb, positives);
+        let n = self.predict(emb, negatives);
+        let correct = p.iter().filter(|&&x| x).count() + n.iter().filter(|&&x| !x).count();
+        correct as f64 / (p.len() + n.len()).max(1) as f64
+    }
+
+    /// The fitted thresholds (one per relation).
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+}
+
+/// The threshold minimizing classification error: scanned over midpoints
+/// of adjacent sorted scores (positives should score *below* it).
+fn best_threshold(pos: &[f64], neg: &[f64]) -> f64 {
+    let mut scored: Vec<(f64, bool)> = pos
+        .iter()
+        .map(|&s| (s, true))
+        .chain(neg.iter().map(|&s| (s, false)))
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+    // Sweeping the threshold upward, positives below count as correct.
+    let mut best_acc = -1.0;
+    let mut best_thr = 0.0;
+    let total = scored.len() as f64;
+    let n_neg = neg.len() as f64;
+    // Threshold below everything: all predicted negative.
+    let mut correct = n_neg;
+    if correct / total > best_acc {
+        best_acc = correct / total;
+        best_thr = scored.first().map(|s| s.0 - 1.0).unwrap_or(0.0);
+    }
+    for (i, &(s, is_pos)) in scored.iter().enumerate() {
+        correct += if is_pos { 1.0 } else { -1.0 };
+        let thr = if i + 1 < scored.len() { (s + scored[i + 1].0) / 2.0 } else { s + 1.0 };
+        if correct / total > best_acc {
+            best_acc = correct / total;
+            best_thr = thr;
+        }
+    }
+    best_thr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::KgSpec;
+    use crate::transe::{train_transe, TranseConfig};
+    use embedstab_linalg::Mat;
+
+    fn trained() -> (KnowledgeGraph, TranseEmbeddings) {
+        let kg = KgSpec {
+            n_entities: 100,
+            n_types: 5,
+            n_relations: 6,
+            triplets_per_relation: 120,
+            ..Default::default()
+        }
+        .generate();
+        let emb = train_transe(&kg, 12, &TranseConfig::default(), 0);
+        (kg, emb)
+    }
+
+    #[test]
+    fn ranks_are_one_based_and_bounded() {
+        let (kg, emb) = trained();
+        let ranks = link_prediction_ranks(&emb, kg.n_entities, &kg.test[..20.min(kg.test.len())]);
+        for r in &ranks {
+            assert!(r.head >= 1 && r.head <= kg.n_entities);
+            assert!(r.tail >= 1 && r.tail <= kg.n_entities);
+        }
+    }
+
+    #[test]
+    fn identical_embeddings_are_fully_stable() {
+        let (kg, emb) = trained();
+        let ranks = link_prediction_ranks(&emb, kg.n_entities, &kg.test);
+        assert_eq!(unstable_rank_at_10(&ranks, &ranks), 0.0);
+    }
+
+    #[test]
+    fn negatives_are_not_known_facts() {
+        let (kg, _) = trained();
+        let negs = make_negatives(&kg, &kg.valid, 0);
+        let known = kg.all_triplets();
+        assert_eq!(negs.len(), kg.valid.len());
+        for n in &negs {
+            assert!(!known.contains(n), "negative collides with a known fact");
+        }
+    }
+
+    #[test]
+    fn classifier_beats_chance() {
+        let (kg, emb) = trained();
+        let valid_neg = make_negatives(&kg, &kg.valid, 0);
+        let clf = TripletClassifier::fit(&emb, &kg.valid, &valid_neg, kg.n_relations);
+        let test_neg = make_negatives(&kg, &kg.test, 1);
+        let acc = clf.accuracy(&emb, &kg.test, &test_neg);
+        assert!(acc > 0.65, "triplet classification accuracy {acc}");
+    }
+
+    #[test]
+    fn best_threshold_separates_cleanly() {
+        let thr = best_threshold(&[1.0, 2.0], &[5.0, 6.0]);
+        assert!(thr > 2.0 && thr < 5.0, "threshold {thr}");
+    }
+
+    #[test]
+    fn threshold_handles_overlap() {
+        // One positive scores high; best threshold keeps 3 of 4 correct.
+        let thr = best_threshold(&[1.0, 9.0], &[5.0, 6.0]);
+        assert!(thr > 1.0 && thr < 5.0, "threshold {thr}");
+    }
+
+    #[test]
+    fn mean_rank_arithmetic() {
+        let ranks = vec![RankPair { head: 1, tail: 3 }, RankPair { head: 5, tail: 7 }];
+        assert_eq!(mean_rank(&ranks), 4.0);
+        assert_eq!(mean_rank(&[]), 0.0);
+    }
+
+    #[test]
+    fn unstable_rank_counts_large_changes() {
+        let a = vec![RankPair { head: 1, tail: 1 }, RankPair { head: 100, tail: 5 }];
+        let b = vec![RankPair { head: 1, tail: 20 }, RankPair { head: 80, tail: 5 }];
+        // Changes: tail 1->20 (>10, unstable), head 100->80 (>10, unstable),
+        // others stable: 2 of 4 comparisons.
+        assert_eq!(unstable_rank_at_10(&a, &b), 0.5);
+    }
+
+    #[test]
+    fn quantization_increases_instability_between_pair() {
+        use crate::transe::quantize_transe_pair;
+        use embedstab_quant::Precision;
+        let kg = KgSpec {
+            n_entities: 80,
+            n_types: 4,
+            n_relations: 5,
+            triplets_per_relation: 100,
+            ..Default::default()
+        }
+        .generate();
+        let kg95 = kg.subsample_train(0.95, 11);
+        let cfg = TranseConfig { epochs: 60, patience: 0, ..Default::default() };
+        let a = train_transe(&kg, 16, &cfg, 0);
+        let b = train_transe(&kg95, 16, &cfg, 0);
+        let full_a = link_prediction_ranks(&a, kg.n_entities, &kg.test);
+        let full_b = link_prediction_ranks(&b, kg.n_entities, &kg.test);
+        let u_full = unstable_rank_at_10(&full_a, &full_b);
+        let (qa, qb) = quantize_transe_pair(&a, &b, Precision::new(1));
+        let q_a = link_prediction_ranks(&qa, kg.n_entities, &kg.test);
+        let q_b = link_prediction_ranks(&qb, kg.n_entities, &kg.test);
+        let u_q = unstable_rank_at_10(&q_a, &q_b);
+        assert!(
+            u_q >= u_full,
+            "1-bit quantization should not stabilize ranks (full {u_full}, 1-bit {u_q})"
+        );
+        let _ = Mat::zeros(1, 1);
+    }
+}

@@ -1,0 +1,270 @@
+//! Synthetic typed knowledge graphs standing in for FB15K / FB15K-95.
+
+use std::collections::HashSet;
+
+use embedstab_linalg::{vecops, Mat};
+use rand::{Rng, RngExt, SeedableRng};
+
+/// A `(head, relation, tail)` fact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triplet {
+    /// Head entity id.
+    pub head: u32,
+    /// Relation id.
+    pub rel: u32,
+    /// Tail entity id.
+    pub tail: u32,
+}
+
+/// A knowledge graph with train/validation/test triplet splits.
+#[derive(Clone, Debug)]
+pub struct KnowledgeGraph {
+    /// Number of entities.
+    pub n_entities: usize,
+    /// Number of relations.
+    pub n_relations: usize,
+    /// Training triplets.
+    pub train: Vec<Triplet>,
+    /// Validation triplets.
+    pub valid: Vec<Triplet>,
+    /// Test triplets.
+    pub test: Vec<Triplet>,
+}
+
+impl KnowledgeGraph {
+    /// All triplets of every split, as a set (used to filter corrupted
+    /// negatives).
+    pub fn all_triplets(&self) -> HashSet<Triplet> {
+        self.train.iter().chain(&self.valid).chain(&self.test).copied().collect()
+    }
+
+    /// The FB15K-95 analogue: a copy keeping a random `keep_frac` of the
+    /// training triplets; validation and test stay identical, as in the
+    /// paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < keep_frac <= 1`.
+    pub fn subsample_train(&self, keep_frac: f64, seed: u64) -> KnowledgeGraph {
+        assert!(keep_frac > 0.0 && keep_frac <= 1.0, "keep_frac must be in (0, 1]");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..self.train.len()).collect();
+        let keep = ((self.train.len() as f64) * keep_frac).round() as usize;
+        for i in 0..keep.min(idx.len().saturating_sub(1)) {
+            let j = rng.random_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        let mut kept: Vec<Triplet> = idx[..keep].iter().map(|&i| self.train[i]).collect();
+        kept.sort_unstable();
+        KnowledgeGraph {
+            n_entities: self.n_entities,
+            n_relations: self.n_relations,
+            train: kept,
+            valid: self.valid.clone(),
+            test: self.test.clone(),
+        }
+    }
+}
+
+/// Generator for a synthetic typed knowledge graph whose facts follow a
+/// noisy translation model: entities cluster by type in a latent space,
+/// each relation connects a source type to a destination type, and
+/// `z_head + v_rel ≈ z_tail` for true triplets — the structural assumption
+/// TransE encodes.
+#[derive(Clone, Debug)]
+pub struct KgSpec {
+    /// Number of entities.
+    pub n_entities: usize,
+    /// Number of entity types.
+    pub n_types: usize,
+    /// Number of relations.
+    pub n_relations: usize,
+    /// Latent space dimension.
+    pub latent_dim: usize,
+    /// Facts generated per relation (before dedup).
+    pub triplets_per_relation: usize,
+    /// Latent noise scale for entities and the tail-selection softmax.
+    pub noise: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for KgSpec {
+    fn default() -> Self {
+        KgSpec {
+            n_entities: 400,
+            n_types: 8,
+            n_relations: 16,
+            latent_dim: 10,
+            triplets_per_relation: 300,
+            noise: 0.3,
+            seed: 0,
+        }
+    }
+}
+
+impl KgSpec {
+    /// Generates the graph (deterministic given the spec), splitting
+    /// triplets 70/10/20 into train/valid/test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero or there are fewer entities than types.
+    pub fn generate(&self) -> KnowledgeGraph {
+        assert!(self.n_entities >= self.n_types, "need at least one entity per type");
+        assert!(self.n_types >= 2, "need at least two types");
+        assert!(self.n_relations > 0 && self.latent_dim > 0, "counts must be positive");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let d = self.latent_dim;
+
+        // Type centers on a sphere of radius 2.
+        let mut centers = Mat::random_normal(self.n_types, d, &mut rng);
+        for t in 0..self.n_types {
+            let row = centers.row_mut(t);
+            vecops::normalize(row);
+            vecops::scale(2.0, row);
+        }
+        // Entities: round-robin types + noise.
+        let types: Vec<usize> = (0..self.n_entities).map(|e| e % self.n_types).collect();
+        let noise_mat = Mat::random_normal(self.n_entities, d, &mut rng);
+        let z = Mat::from_fn(self.n_entities, d, |e, j| {
+            centers[(types[e], j)] + self.noise * noise_mat[(e, j)]
+        });
+        let by_type: Vec<Vec<u32>> = (0..self.n_types)
+            .map(|t| {
+                (0..self.n_entities as u32)
+                    .filter(|&e| types[e as usize] == t)
+                    .collect()
+            })
+            .collect();
+
+        // Relations: (source type, destination type, translation vector).
+        let mut rels = Vec::with_capacity(self.n_relations);
+        for _ in 0..self.n_relations {
+            let src = rng.random_range(0..self.n_types);
+            let mut dst = rng.random_range(0..self.n_types);
+            if dst == src {
+                dst = (dst + 1) % self.n_types;
+            }
+            let v: Vec<f64> = (0..d).map(|j| centers[(dst, j)] - centers[(src, j)]).collect();
+            rels.push((src, dst, v));
+        }
+
+        // Facts: head of src type; tail sampled by a distance softmax
+        // around z_head + v_rel among dst-type entities.
+        let mut seen = HashSet::new();
+        let mut triplets = Vec::new();
+        for (r, (src, dst, v)) in rels.iter().enumerate() {
+            let heads = &by_type[*src];
+            let tails = &by_type[*dst];
+            for _ in 0..self.triplets_per_relation {
+                let h = heads[rng.random_range(0..heads.len())];
+                let target: Vec<f64> = (0..d).map(|j| z[(h as usize, j)] + v[j]).collect();
+                let tail = softmin_choice(&z, tails, &target, self.noise.max(0.05), &mut rng);
+                let t = Triplet { head: h, rel: r as u32, tail };
+                if seen.insert(t) {
+                    triplets.push(t);
+                }
+            }
+        }
+        // Shuffle and split.
+        for i in (1..triplets.len()).rev() {
+            let j = rng.random_range(0..=i);
+            triplets.swap(i, j);
+        }
+        let n = triplets.len();
+        let n_train = n * 7 / 10;
+        let n_valid = n / 10;
+        let valid = triplets.split_off(n_train);
+        let mut valid = valid;
+        let test = valid.split_off(n_valid);
+        KnowledgeGraph {
+            n_entities: self.n_entities,
+            n_relations: self.n_relations,
+            train: triplets,
+            valid,
+            test,
+        }
+    }
+}
+
+/// Samples an entity from `candidates` with probability
+/// `∝ exp(-||z_e - target||^2 / (2 sigma^2))`.
+fn softmin_choice(
+    z: &Mat,
+    candidates: &[u32],
+    target: &[f64],
+    sigma: f64,
+    rng: &mut impl Rng,
+) -> u32 {
+    let mut weights: Vec<f64> = Vec::with_capacity(candidates.len());
+    let mut min_d = f64::INFINITY;
+    let mut dists = Vec::with_capacity(candidates.len());
+    for &e in candidates {
+        let d2 = vecops::sq_distance(z.row(e as usize), target);
+        min_d = min_d.min(d2);
+        dists.push(d2);
+    }
+    let mut total = 0.0;
+    for d2 in dists {
+        let w = (-(d2 - min_d) / (2.0 * sigma * sigma)).exp();
+        total += w;
+        weights.push(total);
+    }
+    let u: f64 = rng.random_range(0.0..total);
+    let idx = weights.partition_point(|&c| c <= u).min(candidates.len() - 1);
+    candidates[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_valid_splits() {
+        let kg = KgSpec::default().generate();
+        assert!(!kg.train.is_empty());
+        assert!(!kg.valid.is_empty());
+        assert!(!kg.test.is_empty());
+        for t in kg.train.iter().chain(&kg.valid).chain(&kg.test) {
+            assert!((t.head as usize) < kg.n_entities);
+            assert!((t.tail as usize) < kg.n_entities);
+            assert!((t.rel as usize) < kg.n_relations);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_triplets() {
+        let kg = KgSpec::default().generate();
+        let total = kg.train.len() + kg.valid.len() + kg.test.len();
+        assert_eq!(kg.all_triplets().len(), total);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = KgSpec::default().generate();
+        let b = KgSpec::default().generate();
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn subsample_keeps_fraction_and_splits() {
+        let kg = KgSpec::default().generate();
+        let sub = kg.subsample_train(0.95, 7);
+        let expected = ((kg.train.len() as f64) * 0.95).round() as usize;
+        assert_eq!(sub.train.len(), expected);
+        assert_eq!(sub.valid, kg.valid);
+        assert_eq!(sub.test, kg.test);
+        // Every kept triplet came from the original training set.
+        let orig: HashSet<Triplet> = kg.train.iter().copied().collect();
+        assert!(sub.train.iter().all(|t| orig.contains(t)));
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_frac")]
+    fn bad_fraction_panics() {
+        let kg = KgSpec::default().generate();
+        let _ = kg.subsample_train(0.0, 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Knowledge-graph embedding substrate for the paper's Section 6.1
+//! extension: the stability-memory tradeoff on TransE embeddings.
+//!
+//! The paper trains TransE (Bordes et al., 2013) on FB15K and on FB15K-95
+//! (95% of the training triplets) and measures, across dimension-precision
+//! combinations, the instability of **link prediction**
+//! (`unstable-rank@10`) and **triplet classification** (prediction
+//! disagreement) between the two embeddings. Freebase is not available
+//! here, so [`KgSpec`] generates a typed synthetic knowledge graph whose
+//! triplets follow a noisy translation model — exactly the structure
+//! TransE can fit — and [`KnowledgeGraph::subsample_train`] produces the
+//! FB15K-95 analogue.
+//!
+//! # Example
+//!
+//! ```
+//! use embedstab_kge::{KgSpec, TranseConfig, train_transe};
+//!
+//! let kg = KgSpec { n_entities: 60, triplets_per_relation: 30, ..Default::default() }.generate();
+//! let emb = train_transe(&kg, 8, &TranseConfig { epochs: 5, ..Default::default() }, 0);
+//! assert_eq!(emb.entities.rows(), 60);
+//! ```
+
+pub mod eval;
+pub mod graph;
+pub mod transe;
+
+pub use eval::{
+    link_prediction_ranks, make_negatives, mean_rank, unstable_rank_at_10, TripletClassifier,
+};
+pub use graph::{KgSpec, KnowledgeGraph, Triplet};
+pub use transe::{quantize_transe_pair, train_transe, TranseConfig, TranseEmbeddings};

@@ -1,0 +1,161 @@
+//! Cholesky factorization, SPD solves, and ridge least squares.
+
+use crate::Mat;
+
+/// Computes the lower-triangular Cholesky factor `L` of a symmetric
+/// positive-definite matrix `a` (`a = L L^T`).
+///
+/// Returns `None` if the matrix is not (numerically) positive definite.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn cholesky(a: &Mat) -> Option<Mat> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "cholesky requires a square matrix");
+    let mut l = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if s <= 0.0 {
+                    return None;
+                }
+                l[(i, j)] = s.sqrt();
+            } else {
+                l[(i, j)] = s / l[(j, j)];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `A X = B` for symmetric positive-definite `A` via Cholesky.
+///
+/// Returns `None` if `A` is not numerically positive definite.
+///
+/// # Panics
+///
+/// Panics if shapes are incompatible.
+pub fn solve_spd(a: &Mat, b: &Mat) -> Option<Mat> {
+    assert_eq!(a.rows(), b.rows(), "solve_spd: row counts must agree");
+    let l = cholesky(a)?;
+    let n = a.rows();
+    let k = b.cols();
+    // Forward substitution: L Y = B.
+    let mut y = b.clone();
+    for i in 0..n {
+        for j in 0..i {
+            let lij = l[(i, j)];
+            if lij == 0.0 {
+                continue;
+            }
+            let (yi, yj) = (i, j);
+            for c in 0..k {
+                let v = y[(yj, c)];
+                y[(yi, c)] -= lij * v;
+            }
+        }
+        let d = l[(i, i)];
+        for c in 0..k {
+            y[(i, c)] /= d;
+        }
+    }
+    // Back substitution: L^T X = Y.
+    let mut x = y;
+    for i in (0..n).rev() {
+        for j in (i + 1)..n {
+            let lji = l[(j, i)];
+            if lji == 0.0 {
+                continue;
+            }
+            for c in 0..k {
+                let v = x[(j, c)];
+                x[(i, c)] -= lji * v;
+            }
+        }
+        let d = l[(i, i)];
+        for c in 0..k {
+            x[(i, c)] /= d;
+        }
+    }
+    Some(x)
+}
+
+/// Ridge-regularized least squares: solves
+/// `(A^T A + ridge * I) X = A^T B`.
+///
+/// With `ridge = 0` this is the ordinary least-squares solution when `A` has
+/// full column rank. A tiny positive `ridge` keeps the normal equations
+/// solvable for ill-conditioned inputs.
+///
+/// Returns `None` if the regularized normal matrix is still not positive
+/// definite (only possible for pathological inputs with `ridge = 0`).
+///
+/// # Panics
+///
+/// Panics if `a.rows() != b.rows()`.
+pub fn lstsq(a: &Mat, b: &Mat, ridge: f64) -> Option<Mat> {
+    assert_eq!(a.rows(), b.rows(), "lstsq: row counts must agree");
+    let mut g = a.gram();
+    for i in 0..g.rows() {
+        g[(i, i)] += ridge;
+    }
+    let atb = a.matmul_tn(b);
+    solve_spd(&g, &atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cholesky_known() {
+        let a = Mat::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let l = cholesky(&a).expect("SPD");
+        let recon = l.matmul_nt(&l);
+        assert!(recon.sub(&a).frobenius_norm() < 1e-12);
+        assert_eq!(l[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(cholesky(&a).is_none());
+    }
+
+    #[test]
+    fn solve_spd_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let m = Mat::random_normal(12, 6, &mut rng);
+        let a = m.gram(); // SPD with probability 1
+        let x_true = Mat::random_normal(6, 3, &mut rng);
+        let b = a.matmul(&x_true);
+        let x = solve_spd(&a, &b).expect("solvable");
+        assert!(x.sub(&x_true).frobenius_norm() < 1e-8);
+    }
+
+    #[test]
+    fn lstsq_recovers_planted_solution() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let a = Mat::random_normal(40, 5, &mut rng);
+        let w = Mat::random_normal(5, 1, &mut rng);
+        let y = a.matmul(&w);
+        let w_hat = lstsq(&a, &y, 0.0).expect("full rank");
+        assert!(w_hat.sub(&w).frobenius_norm() < 1e-8);
+    }
+
+    #[test]
+    fn lstsq_ridge_shrinks() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = Mat::random_normal(30, 4, &mut rng);
+        let y = Mat::random_normal(30, 1, &mut rng);
+        let w0 = lstsq(&a, &y, 0.0).expect("ok");
+        let w1 = lstsq(&a, &y, 100.0).expect("ok");
+        assert!(w1.frobenius_norm() < w0.frobenius_norm());
+    }
+}

@@ -1,0 +1,220 @@
+//! Matrix products, with optional thread parallelism for large operands.
+
+use crate::Mat;
+
+/// Above this many multiply-adds, [`Mat::matmul`] splits row blocks across
+/// threads with `crossbeam::scope`.
+const PAR_THRESHOLD: usize = 4_000_000;
+
+fn n_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+impl Mat {
+    /// Matrix product `self * other`.
+    ///
+    /// Uses an i-k-j loop order (cache friendly for row-major data) and
+    /// splits row blocks across threads when the operand sizes justify it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Mat) -> Mat {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul: inner dimensions must agree ({}x{} * {}x{})",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = Mat::zeros(m, n);
+        let work = m * k * n;
+        let threads = n_threads();
+        if work >= PAR_THRESHOLD && threads > 1 && m >= 2 * threads {
+            let chunk = m.div_ceil(threads);
+            let out_rows: Vec<&mut [f64]> = out.as_mut_slice().chunks_mut(chunk * n).collect();
+            crossbeam::scope(|scope| {
+                for (t, block) in out_rows.into_iter().enumerate() {
+                    let start = t * chunk;
+                    scope.spawn(move |_| {
+                        mul_block(self, other, block, start, n);
+                    });
+                }
+            })
+            .expect("matmul worker thread panicked");
+        } else {
+            mul_block(self, other, out.as_mut_slice(), 0, n);
+        }
+        out
+    }
+
+    /// Transposed product `self^T * other` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != other.rows()`.
+    pub fn matmul_tn(&self, other: &Mat) -> Mat {
+        assert_eq!(
+            self.rows(),
+            other.rows(),
+            "matmul_tn: row counts must agree ({}x{} ^T * {}x{})",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let (k, m, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = Mat::zeros(m, n);
+        for p in 0..k {
+            let a_row = self.row(p);
+            let b_row = other.row(p);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let o = out.row_mut(i);
+                for (oj, &b) in o.iter_mut().zip(b_row) {
+                    *oj += a * b;
+                }
+            }
+        }
+        let _ = m;
+        out
+    }
+
+    /// Product with a transposed right operand, `self * other^T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_nt(&self, other: &Mat) -> Mat {
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "matmul_nt: column counts must agree ({}x{} * {}x{} ^T)",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let (m, n) = (self.rows(), other.rows());
+        let mut out = Mat::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let o = out.row_mut(i);
+            for (j, oj) in o.iter_mut().enumerate() {
+                *oj = crate::vecops::dot(a_row, other.row(j));
+            }
+        }
+        out
+    }
+
+    /// The Gram matrix `self^T * self` (`cols x cols`).
+    pub fn gram(&self) -> Mat {
+        self.matmul_tn(self)
+    }
+}
+
+fn mul_block(a: &Mat, b: &Mat, out_block: &mut [f64], row_start: usize, n: usize) {
+    let rows_in_block = out_block.len() / n;
+    for bi in 0..rows_in_block {
+        let i = row_start + bi;
+        let a_row = a.row(i);
+        let o = &mut out_block[bi * n..(bi + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = b.row(p);
+            for (oj, &bv) in o.iter_mut().zip(b_row) {
+                *oj += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn naive(a: &Mat, b: &Mat) -> Mat {
+        let mut out = Mat::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for p in 0..a.cols() {
+                    s += a[(i, p)] * b[(p, j)];
+                }
+                out[(i, j)] = s;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Mat::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_matches_naive_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a = Mat::random_normal(17, 9, &mut rng);
+        let b = Mat::random_normal(9, 13, &mut rng);
+        let c = a.matmul(&b);
+        let d = naive(&a, &b);
+        assert!(c.sub(&d).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn matmul_parallel_path_matches_serial() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        // 200*200*200 = 8M multiply-adds > threshold, exercising the parallel path.
+        let a = Mat::random_normal(200, 200, &mut rng);
+        let b = Mat::random_normal(200, 200, &mut rng);
+        let c = a.matmul(&b);
+        let d = naive(&a, &b);
+        assert!(c.sub(&d).frobenius_norm() / d.frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn tn_and_nt_match_explicit_transpose() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = Mat::random_normal(11, 5, &mut rng);
+        let b = Mat::random_normal(11, 7, &mut rng);
+        let tn = a.matmul_tn(&b);
+        assert!(tn.sub(&a.transpose().matmul(&b)).frobenius_norm() < 1e-10);
+        let c = Mat::random_normal(4, 5, &mut rng);
+        let nt = a.matmul_nt(&c);
+        assert!(nt.sub(&a.matmul(&c.transpose())).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diag() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let a = Mat::random_normal(20, 6, &mut rng);
+        let g = a.gram();
+        assert_eq!(g.shape(), (6, 6));
+        for i in 0..6 {
+            assert!(g[(i, i)] >= 0.0);
+            for j in 0..6 {
+                assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,37 @@
+//! Dense linear-algebra substrate for the `embedstab` workspace.
+//!
+//! Everything the embedding-instability measures and trainers need is built
+//! from scratch here on top of a row-major [`Mat`] type:
+//!
+//! - blocked (and optionally multi-threaded) matrix products ([`Mat::matmul`],
+//!   [`Mat::matmul_tn`], [`Mat::matmul_nt`]),
+//! - thin Householder QR ([`Mat::qr`]),
+//! - one-sided Jacobi singular value decomposition ([`Mat::svd`]),
+//! - Cholesky factorization and SPD solves ([`chol`]),
+//! - the orthogonal Procrustes problem ([`procrustes::orthogonal_procrustes`]),
+//!   used by the paper to align Wiki'17/Wiki'18 embeddings before compression.
+//!
+//! # Example
+//!
+//! ```
+//! use embedstab_linalg::Mat;
+//!
+//! let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+//! let svd = a.svd();
+//! let recon = svd.reconstruct();
+//! assert!(a.sub(&recon).frobenius_norm() < 1e-9);
+//! ```
+
+pub mod chol;
+pub mod gemm;
+pub mod mat;
+pub mod opt;
+pub mod procrustes;
+pub mod qr;
+pub mod svd;
+pub mod vecops;
+
+pub use chol::{cholesky, lstsq, solve_spd};
+pub use mat::Mat;
+pub use procrustes::{align, orthogonal_procrustes};
+pub use svd::Svd;

@@ -1,0 +1,468 @@
+//! The dense row-major matrix type used throughout the workspace.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use rand::{Rng, RngExt};
+
+/// A dense, row-major `f64` matrix.
+///
+/// `Mat` is the single numeric container shared by every crate in the
+/// workspace: embedding matrices, Gram products, classifier weights, and
+/// LSTM parameter blocks are all `Mat`s.
+///
+/// # Example
+///
+/// ```
+/// use embedstab_linalg::Mat;
+///
+/// let m = Mat::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+/// assert_eq!(m[(1, 2)], 5.0);
+/// assert_eq!(m.transpose()[(2, 1)], 5.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Creates a `rows x cols` matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let len = rows.checked_mul(cols).expect("matrix size overflow");
+        Mat { rows, cols, data: vec![0.0; len] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from an explicit row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Mat { rows, cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(i, j)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have the same length");
+            data.extend_from_slice(r);
+        }
+        Mat { rows: rows.len(), cols, data }
+    }
+
+    /// Creates a matrix with i.i.d. entries sampled uniformly from `[lo, hi)`.
+    pub fn random_uniform(rows: usize, cols: usize, lo: f64, hi: f64, rng: &mut impl Rng) -> Self {
+        Mat::from_fn(rows, cols, |_, _| rng.random_range(lo..hi))
+    }
+
+    /// Creates a matrix with i.i.d. standard-normal entries (Box-Muller).
+    pub fn random_normal(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let len = rows * cols;
+        let mut data = Vec::with_capacity(len);
+        while data.len() < len {
+            let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.random_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let t = 2.0 * std::f64::consts::PI * u2;
+            data.push(r * t.cos());
+            if data.len() < len {
+                data.push(r * t.sin());
+            }
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Two disjoint mutable rows `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or either index is out of bounds.
+    pub fn two_rows_mut(&mut self, i: usize, j: usize) -> (&mut [f64], &mut [f64]) {
+        assert!(i != j, "rows must be distinct");
+        assert!(i < self.rows && j < self.rows, "row index out of bounds");
+        let c = self.cols;
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        let (head, tail) = self.data.split_at_mut(hi * c);
+        let lo_row = &mut head[lo * c..(lo + 1) * c];
+        let hi_row = &mut tail[..c];
+        if i < j {
+            (lo_row, hi_row)
+        } else {
+            (hi_row, lo_row)
+        }
+    }
+
+    /// Column `j` as an owned vector (strided copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column index out of bounds");
+        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+    }
+
+    /// The underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The underlying row-major data, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its row-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// The transpose of the matrix.
+    pub fn transpose(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            let r = self.row(i);
+            for (j, &x) in r.iter().enumerate() {
+                out.data[j * self.rows + i] = x;
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum `self + other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Mat) -> Mat {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in add");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Mat { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Elementwise difference `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, other: &Mat) -> Mat {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in sub");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        Mat { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// The matrix scaled by `s`.
+    pub fn scale(&self, s: f64) -> Mat {
+        let data = self.data.iter().map(|a| a * s).collect();
+        Mat { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Adds `s * other` into `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, s: f64, other: &Mat) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in axpy");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+    }
+
+    /// Matrix-vector product `self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "vector length must equal cols");
+        (0..self.rows).map(|i| crate::vecops::dot(self.row(i), x)).collect()
+    }
+
+    /// Transposed matrix-vector product `self^T * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "vector length must equal rows");
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.row(i)) {
+                *o += xi * a;
+            }
+        }
+        out
+    }
+
+    /// Squared Frobenius norm.
+    pub fn frobenius_norm_sq(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.frobenius_norm_sq().sqrt()
+    }
+
+    /// Frobenius inner product `sum_ij self_ij * other_ij`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn frob_inner(&self, other: &Mat) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in frob_inner");
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// Trace of a square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert_eq!(self.rows, self.cols, "trace requires a square matrix");
+        (0..self.rows).map(|i| self.data[i * self.cols + i]).sum()
+    }
+
+    /// Returns the submatrix consisting of the given rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Mat {
+        let mut out = Mat::zeros(indices.len(), self.cols);
+        for (k, &i) in indices.iter().enumerate() {
+            out.row_mut(k).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Returns the first `k` columns as a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > cols`.
+    pub fn truncate_cols(&self, k: usize) -> Mat {
+        assert!(k <= self.cols, "cannot keep more columns than exist");
+        let mut out = Mat::zeros(self.rows, k);
+        for i in 0..self.rows {
+            out.row_mut(i).copy_from_slice(&self.row(i)[..k]);
+        }
+        out
+    }
+
+    /// True if all entries are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Maximum absolute entry (0 for an empty matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(6);
+        for i in 0..show_rows {
+            let r = self.row(i);
+            let shown: Vec<String> =
+                r.iter().take(8).map(|x| format!("{x:9.4}")).collect();
+            let ell = if self.cols > 8 { ", ..." } else { "" };
+            writeln!(f, "  [{}{}]", shown.join(", "), ell)?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Mat::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let i = Mat::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i.trace(), 3.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Mat::from_fn(3, 5, |i, j| (i * 7 + j) as f64);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(4, 2)], m[(2, 4)]);
+    }
+
+    #[test]
+    fn add_sub_scale_axpy() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        assert_eq!(a.add(&b)[(1, 1)], 12.0);
+        assert_eq!(b.sub(&a)[(0, 0)], 4.0);
+        assert_eq!(a.scale(2.0)[(1, 0)], 6.0);
+        let mut c = a.clone();
+        c.axpy(0.5, &b);
+        assert_eq!(c[(0, 1)], 5.0);
+    }
+
+    #[test]
+    fn matvec_agrees_with_manual() {
+        let m = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+        assert_eq!(m.matvec_t(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn two_rows_mut_disjoint() {
+        let mut m = Mat::from_fn(4, 2, |i, j| (i * 2 + j) as f64);
+        let (a, b) = m.two_rows_mut(3, 1);
+        a[0] = -1.0;
+        b[1] = -2.0;
+        assert_eq!(m[(3, 0)], -1.0);
+        assert_eq!(m[(1, 1)], -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn two_rows_mut_same_row_panics() {
+        let mut m = Mat::zeros(2, 2);
+        let _ = m.two_rows_mut(1, 1);
+    }
+
+    #[test]
+    fn select_and_truncate() {
+        let m = Mat::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.row(0), m.row(2));
+        assert_eq!(s.row(1), m.row(0));
+        let t = m.truncate_cols(2);
+        assert_eq!(t.shape(), (4, 2));
+        assert_eq!(t[(3, 1)], m[(3, 1)]);
+    }
+
+    #[test]
+    fn norms_and_trace() {
+        let m = Mat::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(m.trace(), 7.0);
+        assert_eq!(m.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn random_normal_moments() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let m = Mat::random_normal(200, 50, &mut rng);
+        let n = (200 * 50) as f64;
+        let mean: f64 = m.as_slice().iter().sum::<f64>() / n;
+        let var: f64 = m.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

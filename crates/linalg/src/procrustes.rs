@@ -1,0 +1,93 @@
+//! The orthogonal Procrustes problem (Schönemann, 1966).
+//!
+//! The paper aligns every Wiki'18 embedding to its Wiki'17 counterpart with
+//! orthogonal Procrustes before compressing and training downstream models
+//! (Section 3, Appendix C.2), and the semantic displacement measure is
+//! defined through the same rotation (Section 2.4).
+
+use crate::Mat;
+
+/// Solves `argmin_Omega || x - y * Omega ||_F` subject to
+/// `Omega^T Omega = I`, returning the optimal orthogonal `Omega`.
+///
+/// The classical solution: with `M = y^T x = U S V^T`, the minimizer is
+/// `Omega = U V^T`.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` have different shapes.
+pub fn orthogonal_procrustes(x: &Mat, y: &Mat) -> Mat {
+    assert_eq!(x.shape(), y.shape(), "procrustes requires equal shapes");
+    let m = y.matmul_tn(x); // d x d
+    let svd = m.svd();
+    svd.u.matmul_nt(&svd.v)
+}
+
+/// Aligns `y` to `x`: returns `y * Omega` with the optimal orthogonal
+/// `Omega` from [`orthogonal_procrustes`].
+///
+/// # Panics
+///
+/// Panics if `x` and `y` have different shapes.
+pub fn align(x: &Mat, y: &Mat) -> Mat {
+    let omega = orthogonal_procrustes(x, y);
+    y.matmul(&omega)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn random_rotation(n: usize, rng: &mut impl rand::Rng) -> Mat {
+        let g = Mat::random_normal(n, n, rng);
+        let (q, r) = g.qr();
+        // Fix signs so the distribution is Haar-like; also ensures determinism.
+        let mut q = q;
+        for j in 0..n {
+            if r[(j, j)] < 0.0 {
+                for i in 0..n {
+                    q[(i, j)] = -q[(i, j)];
+                }
+            }
+        }
+        q
+    }
+
+    #[test]
+    fn recovers_planted_rotation() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let x = Mat::random_normal(50, 6, &mut rng);
+        let rot = random_rotation(6, &mut rng);
+        let y = x.matmul(&rot.transpose()); // y * rot == x
+        let omega = orthogonal_procrustes(&x, &y);
+        let aligned = y.matmul(&omega);
+        assert!(aligned.sub(&x).frobenius_norm() < 1e-8);
+        assert!(omega.sub(&rot).frobenius_norm() < 1e-8);
+    }
+
+    #[test]
+    fn omega_is_orthogonal() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let x = Mat::random_normal(30, 4, &mut rng);
+        let y = Mat::random_normal(30, 4, &mut rng);
+        let omega = orthogonal_procrustes(&x, &y);
+        let eye = Mat::identity(4);
+        assert!(omega.gram().sub(&eye).frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn alignment_never_hurts() {
+        // ||x - align(x, y)||_F <= ||x - y||_F because identity is feasible.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        for seed in 0..5u64 {
+            let mut r2 = rand::rngs::StdRng::seed_from_u64(seed);
+            let x = Mat::random_normal(25, 5, &mut r2);
+            let y = Mat::random_normal(25, 5, &mut rng);
+            let aligned = align(&x, &y);
+            assert!(
+                x.sub(&aligned).frobenius_norm() <= x.sub(&y).frobenius_norm() + 1e-9
+            );
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Singular value decomposition via the one-sided Jacobi method.
+//!
+//! One-sided Jacobi orthogonalizes the columns of the input by plane
+//! rotations. It is simple, numerically robust, and well suited to the tall
+//! skinny matrices that arise as embedding matrices (`vocab x dim`), which is
+//! exactly where the paper's eigenspace measures need singular vectors.
+
+use crate::Mat;
+
+/// Maximum number of Jacobi sweeps before giving up (in practice well under
+/// 30 sweeps are needed for convergence at `f64` precision).
+const MAX_SWEEPS: usize = 64;
+
+/// Relative off-diagonal tolerance for convergence.
+const TOL: f64 = 1e-12;
+
+/// The result of a singular value decomposition `A = U S V^T`.
+///
+/// For an `m x n` input with `r = min(m, n)`, `u` is `m x r`, `s` holds the
+/// `r` singular values in non-increasing order, and `v` is `n x r`.
+/// Columns of `u` corresponding to zero singular values are zero vectors;
+/// use [`Svd::rank`] / [`Svd::u_rank`] to work with the non-degenerate part.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors (`m x r`).
+    pub u: Mat,
+    /// Singular values, non-increasing.
+    pub s: Vec<f64>,
+    /// Right singular vectors (`n x r`).
+    pub v: Mat,
+}
+
+impl Svd {
+    /// Reconstructs the original matrix `U * diag(S) * V^T`.
+    pub fn reconstruct(&self) -> Mat {
+        let r = self.s.len();
+        let mut us = self.u.clone();
+        for i in 0..us.rows() {
+            let row = us.row_mut(i);
+            for j in 0..r {
+                row[j] *= self.s[j];
+            }
+        }
+        us.matmul_nt(&self.v)
+    }
+
+    /// Numerical rank: the number of singular values greater than
+    /// `tol * max_singular_value`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let smax = self.s.first().copied().unwrap_or(0.0);
+        if smax == 0.0 {
+            return 0;
+        }
+        self.s.iter().take_while(|&&x| x > tol * smax).count()
+    }
+
+    /// Left singular vectors restricted to the numerical rank (`m x rank`).
+    ///
+    /// This is the orthonormal basis of the column space that the eigenspace
+    /// instability measure projects onto.
+    pub fn u_rank(&self, tol: f64) -> Mat {
+        self.u.truncate_cols(self.rank(tol))
+    }
+
+    /// Right singular vectors restricted to the numerical rank (`n x rank`).
+    pub fn v_rank(&self, tol: f64) -> Mat {
+        self.v.truncate_cols(self.rank(tol))
+    }
+}
+
+impl Mat {
+    /// Computes the thin singular value decomposition of the matrix.
+    ///
+    /// Works for any shape; internally operates on the transpose when the
+    /// matrix is wide. Singular values are returned in non-increasing order.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use embedstab_linalg::Mat;
+    /// let a = Mat::from_rows(&[&[2.0, 0.0], &[0.0, 1.0], &[0.0, 0.0]]);
+    /// let svd = a.svd();
+    /// assert!((svd.s[0] - 2.0).abs() < 1e-12);
+    /// assert!((svd.s[1] - 1.0).abs() < 1e-12);
+    /// ```
+    pub fn svd(&self) -> Svd {
+        if self.rows() >= self.cols() {
+            svd_tall(self)
+        } else {
+            let t = svd_tall(&self.transpose());
+            Svd { u: t.v, s: t.s, v: t.u }
+        }
+    }
+}
+
+/// One-sided Jacobi SVD of a tall (`m >= n`) matrix.
+fn svd_tall(a: &Mat) -> Svd {
+    let (m, n) = a.shape();
+    debug_assert!(m >= n);
+    // `w` holds the columns of `a` as contiguous rows (n x m).
+    let mut w = a.transpose();
+    // `vt` accumulates the right singular vectors as rows (n x n).
+    let mut vt = Mat::identity(n);
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for p in 0..n.saturating_sub(1) {
+            for q in (p + 1)..n {
+                let (alpha, beta, gamma) = {
+                    let wp = w.row(p);
+                    let wq = w.row(q);
+                    (
+                        crate::vecops::dot(wp, wp),
+                        crate::vecops::dot(wq, wq),
+                        crate::vecops::dot(wp, wq),
+                    )
+                };
+                if gamma.abs() <= TOL * (alpha * beta).sqrt() || gamma == 0.0 {
+                    continue;
+                }
+                rotated = true;
+                // Jacobi rotation zeroing the (p, q) entry of W W^T.
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                rotate_rows(&mut w, p, q, c, s);
+                rotate_rows(&mut vt, p, q, c, s);
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+
+    // Singular values are the column norms; normalize to get U.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = (0..n).map(|j| crate::vecops::norm2(w.row(j))).collect();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).expect("finite norms"));
+
+    let mut u = Mat::zeros(m, n);
+    let mut s = Vec::with_capacity(n);
+    let mut v = Mat::zeros(n, n);
+    for (new_j, &old_j) in order.iter().enumerate() {
+        let sigma = norms[old_j];
+        s.push(sigma);
+        if sigma > 0.0 {
+            let wrow = w.row(old_j);
+            for i in 0..m {
+                u[(i, new_j)] = wrow[i] / sigma;
+            }
+        }
+        let vrow = vt.row(old_j);
+        for i in 0..n {
+            v[(i, new_j)] = vrow[i];
+        }
+    }
+    Svd { u, s, v }
+}
+
+/// Applies the rotation `[c -s; s c]` to rows `p`, `q` of `m` in place.
+fn rotate_rows(m: &mut Mat, p: usize, q: usize, c: f64, s: f64) {
+    let (rp, rq) = m.two_rows_mut(p, q);
+    for (a, b) in rp.iter_mut().zip(rq.iter_mut()) {
+        let (x, y) = (*a, *b);
+        *a = c * x - s * y;
+        *b = s * x + c * y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn check_svd(a: &Mat, tol: f64) {
+        let svd = a.svd();
+        let scale = a.frobenius_norm().max(1.0);
+        assert!(
+            svd.reconstruct().sub(a).frobenius_norm() / scale < tol,
+            "reconstruction failed"
+        );
+        // Descending singular values, non-negative.
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "singular values not sorted");
+        }
+        assert!(svd.s.iter().all(|&x| x >= 0.0));
+        // Orthonormality of U (on the numerical rank) and V.
+        let r = svd.rank(1e-10);
+        let ur = svd.u_rank(1e-10);
+        assert!(ur.gram().sub(&Mat::identity(r)).frobenius_norm() < 1e-8);
+        let vtv = svd.v.gram();
+        assert!(vtv.sub(&Mat::identity(svd.v.cols())).frobenius_norm() < 1e-8);
+    }
+
+    #[test]
+    fn svd_diagonal_known() {
+        let a = Mat::from_rows(&[&[3.0, 0.0], &[0.0, -4.0], &[0.0, 0.0]]);
+        let svd = a.svd();
+        assert!((svd.s[0] - 4.0).abs() < 1e-12);
+        assert!((svd.s[1] - 3.0).abs() < 1e-12);
+        check_svd(&a, 1e-10);
+    }
+
+    #[test]
+    fn svd_random_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for &(m, n) in &[(1, 1), (6, 6), (40, 8), (8, 40), (100, 3), (17, 5)] {
+            let a = Mat::random_normal(m, n, &mut rng);
+            check_svd(&a, 1e-9);
+        }
+    }
+
+    #[test]
+    fn svd_rank_deficient() {
+        // Rank-1: outer product.
+        let u = [1.0, 2.0, 3.0, 4.0];
+        let v = [5.0, 6.0];
+        let a = Mat::from_fn(4, 2, |i, j| u[i] * v[j]);
+        let svd = a.svd();
+        assert_eq!(svd.rank(1e-9), 1);
+        let expected = (u.iter().map(|x| x * x).sum::<f64>()
+            * v.iter().map(|x| x * x).sum::<f64>())
+        .sqrt();
+        assert!((svd.s[0] - expected).abs() < 1e-9);
+        check_svd(&a, 1e-9);
+    }
+
+    #[test]
+    fn svd_zero_matrix() {
+        let a = Mat::zeros(5, 3);
+        let svd = a.svd();
+        assert_eq!(svd.rank(1e-9), 0);
+        assert!(svd.s.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn svd_singular_values_match_gram_eigs() {
+        // For A^T A, the eigenvalues are squared singular values; verify via
+        // trace identities: sum s_i^2 = ||A||_F^2.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let a = Mat::random_normal(30, 7, &mut rng);
+        let svd = a.svd();
+        let sum_sq: f64 = svd.s.iter().map(|x| x * x).sum();
+        assert!((sum_sq - a.frobenius_norm_sq()).abs() / sum_sq < 1e-10);
+    }
+}

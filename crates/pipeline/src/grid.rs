@@ -1,0 +1,141 @@
+//! The embedding training grid with caching and parallel training.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use embedstab_embeddings::{train_embedding, Algo, Embedding};
+use embedstab_quant::{quantize_pair, Precision};
+use parking_lot::Mutex;
+
+use crate::world::World;
+
+/// Key of one trained embedding pair.
+pub type PairKey = (Algo, usize, u64);
+
+/// All full-precision embedding pairs for an experiment, trained once.
+///
+/// For every `(algorithm, dimension, seed)` the grid holds the '17
+/// embedding and the '18 embedding **already aligned to it** with
+/// orthogonal Procrustes, as the paper does before compression and
+/// downstream training. Quantized pairs are derived on demand with the
+/// clip threshold shared from the '17 side (Appendix C.2).
+pub struct EmbeddingGrid {
+    pairs: HashMap<PairKey, (Arc<Embedding>, Arc<Embedding>)>,
+}
+
+impl EmbeddingGrid {
+    /// Trains the full grid over the given algorithms, dimensions, and
+    /// seeds, parallelizing across available cores.
+    pub fn build(world: &World, algos: &[Algo], dims: &[usize], seeds: &[u64]) -> Self {
+        let mut jobs: Vec<PairKey> = Vec::new();
+        for &algo in algos {
+            for &dim in dims {
+                for &seed in seeds {
+                    jobs.push((algo, dim, seed));
+                }
+            }
+        }
+        // Train the biggest jobs first for better load balancing.
+        jobs.sort_by_key(|&(_, dim, _)| std::cmp::Reverse(dim));
+        let next = AtomicUsize::new(0);
+        let results: Mutex<HashMap<PairKey, (Arc<Embedding>, Arc<Embedding>)>> =
+            Mutex::new(HashMap::new());
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        crossbeam::scope(|scope| {
+            for _ in 0..workers.min(jobs.len().max(1)) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let (algo, dim, seed) = jobs[i];
+                    let x17 = train_embedding(algo, &world.stats17, world.vocab(), dim, seed);
+                    let x18 = train_embedding(algo, &world.stats18, world.vocab(), dim, seed);
+                    let x18 = x18.align_to(&x17);
+                    results
+                        .lock()
+                        .insert((algo, dim, seed), (Arc::new(x17), Arc::new(x18)));
+                });
+            }
+        })
+        .expect("grid training worker panicked");
+        EmbeddingGrid { pairs: results.into_inner() }
+    }
+
+    /// Number of trained pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if no pairs were trained.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The full-precision aligned pair for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration was not part of the build grid.
+    pub fn pair(&self, algo: Algo, dim: usize, seed: u64) -> (&Arc<Embedding>, &Arc<Embedding>) {
+        let (a, b) = self
+            .pairs
+            .get(&(algo, dim, seed))
+            .unwrap_or_else(|| panic!("pair ({algo}, d={dim}, seed {seed}) not in grid"));
+        (a, b)
+    }
+
+    /// A quantized copy of the pair at the given precision (clip threshold
+    /// shared from the '17 embedding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration was not part of the build grid.
+    pub fn quantized_pair(
+        &self,
+        algo: Algo,
+        dim: usize,
+        seed: u64,
+        precision: Precision,
+    ) -> (Embedding, Embedding) {
+        let (x17, x18) = self.pair(algo, dim, seed);
+        let (q17, q18) = quantize_pair(x17, x18, precision);
+        (q17.embedding, q18.embedding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+    use crate::world::World;
+
+    #[test]
+    fn grid_trains_aligns_and_quantizes() {
+        let params = Scale::Tiny.params();
+        let world = World::build(&params, 0);
+        let grid = EmbeddingGrid::build(&world, &[Algo::Mc], &[4, 8], &[0]);
+        assert_eq!(grid.len(), 2);
+        let (x17, x18) = grid.pair(Algo::Mc, 8, 0);
+        assert_eq!(x17.shape(), (params.vocab_size, 8));
+        assert_eq!(x18.shape(), (params.vocab_size, 8));
+        let (q17, q18) = grid.quantized_pair(Algo::Mc, 8, 0, Precision::new(1));
+        // 1-bit embeddings have at most two distinct values each.
+        let distinct: std::collections::BTreeSet<u64> =
+            q17.mat().as_slice().iter().map(|x| x.to_bits()).collect();
+        assert!(distinct.len() <= 2);
+        assert_eq!(q18.shape(), (params.vocab_size, 8));
+        // Full precision returns the aligned originals.
+        let (f17, _f18) = grid.quantized_pair(Algo::Mc, 8, 0, Precision::FULL);
+        assert_eq!(&f17, x17.as_ref());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in grid")]
+    fn missing_pair_panics() {
+        let world = World::build(&Scale::Tiny.params(), 0);
+        let grid = EmbeddingGrid::build(&world, &[Algo::Mc], &[4], &[0]);
+        let _ = grid.pair(Algo::Cbow, 4, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! The end-to-end experiment harness behind every table/figure
+//! reproduction binary.
+//!
+//! The harness mirrors the paper's three-step pipeline (Artifact
+//! Appendix A.5):
+//!
+//! 1. **Train and compress embeddings** — [`World`] builds the
+//!    Wiki'17/Wiki'18 corpus pair and downstream datasets;
+//!    [`EmbeddingGrid`] trains the `algo x dim x seed` grid once (in
+//!    parallel), aligns each '18 embedding to its '17 partner, and hands
+//!    out quantized pairs on demand.
+//! 2. **Train downstream models and compute metrics** — [`run`] trains the
+//!    paired downstream models and records prediction disagreement,
+//!    quality, and the five embedding distance measures per configuration.
+//! 3. **Run analyses** — `embedstab-core`'s statistics and selection
+//!    routines consume the rows; [`report`] renders the paper-style
+//!    tables.
+//!
+//! Scales: [`Scale::Tiny`] for tests, [`Scale::Small`] (default) for the
+//! 2-core reproduction runs, [`Scale::Paper`] for a closer-to-paper grid.
+
+pub mod grid;
+pub mod report;
+pub mod run;
+pub mod scale;
+pub mod world;
+
+pub use grid::EmbeddingGrid;
+pub use run::{run_ner_grid, run_sentiment_grid, GridOptions, Row};
+pub use scale::{Scale, ScaleParams};
+pub use world::World;

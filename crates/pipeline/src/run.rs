@@ -1,0 +1,356 @@
+//! Grid runners: train paired downstream models over the
+//! `algo x dim x precision x seed` grid and record disagreement, quality,
+//! and embedding distance measures.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use embedstab_core::measures::{KnnMeasure, MeasureSuite};
+use embedstab_core::{disagreement, masked_disagreement, MeasureValues};
+use embedstab_downstream::eval::{entity_micro_f1, flatten_tags};
+use embedstab_downstream::models::{
+    BiLstmTagger, BowSentimentModel, BowTrainOptions, LstmConfig, TrainSpec,
+};
+use embedstab_embeddings::{Algo, Embedding};
+use embedstab_quant::{bits_per_word, Precision};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::grid::EmbeddingGrid;
+use crate::world::World;
+
+/// One experiment observation: a downstream task trained on one embedding
+/// configuration pair.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Row {
+    /// Task name (`sst2`, `mr`, `subj`, `mpqa`, `ner`).
+    pub task: String,
+    /// Embedding algorithm name.
+    pub algo: String,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Precision in bits.
+    pub bits: u8,
+    /// Memory in bits/word.
+    pub memory: u64,
+    /// Seed shared by embedding and downstream training.
+    pub seed: u64,
+    /// Downstream prediction disagreement in `[0, 1]` (entity tokens only
+    /// for NER, as in the paper).
+    pub disagreement: f64,
+    /// Quality of the '17-side model (accuracy / micro-F1).
+    pub quality17: f64,
+    /// Quality of the '18-side model.
+    pub quality18: f64,
+    /// The five embedding distance measures, when requested.
+    pub measures: Option<MeasureValues>,
+}
+
+/// Options shared by the grid runners.
+#[derive(Clone, Debug)]
+pub struct GridOptions {
+    /// Algorithms to run.
+    pub algos: Vec<Algo>,
+    /// Also compute the five distance measures per configuration.
+    pub with_measures: bool,
+    /// EIS eigenvalue exponent (paper default 3).
+    pub alpha: f64,
+    /// k for the k-NN measure (paper default 5).
+    pub knn_k: usize,
+    /// Downstream learning-rate override (Appendix E.5 sweeps this).
+    pub lr_override: Option<f64>,
+    /// Use different model-init/sampling seeds for the '18-side model
+    /// (Appendix E.3's relaxed-seed setting).
+    pub relax_seeds: bool,
+    /// Fine-tune the embeddings during downstream training at the given
+    /// learning rate (Appendix E.4); sentiment only.
+    pub fine_tune_lr: Option<f64>,
+    /// Restrict the grid to these dimensions (default: the scale's sweep).
+    pub dims: Option<Vec<usize>>,
+    /// Restrict the grid to these precisions (default: the scale's sweep).
+    pub precisions: Option<Vec<Precision>>,
+}
+
+impl Default for GridOptions {
+    fn default() -> Self {
+        GridOptions {
+            algos: Algo::MAIN.to_vec(),
+            with_measures: false,
+            alpha: 3.0,
+            knn_k: 5,
+            lr_override: None,
+            relax_seeds: false,
+            fine_tune_lr: None,
+            dims: None,
+            precisions: None,
+        }
+    }
+}
+
+/// A configuration enumerated by the runners.
+type Config = (Algo, usize, Precision, u64);
+
+fn enumerate_configs(world: &World, opts: &GridOptions) -> Vec<Config> {
+    let p = &world.params;
+    let dims = opts.dims.as_ref().unwrap_or(&p.dims);
+    let precisions = opts.precisions.as_ref().unwrap_or(&p.precisions);
+    let mut out = Vec::new();
+    for &algo in &opts.algos {
+        for &dim in dims {
+            for &prec in precisions {
+                for &seed in &p.seeds {
+                    out.push((algo, dim, prec, seed));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs a function over configurations with a small worker pool,
+/// collecting results in input order.
+fn parallel_map<T: Send>(
+    configs: &[Config],
+    f: impl Fn(Config) -> T + Sync,
+) -> Vec<T> {
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(configs.len()));
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers.min(configs.len().max(1)) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= configs.len() {
+                    break;
+                }
+                let out = f(configs[i]);
+                results.lock().push((i, out));
+            });
+        }
+    })
+    .expect("grid worker panicked");
+    let mut results = results.into_inner();
+    results.sort_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Builds the per-(algo, seed) measure suites: the EIS references are the
+/// highest-dimensional full-precision pair, as in the paper.
+fn measure_suites(
+    world: &World,
+    grid: &EmbeddingGrid,
+    opts: &GridOptions,
+) -> HashMap<(Algo, u64), MeasureSuite> {
+    let p = &world.params;
+    let max_dim = p.max_dim();
+    let mut suites = HashMap::new();
+    for &algo in &opts.algos {
+        for &seed in &p.seeds {
+            let (e17, e18) = grid.pair(algo, max_dim, seed);
+            let suite = MeasureSuite::new(
+                &e17.top_rows(p.top_m.min(e17.vocab_size())),
+                &e18.top_rows(p.top_m.min(e18.vocab_size())),
+                opts.alpha,
+                seed,
+            )
+            .with_knn(KnnMeasure::new(opts.knn_k, p.knn_queries, seed));
+            suites.insert((algo, seed), suite);
+        }
+    }
+    suites
+}
+
+fn config_measures(
+    world: &World,
+    suites: &HashMap<(Algo, u64), MeasureSuite>,
+    algo: Algo,
+    seed: u64,
+    q17: &Embedding,
+    q18: &Embedding,
+) -> MeasureValues {
+    let m = world.params.top_m.min(q17.vocab_size());
+    suites[&(algo, seed)].compute_all(&q17.top_rows(m), &q18.top_rows(m))
+}
+
+/// Runs the full grid for one sentiment task, returning one row per
+/// configuration (paper Figures 1/2/6, Tables 1-3 inputs).
+///
+/// # Panics
+///
+/// Panics if `task` is not one of the world's sentiment datasets.
+pub fn run_sentiment_grid(
+    world: &World,
+    grid: &EmbeddingGrid,
+    task: &str,
+    opts: &GridOptions,
+) -> Vec<Row> {
+    let ds = world.sentiment_dataset(task);
+    let suites = if opts.with_measures {
+        measure_suites(world, grid, opts)
+    } else {
+        HashMap::new()
+    };
+    let configs = enumerate_configs(world, opts);
+    parallel_map(&configs, |(algo, dim, prec, seed)| {
+        let (q17, q18) = grid.quantized_pair(algo, dim, seed, prec);
+        let spec17 = TrainSpec {
+            lr: opts.lr_override.unwrap_or(0.01),
+            epochs: world.params.logreg_epochs,
+            init_seed: seed,
+            sample_seed: seed,
+            ..Default::default()
+        };
+        let spec18 = if opts.relax_seeds {
+            TrainSpec {
+                init_seed: seed.wrapping_add(1000),
+                sample_seed: seed.wrapping_add(2000),
+                ..spec17.clone()
+            }
+        } else {
+            spec17.clone()
+        };
+        let bow_opts = BowTrainOptions { fine_tune_lr: opts.fine_tune_lr };
+        let m17 = BowSentimentModel::train_with_options(&q17, &ds.train, &spec17, &bow_opts);
+        let m18 = BowSentimentModel::train_with_options(&q18, &ds.train, &spec18, &bow_opts);
+        let p17 = m17.predict(&q17, &ds.test);
+        let p18 = m18.predict(&q18, &ds.test);
+        let di = disagreement(&p17, &p18);
+        let measures = if opts.with_measures {
+            Some(config_measures(world, &suites, algo, seed, &q17, &q18))
+        } else {
+            None
+        };
+        Row {
+            task: task.to_string(),
+            algo: algo.name().to_string(),
+            dim,
+            bits: prec.bits(),
+            memory: bits_per_word(dim, prec),
+            seed,
+            disagreement: di,
+            quality17: m17.accuracy(&q17, &ds.test),
+            quality18: m18.accuracy(&q18, &ds.test),
+            measures,
+        }
+    })
+}
+
+/// Runs the full grid for the NER task with the BiLSTM tagger; instability
+/// is measured over entity tokens only (paper Section 3).
+pub fn run_ner_grid(world: &World, grid: &EmbeddingGrid, opts: &GridOptions) -> Vec<Row> {
+    let ds = &world.ner;
+    let suites = if opts.with_measures {
+        measure_suites(world, grid, opts)
+    } else {
+        HashMap::new()
+    };
+    let configs = enumerate_configs(world, opts);
+    parallel_map(&configs, |(algo, dim, prec, seed)| {
+        let (q17, q18) = grid.quantized_pair(algo, dim, seed, prec);
+        let cfg17 = LstmConfig {
+            hidden: world.params.lstm_hidden,
+            epochs: world.params.lstm_epochs,
+            lr: opts.lr_override.unwrap_or(0.01),
+            init_seed: seed,
+            sample_seed: seed,
+            ..Default::default()
+        };
+        let cfg18 = if opts.relax_seeds {
+            LstmConfig {
+                init_seed: seed.wrapping_add(1000),
+                sample_seed: seed.wrapping_add(2000),
+                ..cfg17.clone()
+            }
+        } else {
+            cfg17.clone()
+        };
+        let m17 = BiLstmTagger::train(&q17, &ds.train, &cfg17);
+        let m18 = BiLstmTagger::train(&q18, &ds.train, &cfg18);
+        let p17 = m17.predict_all(&q17, &ds.test);
+        let p18 = m18.predict_all(&q18, &ds.test);
+        let (flat17, mask) = flatten_tags(&p17, &ds.test);
+        let (flat18, _) = flatten_tags(&p18, &ds.test);
+        let di = masked_disagreement(&flat17, &flat18, &mask);
+        let measures = if opts.with_measures {
+            Some(config_measures(world, &suites, algo, seed, &q17, &q18))
+        } else {
+            None
+        };
+        Row {
+            task: "ner".to_string(),
+            algo: algo.name().to_string(),
+            dim,
+            bits: prec.bits(),
+            memory: bits_per_word(dim, prec),
+            seed,
+            disagreement: di,
+            quality17: entity_micro_f1(&p17, &ds.test),
+            quality18: entity_micro_f1(&p18, &ds.test),
+            measures,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    fn tiny_setup() -> (World, EmbeddingGrid) {
+        let mut params = Scale::Tiny.params();
+        params.dims = vec![4, 16];
+        params.precisions = vec![Precision::new(1), Precision::FULL];
+        let world = World::build(&params, 0);
+        let grid = EmbeddingGrid::build(&world, &[Algo::Mc], &params.dims, &params.seeds);
+        (world, grid)
+    }
+
+    #[test]
+    fn sentiment_grid_produces_rows_with_shape() {
+        let (world, grid) = tiny_setup();
+        let opts = GridOptions {
+            algos: vec![Algo::Mc],
+            with_measures: true,
+            ..Default::default()
+        };
+        let rows = run_sentiment_grid(&world, &grid, "sst2", &opts);
+        assert_eq!(rows.len(), 4); // 2 dims x 2 precisions x 1 seed
+        for r in &rows {
+            assert!(r.disagreement >= 0.0 && r.disagreement <= 1.0);
+            assert!(r.quality17 > 0.4, "degenerate quality {}", r.quality17);
+            let m = r.measures.expect("measures requested");
+            assert!(m.eis >= 0.0 && m.eis <= 1.0);
+        }
+        // Identity check on memory accounting.
+        assert!(rows.iter().any(|r| r.memory == 4));
+        assert!(rows.iter().any(|r| r.memory == 512));
+    }
+
+    #[test]
+    fn ner_grid_runs() {
+        let (world, grid) = tiny_setup();
+        let opts = GridOptions { algos: vec![Algo::Mc], ..Default::default() };
+        let rows = run_ner_grid(&world, &grid, &opts);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert_eq!(r.task, "ner");
+            assert!(r.disagreement >= 0.0 && r.disagreement <= 1.0);
+            assert!(r.measures.is_none());
+        }
+    }
+
+    #[test]
+    fn relaxed_seeds_change_results() {
+        let (world, grid) = tiny_setup();
+        let base = GridOptions { algos: vec![Algo::Mc], ..Default::default() };
+        let relaxed = GridOptions { relax_seeds: true, ..base.clone() };
+        let a = run_sentiment_grid(&world, &grid, "sst2", &base);
+        let b = run_sentiment_grid(&world, &grid, "sst2", &relaxed);
+        // Relaxing seeds adds model randomness, so disagreement shifts for
+        // at least one configuration.
+        assert!(
+            a.iter().zip(&b).any(|(x, y)| x.disagreement != y.disagreement),
+            "relaxed seeds had no effect"
+        );
+    }
+}

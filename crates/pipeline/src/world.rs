@@ -1,0 +1,134 @@
+//! The experiment "world": the corpus pair, corpus statistics, and
+//! downstream datasets, built once and shared by every run.
+
+use std::sync::Arc;
+
+use embedstab_corpus::{
+    CorpusConfig, DriftConfig, LatentModelConfig, TemporalPair, TemporalPairConfig, Vocab,
+};
+use embedstab_downstream::tasks::ner::{NerDataset, NerSpec};
+use embedstab_downstream::tasks::sentiment::{SentimentDataset, SentimentSpec};
+use embedstab_embeddings::CorpusStats;
+
+use crate::scale::ScaleParams;
+
+/// Everything that is fixed across an experiment: the Wiki'17/Wiki'18
+/// corpus pair (and their trainer statistics) plus the downstream
+/// datasets, which are generated from the *base* latent model so the
+/// downstream data does not change between years (as in the paper).
+pub struct World {
+    /// Scale parameters the world was built with.
+    pub params: ScaleParams,
+    /// The corpus pair and latent models.
+    pub pair: TemporalPair,
+    /// Trainer statistics for the '17 corpus.
+    pub stats17: CorpusStats,
+    /// Trainer statistics for the '18 corpus.
+    pub stats18: CorpusStats,
+    /// The four sentiment datasets (sst2, mr, subj, mpqa).
+    pub sentiment: Vec<SentimentDataset>,
+    /// The NER dataset.
+    pub ner: NerDataset,
+}
+
+impl World {
+    /// Builds a world deterministically from scale parameters and a master
+    /// seed (which offsets the corpus/model seeds so different worlds are
+    /// independent).
+    pub fn build(params: &ScaleParams, master_seed: u64) -> World {
+        // Per-coordinate noise scales keep vector norms constant across
+        // latent dimensions (defaults were calibrated at D = 16).
+        let dim_scale = (16.0 / params.latent_dim as f64).sqrt();
+        let cfg = TemporalPairConfig {
+            model: LatentModelConfig {
+                vocab_size: params.vocab_size,
+                latent_dim: params.latent_dim,
+                n_topics: params.n_topics,
+                word_noise: 0.6 * dim_scale,
+                seed: master_seed,
+                ..Default::default()
+            },
+            drift: DriftConfig {
+                drift_sigma: 0.8 * dim_scale,
+                seed: master_seed.wrapping_add(1),
+                ..Default::default()
+            },
+            corpus: CorpusConfig {
+                n_tokens: params.corpus_tokens,
+                seed: master_seed.wrapping_add(2),
+                ..Default::default()
+            },
+            // The paper motivates with "1% more data"; a visible default.
+            extra_token_frac: 0.02,
+        };
+        let pair = TemporalPair::build(&cfg);
+        let stats17 = CorpusStats::compute(
+            Arc::new(pair.corpus17.clone()),
+            params.vocab_size,
+            params.window,
+        );
+        let stats18 = CorpusStats::compute(
+            Arc::new(pair.corpus18.clone()),
+            params.vocab_size,
+            params.window,
+        );
+        let sentiment = SentimentSpec::all_four()
+            .into_iter()
+            .map(|mut spec| {
+                spec.n_train = params.sentiment_train;
+                spec.n_valid = (params.sentiment_train / 5).max(20);
+                spec.n_test = params.sentiment_test;
+                spec.generate(&pair.model17)
+            })
+            .collect();
+        let ner = NerSpec {
+            n_train: params.ner_train,
+            n_valid: (params.ner_train / 5).max(10),
+            n_test: params.ner_test,
+            ..Default::default()
+        }
+        .generate(&pair.model17);
+        World { params: params.clone(), pair, stats17, stats18, sentiment, ner }
+    }
+
+    /// The shared vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.pair.model17.vocab
+    }
+
+    /// The sentiment dataset with the given name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no dataset has that name.
+    pub fn sentiment_dataset(&self, name: &str) -> &SentimentDataset {
+        self.sentiment
+            .iter()
+            .find(|d| d.name == name)
+            .unwrap_or_else(|| panic!("no sentiment dataset named '{name}'"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    #[test]
+    fn tiny_world_builds_consistently() {
+        let params = Scale::Tiny.params();
+        let w = World::build(&params, 0);
+        assert_eq!(w.sentiment.len(), 4);
+        assert_eq!(w.sentiment_dataset("subj").name, "subj");
+        assert_eq!(w.stats17.vocab_size, params.vocab_size);
+        assert!(w.stats18.n_tokens() > w.stats17.n_tokens());
+        assert!(!w.ner.train.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no sentiment dataset")]
+    fn unknown_dataset_panics() {
+        let w = World::build(&Scale::Tiny.params(), 0);
+        let _ = w.sentiment_dataset("imdb");
+    }
+}

@@ -1,0 +1,304 @@
+//! Uniform quantization for embedding compression (paper Section 2.3 and
+//! Appendix C.2), following the smallfry implementation of May et al. (2019).
+//!
+//! Each embedding entry is rounded deterministically to one of `2^b` equally
+//! spaced values in `[-clip, clip]`; the clip threshold is chosen to
+//! minimize the mean squared quantization error of the input distribution.
+//! As in the paper, a pair of embeddings being compared shares the clip
+//! threshold computed from the *first* embedding, avoiding a spurious source
+//! of instability.
+//!
+//! # Example
+//!
+//! ```
+//! use embedstab_linalg::Mat;
+//! use embedstab_embeddings::Embedding;
+//! use embedstab_quant::{quantize, Precision};
+//!
+//! let emb = Embedding::new(Mat::from_rows(&[&[0.4, -1.0], &[0.9, 0.1]]));
+//! let q = quantize(&emb, Precision::new(1), None);
+//! // 1-bit: every entry collapses to one of two values.
+//! let distinct: std::collections::BTreeSet<u64> =
+//!     q.embedding.mat().as_slice().iter().map(|x| x.to_bits()).collect();
+//! assert!(distinct.len() <= 2);
+//! ```
+
+use embedstab_embeddings::Embedding;
+use embedstab_linalg::Mat;
+
+/// Bit width of a quantized embedding entry.
+///
+/// `Precision::FULL` (32 bits) means "uncompressed": quantization is the
+/// identity, matching the paper's convention that `b = 32` denotes
+/// full-precision embeddings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Precision(u8);
+
+impl Precision {
+    /// Full precision (no compression).
+    pub const FULL: Precision = Precision(32);
+
+    /// The paper's precision sweep: 1, 2, 4, 8, 16, 32 bits.
+    pub const SWEEP: [Precision; 6] = [
+        Precision(1),
+        Precision(2),
+        Precision(4),
+        Precision(8),
+        Precision(16),
+        Precision(32),
+    ];
+
+    /// Creates a precision of `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 32`.
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=32).contains(&bits), "precision must be in 1..=32 bits");
+        Precision(bits)
+    }
+
+    /// The bit width.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// True if this precision performs no quantization.
+    pub fn is_full(self) -> bool {
+        self.0 >= 32
+    }
+
+    /// Number of representable levels (`2^bits`), saturating for full
+    /// precision.
+    pub fn levels(self) -> u64 {
+        if self.0 >= 63 {
+            u64::MAX
+        } else {
+            1u64 << self.0
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b={}", self.0)
+    }
+}
+
+/// Memory footprint, in bits per word (row), of a `dim`-dimensional
+/// embedding stored at `precision` — the x-axis of the paper's
+/// stability-memory plots.
+pub fn bits_per_word(dim: usize, precision: Precision) -> u64 {
+    dim as u64 * precision.bits() as u64
+}
+
+/// The result of quantizing an embedding.
+#[derive(Clone, Debug)]
+pub struct Quantized {
+    /// The quantized embedding (same shape as the input).
+    pub embedding: Embedding,
+    /// The clip threshold that was used.
+    pub clip: f64,
+    /// Mean squared quantization error actually incurred.
+    pub mse: f64,
+}
+
+/// Searches for the clip threshold minimizing the mean squared error of
+/// uniform quantization at the given precision.
+///
+/// The search evaluates a geometric grid of candidate thresholds between
+/// `max_abs / levels` and `max_abs`; for each candidate the exact MSE over
+/// the provided values is computed.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn optimal_clip(values: &[f64], precision: Precision) -> f64 {
+    assert!(!values.is_empty(), "cannot choose a clip for no values");
+    let max_abs = values.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+    if max_abs == 0.0 || precision.is_full() {
+        return max_abs.max(1.0);
+    }
+    let candidates = 48;
+    let lo = max_abs / precision.levels().min(1 << 16) as f64;
+    let mut best = (f64::INFINITY, max_abs);
+    for k in 0..=candidates {
+        let c = lo * (max_abs / lo).powf(k as f64 / candidates as f64);
+        let mse: f64 = values.iter().map(|&x| sq(quantize_value(x, c, precision) - x)).sum();
+        if mse < best.0 {
+            best = (mse, c);
+        }
+    }
+    best.1
+}
+
+#[inline]
+fn sq(x: f64) -> f64 {
+    x * x
+}
+
+/// Quantizes a single value to the `2^bits` uniform levels of
+/// `[-clip, clip]` with deterministic round-to-nearest.
+#[inline]
+pub fn quantize_value(x: f64, clip: f64, precision: Precision) -> f64 {
+    if precision.is_full() {
+        return x;
+    }
+    let levels = precision.levels() as f64;
+    let delta = 2.0 * clip / (levels - 1.0);
+    let clamped = x.clamp(-clip, clip);
+    let idx = ((clamped + clip) / delta).round();
+    -clip + idx * delta
+}
+
+/// Quantizes an embedding with deterministic rounding.
+///
+/// If `clip` is `None`, the MSE-optimal threshold for this embedding is
+/// computed first. To quantize a Wiki'17/Wiki'18 pair the paper's way, call
+/// this on the '17 embedding with `None`, then pass the returned
+/// [`Quantized::clip`] when quantizing the '18 embedding (see
+/// [`quantize_pair`]).
+pub fn quantize(emb: &Embedding, precision: Precision, clip: Option<f64>) -> Quantized {
+    if precision.is_full() {
+        return Quantized { embedding: emb.clone(), clip: f64::INFINITY, mse: 0.0 };
+    }
+    let clip = clip.unwrap_or_else(|| optimal_clip(emb.mat().as_slice(), precision));
+    let (n, d) = emb.shape();
+    let mut out = Mat::zeros(n, d);
+    let mut mse = 0.0;
+    for (o, &x) in out.as_mut_slice().iter_mut().zip(emb.mat().as_slice()) {
+        let q = quantize_value(x, clip, precision);
+        mse += sq(q - x);
+        *o = q;
+    }
+    mse /= (n * d) as f64;
+    Quantized { embedding: Embedding::new(out), clip, mse }
+}
+
+/// Quantizes an aligned embedding pair the way the paper does
+/// (Appendix C.2): the clip threshold is computed from `x17` and shared by
+/// both embeddings.
+pub fn quantize_pair(
+    x17: &Embedding,
+    x18: &Embedding,
+    precision: Precision,
+) -> (Quantized, Quantized) {
+    let q17 = quantize(x17, precision, None);
+    let clip = if precision.is_full() { None } else { Some(q17.clip) };
+    let q18 = quantize(x18, precision, clip);
+    (q17, q18)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn random_embedding(seed: u64) -> Embedding {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Embedding::new(Mat::random_normal(50, 10, &mut rng))
+    }
+
+    #[test]
+    fn full_precision_is_identity() {
+        let emb = random_embedding(0);
+        let q = quantize(&emb, Precision::FULL, None);
+        assert_eq!(q.embedding, emb);
+        assert_eq!(q.mse, 0.0);
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let emb = random_embedding(1);
+        for &p in &[Precision::new(1), Precision::new(2), Precision::new(4)] {
+            let q1 = quantize(&emb, p, None);
+            let q2 = quantize(&q1.embedding, p, Some(q1.clip));
+            assert_eq!(q1.embedding, q2.embedding, "requantizing must be a no-op at {p}");
+            assert!(q2.mse < 1e-20);
+        }
+    }
+
+    #[test]
+    fn mse_decreases_with_precision() {
+        let emb = random_embedding(2);
+        let mut last = f64::INFINITY;
+        for bits in [1u8, 2, 4, 8, 16] {
+            let q = quantize(&emb, Precision::new(bits), None);
+            assert!(
+                q.mse < last,
+                "MSE should fall as precision rises: {bits} bits gave {}",
+                q.mse
+            );
+            last = q.mse;
+        }
+    }
+
+    #[test]
+    fn one_bit_has_two_levels() {
+        let emb = random_embedding(3);
+        let q = quantize(&emb, Precision::new(1), None);
+        let distinct: std::collections::BTreeSet<u64> =
+            q.embedding.mat().as_slice().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(distinct.len(), 2);
+    }
+
+    #[test]
+    fn levels_are_symmetric_and_within_clip() {
+        let emb = random_embedding(4);
+        let q = quantize(&emb, Precision::new(3), None);
+        for &v in q.embedding.mat().as_slice() {
+            assert!(v.abs() <= q.clip + 1e-12);
+        }
+    }
+
+    #[test]
+    fn optimal_clip_beats_max_abs_at_low_bits() {
+        // For heavy-tailed data at 1-2 bits, clipping below max|x| wins.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut values = Mat::random_normal(1, 5000, &mut rng).into_vec();
+        values[0] = 25.0; // inject an outlier
+        let p = Precision::new(2);
+        let c_opt = optimal_clip(&values, p);
+        let mse_opt: f64 =
+            values.iter().map(|&x| sq(quantize_value(x, c_opt, p) - x)).sum();
+        let mse_max: f64 =
+            values.iter().map(|&x| sq(quantize_value(x, 25.0, p) - x)).sum();
+        assert!(c_opt < 25.0);
+        assert!(mse_opt < mse_max);
+    }
+
+    #[test]
+    fn pair_shares_clip() {
+        let a = random_embedding(6);
+        let b = random_embedding(7);
+        let (qa, qb) = quantize_pair(&a, &b, Precision::new(4));
+        assert_eq!(qa.clip, qb.clip);
+    }
+
+    #[test]
+    fn bits_per_word_arithmetic() {
+        assert_eq!(bits_per_word(100, Precision::new(1)), 100);
+        assert_eq!(bits_per_word(25, Precision::FULL), 800);
+        // Paper observation: (dim 100, b=8) and (dim 25, b=32) share a budget.
+        assert_eq!(
+            bits_per_word(100, Precision::new(8)),
+            bits_per_word(25, Precision::FULL)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=32")]
+    fn zero_bits_rejected() {
+        let _ = Precision::new(0);
+    }
+
+    #[test]
+    fn quantize_value_rounds_to_nearest() {
+        let p = Precision::new(2); // 4 levels in [-1, 1]: -1, -1/3, 1/3, 1
+        let c = 1.0;
+        let q0 = quantize_value(0.1, c, p);
+        assert!((q0 - 1.0 / 3.0).abs() < 1e-12, "0.1 rounds to 1/3, got {q0}");
+        assert!((quantize_value(0.9, c, p) - 1.0).abs() < 1e-12);
+        assert!((quantize_value(-2.0, c, p) + 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+//! Side-by-side comparison of the five embedding distance measures on
+//! embedding pairs of increasing perturbation, plus a Proposition 1 check.
+//!
+//! Run with: `cargo run --release --example measure_comparison`
+
+use embedstab::core::measures::{MeasureKind, MeasureSuite};
+use embedstab::core::theory::{eis_dense, monte_carlo_disagreement, SigmaFactor};
+use embedstab::embeddings::Embedding;
+use embedstab::linalg::Mat;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let n = 300;
+    let d = 16;
+    let base = Mat::random_normal(n, d, &mut rng);
+    let noise = Mat::random_normal(n, d, &mut rng);
+    let x = Embedding::new(base.clone());
+    let suite = MeasureSuite::new(&x, &x, 3.0, 0);
+
+    println!("perturbation eps -> all five measures (higher = predicted less stable)\n");
+    println!("{:>6}  {:>8} {:>8} {:>8} {:>9} {:>9}", "eps", "EIS", "1-kNN", "SemDisp", "PIP", "1-ovl");
+    for eps in [0.0, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0] {
+        let mut y = base.clone();
+        y.axpy(eps, &noise);
+        let vals = suite.compute_all(&x, &Embedding::new(y));
+        println!(
+            "{eps:>6.2}  {:>8.4} {:>8.4} {:>8.4} {:>9.2} {:>9.4}",
+            vals.get(MeasureKind::Eis),
+            vals.get(MeasureKind::Knn),
+            vals.get(MeasureKind::SemanticDisplacement),
+            vals.get(MeasureKind::PipLoss),
+            vals.get(MeasureKind::EigenspaceOverlap),
+        );
+    }
+
+    // Proposition 1: the EIS is not just another heuristic — it *equals*
+    // the expected disagreement of the paired OLS models.
+    println!("\nProposition 1 spot check (eps = 0.5):");
+    let mut y = base.clone();
+    y.axpy(0.5, &noise);
+    let sigma = SigmaFactor::from_references(&base, &y, 3.0);
+    let exact = eis_dense(&base, &y, &sigma.dense());
+    let mc = monte_carlo_disagreement(&base, &y, &sigma, 2000, 1);
+    println!("  EIS (exact trace formula):     {exact:.4}");
+    println!("  Monte-Carlo OLS disagreement:  {mc:.4}");
+    println!("\nEvery measure grows with the perturbation; only the EIS carries the");
+    println!("guarantee that it equals expected downstream (linear) disagreement.");
+}

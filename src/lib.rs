@@ -1,0 +1,39 @@
+//! # embedstab
+//!
+//! A full-system Rust reproduction of *Understanding the Downstream
+//! Instability of Word Embeddings* (Leszczynski et al., MLSys 2020).
+//!
+//! This facade crate re-exports every subsystem in the workspace so that
+//! examples, integration tests, and downstream users can depend on a single
+//! crate:
+//!
+//! - [`linalg`] — dense matrices, GEMM, QR, Jacobi SVD, Procrustes.
+//! - [`corpus`] — synthetic latent-topic corpora with temporal drift,
+//!   co-occurrence counting, PPMI.
+//! - [`embeddings`] — CBOW, GloVe, matrix completion, and fastText trainers.
+//! - [`quant`] — uniform quantization with MSE-optimal clipping.
+//! - [`core`] — the paper's contribution: the eigenspace instability measure,
+//!   baseline distance measures, selection algorithms, and statistics.
+//! - [`downstream`] — synthetic sentiment/NER tasks and from-scratch
+//!   logistic-regression, CNN, and BiLSTM(+CRF) models.
+//! - [`kge`] — TransE knowledge-graph embeddings and their evaluation.
+//! - [`ctx`] — a mini-BERT transformer encoder for contextual embeddings.
+//! - [`pipeline`] — the end-to-end experiment harness used by the
+//!   table/figure reproduction binaries.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour: generate a drifted
+//! corpus pair, train embeddings, compress them, measure downstream
+//! prediction disagreement, and compare it against the eigenspace
+//! instability measure.
+
+pub use embedstab_corpus as corpus;
+pub use embedstab_core as core;
+pub use embedstab_ctx as ctx;
+pub use embedstab_downstream as downstream;
+pub use embedstab_embeddings as embeddings;
+pub use embedstab_kge as kge;
+pub use embedstab_linalg as linalg;
+pub use embedstab_pipeline as pipeline;
+pub use embedstab_quant as quant;

@@ -1,0 +1,103 @@
+//! Integration tests for the paper's Section 6 extensions: knowledge-graph
+//! embeddings and contextual (mini-BERT) embeddings.
+
+use embedstab::core::disagreement;
+use embedstab::corpus::{CorpusConfig, LatentModel, LatentModelConfig};
+use embedstab::ctx::{BertConfig, MiniBert, MlmTrainConfig};
+use embedstab::downstream::models::{LogReg, TrainSpec};
+use embedstab::downstream::tasks::sentiment::SentimentSpec;
+use embedstab::kge::{
+    link_prediction_ranks, mean_rank, quantize_transe_pair, train_transe, unstable_rank_at_10,
+    KgSpec, TranseConfig,
+};
+use embedstab::linalg::Mat;
+use embedstab::quant::Precision;
+
+/// Section 6.1, in miniature: the 5%-subsample TransE pair is less stable
+/// at 1 bit than at full precision, and training genuinely beats random
+/// ranks.
+#[test]
+fn kge_stability_memory_tradeoff() {
+    let kg = KgSpec {
+        n_entities: 100,
+        n_types: 5,
+        n_relations: 6,
+        triplets_per_relation: 100,
+        ..Default::default()
+    }
+    .generate();
+    let kg95 = kg.subsample_train(0.95, 3);
+    let cfg = TranseConfig { epochs: 60, patience: 0, ..Default::default() };
+    let a = train_transe(&kg, 16, &cfg, 0);
+    let b = train_transe(&kg95, 16, &cfg, 0);
+
+    let ra = link_prediction_ranks(&a, kg.n_entities, &kg.test);
+    assert!(mean_rank(&ra) < 30.0, "training failed: mean rank {}", mean_rank(&ra));
+
+    let rb = link_prediction_ranks(&b, kg.n_entities, &kg.test);
+    let full_instability = unstable_rank_at_10(&ra, &rb);
+    let (qa, qb) = quantize_transe_pair(&a, &b, Precision::new(1));
+    let rqa = link_prediction_ranks(&qa, kg.n_entities, &kg.test);
+    let rqb = link_prediction_ranks(&qb, kg.n_entities, &kg.test);
+    let one_bit_instability = unstable_rank_at_10(&rqa, &rqb);
+    assert!(
+        one_bit_instability >= full_instability,
+        "1-bit ({one_bit_instability:.3}) should be at least as unstable as \
+         full precision ({full_instability:.3})"
+    );
+}
+
+/// Section 6.2, in miniature: two mini-BERTs pre-trained on drifted
+/// corpora act as fixed feature extractors; the downstream linear models
+/// are usable and disagree on some but not most predictions.
+#[test]
+fn contextual_embeddings_pipeline() {
+    let model = LatentModel::new(&LatentModelConfig {
+        vocab_size: 120,
+        n_topics: 6,
+        ..Default::default()
+    });
+    let drifted = model.drifted(&Default::default());
+    let c17 = model.generate_corpus(&CorpusConfig { n_tokens: 8_000, seed: 0, ..Default::default() });
+    let c18 = drifted.generate_corpus(&CorpusConfig { n_tokens: 8_000, seed: 1, ..Default::default() });
+    let bert_cfg = BertConfig {
+        vocab_size: 120,
+        dim: 16,
+        heads: 2,
+        layers: 2,
+        max_len: 16,
+        ffn_mult: 2,
+        seed: 0,
+    };
+    let mut b17 = MiniBert::new(&bert_cfg);
+    let mut b18 = MiniBert::new(&bert_cfg);
+    let tcfg = MlmTrainConfig { epochs: 2, ..Default::default() };
+    b17.train_mlm(&c17, &tcfg);
+    b18.train_mlm(&c18, &tcfg);
+
+    let ds = SentimentSpec { n_train: 200, n_valid: 30, n_test: 150, ..SentimentSpec::sst2() }
+        .generate(&model);
+    let feats = |bert: &MiniBert, exs: &[embedstab::downstream::SentimentExample]| -> Mat {
+        let mut out = Mat::zeros(exs.len(), 16);
+        for (i, ex) in exs.iter().enumerate() {
+            let toks = &ex.tokens[..ex.tokens.len().min(16)];
+            out.row_mut(i).copy_from_slice(&bert.sentence_embedding(toks));
+        }
+        out
+    };
+    let labels: Vec<bool> = ds.train.iter().map(|e| e.label).collect();
+    let spec = TrainSpec { lr: 0.01, epochs: 25, ..Default::default() };
+    let m17 = LogReg::train(&feats(&b17, &ds.train), &labels, &spec);
+    let m18 = LogReg::train(&feats(&b18, &ds.train), &labels, &spec);
+    let p17 = m17.predict_all(&feats(&b17, &ds.test));
+    let p18 = m18.predict_all(&feats(&b18, &ds.test));
+    let test_labels: Vec<bool> = ds.test.iter().map(|e| e.label).collect();
+    let acc17 = p17.iter().zip(&test_labels).filter(|(a, b)| a == b).count() as f64
+        / test_labels.len() as f64;
+    assert!(acc17 > 0.55, "BERT features should be learnable, acc {acc17}");
+    let di = disagreement(&p17, &p18);
+    assert!(
+        di > 0.0 && di < 0.5,
+        "drifted pre-training should cause bounded disagreement, got {di}"
+    );
+}

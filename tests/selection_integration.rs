@@ -1,0 +1,122 @@
+//! Integration tests for the dimension-precision selection pipeline
+//! (paper Section 4.2) on real trained embeddings.
+
+use embedstab::core::measures::MeasureKind;
+use embedstab::core::selection::{
+    budget_baseline, budget_selection, pairwise_selection, BudgetBaseline, ConfigPoint,
+};
+use embedstab::core::stats;
+use embedstab::core::trend::{fit_rule_of_thumb, Observation};
+use embedstab::embeddings::Algo;
+use embedstab::pipeline::{run_sentiment_grid, EmbeddingGrid, GridOptions, Scale, World};
+
+fn grid_rows() -> Vec<embedstab::pipeline::Row> {
+    let params = Scale::Tiny.params();
+    let world = World::build(&params, 0);
+    let grid = EmbeddingGrid::build(&world, &[Algo::Cbow], &params.dims, &params.seeds);
+    let opts = GridOptions {
+        algos: vec![Algo::Cbow],
+        with_measures: true,
+        ..Default::default()
+    };
+    run_sentiment_grid(&world, &grid, "sst2", &opts)
+}
+
+/// The full selection stack runs end to end on trained embeddings and the
+/// measures beat the worst possible selector.
+#[test]
+fn selection_stack_on_trained_embeddings() {
+    let rows = grid_rows();
+    for kind in [MeasureKind::Eis, MeasureKind::Knn] {
+        let points: Vec<ConfigPoint> = rows
+            .iter()
+            .map(|r| ConfigPoint {
+                dim: r.dim,
+                bits: r.bits,
+                measure: r.measures.expect("measures").get(kind),
+                instability: r.disagreement,
+            })
+            .collect();
+        let pairwise = pairwise_selection(&points);
+        assert!(pairwise.pairs > 0, "there must be decidable pairs");
+        assert!(
+            pairwise.error_rate <= 0.5,
+            "{kind}: selection must beat coin flips, error {}",
+            pairwise.error_rate
+        );
+        let budget = budget_selection(&points);
+        // Oracle gaps are bounded by the spread of instabilities.
+        let spread = points
+            .iter()
+            .map(|p| p.instability)
+            .fold(f64::NEG_INFINITY, f64::max)
+            - points.iter().map(|p| p.instability).fold(f64::INFINITY, f64::min);
+        assert!(budget.mean_gap <= spread + 1e-12);
+        assert!(budget.worst_gap >= budget.mean_gap - 1e-12);
+        // Baselines run on the same points.
+        let hi = budget_baseline(&points, BudgetBaseline::HighPrecision);
+        let lo = budget_baseline(&points, BudgetBaseline::LowPrecision);
+        assert_eq!(hi.budgets, budget.budgets);
+        assert_eq!(lo.budgets, budget.budgets);
+    }
+}
+
+/// The rule-of-thumb fit on real rows has a positive drop-per-doubling
+/// (instability falls as memory grows) and predicts within the observed
+/// range.
+#[test]
+fn rule_of_thumb_on_trained_rows() {
+    let rows = grid_rows();
+    let obs: Vec<Observation> = rows
+        .iter()
+        .map(|r| Observation {
+            group: format!("{}/{}", r.task, r.algo),
+            memory_bits: r.memory as f64,
+            disagreement_pct: 100.0 * r.disagreement,
+        })
+        .collect();
+    let fit = fit_rule_of_thumb(&obs, f64::INFINITY).expect("fit");
+    assert!(
+        fit.drop_per_doubling > 0.0,
+        "instability must fall with memory, slope {}",
+        fit.drop_per_doubling
+    );
+    let lo_mem = rows.iter().map(|r| r.memory).min().expect("rows") as f64;
+    let hi_mem = rows.iter().map(|r| r.memory).max().expect("rows") as f64;
+    let pred_lo = fit.predict("sst2/CBOW", lo_mem);
+    let pred_hi = fit.predict("sst2/CBOW", hi_mem);
+    assert!(pred_lo > pred_hi, "prediction must decrease with memory");
+}
+
+/// Seed-averaged Spearman: aggregating DI across seeds (the paper's Table 1
+/// protocol) must not flip the sign of a strong correlation.
+#[test]
+fn seed_aggregation_preserves_correlation_sign() {
+    let rows = grid_rows();
+    let xs: Vec<f64> = rows
+        .iter()
+        .map(|r| r.measures.expect("measures").get(MeasureKind::Eis))
+        .collect();
+    let ys: Vec<f64> = rows.iter().map(|r| r.disagreement).collect();
+    let rho_all = stats::spearman(&xs, &ys);
+    // Average per config over seeds, then correlate.
+    use std::collections::BTreeMap;
+    let mut grouped: BTreeMap<(usize, u8), (Vec<f64>, Vec<f64>)> = BTreeMap::new();
+    for r in &rows {
+        let e = grouped.entry((r.dim, r.bits)).or_default();
+        e.0.push(r.measures.expect("measures").get(MeasureKind::Eis));
+        e.1.push(r.disagreement);
+    }
+    let (mx, my): (Vec<f64>, Vec<f64>) = grouped
+        .values()
+        .map(|(a, b)| (stats::mean(a), stats::mean(b)))
+        .unzip();
+    let rho_mean = stats::spearman(&mx, &my);
+    if rho_all.abs() > 0.3 {
+        assert_eq!(
+            rho_all.signum(),
+            rho_mean.signum(),
+            "aggregation flipped the correlation: {rho_all:.2} vs {rho_mean:.2}"
+        );
+    }
+}
