@@ -54,13 +54,19 @@ fn bench_cooccurrence(c: &mut Criterion) {
         vocab_size: 500,
         ..Default::default()
     });
-    let corpus = model.generate_corpus(&CorpusConfig { n_tokens: 50_000, ..Default::default() });
+    let corpus = model.generate_corpus(&CorpusConfig {
+        n_tokens: 50_000,
+        ..Default::default()
+    });
     c.bench_function("cooc_50k_tokens_w8", |bench| {
         bench.iter(|| {
             black_box(Cooc::count(
                 &corpus,
                 500,
-                &CoocConfig { window: 8, distance_weighting: false },
+                &CoocConfig {
+                    window: 8,
+                    distance_weighting: false,
+                },
             ))
         });
     });
@@ -98,7 +104,10 @@ fn bench_training(c: &mut Criterion) {
         vocab_size: 300,
         ..Default::default()
     });
-    let corpus = model.generate_corpus(&CorpusConfig { n_tokens: 20_000, ..Default::default() });
+    let corpus = model.generate_corpus(&CorpusConfig {
+        n_tokens: 20_000,
+        ..Default::default()
+    });
     let stats = CorpusStats::compute(Arc::new(corpus), 300, 6);
     c.bench_function("train_mc_d16_20k", |bench| {
         bench.iter(|| {
@@ -120,7 +129,10 @@ fn bench_training(c: &mut Criterion) {
             black_box(LogReg::train(
                 &feats,
                 &labels,
-                &TrainSpec { epochs: 10, ..Default::default() },
+                &TrainSpec {
+                    epochs: 10,
+                    ..Default::default()
+                },
             ))
         });
     });

@@ -63,7 +63,10 @@ fn main() {
             ]);
         }
     }
-    print_table(&["dim", "bits", "bits/vec", "disagree%", "accuracy%"], &table);
+    print_table(
+        &["dim", "bits", "bits/vec", "disagree%", "accuracy%"],
+        &table,
+    );
     println!("\nPaper shape: trends hold but plateau faster than with shared thresholds");
     println!("(compare against fig3_kge).");
 }

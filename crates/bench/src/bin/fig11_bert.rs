@@ -44,8 +44,22 @@ fn main() {
         };
         let mut b17 = mk(0);
         let mut b18 = mk(0);
-        b17.train_mlm(&sub17, &MlmTrainConfig { epochs, seed: 0, ..Default::default() });
-        b18.train_mlm(&sub18, &MlmTrainConfig { epochs, seed: 0, ..Default::default() });
+        b17.train_mlm(
+            &sub17,
+            &MlmTrainConfig {
+                epochs,
+                seed: 0,
+                ..Default::default()
+            },
+        );
+        b18.train_mlm(
+            &sub18,
+            &MlmTrainConfig {
+                epochs,
+                seed: 0,
+                ..Default::default()
+            },
+        );
         for ds in &world.sentiment {
             let di = sentiment_disagreement(&b17, &b18, &ds.train, &ds.test, Precision::FULL);
             dim_table.push(vec![ds.name.clone(), dim.to_string(), pct(di)]);
@@ -110,7 +124,11 @@ fn sentiment_disagreement(
     let (f18_train, _) = quantize_features(f18_train, precision, clip);
     let (f18_test, _) = quantize_features(f18_test, precision, clip);
     let labels: Vec<bool> = train.iter().map(|e| e.label).collect();
-    let spec = TrainSpec { lr: 0.01, epochs: 30, ..Default::default() };
+    let spec = TrainSpec {
+        lr: 0.01,
+        epochs: 30,
+        ..Default::default()
+    };
     let m17 = LogReg::train(&f17_train, &labels, &spec);
     let m18 = LogReg::train(&f18_train, &labels, &spec);
     disagreement(&m17.predict_all(&f17_test), &m18.predict_all(&f18_test))
@@ -125,16 +143,13 @@ fn features(bert: &MiniBert, examples: &[SentimentExample]) -> Mat {
             continue;
         }
         let tokens = &ex.tokens[..ex.tokens.len().min(max_len)];
-        out.row_mut(i).copy_from_slice(&bert.sentence_embedding(tokens));
+        out.row_mut(i)
+            .copy_from_slice(&bert.sentence_embedding(tokens));
     }
     out
 }
 
-fn quantize_features(
-    mut f: Mat,
-    precision: Precision,
-    clip: Option<f64>,
-) -> (Mat, Option<f64>) {
+fn quantize_features(mut f: Mat, precision: Precision, clip: Option<f64>) -> (Mat, Option<f64>) {
     if precision.is_full() {
         return (f, None);
     }

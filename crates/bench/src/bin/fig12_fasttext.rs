@@ -19,7 +19,10 @@ fn main() {
     }
     let world = World::build(&params, 0);
     let grid = EmbeddingGrid::build(&world, &[Algo::FastTextSg], &params.dims, &params.seeds);
-    let opts = GridOptions { algos: vec![Algo::FastTextSg], ..Default::default() };
+    let opts = GridOptions {
+        algos: vec![Algo::FastTextSg],
+        ..Default::default()
+    };
 
     println!("\n=== Figure 12: fastText skipgram memory tradeoff ===");
     let sst2 = run_sentiment_grid(&world, &grid, "sst2", &opts);

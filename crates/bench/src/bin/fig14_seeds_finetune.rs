@@ -11,10 +11,16 @@ use embedstab_pipeline::{run_sentiment_grid, GridOptions, Scale};
 fn main() {
     let scale = Scale::from_args();
     let exp = setup(scale, &[Algo::Cbow, Algo::Mc]);
-    let base = GridOptions { algos: vec![Algo::Cbow, Algo::Mc], ..Default::default() };
+    let base = GridOptions {
+        algos: vec![Algo::Cbow, Algo::Mc],
+        ..Default::default()
+    };
 
     println!("\n=== Figure 14a: SST-2 memory tradeoff with relaxed seeds ===");
-    let relaxed = GridOptions { relax_seeds: true, ..base.clone() };
+    let relaxed = GridOptions {
+        relax_seeds: true,
+        ..base.clone()
+    };
     let rows = run_sentiment_grid(&exp.world, &exp.grid, "sst2", &relaxed);
     let fixed = run_sentiment_grid(&exp.world, &exp.grid, "sst2", &base);
     let agg_r = aggregate(&rows);
@@ -31,12 +37,22 @@ fn main() {
         ]);
     }
     print_table(
-        &["algo", "bits", "dim", "bits/word", "fixed-seed %", "relaxed-seed %"],
+        &[
+            "algo",
+            "bits",
+            "dim",
+            "bits/word",
+            "fixed-seed %",
+            "relaxed-seed %",
+        ],
         &table,
     );
 
     println!("\n=== Figure 14b: SST-2 memory tradeoff with fine-tuned embeddings ===");
-    let tuned = GridOptions { fine_tune_lr: Some(0.05), ..base.clone() };
+    let tuned = GridOptions {
+        fine_tune_lr: Some(0.05),
+        ..base.clone()
+    };
     let rows_t = run_sentiment_grid(&exp.world, &exp.grid, "sst2", &tuned);
     let agg_t = aggregate(&rows_t);
     let mut table = Vec::new();
@@ -51,7 +67,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["algo", "bits", "dim", "bits/word", "fixed-emb %", "fine-tuned %"],
+        &[
+            "algo",
+            "bits",
+            "dim",
+            "bits/word",
+            "fixed-emb %",
+            "fine-tuned %",
+        ],
         &table,
     );
     println!("\nPaper shape: the memory trend survives both relaxations; relaxed seeds");

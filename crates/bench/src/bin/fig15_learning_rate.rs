@@ -12,7 +12,10 @@ fn main() {
     let scale = Scale::from_args();
     let exp = setup(scale, &[Algo::Cbow, Algo::Mc]);
     let params = &exp.world.params;
-    let dims = vec![params.dims[params.dims.len() / 2], *params.dims.last().expect("dims")];
+    let dims = vec![
+        params.dims[params.dims.len() / 2],
+        *params.dims.last().expect("dims"),
+    ];
     let lrs = [1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0];
 
     println!("\n=== Figure 15: instability vs downstream learning rate (b=32) ===");
@@ -39,7 +42,10 @@ fn main() {
             }
         }
     }
-    print_table(&["task", "algo", "dim", "lr", "disagree%", "accuracy%"], &table);
+    print_table(
+        &["task", "algo", "dim", "lr", "disagree%", "accuracy%"],
+        &table,
+    );
     println!("\nPaper shape: very small and very large learning rates are the least");
     println!("stable; the accuracy-optimal rates sit in the stable middle (App. E.5).");
 }

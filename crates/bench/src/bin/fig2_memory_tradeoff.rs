@@ -87,13 +87,29 @@ fn main() {
                     groups.len() - 1
                 }
             };
-            pts.push(TrendPoint { task, x: x_of(r), y: 100.0 * r.disagreement });
+            pts.push(TrendPoint {
+                task,
+                x: x_of(r),
+                y: 100.0 * r.disagreement,
+            });
         }
         linear_log_fit(&pts, groups.len()).map(|f| f.slope)
     };
-    let dim_slope = slope(&|r| r.dim as f64, &|r| format!("{}/{}/b{}", r.task, r.algo, r.bits));
-    let prec_slope = slope(&|r| r.bits as f64, &|r| format!("{}/{}/d{}", r.task, r.algo, r.dim));
+    let dim_slope = slope(&|r| r.dim as f64, &|r| {
+        format!("{}/{}/b{}", r.task, r.algo, r.bits)
+    });
+    let prec_slope = slope(&|r| r.bits as f64, &|r| {
+        format!("{}/{}/d{}", r.task, r.algo, r.dim)
+    });
     println!("\nIndependent linear-log slopes below the cutoff (paper: dim 1.2, precision 1.4):");
-    println!("  2x dimension => -{}% absolute", dim_slope.map(|s| num(s, 2)).unwrap_or_else(|| "n/a".into()));
-    println!("  2x precision => -{}% absolute", prec_slope.map(|s| num(s, 2)).unwrap_or_else(|| "n/a".into()));
+    println!(
+        "  2x dimension => -{}% absolute",
+        dim_slope.map(|s| num(s, 2)).unwrap_or_else(|| "n/a".into())
+    );
+    println!(
+        "  2x precision => -{}% absolute",
+        prec_slope
+            .map(|s| num(s, 2))
+            .unwrap_or_else(|| "n/a".into())
+    );
 }

@@ -18,7 +18,12 @@ fn main() {
     let (dims, spec) = match scale {
         Scale::Tiny => (
             vec![4, 8, 16],
-            KgSpec { n_entities: 120, n_relations: 8, triplets_per_relation: 100, ..Default::default() },
+            KgSpec {
+                n_entities: 120,
+                n_relations: 8,
+                triplets_per_relation: 100,
+                ..Default::default()
+            },
         ),
         Scale::Small => (vec![4, 8, 16, 32, 64], KgSpec::default()),
         Scale::Paper => (
@@ -86,7 +91,14 @@ fn main() {
         }
     }
     print_table(
-        &["dim", "bits", "bits/vec", "unstable-rank@10 %", "triplet-cls disagree%", "mean rank"],
+        &[
+            "dim",
+            "bits",
+            "bits/vec",
+            "unstable-rank@10 %",
+            "triplet-cls disagree%",
+            "mean rank",
+        ],
         &table,
     );
 

@@ -11,7 +11,12 @@ fn main() {
     let params = scale.params();
     let rows = standard_rows(scale, &["sst2", "mr", "subj", "mpqa"]);
     let mid_dim = params.dims[params.dims.len() / 2];
-    let min_bits = params.precisions.iter().map(|p| p.bits()).min().expect("precisions");
+    let min_bits = params
+        .precisions
+        .iter()
+        .map(|p| p.bits())
+        .min()
+        .expect("precisions");
 
     // Figure 4: dimension effect at full precision and at the lowest
     // precision.
@@ -61,7 +66,10 @@ fn main() {
             ]);
         }
     }
-    print_table(&["task", "algo", "bits", "dim", "bits/word", "disagree%"], &table);
+    print_table(
+        &["task", "algo", "bits", "dim", "bits/word", "disagree%"],
+        &table,
+    );
     println!("\nPaper shape: instability falls with memory on every sentiment task;");
     println!("Subj is the most stable, MR the least (Appendix D.1).");
 }

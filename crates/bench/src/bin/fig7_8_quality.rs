@@ -12,7 +12,14 @@ fn main() {
 
     println!("\n=== Figures 7/8: quality vs memory and quality vs stability ===");
     for task in ["sst2", "subj", "mr", "mpqa", "ner"] {
-        println!("\n--- {task} (quality = {}) ---", if task == "ner" { "micro-F1" } else { "accuracy" });
+        println!(
+            "\n--- {task} (quality = {}) ---",
+            if task == "ner" {
+                "micro-F1"
+            } else {
+                "accuracy"
+            }
+        );
         let mut table = Vec::new();
         for a in aggregate(&rows[task])
             .iter()

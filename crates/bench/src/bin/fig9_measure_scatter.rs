@@ -16,9 +16,7 @@ fn main() {
         println!("\n=== Figure 9 ({algo}): NER disagreement vs measures ===");
         let mut table = Vec::new();
         let mut sorted = sub.clone();
-        sorted.sort_by(|a, b| {
-            a.disagreement.partial_cmp(&b.disagreement).expect("finite")
-        });
+        sorted.sort_by(|a, b| a.disagreement.partial_cmp(&b.disagreement).expect("finite"));
         for r in &sorted {
             let Some(m) = r.measures else { continue };
             table.push(vec![
@@ -32,7 +30,15 @@ fn main() {
             ]);
         }
         print_table(
-            &["config", "disagree%", "EIS", "1-kNN", "SemDisp", "PIP", "1-overlap"],
+            &[
+                "config",
+                "disagree%",
+                "EIS",
+                "1-kNN",
+                "SemDisp",
+                "PIP",
+                "1-overlap",
+            ],
             &table,
         );
         let mut rho_line = Vec::new();

@@ -52,6 +52,9 @@ fn main() {
             num((exact - mc).abs(), 4),
         ]);
     }
-    print_table(&["instance", "EIS (exact)", "Monte-Carlo", "|diff|"], &table);
+    print_table(
+        &["instance", "EIS (exact)", "Monte-Carlo", "|diff|"],
+        &table,
+    );
     println!("\nThe Monte-Carlo estimate converges to the exact measure (Prop. 1).");
 }

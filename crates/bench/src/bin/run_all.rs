@@ -42,12 +42,15 @@ fn main() {
         println!("\n================================================================");
         println!("[{}/{}] {}", i + 1, BINARIES.len(), bin);
         println!("================================================================");
-        let status = Command::new(std::env::current_exe().expect("self path")
-            .parent()
-            .expect("bin dir")
-            .join(bin))
-            .args(&passthrough)
-            .status();
+        let status = Command::new(
+            std::env::current_exe()
+                .expect("self path")
+                .parent()
+                .expect("bin dir")
+                .join(bin),
+        )
+        .args(&passthrough)
+        .status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => {

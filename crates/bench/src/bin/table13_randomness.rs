@@ -18,7 +18,11 @@ fn main() {
     // The paper uses the 400-dimensional full-precision embeddings; use
     // the second-largest dimension of the sweep.
     let dim = params.dims[params.dims.len().saturating_sub(2)];
-    let base = TrainSpec { lr: 0.01, epochs: params.logreg_epochs, ..Default::default() };
+    let base = TrainSpec {
+        lr: 0.01,
+        epochs: params.logreg_epochs,
+        ..Default::default()
+    };
 
     println!("\n=== Table 13: downstream randomness sources (dim={dim}, b=32) ===");
     let mut table = Vec::new();
@@ -28,14 +32,21 @@ fn main() {
             let mut counts = [0usize; 3];
             for &seed in &params.seeds {
                 let (x17, x18) = exp.grid.pair(algo, dim, seed);
-                let spec = TrainSpec { init_seed: seed, sample_seed: seed, ..base.clone() };
+                let spec = TrainSpec {
+                    init_seed: seed,
+                    sample_seed: seed,
+                    ..base.clone()
+                };
                 let reference = BowSentimentModel::train(x17, &ds.train, &spec);
                 let ref_preds = reference.predict(x17, &ds.test);
                 // (1) model initialization seed.
                 let m = BowSentimentModel::train(
                     x17,
                     &ds.train,
-                    &TrainSpec { init_seed: seed.wrapping_add(500), ..spec.clone() },
+                    &TrainSpec {
+                        init_seed: seed.wrapping_add(500),
+                        ..spec.clone()
+                    },
                 );
                 dis[0] += disagreement(&ref_preds, &m.predict(x17, &ds.test));
                 counts[0] += 1;
@@ -43,7 +54,10 @@ fn main() {
                 let m = BowSentimentModel::train(
                     x17,
                     &ds.train,
-                    &TrainSpec { sample_seed: seed.wrapping_add(500), ..spec.clone() },
+                    &TrainSpec {
+                        sample_seed: seed.wrapping_add(500),
+                        ..spec.clone()
+                    },
                 );
                 dis[1] += disagreement(&ref_preds, &m.predict(x17, &ds.test));
                 counts[1] += 1;
@@ -62,7 +76,13 @@ fn main() {
         }
     }
     print_table(
-        &["algo", "task", "init-seed %", "sample-seed %", "embedding-data %"],
+        &[
+            "algo",
+            "task",
+            "init-seed %",
+            "sample-seed %",
+            "embedding-data %",
+        ],
         &table,
     );
     println!("\nPaper shape: at full precision and high dimension the downstream seeds");

@@ -35,7 +35,11 @@ fn main() {
                     .iter()
                     .map(|pts| 100.0 * budget_selection(pts).mean_gap)
                     .collect();
-                line.push(if gaps.is_empty() { "n/a".into() } else { num(stats::mean(&gaps), 2) });
+                line.push(if gaps.is_empty() {
+                    "n/a".into()
+                } else {
+                    num(stats::mean(&gaps), 2)
+                });
             }
         }
         table.push(line);
@@ -53,7 +57,11 @@ fn main() {
                     .iter()
                     .map(|pts| 100.0 * budget_baseline(pts, baseline).mean_gap)
                     .collect();
-                line.push(if gaps.is_empty() { "n/a".into() } else { num(stats::mean(&gaps), 2) });
+                line.push(if gaps.is_empty() {
+                    "n/a".into()
+                } else {
+                    num(stats::mean(&gaps), 2)
+                });
             }
         }
         table.push(line);

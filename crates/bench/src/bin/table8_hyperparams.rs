@@ -26,7 +26,10 @@ fn main() {
         .iter()
         .flat_map(|(task, rs)| {
             rs.iter().map(move |r| {
-                ((task.clone(), r.algo.clone(), r.dim, r.bits, r.seed), r.disagreement)
+                (
+                    (task.clone(), r.algo.clone(), r.dim, r.bits, r.seed),
+                    r.disagreement,
+                )
             })
         })
         .collect();

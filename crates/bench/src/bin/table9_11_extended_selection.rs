@@ -21,7 +21,9 @@ fn main() {
     let t9 = ["mr", "mpqa"];
     println!("\n=== Table 9a: Spearman correlations (MR, MPQA) ===");
     print_measure_table(&rows, &t9, &algos, |sub, kind| {
-        spearman_for(sub, kind).map(|r| num(r, 2)).unwrap_or_else(|| "n/a".into())
+        spearman_for(sub, kind)
+            .map(|r| num(r, 2))
+            .unwrap_or_else(|| "n/a".into())
     });
     println!("\n=== Table 9b: pairwise selection error (MR, MPQA) ===");
     print_measure_table(&rows, &t9, &algos, |sub, kind| {
@@ -69,8 +71,10 @@ fn mean_over_seeds(
     f: impl Fn(&[embedstab_core::selection::ConfigPoint]) -> f64,
     scale_by: f64,
 ) -> String {
-    let vals: Vec<f64> =
-        config_points_per_seed(sub, kind).iter().map(|pts| scale_by * f(pts)).collect();
+    let vals: Vec<f64> = config_points_per_seed(sub, kind)
+        .iter()
+        .map(|pts| scale_by * f(pts))
+        .collect();
     if vals.is_empty() {
         "n/a".into()
     } else {
@@ -83,8 +87,10 @@ fn worst_over_seeds(
     kind: MeasureKind,
     f: impl Fn(&[embedstab_core::selection::ConfigPoint]) -> f64,
 ) -> String {
-    let vals: Vec<f64> =
-        config_points_per_seed(sub, kind).iter().map(|pts| 100.0 * f(pts)).collect();
+    let vals: Vec<f64> = config_points_per_seed(sub, kind)
+        .iter()
+        .map(|pts| 100.0 * f(pts))
+        .collect();
     if vals.is_empty() {
         "n/a".into()
     } else {

@@ -169,7 +169,8 @@ pub fn attach_measures(rows: &mut [Row], with: &[Row]) {
     let map: BTreeMap<(String, usize, u8, u64), embedstab_core::MeasureValues> = with
         .iter()
         .filter_map(|r| {
-            r.measures.map(|m| ((r.algo.clone(), r.dim, r.bits, r.seed), m))
+            r.measures
+                .map(|m| ((r.algo.clone(), r.dim, r.bits, r.seed), m))
         })
         .collect();
     for r in rows.iter_mut() {
@@ -201,7 +202,10 @@ pub fn standard_rows(scale: Scale, tasks: &[&str]) -> BTreeMap<String, Vec<Row>>
                     eprintln!("[setup] building world + embedding grid ({tag})...");
                     setup(scale, &embedstab_embeddings::Algo::MAIN)
                 });
-                let opts = GridOptions { with_measures: first, ..Default::default() };
+                let opts = GridOptions {
+                    with_measures: first,
+                    ..Default::default()
+                };
                 eprintln!("[run] {task} grid...");
                 if task == "ner" {
                     run_ner_grid(&e.world, &e.grid, &opts)

@@ -14,8 +14,15 @@
 /// assert_eq!(disagreement(&[1, 2, 3, 4], &[1, 0, 3, 0]), 0.5);
 /// ```
 pub fn disagreement<T: PartialEq>(a: &[T], b: &[T]) -> f64 {
-    assert_eq!(a.len(), b.len(), "prediction sequences must have equal length");
-    assert!(!a.is_empty(), "cannot measure disagreement of empty predictions");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "prediction sequences must have equal length"
+    );
+    assert!(
+        !a.is_empty(),
+        "cannot measure disagreement of empty predictions"
+    );
     let differing = a.iter().zip(b).filter(|(x, y)| x != y).count();
     differing as f64 / a.len() as f64
 }
@@ -31,7 +38,11 @@ pub fn disagreement<T: PartialEq>(a: &[T], b: &[T]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn masked_disagreement<T: PartialEq>(a: &[T], b: &[T], mask: &[bool]) -> f64 {
-    assert_eq!(a.len(), b.len(), "prediction sequences must have equal length");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "prediction sequences must have equal length"
+    );
     assert_eq!(a.len(), mask.len(), "mask must match prediction length");
     let mut total = 0usize;
     let mut differing = 0usize;
@@ -68,8 +79,14 @@ mod tests {
     fn masked_counts_only_selected() {
         let a = [1, 2, 3, 4];
         let b = [9, 2, 9, 4];
-        assert_eq!(masked_disagreement(&a, &b, &[true, true, false, false]), 0.5);
-        assert_eq!(masked_disagreement(&a, &b, &[false, true, false, true]), 0.0);
+        assert_eq!(
+            masked_disagreement(&a, &b, &[true, true, false, false]),
+            0.5
+        );
+        assert_eq!(
+            masked_disagreement(&a, &b, &[false, true, false, true]),
+            0.0
+        );
         assert_eq!(masked_disagreement(&a, &b, &[false; 4]), 0.0);
     }
 

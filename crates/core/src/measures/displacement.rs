@@ -20,7 +20,11 @@ impl DistanceMeasure for SemanticDisplacement {
     ///
     /// Panics if the embeddings have different shapes.
     fn distance(&self, x: &Embedding, y: &Embedding) -> f64 {
-        assert_eq!(x.shape(), y.shape(), "semantic displacement requires equal shapes");
+        assert_eq!(
+            x.shape(),
+            y.shape(),
+            "semantic displacement requires equal shapes"
+        );
         let omega = orthogonal_procrustes(x.mat(), y.mat());
         let aligned = y.mat().matmul(&omega);
         let n = x.vocab_size();
@@ -45,7 +49,10 @@ mod tests {
         let (q, _) = Mat::random_normal(4, 4, &mut rng).qr();
         let y = x.matmul(&q);
         let d = SemanticDisplacement.distance(&Embedding::new(x), &Embedding::new(y));
-        assert!(d < 1e-9, "displacement of a pure rotation should vanish, got {d}");
+        assert!(
+            d < 1e-9,
+            "displacement of a pure rotation should vanish, got {d}"
+        );
     }
 
     #[test]

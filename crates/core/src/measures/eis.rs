@@ -73,7 +73,13 @@ impl EisMeasure {
         let (z18, t18) = weighted_left_basis(svd18, alpha);
         let trace_sigma = t17 + t18;
         assert!(trace_sigma > 0.0, "reference embeddings must be non-zero");
-        EisMeasure { alpha, z17, z18, trace_sigma, vocab_size }
+        EisMeasure {
+            alpha,
+            z17,
+            z18,
+            trace_sigma,
+            vocab_size,
+        }
     }
 
     /// The exponent `alpha`.
@@ -88,8 +94,16 @@ impl EisMeasure {
     /// Panics if either embedding's vocabulary size differs from the
     /// references'.
     pub fn distance_between(&self, x: &Embedding, y: &Embedding) -> f64 {
-        assert_eq!(x.vocab_size(), self.vocab_size, "vocabulary mismatch with references");
-        assert_eq!(y.vocab_size(), self.vocab_size, "vocabulary mismatch with references");
+        assert_eq!(
+            x.vocab_size(),
+            self.vocab_size,
+            "vocabulary mismatch with references"
+        );
+        assert_eq!(
+            y.vocab_size(),
+            self.vocab_size,
+            "vocabulary mismatch with references"
+        );
         let ux = left_singular_basis(x.mat());
         let uy = left_singular_basis(y.mat());
         self.distance_from_bases(&ux, &uy)
@@ -106,8 +120,7 @@ impl EisMeasure {
         assert_eq!(ux.rows(), self.vocab_size, "basis row count mismatch");
         assert_eq!(uy.rows(), self.vocab_size, "basis row count mismatch");
         let c = uy.matmul_tn(ux); // U~^T U  (dy x dx)
-        let num = self.sigma_term(ux, uy, &c, &self.z17)
-            + self.sigma_term(ux, uy, &c, &self.z18);
+        let num = self.sigma_term(ux, uy, &c, &self.z17) + self.sigma_term(ux, uy, &c, &self.z18);
         // Roundoff guard: the measure is a trace of a PSD-weighted
         // difference of projectors and lies in [0, 1].
         (num / self.trace_sigma).clamp(0.0, 1.0)

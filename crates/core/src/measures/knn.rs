@@ -94,7 +94,9 @@ fn top_k_neighbors(emb: &Embedding, q: u32, k: usize) -> Vec<u32> {
         .collect();
     // Partial selection: k is tiny compared to the vocabulary.
     sims.select_nth_unstable_by(k - 1, |a, b| {
-        b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
     });
     sims.truncate(k);
     sims.into_iter().map(|(_, w)| w).collect()
@@ -143,11 +145,7 @@ mod tests {
 
     #[test]
     fn top_k_excludes_query() {
-        let e = Embedding::new(Mat::from_rows(&[
-            &[1.0, 0.0],
-            &[0.9, 0.1],
-            &[0.0, 1.0],
-        ]));
+        let e = Embedding::new(Mat::from_rows(&[&[1.0, 0.0], &[0.9, 0.1], &[0.0, 1.0]]));
         let nbrs = top_k_neighbors(&e, 0, 2);
         assert!(!nbrs.contains(&0));
         assert_eq!(nbrs[0], 1, "closest neighbor of word 0 is word 1");

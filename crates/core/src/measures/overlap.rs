@@ -59,7 +59,10 @@ mod tests {
         let t = Mat::random_normal(4, 4, &mut rng).add(&Mat::identity(4).scale(3.0));
         let y = x.matmul(&t);
         let s = EigenspaceOverlap.overlap(&Embedding::new(x), &Embedding::new(y));
-        assert!((s - 1.0).abs() < 1e-8, "same span must overlap fully, got {s}");
+        assert!(
+            (s - 1.0).abs() < 1e-8,
+            "same span must overlap fully, got {s}"
+        );
     }
 
     #[test]

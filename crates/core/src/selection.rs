@@ -82,9 +82,17 @@ pub fn pairwise_selection(points: &[ConfigPoint]) -> PairwiseReport {
         }
     }
     if pairs == 0 {
-        return PairwiseReport { error_rate: 0.0, worst_case_increase: 0.0, pairs: 0 };
+        return PairwiseReport {
+            error_rate: 0.0,
+            worst_case_increase: 0.0,
+            pairs: 0,
+        };
     }
-    PairwiseReport { error_rate: errors / pairs as f64, worst_case_increase: worst, pairs }
+    PairwiseReport {
+        error_rate: errors / pairs as f64,
+        worst_case_increase: worst,
+        pairs,
+    }
 }
 
 /// Result of the memory-budget selection evaluation.
@@ -124,12 +132,14 @@ pub fn budget_selection(points: &[ConfigPoint]) -> BudgetReport {
 /// Evaluates a naive baseline under fixed memory budgets.
 pub fn budget_baseline(points: &[ConfigPoint], baseline: BudgetBaseline) -> BudgetReport {
     budget_eval(points, move |group| match baseline {
-        BudgetBaseline::HighPrecision => {
-            group.iter().max_by_key(|p| p.bits).expect("group is non-empty")
-        }
-        BudgetBaseline::LowPrecision => {
-            group.iter().min_by_key(|p| p.bits).expect("group is non-empty")
-        }
+        BudgetBaseline::HighPrecision => group
+            .iter()
+            .max_by_key(|p| p.bits)
+            .expect("group is non-empty"),
+        BudgetBaseline::LowPrecision => group
+            .iter()
+            .min_by_key(|p| p.bits)
+            .expect("group is non-empty"),
     })
 }
 
@@ -155,11 +165,19 @@ where
         gaps.push(chosen.instability - oracle);
     }
     if gaps.is_empty() {
-        return BudgetReport { mean_gap: 0.0, worst_gap: 0.0, budgets: 0 };
+        return BudgetReport {
+            mean_gap: 0.0,
+            worst_gap: 0.0,
+            budgets: 0,
+        };
     }
     let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
     let worst_gap = gaps.iter().cloned().fold(0.0f64, f64::max);
-    BudgetReport { mean_gap, worst_gap, budgets: gaps.len() }
+    BudgetReport {
+        mean_gap,
+        worst_gap,
+        budgets: gaps.len(),
+    }
 }
 
 #[cfg(test)]
@@ -167,7 +185,12 @@ mod tests {
     use super::*;
 
     fn pt(dim: usize, bits: u8, measure: f64, instability: f64) -> ConfigPoint {
-        ConfigPoint { dim, bits, measure, instability }
+        ConfigPoint {
+            dim,
+            bits,
+            measure,
+            instability,
+        }
     }
 
     #[test]
@@ -237,7 +260,10 @@ mod tests {
             pt(200, 4, 0.0, 0.10),
         ];
         let high = budget_baseline(&points, BudgetBaseline::HighPrecision);
-        assert!((high.mean_gap - 0.0).abs() < 1e-12, "32-bit pick is the oracle here");
+        assert!(
+            (high.mean_gap - 0.0).abs() < 1e-12,
+            "32-bit pick is the oracle here"
+        );
         let low = budget_baseline(&points, BudgetBaseline::LowPrecision);
         assert!((low.mean_gap - 0.06).abs() < 1e-12);
     }

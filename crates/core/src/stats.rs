@@ -184,7 +184,11 @@ mod tests {
         let mut points = Vec::new();
         for (task, c) in [(0usize, 10.0), (1usize, 20.0)] {
             for &x in &[32.0, 64.0, 128.0, 256.0, 512.0] {
-                points.push(TrendPoint { task, x, y: c - 1.3 * x.log2() });
+                points.push(TrendPoint {
+                    task,
+                    x,
+                    y: c - 1.3 * x.log2(),
+                });
             }
         }
         let fit = linear_log_fit(&points, 2).expect("solvable");
@@ -201,7 +205,11 @@ mod tests {
         for &x in &[16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0] {
             for _ in 0..5 {
                 let noise: f64 = rng.random_range(-0.3..0.3);
-                points.push(TrendPoint { task: 0, x, y: 15.0 - 2.0 * x.log2() + noise });
+                points.push(TrendPoint {
+                    task: 0,
+                    x,
+                    y: 15.0 - 2.0 * x.log2() + noise,
+                });
             }
         }
         let fit = linear_log_fit(&points, 1).expect("solvable");

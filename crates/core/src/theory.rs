@@ -39,8 +39,8 @@ fn gram_power(m: &Mat, alpha: f64) -> Mat {
     let mut uw = svd.u.truncate_cols(rank);
     for j in 0..rank {
         let w = svd.s[j].powf(alpha); // eigenvalue s^2 raised to alpha/... see below
-        // (M M^T)^alpha has eigenvalues (s_i^2)^alpha = s_i^{2 alpha}; we
-        // split as (s^alpha) * (s^alpha) across the two factors.
+                                      // (M M^T)^alpha has eigenvalues (s_i^2)^alpha = s_i^{2 alpha}; we
+                                      // split as (s^alpha) * (s^alpha) across the two factors.
         for i in 0..uw.rows() {
             uw[(i, j)] *= w;
         }
@@ -158,7 +158,11 @@ pub fn monte_carlo_disagreement(
         let label = sigma.sample(&mut rng);
         let px = ux.matvec(&ux.matvec_t(&label));
         let py = uy.matvec(&uy.matvec_t(&label));
-        num += px.iter().zip(&py).map(|(a, b)| (a - b) * (a - b)).sum::<f64>();
+        num += px
+            .iter()
+            .zip(&py)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>();
         den += label.iter().map(|v| v * v).sum::<f64>();
     }
     num / den
@@ -187,8 +191,8 @@ mod tests {
         let x = rand_mat(20, 5, 1);
         let y = rand_mat(20, 1, 2).into_vec();
         let via_proj = ols_train_predictions(&x, &y);
-        let w = embedstab_linalg::lstsq(&x, &Mat::from_vec(20, 1, y.clone()), 0.0)
-            .expect("full rank");
+        let w =
+            embedstab_linalg::lstsq(&x, &Mat::from_vec(20, 1, y.clone()), 0.0).expect("full rank");
         let via_w = x.matmul(&w);
         for i in 0..20 {
             assert!((via_proj[i] - via_w[(i, 0)]).abs() < 1e-7);

@@ -83,7 +83,11 @@ pub fn fit_rule_of_thumb(
                 groups.len() - 1
             }
         };
-        points.push(TrendPoint { task, x: o.memory_bits, y: o.disagreement_pct });
+        points.push(TrendPoint {
+            task,
+            x: o.memory_bits,
+            y: o.disagreement_pct,
+        });
     }
     let LinearLogFit { slope, intercepts } = linear_log_fit(&points, groups.len())?;
     Some(RuleOfThumb {
@@ -99,7 +103,11 @@ mod tests {
     use super::*;
 
     fn obs(group: &str, memory: f64, di: f64) -> Observation {
-        Observation { group: group.to_string(), memory_bits: memory, disagreement_pct: di }
+        Observation {
+            group: group.to_string(),
+            memory_bits: memory,
+            disagreement_pct: di,
+        }
     }
 
     #[test]

@@ -16,7 +16,10 @@ pub struct CoocConfig {
 
 impl Default for CoocConfig {
     fn default() -> Self {
-        CoocConfig { window: 8, distance_weighting: false }
+        CoocConfig {
+            window: 8,
+            distance_weighting: false,
+        }
     }
 }
 
@@ -63,7 +66,11 @@ impl Cooc {
                 }
             }
         }
-        Cooc { n: vocab_size, map, total }
+        Cooc {
+            n: vocab_size,
+            map,
+            total,
+        }
     }
 
     /// Vocabulary size.
@@ -117,7 +124,14 @@ mod tests {
 
     #[test]
     fn window_one_flat_counts() {
-        let c = Cooc::count(&tiny_corpus(), 3, &CoocConfig { window: 1, distance_weighting: false });
+        let c = Cooc::count(
+            &tiny_corpus(),
+            3,
+            &CoocConfig {
+                window: 1,
+                distance_weighting: false,
+            },
+        );
         assert_eq!(c.get(0, 1), 1.0);
         assert_eq!(c.get(1, 0), 1.0);
         assert_eq!(c.get(1, 2), 1.0);
@@ -131,7 +145,14 @@ mod tests {
 
     #[test]
     fn window_two_distance_weighted() {
-        let c = Cooc::count(&tiny_corpus(), 3, &CoocConfig { window: 2, distance_weighting: true });
+        let c = Cooc::count(
+            &tiny_corpus(),
+            3,
+            &CoocConfig {
+                window: 2,
+                distance_weighting: true,
+            },
+        );
         assert_eq!(c.get(0, 1), 1.0);
         assert_eq!(c.get(0, 2), 0.5);
         assert_eq!(c.get(2, 0), 0.5);
@@ -153,7 +174,14 @@ mod tests {
     #[test]
     fn no_cross_document_pairs() {
         let docs = vec![vec![0], vec![1]];
-        let c = Cooc::count(&Corpus::from_docs(docs), 2, &CoocConfig { window: 5, distance_weighting: false });
+        let c = Cooc::count(
+            &Corpus::from_docs(docs),
+            2,
+            &CoocConfig {
+                window: 5,
+                distance_weighting: false,
+            },
+        );
         assert_eq!(c.get(0, 1), 0.0);
         assert_eq!(c.nnz(), 0);
     }

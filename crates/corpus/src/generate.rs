@@ -125,7 +125,10 @@ impl LatentModel {
             total += doc.len();
             docs.push(doc);
         }
-        Corpus { docs, n_tokens: total }
+        Corpus {
+            docs,
+            n_tokens: total,
+        }
     }
 }
 
@@ -192,7 +195,12 @@ impl TemporalPair {
             ((config.corpus.n_tokens as f64) * (1.0 + config.extra_token_frac)).round() as usize;
         cfg18.seed = config.corpus.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let corpus18 = model18.generate_corpus(&cfg18);
-        TemporalPair { model17, model18, corpus17, corpus18 }
+        TemporalPair {
+            model17,
+            model18,
+            corpus17,
+            corpus18,
+        }
     }
 }
 
@@ -211,7 +219,10 @@ mod tests {
     #[test]
     fn corpus_meets_token_budget() {
         let m = model();
-        let c = m.generate_corpus(&CorpusConfig { n_tokens: 5000, ..Default::default() });
+        let c = m.generate_corpus(&CorpusConfig {
+            n_tokens: 5000,
+            ..Default::default()
+        });
         assert!(c.n_tokens() >= 5000);
         assert!(c.n_tokens() < 5000 + 100); // at most one extra document
         assert_eq!(c.n_tokens(), c.docs().iter().map(Vec::len).sum::<usize>());
@@ -220,7 +231,10 @@ mod tests {
     #[test]
     fn tokens_in_vocab_range() {
         let m = model();
-        let c = m.generate_corpus(&CorpusConfig { n_tokens: 2000, ..Default::default() });
+        let c = m.generate_corpus(&CorpusConfig {
+            n_tokens: 2000,
+            ..Default::default()
+        });
         for doc in c.docs() {
             for &w in doc {
                 assert!((w as usize) < m.vocab_size());
@@ -231,7 +245,11 @@ mod tests {
     #[test]
     fn same_seed_same_corpus() {
         let m = model();
-        let cfg = CorpusConfig { n_tokens: 3000, seed: 7, ..Default::default() };
+        let cfg = CorpusConfig {
+            n_tokens: 3000,
+            seed: 7,
+            ..Default::default()
+        };
         let a = m.generate_corpus(&cfg);
         let b = m.generate_corpus(&cfg);
         assert_eq!(a.docs(), b.docs());
@@ -240,8 +258,16 @@ mod tests {
     #[test]
     fn different_seed_different_corpus() {
         let m = model();
-        let a = m.generate_corpus(&CorpusConfig { n_tokens: 3000, seed: 7, ..Default::default() });
-        let b = m.generate_corpus(&CorpusConfig { n_tokens: 3000, seed: 8, ..Default::default() });
+        let a = m.generate_corpus(&CorpusConfig {
+            n_tokens: 3000,
+            seed: 7,
+            ..Default::default()
+        });
+        let b = m.generate_corpus(&CorpusConfig {
+            n_tokens: 3000,
+            seed: 8,
+            ..Default::default()
+        });
         assert_ne!(a.docs(), b.docs());
     }
 
@@ -250,7 +276,10 @@ mod tests {
         // Word ids are frequency-ordered in the latent model; the corpus
         // should roughly respect that ordering in aggregate.
         let m = model();
-        let c = m.generate_corpus(&CorpusConfig { n_tokens: 100_000, ..Default::default() });
+        let c = m.generate_corpus(&CorpusConfig {
+            n_tokens: 100_000,
+            ..Default::default()
+        });
         let counts = c.token_counts(m.vocab_size());
         let head: u64 = counts[..20].iter().sum();
         let tail: u64 = counts[m.vocab_size() - 20..].iter().sum();
@@ -260,8 +289,14 @@ mod tests {
     #[test]
     fn temporal_pair_respects_extra_tokens() {
         let cfg = TemporalPairConfig {
-            model: LatentModelConfig { vocab_size: 150, ..Default::default() },
-            corpus: CorpusConfig { n_tokens: 4000, ..Default::default() },
+            model: LatentModelConfig {
+                vocab_size: 150,
+                ..Default::default()
+            },
+            corpus: CorpusConfig {
+                n_tokens: 4000,
+                ..Default::default()
+            },
             extra_token_frac: 0.25,
             ..Default::default()
         };

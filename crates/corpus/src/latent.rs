@@ -63,7 +63,11 @@ pub struct DriftConfig {
 
 impl Default for DriftConfig {
     fn default() -> Self {
-        DriftConfig { drifted_fraction: 0.1, drift_sigma: 0.8, seed: 1 }
+        DriftConfig {
+            drifted_fraction: 0.1,
+            drift_sigma: 0.8,
+            seed: 1,
+        }
     }
 }
 
@@ -116,8 +120,9 @@ impl LatentModel {
             topic_centers[(word_topics[i], j)] + config.word_noise * noise[(i, j)]
         });
 
-        let mut unigram: Vec<f64> =
-            (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(config.zipf_exponent)).collect();
+        let mut unigram: Vec<f64> = (0..n)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(config.zipf_exponent))
+            .collect();
         let total: f64 = unigram.iter().sum();
         for u in unigram.iter_mut() {
             *u /= total;
@@ -173,7 +178,11 @@ impl LatentModel {
     ///
     /// Panics if `h` does not have `latent_dim` entries or `tau <= 0`.
     pub fn word_sampler(&self, h: &[f64], tau: f64) -> WordSampler {
-        assert_eq!(h.len(), self.config.latent_dim, "document vector dimension mismatch");
+        assert_eq!(
+            h.len(),
+            self.config.latent_dim,
+            "document vector dimension mismatch"
+        );
         assert!(tau > 0.0, "temperature must be positive");
         let n = self.config.vocab_size;
         let mut logits = Vec::with_capacity(n);
@@ -194,7 +203,10 @@ impl LatentModel {
 
     /// Ground-truth cosine similarity between two words' latent vectors.
     pub fn latent_similarity(&self, i: u32, j: u32) -> f64 {
-        vecops::cosine_similarity(self.word_vecs.row(i as usize), self.word_vecs.row(j as usize))
+        vecops::cosine_similarity(
+            self.word_vecs.row(i as usize),
+            self.word_vecs.row(j as usize),
+        )
     }
 
     /// Returns a drifted copy of the model: the "Wiki'18" latent space.
@@ -312,8 +324,7 @@ mod tests {
             let mut min_other = f64::INFINITY;
             for t in 0..m.n_topics() {
                 if t != own {
-                    let d =
-                        vecops::sq_distance(m.word_vecs.row(w), m.topic_centers.row(t));
+                    let d = vecops::sq_distance(m.word_vecs.row(w), m.topic_centers.row(t));
                     min_other = min_other.min(d);
                 }
             }

@@ -21,7 +21,11 @@ pub struct SparseMatrix {
 impl SparseMatrix {
     /// Creates an empty sparse matrix of the given shape.
     pub fn new(n_rows: usize, n_cols: usize) -> Self {
-        SparseMatrix { n_rows, n_cols, rows: vec![Vec::new(); n_rows] }
+        SparseMatrix {
+            n_rows,
+            n_cols,
+            rows: vec![Vec::new(); n_rows],
+        }
     }
 
     /// Number of rows.
@@ -40,7 +44,10 @@ impl SparseMatrix {
     ///
     /// Panics if out of bounds.
     pub fn push(&mut self, i: u32, j: u32, v: f64) {
-        assert!((i as usize) < self.n_rows && (j as usize) < self.n_cols, "index out of bounds");
+        assert!(
+            (i as usize) < self.n_rows && (j as usize) < self.n_cols,
+            "index out of bounds"
+        );
         self.rows[i as usize].push((j, v));
     }
 
@@ -138,7 +145,10 @@ mod tests {
         let cooc = Cooc::count(
             &Corpus::from_docs(vec![vec![0, 1]]),
             2,
-            &CoocConfig { window: 1, distance_weighting: false },
+            &CoocConfig {
+                window: 1,
+                distance_weighting: false,
+            },
         );
         let p = ppmi(&cooc);
         assert_eq!(p.nnz(), 2);
@@ -157,7 +167,10 @@ mod tests {
         let cooc = Cooc::count(
             &Corpus::from_docs(vec![doc]),
             8,
-            &CoocConfig { window: 2, distance_weighting: false },
+            &CoocConfig {
+                window: 2,
+                distance_weighting: false,
+            },
         );
         let p = ppmi(&cooc);
         for (_, _, v) in p.iter_entries() {

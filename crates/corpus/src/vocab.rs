@@ -27,8 +27,8 @@ pub struct Vocab {
 }
 
 const PREFIXES: [&str; 24] = [
-    "ba", "ke", "mu", "so", "ti", "re", "la", "po", "du", "vi", "no", "fa", "ga", "he", "zi",
-    "wo", "cha", "ne", "ry", "qua", "lo", "sha", "pe", "tru",
+    "ba", "ke", "mu", "so", "ti", "re", "la", "po", "du", "vi", "no", "fa", "ga", "he", "zi", "wo",
+    "cha", "ne", "ry", "qua", "lo", "sha", "pe", "tru",
 ];
 
 const CONSONANTS: [char; 10] = ['b', 'd', 'f', 'g', 'k', 'l', 'm', 'n', 'r', 's'];
@@ -93,7 +93,10 @@ impl Vocab {
 
     /// Iterator over `(id, word)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.words.iter().enumerate().map(|(i, w)| (i as u32, w.as_str()))
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i as u32, w.as_str()))
     }
 }
 

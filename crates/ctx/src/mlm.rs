@@ -26,7 +26,13 @@ pub struct MlmTrainConfig {
 
 impl Default for MlmTrainConfig {
     fn default() -> Self {
-        MlmTrainConfig { epochs: 2, lr: 1e-3, batch: 8, mask_prob: 0.15, seed: 0 }
+        MlmTrainConfig {
+            epochs: 2,
+            lr: 1e-3,
+            batch: 8,
+            mask_prob: 0.15,
+            seed: 0,
+        }
     }
 }
 
@@ -50,7 +56,10 @@ impl MiniBert {
                 }
             }
         }
-        assert!(!sequences.is_empty(), "corpus yields no sequences of length >= 4");
+        assert!(
+            !sequences.is_empty(),
+            "corpus yields no sequences of length >= 4"
+        );
 
         let mut opt = VisitOpt::new(self, config.lr);
         let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
@@ -68,7 +77,8 @@ impl MiniBert {
                 // First pass: count masked tokens for normalization.
                 let mut plans = Vec::with_capacity(batch.len());
                 for &si in batch {
-                    let plan = mask_plan(&sequences[si], config.mask_prob, vocab, mask_id, &mut rng);
+                    let plan =
+                        mask_plan(&sequences[si], config.mask_prob, vocab, mask_id, &mut rng);
                     batch_masked += plan.targets.len();
                     plans.push((si, plan));
                 }
@@ -88,8 +98,7 @@ impl MiniBert {
                         vecops::softmax_inplace(&mut logits);
                         epoch_loss -= logits[gold as usize].max(1e-12).ln();
                         for w in 0..vocab {
-                            let dl = (logits[w] - if w == gold as usize { 1.0 } else { 0.0 })
-                                * inv;
+                            let dl = (logits[w] - if w == gold as usize { 1.0 } else { 0.0 }) * inv;
                             if dl == 0.0 {
                                 continue;
                             }
@@ -155,7 +164,9 @@ impl VisitOpt {
     fn new(model: &mut MiniBert, lr: f64) -> Self {
         let mut sizes = Vec::new();
         model.visit_mut(&mut |s: &mut [f64]| sizes.push(s.len()));
-        VisitOpt { adams: sizes.into_iter().map(|n| Adam::new(n, lr)).collect() }
+        VisitOpt {
+            adams: sizes.into_iter().map(|n| Adam::new(n, lr)).collect(),
+        }
     }
 
     fn step(&mut self, model: &mut MiniBert, grads: &mut Grads) {
@@ -188,7 +199,10 @@ mod tests {
             n_topics: 4,
             ..Default::default()
         });
-        let c = model.generate_corpus(&CorpusConfig { n_tokens: 6_000, ..Default::default() });
+        let c = model.generate_corpus(&CorpusConfig {
+            n_tokens: 6_000,
+            ..Default::default()
+        });
         (model, c)
     }
 
@@ -204,14 +218,24 @@ mod tests {
             ffn_mult: 2,
             seed: 0,
         });
-        let losses = bert.train_mlm(&c, &MlmTrainConfig { epochs: 3, ..Default::default() });
+        let losses = bert.train_mlm(
+            &c,
+            &MlmTrainConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(losses.len(), 3);
         assert!(
             losses[2] < losses[0] * 0.9,
             "MLM loss should fall: {losses:?}"
         );
         // Better than uniform guessing.
-        assert!(losses[2] < (60.0f64).ln(), "final loss {} vs ln(60)", losses[2]);
+        assert!(
+            losses[2] < (60.0f64).ln(),
+            "final loss {} vs ln(60)",
+            losses[2]
+        );
     }
 
     #[test]
@@ -228,7 +252,10 @@ mod tests {
         };
         let mut a = MiniBert::new(&cfg);
         let mut b = MiniBert::new(&cfg);
-        let tcfg = MlmTrainConfig { epochs: 1, ..Default::default() };
+        let tcfg = MlmTrainConfig {
+            epochs: 1,
+            ..Default::default()
+        };
         let la = a.train_mlm(&c, &tcfg);
         let lb = b.train_mlm(&c, &tcfg);
         assert_eq!(la, lb);
@@ -258,6 +285,9 @@ mod tests {
         assert!((rate - 0.15).abs() < 0.02, "mask rate {rate}");
         // ~80% of selections become the [MASK] token.
         let mask_frac = mask_token as f64 / masked as f64;
-        assert!((mask_frac - 0.8).abs() < 0.06, "mask-token fraction {mask_frac}");
+        assert!(
+            (mask_frac - 0.8).abs() < 0.06,
+            "mask-token fraction {mask_frac}"
+        );
     }
 }

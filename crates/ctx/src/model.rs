@@ -201,16 +201,30 @@ impl MiniBert {
     ///
     /// Panics if `dim % heads != 0` or any size is zero.
     pub fn new(config: &BertConfig) -> Self {
-        assert!(config.dim > 0 && config.heads > 0 && config.layers > 0, "sizes must be positive");
-        assert!(config.vocab_size > 0 && config.max_len > 0, "sizes must be positive");
-        assert_eq!(config.dim % config.heads, 0, "dim must be divisible by heads");
+        assert!(
+            config.dim > 0 && config.heads > 0 && config.layers > 0,
+            "sizes must be positive"
+        );
+        assert!(
+            config.vocab_size > 0 && config.max_len > 0,
+            "sizes must be positive"
+        );
+        assert_eq!(
+            config.dim % config.heads,
+            0,
+            "dim must be divisible by heads"
+        );
         let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
         let d = config.dim;
         let ffn = config.ffn_mult.max(1) * d;
         MiniBert {
-            tok_emb: Mat::random_normal(config.vocab_size + 1, d, &mut rng).scale(0.02 * (d as f64).sqrt()),
-            pos_emb: Mat::random_normal(config.max_len, d, &mut rng).scale(0.02 * (d as f64).sqrt()),
-            layers: (0..config.layers).map(|_| Layer::new(d, ffn, &mut rng)).collect(),
+            tok_emb: Mat::random_normal(config.vocab_size + 1, d, &mut rng)
+                .scale(0.02 * (d as f64).sqrt()),
+            pos_emb: Mat::random_normal(config.max_len, d, &mut rng)
+                .scale(0.02 * (d as f64).sqrt()),
+            layers: (0..config.layers)
+                .map(|_| Layer::new(d, ffn, &mut rng))
+                .collect(),
             fin_g: vec![1.0; d],
             fin_b: vec![0.0; d],
             decoder: Mat::random_normal(config.vocab_size, d, &mut rng).scale(0.02),
@@ -270,7 +284,12 @@ impl MiniBert {
             x = next;
         }
         let (out, fin) = ln_forward(&x, &self.fin_g, &self.fin_b);
-        Caches { ids: tokens.to_vec(), layers: layer_caches, fin, out }
+        Caches {
+            ids: tokens.to_vec(),
+            layers: layer_caches,
+            fin,
+            out,
+        }
     }
 
     fn layer_forward(&self, l: &Layer, x: Mat) -> (Mat, LayerCache) {
@@ -290,8 +309,8 @@ impl MiniBert {
             let mut p = Mat::zeros(t_len, t_len);
             for i in 0..t_len {
                 for j in 0..t_len {
-                    p[(i, j)] = scale
-                        * vecops::dot(&q.row(i)[cols.clone()], &k.row(j)[cols.clone()]);
+                    p[(i, j)] =
+                        scale * vecops::dot(&q.row(i)[cols.clone()], &k.row(j)[cols.clone()]);
                 }
                 vecops::softmax_inplace(p.row_mut(i));
             }
@@ -322,7 +341,18 @@ impl MiniBert {
         let x_out = x_mid.add(&ff);
         (
             x_out,
-            LayerCache { x_in: x, ln1, q, k, v, probs, ctx, ln2, pre, act },
+            LayerCache {
+                x_in: x,
+                ln1,
+                q,
+                k,
+                v,
+                probs,
+                ctx,
+                ln2,
+                pre,
+                act,
+            },
         )
     }
 
@@ -730,7 +760,11 @@ mod tests {
                 grads.layers[0].ln1_g[j]
             );
         }
-        type Access = (&'static str, fn(&mut MiniBert) -> &mut Mat, fn(&Grads) -> &Mat);
+        type Access = (
+            &'static str,
+            fn(&mut MiniBert) -> &mut Mat,
+            fn(&Grads) -> &Mat,
+        );
         let blocks: [Access; 3] = [
             ("wo", |m| &mut m.layers[0].wo, |g| &g.layers[0].wo),
             ("wv", |m| &mut m.layers[0].wv, |g| &g.layers[0].wv),
@@ -746,7 +780,10 @@ mod tests {
                 let down = loss(&m2);
                 param(&mut m2)[(r, cc)] = orig;
                 let fd = (up - down) / (2.0 * eps);
-                assert!((fd - gval).abs() < tol, "{name} ({r},{cc}): fd {fd} vs {gval}");
+                assert!(
+                    (fd - gval).abs() < tol,
+                    "{name} ({r},{cc}): fd {fd} vs {gval}"
+                );
             }
         }
         for j in 0..8 {
@@ -757,7 +794,11 @@ mod tests {
             let down = loss(&m2);
             m2.fin_g[j] = orig;
             let fd = (up - down) / (2.0 * eps);
-            assert!((fd - grads.fin_g[j]).abs() < tol, "fin_g {j}: fd {fd} vs {}", grads.fin_g[j]);
+            assert!(
+                (fd - grads.fin_g[j]).abs() < tol,
+                "fin_g {j}: fd {fd} vs {}",
+                grads.fin_g[j]
+            );
         }
     }
 }

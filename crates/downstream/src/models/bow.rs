@@ -54,7 +54,10 @@ impl BowSentimentModel {
     pub fn train(emb: &Embedding, train: &[SentimentExample], spec: &TrainSpec) -> Self {
         let features = bow_features(emb, train);
         let labels: Vec<bool> = train.iter().map(|e| e.label).collect();
-        BowSentimentModel { logreg: LogReg::train(&features, &labels, spec), tuned: None }
+        BowSentimentModel {
+            logreg: LogReg::train(&features, &labels, spec),
+            tuned: None,
+        }
     }
 
     /// Trains with options (fixed or fine-tuned embeddings).
@@ -80,7 +83,9 @@ impl BowSentimentModel {
         let d = emb.dim();
         let mut tuned = emb.mat().clone();
         let mut init_rng = rand::rngs::StdRng::seed_from_u64(spec.init_seed);
-        let mut params = Mat::random_normal(1, d + 1, &mut init_rng).scale(0.01).into_vec();
+        let mut params = Mat::random_normal(1, d + 1, &mut init_rng)
+            .scale(0.01)
+            .into_vec();
         let mut opt = Adam::new(d + 1, spec.lr);
         let mut order: Vec<usize> = (0..train.len()).collect();
         let mut sample_rng = rand::rngs::StdRng::seed_from_u64(spec.sample_seed);
@@ -157,13 +162,22 @@ mod tests {
     use crate::tasks::sentiment::SentimentSpec;
     use embedstab_corpus::{LatentModel, LatentModelConfig};
 
-    fn setup() -> (LatentModel, crate::tasks::sentiment::SentimentDataset, Embedding) {
+    fn setup() -> (
+        LatentModel,
+        crate::tasks::sentiment::SentimentDataset,
+        Embedding,
+    ) {
         let model = LatentModel::new(&LatentModelConfig {
             vocab_size: 300,
             n_topics: 8,
             ..Default::default()
         });
-        let spec = SentimentSpec { n_train: 400, n_valid: 50, n_test: 200, ..SentimentSpec::sst2() };
+        let spec = SentimentSpec {
+            n_train: 400,
+            n_valid: 50,
+            n_test: 200,
+            ..SentimentSpec::sst2()
+        };
         let ds = spec.generate(&model);
         // Ground-truth latent vectors are the ideal embedding.
         let emb = Embedding::new(model.word_vecs.clone());
@@ -176,7 +190,11 @@ mod tests {
         let model = BowSentimentModel::train(
             &emb,
             &ds.train,
-            &TrainSpec { lr: 0.01, epochs: 60, ..Default::default() },
+            &TrainSpec {
+                lr: 0.01,
+                epochs: 60,
+                ..Default::default()
+            },
         );
         let acc = model.accuracy(&emb, &ds.test);
         assert!(acc > 0.72, "accuracy {acc}");
@@ -185,7 +203,10 @@ mod tests {
     #[test]
     fn feature_rows_are_token_averages() {
         let emb = Embedding::new(Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, 2.0]]));
-        let ex = vec![SentimentExample { tokens: vec![0, 1], label: true }];
+        let ex = vec![SentimentExample {
+            tokens: vec![0, 1],
+            label: true,
+        }];
         let f = bow_features(&emb, &ex);
         assert_eq!(f.row(0), &[0.5, 0.5]);
     }
@@ -193,15 +214,25 @@ mod tests {
     #[test]
     fn fine_tuning_changes_embeddings_and_still_learns() {
         let (_m, ds, emb) = setup();
-        let spec = TrainSpec { lr: 0.01, epochs: 30, ..Default::default() };
+        let spec = TrainSpec {
+            lr: 0.01,
+            epochs: 30,
+            ..Default::default()
+        };
         let model = BowSentimentModel::train_with_options(
             &emb,
             &ds.train,
             &spec,
-            &BowTrainOptions { fine_tune_lr: Some(0.05) },
+            &BowTrainOptions {
+                fine_tune_lr: Some(0.05),
+            },
         );
         let tuned = model.tuned.as_ref().expect("fine-tuned embedding stored");
-        assert_ne!(tuned.mat(), emb.mat(), "fine-tuning must move the embedding");
+        assert_ne!(
+            tuned.mat(),
+            emb.mat(),
+            "fine-tuning must move the embedding"
+        );
         let acc = model.accuracy(&emb, &ds.test);
         assert!(acc > 0.75, "fine-tuned accuracy {acc}");
     }
@@ -209,7 +240,10 @@ mod tests {
     #[test]
     fn empty_sentence_gets_zero_feature() {
         let emb = Embedding::new(Mat::from_rows(&[&[1.0, 1.0]]));
-        let ex = vec![SentimentExample { tokens: vec![], label: false }];
+        let ex = vec![SentimentExample {
+            tokens: vec![],
+            label: false,
+        }];
         let f = bow_features(&emb, &ex);
         assert_eq!(f.row(0), &[0.0, 0.0]);
     }

@@ -27,7 +27,11 @@ pub struct CnnConfig {
 
 impl Default for CnnConfig {
     fn default() -> Self {
-        CnnConfig { widths: vec![2, 3, 4], channels: 12, dropout: 0.5 }
+        CnnConfig {
+            widths: vec![2, 3, 4],
+            channels: 12,
+            dropout: 0.5,
+        }
     }
 }
 
@@ -68,7 +72,10 @@ impl CnnSentimentModel {
     ) -> Self {
         assert!(!config.widths.is_empty(), "need at least one width");
         assert!(config.channels > 0, "channels must be positive");
-        assert!(config.widths.iter().all(|&w| w > 0), "widths must be positive");
+        assert!(
+            config.widths.iter().all(|&w| w > 0),
+            "widths must be positive"
+        );
         assert!(!train.is_empty(), "cannot train on an empty dataset");
         let dim = emb.dim();
         let mut init_rng = rand::rngs::StdRng::seed_from_u64(spec.init_seed);
@@ -85,7 +92,11 @@ impl CnnSentimentModel {
                         .scale(1.0 / fan_in.sqrt())
                 })
                 .collect(),
-            fbias: config.widths.iter().map(|_| vec![0.0; config.channels]).collect(),
+            fbias: config
+                .widths
+                .iter()
+                .map(|_| vec![0.0; config.channels])
+                .collect(),
             w_out: Mat::random_normal(1, config.widths.len() * config.channels, &mut init_rng)
                 .scale(0.01)
                 .into_vec(),
@@ -98,8 +109,11 @@ impl CnnSentimentModel {
             .iter()
             .map(|f| Adam::new(f.rows() * f.cols(), spec.lr))
             .collect();
-        let mut bias_opts: Vec<Adam> =
-            model.fbias.iter().map(|b| Adam::new(b.len(), spec.lr)).collect();
+        let mut bias_opts: Vec<Adam> = model
+            .fbias
+            .iter()
+            .map(|b| Adam::new(b.len(), spec.lr))
+            .collect();
         let mut out_opt = Adam::new(n_feat + 1, spec.lr);
 
         let mut order: Vec<usize> = (0..train.len()).collect();
@@ -107,8 +121,11 @@ impl CnnSentimentModel {
         for _ in 0..spec.epochs {
             shuffle(&mut order, &mut sample_rng);
             for chunk in order.chunks(spec.batch.max(1)) {
-                let mut gfilters: Vec<Mat> =
-                    model.filters.iter().map(|f| Mat::zeros(f.rows(), f.cols())).collect();
+                let mut gfilters: Vec<Mat> = model
+                    .filters
+                    .iter()
+                    .map(|f| Mat::zeros(f.rows(), f.cols()))
+                    .collect();
                 let mut gbias: Vec<Vec<f64>> =
                     model.fbias.iter().map(|b| vec![0.0; b.len()]).collect();
                 let mut gout = vec![0.0; n_feat + 1];
@@ -121,8 +138,7 @@ impl CnnSentimentModel {
                     let keep = 1.0 - config.dropout;
                     let mask: Vec<f64> = (0..n_feat)
                         .map(|_| {
-                            if config.dropout > 0.0 && sample_rng.random::<f64>() < config.dropout
-                            {
+                            if config.dropout > 0.0 && sample_rng.random::<f64>() < config.dropout {
                                 0.0
                             } else {
                                 1.0 / keep
@@ -154,13 +170,17 @@ impl CnnSentimentModel {
                         gbias[wi][c] += df;
                     }
                 }
-                for (f, (g, opt)) in
-                    model.filters.iter_mut().zip(gfilters.iter().zip(opts.iter_mut()))
+                for (f, (g, opt)) in model
+                    .filters
+                    .iter_mut()
+                    .zip(gfilters.iter().zip(opts.iter_mut()))
                 {
                     opt.step(f.as_mut_slice(), g.as_slice());
                 }
-                for (b, (g, opt)) in
-                    model.fbias.iter_mut().zip(gbias.iter().zip(bias_opts.iter_mut()))
+                for (b, (g, opt)) in model
+                    .fbias
+                    .iter_mut()
+                    .zip(gbias.iter().zip(bias_opts.iter_mut()))
                 {
                     opt.step(b, g);
                 }
@@ -221,8 +241,11 @@ impl CnnSentimentModel {
     /// Classification accuracy.
     pub fn accuracy(&self, emb: &Embedding, examples: &[SentimentExample]) -> f64 {
         let preds = self.predict(emb, examples);
-        let correct =
-            preds.iter().zip(examples).filter(|(p, e)| **p == e.label).count();
+        let correct = preds
+            .iter()
+            .zip(examples)
+            .filter(|(p, e)| **p == e.label)
+            .count();
         correct as f64 / examples.len().max(1) as f64
     }
 }
@@ -262,8 +285,16 @@ mod tests {
         let cnn = CnnSentimentModel::train(
             &emb,
             &ds.train,
-            &CnnConfig { widths: vec![2, 3], channels: 8, dropout: 0.3 },
-            &TrainSpec { lr: 5e-3, epochs: 12, ..Default::default() },
+            &CnnConfig {
+                widths: vec![2, 3],
+                channels: 8,
+                dropout: 0.3,
+            },
+            &TrainSpec {
+                lr: 5e-3,
+                epochs: 12,
+                ..Default::default()
+            },
         );
         let acc = cnn.accuracy(&emb, &ds.test);
         assert!(acc > 0.7, "CNN accuracy {acc}");
@@ -273,14 +304,27 @@ mod tests {
     fn handles_sentences_shorter_than_widths() {
         let emb = Embedding::new(Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
         let train = vec![
-            SentimentExample { tokens: vec![0], label: true },
-            SentimentExample { tokens: vec![1], label: false },
+            SentimentExample {
+                tokens: vec![0],
+                label: true,
+            },
+            SentimentExample {
+                tokens: vec![1],
+                label: false,
+            },
         ];
         let cnn = CnnSentimentModel::train(
             &emb,
             &train,
-            &CnnConfig { widths: vec![3], channels: 4, dropout: 0.0 },
-            &TrainSpec { epochs: 2, ..Default::default() },
+            &CnnConfig {
+                widths: vec![3],
+                channels: 4,
+                dropout: 0.0,
+            },
+            &TrainSpec {
+                epochs: 2,
+                ..Default::default()
+            },
         );
         let preds = cnn.predict(&emb, &train);
         assert_eq!(preds.len(), 2);
@@ -301,8 +345,15 @@ mod tests {
         }
         .generate(&model);
         let emb = Embedding::new(model.word_vecs.clone());
-        let cfg = CnnConfig { widths: vec![2], channels: 4, dropout: 0.2 };
-        let spec = TrainSpec { epochs: 3, ..Default::default() };
+        let cfg = CnnConfig {
+            widths: vec![2],
+            channels: 4,
+            dropout: 0.2,
+        };
+        let spec = TrainSpec {
+            epochs: 3,
+            ..Default::default()
+        };
         let a = CnnSentimentModel::train(&emb, &ds.train, &cfg, &spec);
         let b = CnnSentimentModel::train(&emb, &ds.train, &cfg, &spec);
         assert_eq!(a.predict(&emb, &ds.test), b.predict(&emb, &ds.test));
@@ -317,7 +368,10 @@ mod tests {
             &[-0.3, 0.8, 0.4],
             &[0.2, 0.1, -0.6],
         ]));
-        let ex = SentimentExample { tokens: vec![0, 1, 2, 1], label: true };
+        let ex = SentimentExample {
+            tokens: vec![0, 1, 2, 1],
+            label: true,
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let mut model = CnnSentimentModel {
             widths: vec![2],

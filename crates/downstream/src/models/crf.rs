@@ -133,9 +133,21 @@ impl Crf {
             d_start[j] = (alpha[(0, j)] + beta[(0, j)] - log_z).exp()
                 - if tags[0] as usize == j { 1.0 } else { 0.0 };
             d_end[j] = (alpha[(t_len - 1, j)] + self.end[j] - log_z).exp()
-                - if tags[t_len - 1] as usize == j { 1.0 } else { 0.0 };
+                - if tags[t_len - 1] as usize == j {
+                    1.0
+                } else {
+                    0.0
+                };
         }
-        (nll, CrfGrads { trans: d_trans, start: d_start, end: d_end }, d_emis)
+        (
+            nll,
+            CrfGrads {
+                trans: d_trans,
+                start: d_start,
+                end: d_end,
+            },
+            d_emis,
+        )
     }
 
     /// Viterbi decoding: the highest-scoring tag sequence for `emissions`.
@@ -225,8 +237,7 @@ mod tests {
                 up[(t, j)] += eps;
                 let mut down = emis.clone();
                 down[(t, j)] -= eps;
-                let fd = (crf.nll_and_grads(&up, &tags).0
-                    - crf.nll_and_grads(&down, &tags).0)
+                let fd = (crf.nll_and_grads(&up, &tags).0 - crf.nll_and_grads(&down, &tags).0)
                     / (2.0 * eps);
                 assert!(
                     (fd - d_emis[(t, j)]).abs() < 1e-5,

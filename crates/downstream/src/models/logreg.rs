@@ -29,7 +29,14 @@ pub struct TrainSpec {
 
 impl Default for TrainSpec {
     fn default() -> Self {
-        TrainSpec { lr: 1e-3, epochs: 40, batch: 32, l2: 1e-4, init_seed: 0, sample_seed: 0 }
+        TrainSpec {
+            lr: 1e-3,
+            epochs: 40,
+            batch: 32,
+            l2: 1e-4,
+            init_seed: 0,
+            sample_seed: 0,
+        }
     }
 }
 
@@ -57,7 +64,9 @@ impl LogReg {
         assert!(!labels.is_empty(), "cannot train on an empty dataset");
         let d = features.cols();
         let mut init_rng = rand::rngs::StdRng::seed_from_u64(spec.init_seed);
-        let mut params = Mat::random_normal(1, d + 1, &mut init_rng).scale(0.01).into_vec();
+        let mut params = Mat::random_normal(1, d + 1, &mut init_rng)
+            .scale(0.01)
+            .into_vec();
         let mut opt = Adam::new(d + 1, spec.lr);
         let mut order: Vec<usize> = (0..labels.len()).collect();
         let mut sample_rng = rand::rngs::StdRng::seed_from_u64(spec.sample_seed);
@@ -105,7 +114,9 @@ impl LogReg {
 
     /// Predicted labels for every row.
     pub fn predict_all(&self, features: &Mat) -> Vec<bool> {
-        (0..features.rows()).map(|i| self.predict(features.row(i))).collect()
+        (0..features.rows())
+            .map(|i| self.predict(features.row(i)))
+            .collect()
     }
 
     /// Fraction of rows classified correctly.
@@ -147,7 +158,11 @@ mod tests {
         let model = LogReg::train(
             &x,
             &y,
-            &TrainSpec { lr: 0.01, epochs: 80, ..Default::default() },
+            &TrainSpec {
+                lr: 0.01,
+                epochs: 80,
+                ..Default::default()
+            },
         );
         assert!(model.accuracy(&x, &y) > 0.95);
     }
@@ -169,12 +184,18 @@ mod tests {
         let b = LogReg::train(
             &x,
             &y,
-            &TrainSpec { init_seed: 9, ..Default::default() },
+            &TrainSpec {
+                init_seed: 9,
+                ..Default::default()
+            },
         );
         let c = LogReg::train(
             &x,
             &y,
-            &TrainSpec { sample_seed: 9, ..Default::default() },
+            &TrainSpec {
+                sample_seed: 9,
+                ..Default::default()
+            },
         );
         assert_ne!(a.w, b.w, "init seed must matter");
         assert_ne!(a.w, c.w, "sampling seed must matter");

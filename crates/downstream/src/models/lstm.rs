@@ -261,7 +261,14 @@ impl BiLstmCore {
         let (gwf, gbf) = self.fwd.backward(xs, fcache, &dh_f);
         let rev: Vec<Vec<f64>> = xs.iter().rev().cloned().collect();
         let (gwb, gbb) = self.bwd.backward(&rev, bcache, &dh_b);
-        CoreGrads { wf: gwf, bf: gbf, wb: gwb, bb: gbb, wout: gout, bout: gbout }
+        CoreGrads {
+            wf: gwf,
+            bf: gbf,
+            wb: gwb,
+            bb: gbb,
+            wout: gout,
+            bout: gbout,
+        }
     }
 }
 
@@ -298,7 +305,8 @@ impl CoreOpt {
         self.bf.step(&mut core.fwd.b, &grads.bf);
         self.wb.step(core.bwd.w.as_mut_slice(), grads.wb.as_slice());
         self.bb.step(&mut core.bwd.b, &grads.bb);
-        self.wout.step(core.w_out.as_mut_slice(), grads.wout.as_slice());
+        self.wout
+            .step(core.w_out.as_mut_slice(), grads.wout.as_slice());
         self.bout.step(&mut core.b_out, &grads.bout);
     }
 }
@@ -386,8 +394,7 @@ impl BiLstmTagger {
                 if s.tokens.is_empty() {
                     continue;
                 }
-                let xs =
-                    embed_tokens(emb, &s.tokens, config.word_dropout, Some(&mut sample_rng));
+                let xs = embed_tokens(emb, &s.tokens, config.word_dropout, Some(&mut sample_rng));
                 let (emis, fc, bc) = core.emissions(&xs);
                 let (loss, d_emis) = softmax_ce(&emis, &s.tags);
                 epoch_loss += loss;
@@ -411,7 +418,10 @@ impl BiLstmTagger {
 
     /// Predicted tags for every sentence of a dataset split.
     pub fn predict_all(&self, emb: &Embedding, sentences: &[TaggedSentence]) -> Vec<Vec<u8>> {
-        sentences.iter().map(|s| self.predict(emb, &s.tokens)).collect()
+        sentences
+            .iter()
+            .map(|s| self.predict(emb, &s.tokens))
+            .collect()
     }
 }
 
@@ -447,8 +457,7 @@ impl BiLstmCrfTagger {
                 if s.tokens.is_empty() {
                     continue;
                 }
-                let xs =
-                    embed_tokens(emb, &s.tokens, config.word_dropout, Some(&mut sample_rng));
+                let xs = embed_tokens(emb, &s.tokens, config.word_dropout, Some(&mut sample_rng));
                 let (emis, fc, bc) = core.emissions(&xs);
                 let inv = 1.0 / s.tokens.len() as f64;
                 let (_nll, mut cgrads, d_emis) = crf.nll_and_grads(&emis, &s.tags);
@@ -483,7 +492,10 @@ impl BiLstmCrfTagger {
 
     /// Predicted tags for every sentence of a dataset split.
     pub fn predict_all(&self, emb: &Embedding, sentences: &[TaggedSentence]) -> Vec<Vec<u8>> {
-        sentences.iter().map(|s| self.predict(emb, &s.tokens)).collect()
+        sentences
+            .iter()
+            .map(|s| self.predict(emb, &s.tokens))
+            .collect()
     }
 }
 
@@ -514,8 +526,13 @@ mod tests {
             n_topics: 10,
             ..Default::default()
         });
-        let ds = NerSpec { n_train: 150, n_valid: 20, n_test: 80, ..Default::default() }
-            .generate(&model);
+        let ds = NerSpec {
+            n_train: 150,
+            n_valid: 20,
+            n_test: 80,
+            ..Default::default()
+        }
+        .generate(&model);
         let emb = Embedding::new(model.word_vecs.clone());
         (model, ds, emb)
     }
@@ -565,8 +582,11 @@ mod tests {
             let down = loss_of(&c2);
             c2.bwd.b[j] = orig;
             let fd = (up - down) / (2.0 * eps);
-            assert!((fd - grads.bf.len().pow(0) as f64 * grads.bb[j]).abs() < 1e-5,
-                "bwd b {j}: fd {fd} vs {}", grads.bb[j]);
+            assert!(
+                (fd - grads.bf.len().pow(0) as f64 * grads.bb[j]).abs() < 1e-5,
+                "bwd b {j}: fd {fd} vs {}",
+                grads.bb[j]
+            );
         }
         for k in 0..N_TAGS {
             for col in 0..8 {
@@ -592,7 +612,11 @@ mod tests {
         let (tagger, losses) = BiLstmTagger::train_with_report(
             &emb,
             &ds.train,
-            &LstmConfig { epochs: 6, hidden: 12, ..Default::default() },
+            &LstmConfig {
+                epochs: 6,
+                hidden: 12,
+                ..Default::default()
+            },
         );
         assert!(
             losses.last().expect("losses") < &losses[0],
@@ -624,7 +648,11 @@ mod tests {
         let tagger = BiLstmCrfTagger::train(
             &emb,
             &small,
-            &LstmConfig { epochs: 3, hidden: 8, ..Default::default() },
+            &LstmConfig {
+                epochs: 3,
+                hidden: 8,
+                ..Default::default()
+            },
         );
         let preds = tagger.predict_all(&emb, &ds.test[..20]);
         for (p, s) in preds.iter().zip(&ds.test[..20]) {
@@ -636,7 +664,11 @@ mod tests {
     #[test]
     fn deterministic_given_seeds() {
         let (_m, ds, emb) = setup();
-        let cfg = LstmConfig { epochs: 2, hidden: 8, ..Default::default() };
+        let cfg = LstmConfig {
+            epochs: 2,
+            hidden: 8,
+            ..Default::default()
+        };
         let a = BiLstmTagger::train(&emb, &ds.train[..40], &cfg);
         let b = BiLstmTagger::train(&emb, &ds.train[..40], &cfg);
         assert_eq!(
@@ -651,7 +683,11 @@ mod tests {
         let tagger = BiLstmTagger::train(
             &emb,
             &ds.train[..20],
-            &LstmConfig { epochs: 1, hidden: 4, ..Default::default() },
+            &LstmConfig {
+                epochs: 1,
+                hidden: 4,
+                ..Default::default()
+            },
         );
         assert!(tagger.predict(&emb, &[]).is_empty());
     }

@@ -92,7 +92,10 @@ impl NerSpec {
     /// Panics if the model has fewer than 6 topics (4 entity + 2
     /// background) or a lexicon would be empty.
     pub fn generate(&self, model: &LatentModel) -> NerDataset {
-        assert!(model.n_topics() >= 6, "need at least 6 topics for NER generation");
+        assert!(
+            model.n_topics() >= 6,
+            "need at least 6 topics for NER generation"
+        );
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
         let entity_topics = [0usize, 1, 2, 3];
         // Lexicons: words assigned to each entity topic.
@@ -115,7 +118,12 @@ impl NerSpec {
         }
         let mut valid = sentences.split_off(self.n_train);
         let test = valid.split_off(self.n_valid);
-        NerDataset { train: sentences, valid, test, entity_topics }
+        NerDataset {
+            train: sentences,
+            valid,
+            test,
+            entity_topics,
+        }
     }
 
     fn sample_sentence(
@@ -171,8 +179,13 @@ mod tests {
 
     #[test]
     fn splits_and_shapes() {
-        let ds = NerSpec { n_train: 50, n_valid: 10, n_test: 20, ..Default::default() }
-            .generate(&model());
+        let ds = NerSpec {
+            n_train: 50,
+            n_valid: 10,
+            n_test: 20,
+            ..Default::default()
+        }
+        .generate(&model());
         assert_eq!(ds.train.len(), 50);
         assert_eq!(ds.valid.len(), 10);
         assert_eq!(ds.test.len(), 20);
@@ -210,7 +223,10 @@ mod tests {
 
     #[test]
     fn entity_mask_matches_tags() {
-        let s = TaggedSentence { tokens: vec![1, 2, 3], tags: vec![0, 2, 0] };
+        let s = TaggedSentence {
+            tokens: vec![1, 2, 3],
+            tags: vec![0, 2, 0],
+        };
         assert_eq!(s.entity_mask(), vec![false, true, false]);
     }
 

@@ -164,14 +164,25 @@ impl SentimentSpec {
                 .map(|j| sign * strength * beta[j] + self.doc_noise * noise[(0, j)])
                 .collect();
             let len = rng.random_range(self.len_range.0..=self.len_range.1);
-            let tokens = model.word_sampler(&h, self.temperature).sample_many(len, &mut rng);
-            let label = if rng.random::<f64>() < self.label_noise { !label } else { label };
+            let tokens = model
+                .word_sampler(&h, self.temperature)
+                .sample_many(len, &mut rng);
+            let label = if rng.random::<f64>() < self.label_noise {
+                !label
+            } else {
+                label
+            };
             examples.push(SentimentExample { tokens, label });
         }
         crate::nn::shuffle(&mut examples, &mut rng);
         let mut valid = examples.split_off(self.n_train);
         let test = valid.split_off(self.n_valid);
-        SentimentDataset { name: self.name.clone(), train: examples, valid, test }
+        SentimentDataset {
+            name: self.name.clone(),
+            train: examples,
+            valid,
+            test,
+        }
     }
 }
 
@@ -191,7 +202,12 @@ mod tests {
     #[test]
     fn splits_have_requested_sizes() {
         let m = model();
-        let spec = SentimentSpec { n_train: 100, n_valid: 20, n_test: 30, ..SentimentSpec::sst2() };
+        let spec = SentimentSpec {
+            n_train: 100,
+            n_valid: 20,
+            n_test: 30,
+            ..SentimentSpec::sst2()
+        };
         let ds = spec.generate(&m);
         assert_eq!(ds.train.len(), 100);
         assert_eq!(ds.valid.len(), 20);
@@ -227,7 +243,11 @@ mod tests {
         let avg = |e: &SentimentExample| -> Vec<f64> {
             let mut v = vec![0.0; d];
             for &t in &e.tokens {
-                vecops::axpy(1.0 / e.tokens.len() as f64, m.word_vecs.row(t as usize), &mut v);
+                vecops::axpy(
+                    1.0 / e.tokens.len() as f64,
+                    m.word_vecs.row(t as usize),
+                    &mut v,
+                );
             }
             v
         };
@@ -244,8 +264,9 @@ mod tests {
                 nn += 1.0;
             }
         }
-        let w: Vec<f64> =
-            (0..d).map(|j| mean_pos[j] / np - mean_neg[j] / nn).collect();
+        let w: Vec<f64> = (0..d)
+            .map(|j| mean_pos[j] / np - mean_neg[j] / nn)
+            .collect();
         let mut correct = 0;
         for e in &ds.test {
             let pred = vecops::dot(&avg(e), &w) > 0.0;
@@ -254,13 +275,18 @@ mod tests {
             }
         }
         let acc = correct as f64 / ds.test.len() as f64;
-        assert!(acc > 0.65, "latent probe accuracy {acc} too low for learnable task");
+        assert!(
+            acc > 0.65,
+            "latent probe accuracy {acc} too low for learnable task"
+        );
     }
 
     #[test]
     fn presets_have_distinct_names() {
-        let names: Vec<String> =
-            SentimentSpec::all_four().into_iter().map(|s| s.name).collect();
+        let names: Vec<String> = SentimentSpec::all_four()
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
         assert_eq!(names, vec!["sst2", "mr", "subj", "mpqa"]);
     }
 }

@@ -89,8 +89,10 @@ mod tests {
             n_topics: 4,
             ..Default::default()
         });
-        let corpus =
-            model.generate_corpus(&CorpusConfig { n_tokens: 40_000, ..Default::default() });
+        let corpus = model.generate_corpus(&CorpusConfig {
+            n_tokens: 40_000,
+            ..Default::default()
+        });
         let stats = CorpusStats::compute(std::sync::Arc::new(corpus), 120, 6);
         for algo in [Algo::Cbow, Algo::Glove, Algo::Mc, Algo::FastTextSg] {
             let emb = train_embedding(algo, &stats, &model.vocab, 16, 0);

@@ -105,9 +105,7 @@ impl CbowTrainer {
                 let doc = &stats.corpus.docs()[di];
                 for (t, &target) in doc.iter().enumerate() {
                     processed += 1;
-                    if cfg.subsample > 0.0
-                        && rng.random::<f64>() > keep_prob[target as usize]
-                    {
+                    if cfg.subsample > 0.0 && rng.random::<f64>() > keep_prob[target as usize] {
                         continue;
                     }
                     let b = rng.random_range(1..=cfg.window);
@@ -126,8 +124,7 @@ impl CbowTrainer {
                     }
                     vecops::scale(1.0 / ctx_count as f64, &mut h);
 
-                    let lr = cfg.lr
-                        * (1.0 - processed as f64 / total_work).max(cfg.min_lr_frac);
+                    let lr = cfg.lr * (1.0 - processed as f64 / total_work).max(cfg.min_lr_frac);
                     neu1e.iter_mut().for_each(|x| *x = 0.0);
                     for s in 0..=cfg.negatives {
                         let (wo, label) = if s == 0 {
@@ -160,7 +157,13 @@ impl CbowTrainer {
             }
             final_loss = mean;
         }
-        (Embedding::new(input), TrainReport { initial_loss, final_loss })
+        (
+            Embedding::new(input),
+            TrainReport {
+                initial_loss,
+                final_loss,
+            },
+        )
     }
 }
 
@@ -199,7 +202,10 @@ mod tests {
             n_topics: 4,
             ..Default::default()
         });
-        let corpus = model.generate_corpus(&CorpusConfig { n_tokens: 15_000, ..Default::default() });
+        let corpus = model.generate_corpus(&CorpusConfig {
+            n_tokens: 15_000,
+            ..Default::default()
+        });
         let stats = CorpusStats::compute(std::sync::Arc::new(corpus), 60, 4);
         let (emb, report) = CbowTrainer::default().train_with_report(&stats, 8, 0);
         assert!(report.final_loss < report.initial_loss, "{report:?}");
@@ -213,7 +219,10 @@ mod tests {
             n_topics: 4,
             ..Default::default()
         });
-        let corpus = model.generate_corpus(&CorpusConfig { n_tokens: 4_000, ..Default::default() });
+        let corpus = model.generate_corpus(&CorpusConfig {
+            n_tokens: 4_000,
+            ..Default::default()
+        });
         let stats = CorpusStats::compute(std::sync::Arc::new(corpus), 40, 4);
         let a = CbowTrainer::default().train(&stats, 6, 9);
         let b = CbowTrainer::default().train(&stats, 6, 9);
@@ -225,7 +234,11 @@ mod tests {
         // Rare words are always kept; very frequent words are downsampled.
         let counts = vec![50_000u64, 10, 0];
         let p = keep_probabilities(&counts, 100_000, 1e-3);
-        assert!(p[0] < 0.1, "frequent word should be heavily subsampled, got {}", p[0]);
+        assert!(
+            p[0] < 0.1,
+            "frequent word should be heavily subsampled, got {}",
+            p[0]
+        );
         assert_eq!(p[1], 1.0);
         assert_eq!(p[2], 1.0);
         // Disabled subsampling keeps everything.

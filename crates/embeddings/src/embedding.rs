@@ -122,7 +122,10 @@ mod tests {
         let aligned = y.align_to(&x);
         let before = x.mat().sub(y.mat()).frobenius_norm();
         let after = x.mat().sub(aligned.mat()).frobenius_norm();
-        assert!(after < before, "alignment should reduce distance ({after} !< {before})");
+        assert!(
+            after < before,
+            "alignment should reduce distance ({after} !< {before})"
+        );
         assert!(after < 0.1 * before, "rotation should be mostly removed");
     }
 }

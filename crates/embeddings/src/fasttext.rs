@@ -98,13 +98,7 @@ impl FastTextTrainer {
     ///
     /// Panics if `dim` is zero, the corpus is empty, or the vocabulary size
     /// disagrees with the corpus statistics.
-    pub fn train(
-        &self,
-        stats: &CorpusStats,
-        vocab: &Vocab,
-        dim: usize,
-        seed: u64,
-    ) -> Embedding {
+    pub fn train(&self, stats: &CorpusStats, vocab: &Vocab, dim: usize, seed: u64) -> Embedding {
         self.train_with_report(stats, vocab, dim, seed).0
     }
 
@@ -166,12 +160,10 @@ impl FastTextTrainer {
                 let doc = &stats.corpus.docs()[di];
                 for (t, &center) in doc.iter().enumerate() {
                     processed += 1;
-                    if cfg.subsample > 0.0 && rng.random::<f64>() > keep_prob[center as usize]
-                    {
+                    if cfg.subsample > 0.0 && rng.random::<f64>() > keep_prob[center as usize] {
                         continue;
                     }
-                    let lr = cfg.lr
-                        * (1.0 - processed as f64 / total_work).max(cfg.min_lr_frac);
+                    let lr = cfg.lr * (1.0 - processed as f64 / total_work).max(cfg.min_lr_frac);
                     let grams = &ngrams[center as usize];
                     let denom = (1 + grams.len()) as f64;
                     // rep = (v_center + sum of n-gram vectors) / (1 + #ngrams)
@@ -241,7 +233,13 @@ impl FastTextTrainer {
             }
             vecops::scale(1.0 / denom, row);
         }
-        (Embedding::new(out), TrainReport { initial_loss, final_loss })
+        (
+            Embedding::new(out),
+            TrainReport {
+                initial_loss,
+                final_loss,
+            },
+        )
     }
 }
 
@@ -282,7 +280,10 @@ mod tests {
             n_topics: 4,
             ..Default::default()
         });
-        let corpus = model.generate_corpus(&CorpusConfig { n_tokens: 8_000, ..Default::default() });
+        let corpus = model.generate_corpus(&CorpusConfig {
+            n_tokens: 8_000,
+            ..Default::default()
+        });
         let stats = CorpusStats::compute(std::sync::Arc::new(corpus), 50, 4);
         let trainer = FastTextTrainer::new(FastTextConfig {
             epochs: 4,

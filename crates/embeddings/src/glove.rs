@@ -28,7 +28,13 @@ pub struct GloveConfig {
 
 impl Default for GloveConfig {
     fn default() -> Self {
-        GloveConfig { epochs: 30, lr: 0.05, xmax: 10.0, alpha: 0.75, init_scale: 0.5 }
+        GloveConfig {
+            epochs: 30,
+            lr: 0.05,
+            xmax: 10.0,
+            alpha: 0.75,
+            init_scale: 0.5,
+        }
     }
 }
 
@@ -62,7 +68,12 @@ impl GloveTrainer {
     /// # Panics
     ///
     /// Panics if `dim` is zero.
-    pub fn train_with_report(&self, cooc: &Cooc, dim: usize, seed: u64) -> (Embedding, TrainReport) {
+    pub fn train_with_report(
+        &self,
+        cooc: &Cooc,
+        dim: usize,
+        seed: u64,
+    ) -> (Embedding, TrainReport) {
         assert!(dim > 0, "dim must be positive");
         let n = cooc.n();
         let cfg = &self.config;
@@ -86,9 +97,13 @@ impl GloveTrainer {
             let mut loss = 0.0;
             for &(i, j, x) in &entries {
                 let (i, j) = (i as usize, j as usize);
-                let weight = if x < cfg.xmax { (x / cfg.xmax).powf(cfg.alpha) } else { 1.0 };
-                let diff = embedstab_linalg::vecops::dot(w.row(i), c.row(j)) + bw[i] + bc[j]
-                    - x.ln();
+                let weight = if x < cfg.xmax {
+                    (x / cfg.xmax).powf(cfg.alpha)
+                } else {
+                    1.0
+                };
+                let diff =
+                    embedstab_linalg::vecops::dot(w.row(i), c.row(j)) + bw[i] + bc[j] - x.ln();
                 loss += 0.5 * weight * diff * diff;
                 let fdiff = (weight * diff).clamp(-10.0, 10.0);
                 // AdaGrad updates for w_i and c_j.
@@ -118,7 +133,13 @@ impl GloveTrainer {
             }
             final_loss = mean;
         }
-        (Embedding::new(w.add(&c)), TrainReport { initial_loss, final_loss })
+        (
+            Embedding::new(w.add(&c)),
+            TrainReport {
+                initial_loss,
+                final_loss,
+            },
+        )
     }
 }
 
@@ -132,7 +153,9 @@ fn shuffle<T>(xs: &mut [T], rng: &mut impl Rng) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use embedstab_corpus::{Cooc, CoocConfig, Corpus, CorpusConfig, LatentModel, LatentModelConfig};
+    use embedstab_corpus::{
+        Cooc, CoocConfig, Corpus, CorpusConfig, LatentModel, LatentModelConfig,
+    };
 
     fn small_cooc() -> Cooc {
         let model = LatentModel::new(&LatentModelConfig {
@@ -140,8 +163,18 @@ mod tests {
             n_topics: 4,
             ..Default::default()
         });
-        let corpus = model.generate_corpus(&CorpusConfig { n_tokens: 20_000, ..Default::default() });
-        Cooc::count(&corpus, 80, &CoocConfig { window: 8, distance_weighting: true })
+        let corpus = model.generate_corpus(&CorpusConfig {
+            n_tokens: 20_000,
+            ..Default::default()
+        });
+        Cooc::count(
+            &corpus,
+            80,
+            &CoocConfig {
+                window: 8,
+                distance_weighting: true,
+            },
+        )
     }
 
     #[test]
@@ -169,7 +202,14 @@ mod tests {
         // blow up (weight saturates at 1, fdiff is clamped).
         let docs = vec![vec![0u32, 1, 0, 1, 0, 1, 0, 1, 0, 1]; 200];
         let corpus = Corpus::from_docs(docs);
-        let cooc = Cooc::count(&corpus, 2, &CoocConfig { window: 1, distance_weighting: false });
+        let cooc = Cooc::count(
+            &corpus,
+            2,
+            &CoocConfig {
+                window: 1,
+                distance_weighting: false,
+            },
+        );
         let (emb, _) = GloveTrainer::default().train_with_report(&cooc, 4, 0);
         assert!(emb.mat().is_finite());
     }

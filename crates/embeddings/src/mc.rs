@@ -26,7 +26,12 @@ pub struct McConfig {
 
 impl Default for McConfig {
     fn default() -> Self {
-        McConfig { epochs: 25, lr: 0.1, lr_decay_start: 15, init_scale: 0.5 }
+        McConfig {
+            epochs: 25,
+            lr: 0.1,
+            lr_decay_start: 15,
+            init_scale: 0.5,
+        }
     }
 }
 
@@ -109,7 +114,13 @@ impl McTrainer {
             }
             final_loss = mean;
         }
-        (Embedding::new(x), TrainReport { initial_loss, final_loss })
+        (
+            Embedding::new(x),
+            TrainReport {
+                initial_loss,
+                final_loss,
+            },
+        )
     }
 }
 
@@ -131,7 +142,10 @@ mod tests {
             n_topics: 4,
             ..Default::default()
         });
-        let corpus = model.generate_corpus(&CorpusConfig { n_tokens: 20_000, ..Default::default() });
+        let corpus = model.generate_corpus(&CorpusConfig {
+            n_tokens: 20_000,
+            ..Default::default()
+        });
         let cooc = Cooc::count(&corpus, 80, &CoocConfig::default());
         embedstab_corpus::ppmi(&cooc)
     }
@@ -168,7 +182,12 @@ mod tests {
                 sm.push(i, j, a[(i as usize, j as usize)]);
             }
         }
-        let trainer = McTrainer::new(McConfig { epochs: 200, lr: 0.05, lr_decay_start: 150, init_scale: 0.5 });
+        let trainer = McTrainer::new(McConfig {
+            epochs: 200,
+            lr: 0.05,
+            lr_decay_start: 150,
+            init_scale: 0.5,
+        });
         let (emb, report) = trainer.train_with_report(&sm, 4, 0);
         assert!(report.final_loss < 0.05, "final loss {}", report.final_loss);
         let recon = emb.mat().matmul_nt(emb.mat());

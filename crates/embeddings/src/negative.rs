@@ -21,9 +21,13 @@ impl NegativeTable {
     /// Panics if `counts` is empty.
     pub fn new(counts: &[u64]) -> Self {
         assert!(!counts.is_empty(), "counts must be non-empty");
-        let weights: Vec<f64> =
-            counts.iter().map(|&c| (c as f64).powf(0.75).max(1e-3)).collect();
-        NegativeTable { table: AliasTable::new(&weights) }
+        let weights: Vec<f64> = counts
+            .iter()
+            .map(|&c| (c as f64).powf(0.75).max(1e-3))
+            .collect();
+        NegativeTable {
+            table: AliasTable::new(&weights),
+        }
     }
 
     /// Draws a negative sample different from `exclude`.

@@ -37,10 +37,22 @@ impl CorpusStats {
     /// Panics if `window` is zero or the corpus contains out-of-vocabulary
     /// ids.
     pub fn compute(corpus: Arc<Corpus>, vocab_size: usize, window: usize) -> Self {
-        let cooc_flat =
-            Cooc::count(&corpus, vocab_size, &CoocConfig { window, distance_weighting: false });
-        let cooc_weighted =
-            Cooc::count(&corpus, vocab_size, &CoocConfig { window, distance_weighting: true });
+        let cooc_flat = Cooc::count(
+            &corpus,
+            vocab_size,
+            &CoocConfig {
+                window,
+                distance_weighting: false,
+            },
+        );
+        let cooc_weighted = Cooc::count(
+            &corpus,
+            vocab_size,
+            &CoocConfig {
+                window,
+                distance_weighting: true,
+            },
+        );
         let ppmi_mat = ppmi(&cooc_flat);
         let unigram_counts = corpus.token_counts(vocab_size);
         CorpusStats {

@@ -52,7 +52,10 @@ pub fn link_prediction_ranks(
                     head_rank += 1;
                 }
             }
-            RankPair { head: head_rank, tail: tail_rank }
+            RankPair {
+                head: head_rank,
+                tail: tail_rank,
+            }
         })
         .collect()
 }
@@ -115,7 +118,10 @@ pub fn make_negatives(kg: &KnowledgeGraph, split: &[Triplet], seed: u64) -> Vec<
                 }
             }
             // Degenerate graphs (tests): give up on the known-filter.
-            Triplet { tail: (t.tail + 1) % kg.n_entities as u32, ..*t }
+            Triplet {
+                tail: (t.tail + 1) % kg.n_entities as u32,
+                ..*t
+            }
         })
         .collect()
 }
@@ -147,10 +153,14 @@ impl TripletClassifier {
         assert!(n_relations > 0, "need at least one relation");
         let mut per_rel: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); n_relations];
         for t in positives {
-            per_rel[t.rel as usize].0.push(emb.score(t.head, t.rel, t.tail));
+            per_rel[t.rel as usize]
+                .0
+                .push(emb.score(t.head, t.rel, t.tail));
         }
         for t in negatives {
-            per_rel[t.rel as usize].1.push(emb.score(t.head, t.rel, t.tail));
+            per_rel[t.rel as usize]
+                .1
+                .push(emb.score(t.head, t.rel, t.tail));
         }
         let mut thresholds = vec![f64::NAN; n_relations];
         let mut known = Vec::new();
@@ -163,7 +173,11 @@ impl TripletClassifier {
         }
         // Fallback for unseen relations: median of known thresholds.
         known.sort_by(|a, b| a.partial_cmp(b).expect("finite thresholds"));
-        let fallback = if known.is_empty() { 0.0 } else { known[known.len() / 2] };
+        let fallback = if known.is_empty() {
+            0.0
+        } else {
+            known[known.len() / 2]
+        };
         for t in thresholds.iter_mut() {
             if t.is_nan() {
                 *t = fallback;
@@ -221,7 +235,11 @@ fn best_threshold(pos: &[f64], neg: &[f64]) -> f64 {
     }
     for (i, &(s, is_pos)) in scored.iter().enumerate() {
         correct += if is_pos { 1.0 } else { -1.0 };
-        let thr = if i + 1 < scored.len() { (s + scored[i + 1].0) / 2.0 } else { s + 1.0 };
+        let thr = if i + 1 < scored.len() {
+            (s + scored[i + 1].0) / 2.0
+        } else {
+            s + 1.0
+        };
         if correct / total > best_acc {
             best_acc = correct / total;
             best_thr = thr;
@@ -310,8 +328,14 @@ mod tests {
 
     #[test]
     fn unstable_rank_counts_large_changes() {
-        let a = vec![RankPair { head: 1, tail: 1 }, RankPair { head: 100, tail: 5 }];
-        let b = vec![RankPair { head: 1, tail: 20 }, RankPair { head: 80, tail: 5 }];
+        let a = vec![
+            RankPair { head: 1, tail: 1 },
+            RankPair { head: 100, tail: 5 },
+        ];
+        let b = vec![
+            RankPair { head: 1, tail: 20 },
+            RankPair { head: 80, tail: 5 },
+        ];
         // Changes: tail 1->20 (>10, unstable), head 100->80 (>10, unstable),
         // others stable: 2 of 4 comparisons.
         assert_eq!(unstable_rank_at_10(&a, &b), 0.5);
@@ -330,7 +354,11 @@ mod tests {
         }
         .generate();
         let kg95 = kg.subsample_train(0.95, 11);
-        let cfg = TranseConfig { epochs: 60, patience: 0, ..Default::default() };
+        let cfg = TranseConfig {
+            epochs: 60,
+            patience: 0,
+            ..Default::default()
+        };
         let a = train_transe(&kg, 16, &cfg, 0);
         let b = train_transe(&kg95, 16, &cfg, 0);
         let full_a = link_prediction_ranks(&a, kg.n_entities, &kg.test);

@@ -35,7 +35,12 @@ impl KnowledgeGraph {
     /// All triplets of every split, as a set (used to filter corrupted
     /// negatives).
     pub fn all_triplets(&self) -> HashSet<Triplet> {
-        self.train.iter().chain(&self.valid).chain(&self.test).copied().collect()
+        self.train
+            .iter()
+            .chain(&self.valid)
+            .chain(&self.test)
+            .copied()
+            .collect()
     }
 
     /// The FB15K-95 analogue: a copy keeping a random `keep_frac` of the
@@ -46,7 +51,10 @@ impl KnowledgeGraph {
     ///
     /// Panics unless `0 < keep_frac <= 1`.
     pub fn subsample_train(&self, keep_frac: f64, seed: u64) -> KnowledgeGraph {
-        assert!(keep_frac > 0.0 && keep_frac <= 1.0, "keep_frac must be in (0, 1]");
+        assert!(
+            keep_frac > 0.0 && keep_frac <= 1.0,
+            "keep_frac must be in (0, 1]"
+        );
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut idx: Vec<usize> = (0..self.train.len()).collect();
         let keep = ((self.train.len() as f64) * keep_frac).round() as usize;
@@ -111,9 +119,15 @@ impl KgSpec {
     ///
     /// Panics if any count is zero or there are fewer entities than types.
     pub fn generate(&self) -> KnowledgeGraph {
-        assert!(self.n_entities >= self.n_types, "need at least one entity per type");
+        assert!(
+            self.n_entities >= self.n_types,
+            "need at least one entity per type"
+        );
         assert!(self.n_types >= 2, "need at least two types");
-        assert!(self.n_relations > 0 && self.latent_dim > 0, "counts must be positive");
+        assert!(
+            self.n_relations > 0 && self.latent_dim > 0,
+            "counts must be positive"
+        );
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
         let d = self.latent_dim;
 
@@ -146,7 +160,9 @@ impl KgSpec {
             if dst == src {
                 dst = (dst + 1) % self.n_types;
             }
-            let v: Vec<f64> = (0..d).map(|j| centers[(dst, j)] - centers[(src, j)]).collect();
+            let v: Vec<f64> = (0..d)
+                .map(|j| centers[(dst, j)] - centers[(src, j)])
+                .collect();
             rels.push((src, dst, v));
         }
 
@@ -161,7 +177,11 @@ impl KgSpec {
                 let h = heads[rng.random_range(0..heads.len())];
                 let target: Vec<f64> = (0..d).map(|j| z[(h as usize, j)] + v[j]).collect();
                 let tail = softmin_choice(&z, tails, &target, self.noise.max(0.05), &mut rng);
-                let t = Triplet { head: h, rel: r as u32, tail };
+                let t = Triplet {
+                    head: h,
+                    rel: r as u32,
+                    tail,
+                };
                 if seen.insert(t) {
                     triplets.push(t);
                 }
@@ -212,7 +232,9 @@ fn softmin_choice(
         weights.push(total);
     }
     let u: f64 = rng.random_range(0.0..total);
-    let idx = weights.partition_point(|&c| c <= u).min(candidates.len() - 1);
+    let idx = weights
+        .partition_point(|&c| c <= u)
+        .min(candidates.len() - 1);
     candidates[idx]
 }
 

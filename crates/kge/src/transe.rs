@@ -28,7 +28,13 @@ pub struct TranseConfig {
 
 impl Default for TranseConfig {
     fn default() -> Self {
-        TranseConfig { epochs: 120, lr: 0.02, margin: 1.0, patience: 5, eval_every: 10 }
+        TranseConfig {
+            epochs: 120,
+            lr: 0.02,
+            margin: 1.0,
+            patience: 5,
+            eval_every: 10,
+        }
     }
 }
 
@@ -98,9 +104,15 @@ pub fn train_transe(
             let corrupt_head = rng.random::<f64>() < 0.5;
             let candidate = rng.random_range(0..kg.n_entities as u32);
             let neg = if corrupt_head {
-                crate::graph::Triplet { head: candidate, ..pos }
+                crate::graph::Triplet {
+                    head: candidate,
+                    ..pos
+                }
             } else {
-                crate::graph::Triplet { tail: candidate, ..pos }
+                crate::graph::Triplet {
+                    tail: candidate,
+                    ..pos
+                }
             };
             sgd_step(&mut ent, &mut rel, pos, neg, config.margin, config.lr);
         }
@@ -109,7 +121,10 @@ pub fn train_transe(
             && !kg.valid.is_empty()
             && (epoch + 1) % config.eval_every.max(1) == 0
         {
-            let current = TranseEmbeddings { entities: ent.clone(), relations: rel.clone() };
+            let current = TranseEmbeddings {
+                entities: ent.clone(),
+                relations: rel.clone(),
+            };
             let ranks = link_prediction_ranks(&current, kg.n_entities, &kg.valid);
             let mr = mean_rank(&ranks);
             match &best {
@@ -128,7 +143,10 @@ pub fn train_transe(
     }
     match best {
         Some((_, model)) => model,
-        None => TranseEmbeddings { entities: ent, relations: rel },
+        None => TranseEmbeddings {
+            entities: ent,
+            relations: rel,
+        },
     }
 }
 
@@ -169,8 +187,7 @@ fn sgd_step(
 fn l1(ent: &Mat, rel: &Mat, t: crate::graph::Triplet) -> f64 {
     let mut s = 0.0;
     for j in 0..ent.cols() {
-        s += (ent[(t.head as usize, j)] + rel[(t.rel as usize, j)]
-            - ent[(t.tail as usize, j)])
+        s += (ent[(t.head as usize, j)] + rel[(t.rel as usize, j)] - ent[(t.tail as usize, j)])
             .abs();
     }
     s
@@ -200,8 +217,14 @@ pub fn quantize_transe_pair(
         out
     };
     (
-        TranseEmbeddings { entities: q(&a.entities, clip_e), relations: q(&a.relations, clip_r) },
-        TranseEmbeddings { entities: q(&b.entities, clip_e), relations: q(&b.relations, clip_r) },
+        TranseEmbeddings {
+            entities: q(&a.entities, clip_e),
+            relations: q(&a.relations, clip_r),
+        },
+        TranseEmbeddings {
+            entities: q(&b.entities, clip_e),
+            relations: q(&b.relations, clip_r),
+        },
     )
 }
 
@@ -241,7 +264,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let kg = small_kg();
-        let cfg = TranseConfig { epochs: 10, patience: 0, ..Default::default() };
+        let cfg = TranseConfig {
+            epochs: 10,
+            patience: 0,
+            ..Default::default()
+        };
         let a = train_transe(&kg, 8, &cfg, 3);
         let b = train_transe(&kg, 8, &cfg, 3);
         assert_eq!(a, b);
@@ -262,14 +289,21 @@ mod tests {
     #[test]
     fn quantization_shares_clip_and_degrades_gracefully() {
         let kg = small_kg();
-        let cfg = TranseConfig { epochs: 30, patience: 0, ..Default::default() };
+        let cfg = TranseConfig {
+            epochs: 30,
+            patience: 0,
+            ..Default::default()
+        };
         let a = train_transe(&kg, 16, &cfg, 0);
         let b = train_transe(&kg, 16, &cfg, 1);
         let (qa1, _qb1) = quantize_transe_pair(&a, &b, Precision::new(1));
         let (qa8, _qb8) = quantize_transe_pair(&a, &b, Precision::new(8));
         let err1 = qa1.entities.sub(&a.entities).frobenius_norm();
         let err8 = qa8.entities.sub(&a.entities).frobenius_norm();
-        assert!(err8 < err1, "higher precision must quantize more faithfully");
+        assert!(
+            err8 < err1,
+            "higher precision must quantize more faithfully"
+        );
         let (qf, _) = quantize_transe_pair(&a, &b, Precision::FULL);
         assert_eq!(qf, a);
     }

@@ -7,7 +7,9 @@ use crate::Mat;
 const PAR_THRESHOLD: usize = 4_000_000;
 
 fn n_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl Mat {

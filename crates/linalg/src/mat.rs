@@ -35,7 +35,11 @@ impl Mat {
     /// Panics if `rows * cols` overflows `usize`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         let len = rows.checked_mul(cols).expect("matrix size overflow");
-        Mat { rows, cols, data: vec![0.0; len] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -81,7 +85,11 @@ impl Mat {
             assert_eq!(r.len(), cols, "all rows must have the same length");
             data.extend_from_slice(r);
         }
-        Mat { rows: rows.len(), cols, data }
+        Mat {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Creates a matrix with i.i.d. entries sampled uniformly from `[lo, hi)`.
@@ -171,7 +179,9 @@ impl Mat {
     /// Panics if `j >= cols`.
     pub fn col(&self, j: usize) -> Vec<f64> {
         assert!(j < self.cols, "column index out of bounds");
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// The underlying row-major data.
@@ -210,8 +220,17 @@ impl Mat {
     /// Panics on shape mismatch.
     pub fn add(&self, other: &Mat) -> Mat {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in add");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Mat { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Elementwise difference `self - other`.
@@ -221,14 +240,27 @@ impl Mat {
     /// Panics on shape mismatch.
     pub fn sub(&self, other: &Mat) -> Mat {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in sub");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Mat { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// The matrix scaled by `s`.
     pub fn scale(&self, s: f64) -> Mat {
         let data = self.data.iter().map(|a| a * s).collect();
-        Mat { rows: self.rows, cols: self.cols, data }
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Adds `s * other` into `self` in place.
@@ -250,7 +282,9 @@ impl Mat {
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "vector length must equal cols");
-        (0..self.rows).map(|i| crate::vecops::dot(self.row(i), x)).collect()
+        (0..self.rows)
+            .map(|i| crate::vecops::dot(self.row(i), x))
+            .collect()
     }
 
     /// Transposed matrix-vector product `self^T * x`.
@@ -365,8 +399,7 @@ impl fmt::Debug for Mat {
         let show_rows = self.rows.min(6);
         for i in 0..show_rows {
             let r = self.row(i);
-            let shown: Vec<String> =
-                r.iter().take(8).map(|x| format!("{x:9.4}")).collect();
+            let shown: Vec<String> = r.iter().take(8).map(|x| format!("{x:9.4}")).collect();
             let ell = if self.cols > 8 { ", ..." } else { "" };
             writeln!(f, "  [{}{}]", shown.join(", "), ell)?;
         }
@@ -461,7 +494,12 @@ mod tests {
         let m = Mat::random_normal(200, 50, &mut rng);
         let n = (200 * 50) as f64;
         let mean: f64 = m.as_slice().iter().sum::<f64>() / n;
-        let var: f64 = m.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let var: f64 = m
+            .as_slice()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

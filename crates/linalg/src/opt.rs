@@ -35,7 +35,15 @@ impl Adam {
     /// Creates an optimizer for `n` parameters with the standard
     /// `beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`.
     pub fn new(n: usize, lr: f64) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: vec![0.0; n], v: vec![0.0; n] }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
     }
 
     /// The current learning rate.
@@ -80,8 +88,11 @@ mod tests {
         let target = [1.0, 2.0, 3.0];
         let mut opt = Adam::new(3, 0.05);
         for _ in 0..2000 {
-            let grads: Vec<f64> =
-                x.iter().zip(&target).map(|(xi, ti)| 2.0 * (xi - ti)).collect();
+            let grads: Vec<f64> = x
+                .iter()
+                .zip(&target)
+                .map(|(xi, ti)| 2.0 * (xi - ti))
+                .collect();
             opt.step(&mut x, &grads);
         }
         for (xi, ti) in x.iter().zip(&target) {

@@ -85,9 +85,7 @@ mod tests {
             let x = Mat::random_normal(25, 5, &mut r2);
             let y = Mat::random_normal(25, 5, &mut rng);
             let aligned = align(&x, &y);
-            assert!(
-                x.sub(&aligned).frobenius_norm() <= x.sub(&y).frobenius_norm() + 1e-9
-            );
+            assert!(x.sub(&aligned).frobenius_norm() <= x.sub(&y).frobenius_norm() + 1e-9);
         }
     }
 }

@@ -88,7 +88,11 @@ impl Mat {
             svd_tall(self)
         } else {
             let t = svd_tall(&self.transpose());
-            Svd { u: t.v, s: t.s, v: t.u }
+            Svd {
+                u: t.v,
+                s: t.s,
+                v: t.u,
+            }
         }
     }
 }
@@ -219,9 +223,8 @@ mod tests {
         let a = Mat::from_fn(4, 2, |i, j| u[i] * v[j]);
         let svd = a.svd();
         assert_eq!(svd.rank(1e-9), 1);
-        let expected = (u.iter().map(|x| x * x).sum::<f64>()
-            * v.iter().map(|x| x * x).sum::<f64>())
-        .sqrt();
+        let expected =
+            (u.iter().map(|x| x * x).sum::<f64>() * v.iter().map(|x| x * x).sum::<f64>()).sqrt();
         assert!((svd.s[0] - expected).abs() < 1e-9);
         check_svd(&a, 1e-9);
     }

@@ -41,7 +41,9 @@ impl EmbeddingGrid {
         let next = AtomicUsize::new(0);
         let results: Mutex<HashMap<PairKey, (Arc<Embedding>, Arc<Embedding>)>> =
             Mutex::new(HashMap::new());
-        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         crossbeam::scope(|scope| {
             for _ in 0..workers.min(jobs.len().max(1)) {
                 scope.spawn(|_| loop {
@@ -60,7 +62,9 @@ impl EmbeddingGrid {
             }
         })
         .expect("grid training worker panicked");
-        EmbeddingGrid { pairs: results.into_inner() }
+        EmbeddingGrid {
+            pairs: results.into_inner(),
+        }
     }
 
     /// Number of trained pairs.

@@ -109,13 +109,12 @@ fn enumerate_configs(world: &World, opts: &GridOptions) -> Vec<Config> {
 
 /// Runs a function over configurations with a small worker pool,
 /// collecting results in input order.
-fn parallel_map<T: Send>(
-    configs: &[Config],
-    f: impl Fn(Config) -> T + Sync,
-) -> Vec<T> {
+fn parallel_map<T: Send>(configs: &[Config], f: impl Fn(Config) -> T + Sync) -> Vec<T> {
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(configs.len()));
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     crossbeam::scope(|scope| {
         for _ in 0..workers.min(configs.len().max(1)) {
             scope.spawn(|_| loop {
@@ -209,7 +208,9 @@ pub fn run_sentiment_grid(
         } else {
             spec17.clone()
         };
-        let bow_opts = BowTrainOptions { fine_tune_lr: opts.fine_tune_lr };
+        let bow_opts = BowTrainOptions {
+            fine_tune_lr: opts.fine_tune_lr,
+        };
         let m17 = BowSentimentModel::train_with_options(&q17, &ds.train, &spec17, &bow_opts);
         let m18 = BowSentimentModel::train_with_options(&q18, &ds.train, &spec18, &bow_opts);
         let p17 = m17.predict(&q17, &ds.test);
@@ -300,6 +301,7 @@ mod tests {
         let mut params = Scale::Tiny.params();
         params.dims = vec![4, 16];
         params.precisions = vec![Precision::new(1), Precision::FULL];
+        params.seeds = vec![0];
         let world = World::build(&params, 0);
         let grid = EmbeddingGrid::build(&world, &[Algo::Mc], &params.dims, &params.seeds);
         (world, grid)
@@ -329,7 +331,10 @@ mod tests {
     #[test]
     fn ner_grid_runs() {
         let (world, grid) = tiny_setup();
-        let opts = GridOptions { algos: vec![Algo::Mc], ..Default::default() };
+        let opts = GridOptions {
+            algos: vec![Algo::Mc],
+            ..Default::default()
+        };
         let rows = run_ner_grid(&world, &grid, &opts);
         assert_eq!(rows.len(), 4);
         for r in &rows {
@@ -342,14 +347,22 @@ mod tests {
     #[test]
     fn relaxed_seeds_change_results() {
         let (world, grid) = tiny_setup();
-        let base = GridOptions { algos: vec![Algo::Mc], ..Default::default() };
-        let relaxed = GridOptions { relax_seeds: true, ..base.clone() };
+        let base = GridOptions {
+            algos: vec![Algo::Mc],
+            ..Default::default()
+        };
+        let relaxed = GridOptions {
+            relax_seeds: true,
+            ..base.clone()
+        };
         let a = run_sentiment_grid(&world, &grid, "sst2", &base);
         let b = run_sentiment_grid(&world, &grid, "sst2", &relaxed);
         // Relaxing seeds adds model randomness, so disagreement shifts for
         // at least one configuration.
         assert!(
-            a.iter().zip(&b).any(|(x, y)| x.disagreement != y.disagreement),
+            a.iter()
+                .zip(&b)
+                .any(|(x, y)| x.disagreement != y.disagreement),
             "relaxed seeds had no effect"
         );
     }

@@ -88,7 +88,14 @@ impl World {
             ..Default::default()
         }
         .generate(&pair.model17);
-        World { params: params.clone(), pair, stats17, stats18, sentiment, ner }
+        World {
+            params: params.clone(),
+            pair,
+            stats17,
+            stats18,
+            sentiment,
+            ner,
+        }
     }
 
     /// The shared vocabulary.

@@ -124,7 +124,10 @@ pub fn optimal_clip(values: &[f64], precision: Precision) -> f64 {
     let mut best = (f64::INFINITY, max_abs);
     for k in 0..=candidates {
         let c = lo * (max_abs / lo).powf(k as f64 / candidates as f64);
-        let mse: f64 = values.iter().map(|&x| sq(quantize_value(x, c, precision) - x)).sum();
+        let mse: f64 = values
+            .iter()
+            .map(|&x| sq(quantize_value(x, c, precision) - x))
+            .sum();
         if mse < best.0 {
             best = (mse, c);
         }
@@ -160,7 +163,11 @@ pub fn quantize_value(x: f64, clip: f64, precision: Precision) -> f64 {
 /// [`quantize_pair`]).
 pub fn quantize(emb: &Embedding, precision: Precision, clip: Option<f64>) -> Quantized {
     if precision.is_full() {
-        return Quantized { embedding: emb.clone(), clip: f64::INFINITY, mse: 0.0 };
+        return Quantized {
+            embedding: emb.clone(),
+            clip: f64::INFINITY,
+            mse: 0.0,
+        };
     }
     let clip = clip.unwrap_or_else(|| optimal_clip(emb.mat().as_slice(), precision));
     let (n, d) = emb.shape();
@@ -172,7 +179,11 @@ pub fn quantize(emb: &Embedding, precision: Precision, clip: Option<f64>) -> Qua
         *o = q;
     }
     mse /= (n * d) as f64;
-    Quantized { embedding: Embedding::new(out), clip, mse }
+    Quantized {
+        embedding: Embedding::new(out),
+        clip,
+        mse,
+    }
 }
 
 /// Quantizes an aligned embedding pair the way the paper does
@@ -184,7 +195,11 @@ pub fn quantize_pair(
     precision: Precision,
 ) -> (Quantized, Quantized) {
     let q17 = quantize(x17, precision, None);
-    let clip = if precision.is_full() { None } else { Some(q17.clip) };
+    let clip = if precision.is_full() {
+        None
+    } else {
+        Some(q17.clip)
+    };
     let q18 = quantize(x18, precision, clip);
     (q17, q18)
 }
@@ -213,7 +228,10 @@ mod tests {
         for &p in &[Precision::new(1), Precision::new(2), Precision::new(4)] {
             let q1 = quantize(&emb, p, None);
             let q2 = quantize(&q1.embedding, p, Some(q1.clip));
-            assert_eq!(q1.embedding, q2.embedding, "requantizing must be a no-op at {p}");
+            assert_eq!(
+                q1.embedding, q2.embedding,
+                "requantizing must be a no-op at {p}"
+            );
             assert!(q2.mse < 1e-20);
         }
     }
@@ -237,8 +255,13 @@ mod tests {
     fn one_bit_has_two_levels() {
         let emb = random_embedding(3);
         let q = quantize(&emb, Precision::new(1), None);
-        let distinct: std::collections::BTreeSet<u64> =
-            q.embedding.mat().as_slice().iter().map(|x| x.to_bits()).collect();
+        let distinct: std::collections::BTreeSet<u64> = q
+            .embedding
+            .mat()
+            .as_slice()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
         assert_eq!(distinct.len(), 2);
     }
 
@@ -259,10 +282,14 @@ mod tests {
         values[0] = 25.0; // inject an outlier
         let p = Precision::new(2);
         let c_opt = optimal_clip(&values, p);
-        let mse_opt: f64 =
-            values.iter().map(|&x| sq(quantize_value(x, c_opt, p) - x)).sum();
-        let mse_max: f64 =
-            values.iter().map(|&x| sq(quantize_value(x, 25.0, p) - x)).sum();
+        let mse_opt: f64 = values
+            .iter()
+            .map(|&x| sq(quantize_value(x, c_opt, p) - x))
+            .sum();
+        let mse_max: f64 = values
+            .iter()
+            .map(|&x| sq(quantize_value(x, 25.0, p) - x))
+            .sum();
         assert!(c_opt < 25.0);
         assert!(mse_opt < mse_max);
     }
@@ -297,7 +324,10 @@ mod tests {
         let p = Precision::new(2); // 4 levels in [-1, 1]: -1, -1/3, 1/3, 1
         let c = 1.0;
         let q0 = quantize_value(0.1, c, p);
-        assert!((q0 - 1.0 / 3.0).abs() < 1e-12, "0.1 rounds to 1/3, got {q0}");
+        assert!(
+            (q0 - 1.0 / 3.0).abs() < 1e-12,
+            "0.1 rounds to 1/3, got {q0}"
+        );
         assert!((quantize_value(0.9, c, p) - 1.0).abs() < 1e-12);
         assert!((quantize_value(-2.0, c, p) + 1.0).abs() < 1e-12);
     }

@@ -21,8 +21,13 @@ use embedstab::quant::Precision;
 fn main() {
     let mut params = Scale::Tiny.params();
     params.dims = vec![4, 8, 16, 32];
-    params.precisions =
-        vec![Precision::new(1), Precision::new(2), Precision::new(4), Precision::new(8), Precision::FULL];
+    params.precisions = vec![
+        Precision::new(1),
+        Precision::new(2),
+        Precision::new(4),
+        Precision::new(8),
+        Precision::FULL,
+    ];
     let world = World::build(&params, 0);
     let grid = EmbeddingGrid::build(&world, &[Algo::Cbow], &params.dims, &[0]);
 
@@ -39,7 +44,11 @@ fn main() {
     // Rank candidates by EIS, computed from the embeddings alone.
     let (e17, e18) = grid.pair(Algo::Cbow, *params.dims.last().expect("dims"), 0);
     let eis = EisMeasure::new(e17, e18, 3.0);
-    let spec = TrainSpec { lr: 0.01, epochs: 25, ..Default::default() };
+    let spec = TrainSpec {
+        lr: 0.01,
+        epochs: 25,
+        ..Default::default()
+    };
 
     let mut points = Vec::new();
     println!("dim  bits  EIS      mean disagreement% over 3 served tasks");
@@ -58,8 +67,17 @@ fn main() {
             ));
         }
         let mean_di = stats::mean(&dis);
-        println!("{dim:>3}  {:>4}  {measure:.4}  {:>5.1}", prec.bits(), 100.0 * mean_di);
-        points.push(ConfigPoint { dim, bits: prec.bits(), measure, instability: mean_di });
+        println!(
+            "{dim:>3}  {:>4}  {measure:.4}  {:>5.1}",
+            prec.bits(),
+            100.0 * mean_di
+        );
+        points.push(ConfigPoint {
+            dim,
+            bits: prec.bits(),
+            measure,
+            instability: mean_di,
+        });
     }
 
     let picked = points

@@ -5,11 +5,11 @@
 //!
 //! Run with: `cargo run --release --example kge_stability`
 
+use embedstab::core::disagreement;
 use embedstab::kge::{
     link_prediction_ranks, make_negatives, mean_rank, quantize_transe_pair, train_transe,
     unstable_rank_at_10, KgSpec, TranseConfig, TripletClassifier,
 };
-use embedstab::core::disagreement;
 use embedstab::quant::Precision;
 
 fn main() {

@@ -19,7 +19,10 @@ fn main() {
     let suite = MeasureSuite::new(&x, &x, 3.0, 0);
 
     println!("perturbation eps -> all five measures (higher = predicted less stable)\n");
-    println!("{:>6}  {:>8} {:>8} {:>8} {:>9} {:>9}", "eps", "EIS", "1-kNN", "SemDisp", "PIP", "1-ovl");
+    println!(
+        "{:>6}  {:>8} {:>8} {:>8} {:>9} {:>9}",
+        "eps", "EIS", "1-kNN", "SemDisp", "PIP", "1-ovl"
+    );
     for eps in [0.0, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0] {
         let mut y = base.clone();
         y.axpy(eps, &noise);

@@ -8,10 +8,10 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use embedstab::core::measures::{DistanceMeasure, EisMeasure};
 use embedstab::core::disagreement;
+use embedstab::core::measures::{DistanceMeasure, EisMeasure};
+use embedstab::corpus::LatentModelConfig;
 use embedstab::corpus::{CorpusConfig, DriftConfig, TemporalPair, TemporalPairConfig};
-use embedstab::corpus::{LatentModelConfig};
 use embedstab::downstream::models::{BowSentimentModel, TrainSpec};
 use embedstab::downstream::tasks::sentiment::SentimentSpec;
 use embedstab::embeddings::{train_embedding, Algo, CorpusStats};
@@ -22,9 +22,19 @@ fn main() {
     // 1. Two corpora a "year" apart: 10% of words drift in latent space,
     //    and the newer corpus has 2% more data.
     let pair = TemporalPair::build(&TemporalPairConfig {
-        model: LatentModelConfig { vocab_size: 400, n_topics: 10, ..Default::default() },
-        drift: DriftConfig { drifted_fraction: 0.1, ..Default::default() },
-        corpus: CorpusConfig { n_tokens: 60_000, ..Default::default() },
+        model: LatentModelConfig {
+            vocab_size: 400,
+            n_topics: 10,
+            ..Default::default()
+        },
+        drift: DriftConfig {
+            drifted_fraction: 0.1,
+            ..Default::default()
+        },
+        corpus: CorpusConfig {
+            n_tokens: 60_000,
+            ..Default::default()
+        },
         extra_token_frac: 0.02,
     });
     println!(
@@ -43,9 +53,18 @@ fn main() {
 
     // 3. For each precision: compress the pair, train paired downstream
     //    models with identical seeds, and measure disagreement.
-    let dataset = SentimentSpec { n_train: 400, n_valid: 50, n_test: 300, ..SentimentSpec::sst2() }
-        .generate(&pair.model17);
-    let spec = TrainSpec { lr: 0.01, epochs: 30, ..Default::default() };
+    let dataset = SentimentSpec {
+        n_train: 400,
+        n_valid: 50,
+        n_test: 300,
+        ..SentimentSpec::sst2()
+    }
+    .generate(&pair.model17);
+    let spec = TrainSpec {
+        lr: 0.01,
+        epochs: 30,
+        ..Default::default()
+    };
     // EIS references: the full-precision pair itself (the paper uses the
     // highest-dimensional full-precision embeddings).
     let eis = EisMeasure::new(&x17, &x18, 3.0);

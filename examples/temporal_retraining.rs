@@ -27,9 +27,18 @@ fn main() {
         n_topics: 8,
         ..Default::default()
     });
-    let dataset = SentimentSpec { n_train: 350, n_valid: 50, n_test: 250, ..SentimentSpec::sst2() }
-        .generate(&model);
-    let spec = TrainSpec { lr: 0.01, epochs: 25, ..Default::default() };
+    let dataset = SentimentSpec {
+        n_train: 350,
+        n_valid: 50,
+        n_test: 250,
+        ..SentimentSpec::sst2()
+    }
+    .generate(&model);
+    let spec = TrainSpec {
+        lr: 0.01,
+        epochs: 25,
+        ..Default::default()
+    };
 
     // Two serving configurations under comparison: 16 bits/word vs
     // 128 bits/word.
@@ -80,7 +89,10 @@ fn main() {
             cells.push(churn);
             previous[slot] = Some((emb_q, preds));
         }
-        let fmt = |c: &Option<f64>| c.map(|v| format!("{v:>5.1}")).unwrap_or_else(|| "  n/a".into());
+        let fmt = |c: &Option<f64>| {
+            c.map(|v| format!("{v:>5.1}"))
+                .unwrap_or_else(|| "  n/a".into())
+        };
         println!(
             "{month:>5}  {tokens:>6}   {:>18}   {:>19}",
             fmt(&cells[0]),

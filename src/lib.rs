@@ -28,8 +28,8 @@
 //! prediction disagreement, and compare it against the eigenspace
 //! instability measure.
 
-pub use embedstab_corpus as corpus;
 pub use embedstab_core as core;
+pub use embedstab_corpus as corpus;
 pub use embedstab_ctx as ctx;
 pub use embedstab_downstream as downstream;
 pub use embedstab_embeddings as embeddings;

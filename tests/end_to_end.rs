@@ -22,7 +22,10 @@ fn tiny_world() -> (World, EmbeddingGrid) {
 #[test]
 fn stability_memory_tradeoff_holds() {
     let (world, grid) = tiny_world();
-    let opts = GridOptions { algos: vec![Algo::Cbow, Algo::Mc], ..Default::default() };
+    let opts = GridOptions {
+        algos: vec![Algo::Cbow, Algo::Mc],
+        ..Default::default()
+    };
     let rows = run_sentiment_grid(&world, &grid, "sst2", &opts);
     let lo = mean_di_at_memory_extreme(&rows, true);
     let hi = mean_di_at_memory_extreme(&rows, false);
@@ -33,8 +36,11 @@ fn stability_memory_tradeoff_holds() {
     // Downstream quality at full precision must be non-degenerate on
     // average for the comparison to mean anything (individual tiny-scale
     // configurations can sit near chance).
-    let q: Vec<f64> =
-        rows.iter().filter(|r| r.bits == 32).map(|r| r.quality17).collect();
+    let q: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.bits == 32)
+        .map(|r| r.quality17)
+        .collect();
     assert!(
         stats::mean(&q) > 0.55,
         "degenerate full-precision models (mean quality {:.3})",
@@ -67,10 +73,16 @@ fn ner_precision_effect() {
         ..Default::default()
     };
     let rows = run_ner_grid(&world, &grid, &opts);
-    let one_bit: Vec<f64> =
-        rows.iter().filter(|r| r.bits == 1).map(|r| r.disagreement).collect();
-    let full: Vec<f64> =
-        rows.iter().filter(|r| r.bits == 32).map(|r| r.disagreement).collect();
+    let one_bit: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.bits == 1)
+        .map(|r| r.disagreement)
+        .collect();
+    let full: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.bits == 32)
+        .map(|r| r.disagreement)
+        .collect();
     assert!(
         stats::mean(&one_bit) > stats::mean(&full),
         "1-bit NER should be less stable than full precision"
@@ -89,11 +101,16 @@ fn eis_predicts_downstream_instability() {
         ..Default::default()
     };
     let rows = run_sentiment_grid(&world, &grid, "sst2", &opts);
-    let xs: Vec<f64> =
-        rows.iter().map(|r| r.measures.expect("measures").get(MeasureKind::Eis)).collect();
+    let xs: Vec<f64> = rows
+        .iter()
+        .map(|r| r.measures.expect("measures").get(MeasureKind::Eis))
+        .collect();
     let ys: Vec<f64> = rows.iter().map(|r| r.disagreement).collect();
     let rho = stats::spearman(&xs, &ys);
-    assert!(rho > 0.2, "EIS should correlate with disagreement, rho = {rho:.2}");
+    assert!(
+        rho > 0.2,
+        "EIS should correlate with disagreement, rho = {rho:.2}"
+    );
 
     let points: Vec<ConfigPoint> = rows
         .iter()

@@ -27,12 +27,20 @@ fn kge_stability_memory_tradeoff() {
     }
     .generate();
     let kg95 = kg.subsample_train(0.95, 3);
-    let cfg = TranseConfig { epochs: 60, patience: 0, ..Default::default() };
+    let cfg = TranseConfig {
+        epochs: 60,
+        patience: 0,
+        ..Default::default()
+    };
     let a = train_transe(&kg, 16, &cfg, 0);
     let b = train_transe(&kg95, 16, &cfg, 0);
 
     let ra = link_prediction_ranks(&a, kg.n_entities, &kg.test);
-    assert!(mean_rank(&ra) < 30.0, "training failed: mean rank {}", mean_rank(&ra));
+    assert!(
+        mean_rank(&ra) < 30.0,
+        "training failed: mean rank {}",
+        mean_rank(&ra)
+    );
 
     let rb = link_prediction_ranks(&b, kg.n_entities, &kg.test);
     let full_instability = unstable_rank_at_10(&ra, &rb);
@@ -58,8 +66,16 @@ fn contextual_embeddings_pipeline() {
         ..Default::default()
     });
     let drifted = model.drifted(&Default::default());
-    let c17 = model.generate_corpus(&CorpusConfig { n_tokens: 8_000, seed: 0, ..Default::default() });
-    let c18 = drifted.generate_corpus(&CorpusConfig { n_tokens: 8_000, seed: 1, ..Default::default() });
+    let c17 = model.generate_corpus(&CorpusConfig {
+        n_tokens: 8_000,
+        seed: 0,
+        ..Default::default()
+    });
+    let c18 = drifted.generate_corpus(&CorpusConfig {
+        n_tokens: 8_000,
+        seed: 1,
+        ..Default::default()
+    });
     let bert_cfg = BertConfig {
         vocab_size: 120,
         dim: 16,
@@ -71,22 +87,35 @@ fn contextual_embeddings_pipeline() {
     };
     let mut b17 = MiniBert::new(&bert_cfg);
     let mut b18 = MiniBert::new(&bert_cfg);
-    let tcfg = MlmTrainConfig { epochs: 2, ..Default::default() };
+    let tcfg = MlmTrainConfig {
+        epochs: 2,
+        ..Default::default()
+    };
     b17.train_mlm(&c17, &tcfg);
     b18.train_mlm(&c18, &tcfg);
 
-    let ds = SentimentSpec { n_train: 200, n_valid: 30, n_test: 150, ..SentimentSpec::sst2() }
-        .generate(&model);
+    let ds = SentimentSpec {
+        n_train: 200,
+        n_valid: 30,
+        n_test: 150,
+        ..SentimentSpec::sst2()
+    }
+    .generate(&model);
     let feats = |bert: &MiniBert, exs: &[embedstab::downstream::SentimentExample]| -> Mat {
         let mut out = Mat::zeros(exs.len(), 16);
         for (i, ex) in exs.iter().enumerate() {
             let toks = &ex.tokens[..ex.tokens.len().min(16)];
-            out.row_mut(i).copy_from_slice(&bert.sentence_embedding(toks));
+            out.row_mut(i)
+                .copy_from_slice(&bert.sentence_embedding(toks));
         }
         out
     };
     let labels: Vec<bool> = ds.train.iter().map(|e| e.label).collect();
-    let spec = TrainSpec { lr: 0.01, epochs: 25, ..Default::default() };
+    let spec = TrainSpec {
+        lr: 0.01,
+        epochs: 25,
+        ..Default::default()
+    };
     let m17 = LogReg::train(&feats(&b17, &ds.train), &labels, &spec);
     let m18 = LogReg::train(&feats(&b18, &ds.train), &labels, &spec);
     let p17 = m17.predict_all(&feats(&b17, &ds.test));
@@ -94,7 +123,10 @@ fn contextual_embeddings_pipeline() {
     let test_labels: Vec<bool> = ds.test.iter().map(|e| e.label).collect();
     let acc17 = p17.iter().zip(&test_labels).filter(|(a, b)| a == b).count() as f64
         / test_labels.len() as f64;
-    assert!(acc17 > 0.55, "BERT features should be learnable, acc {acc17}");
+    assert!(
+        acc17 > 0.55,
+        "BERT features should be learnable, acc {acc17}"
+    );
     let di = disagreement(&p17, &p18);
     assert!(
         di > 0.0 && di < 0.5,

@@ -1,0 +1,79 @@
+//! Facade smoke test: every subsystem re-exported by `embedstab`'s
+//! `src/lib.rs` must resolve, and a representative symbol from each must
+//! be usable — so a facade/workspace wiring regression fails here first,
+//! before any heavier integration test.
+
+use embedstab::embeddings::Embedding;
+use embedstab::linalg::Mat;
+
+/// One load-bearing path per re-exported subsystem.
+#[test]
+fn all_reexported_subsystems_resolve() {
+    // linalg
+    let m = Mat::identity(3);
+    assert_eq!(m.trace(), 3.0);
+
+    // corpus
+    let model = embedstab::corpus::LatentModel::new(&embedstab::corpus::LatentModelConfig {
+        vocab_size: 60,
+        ..Default::default()
+    });
+    let corpus = model.generate_corpus(&embedstab::corpus::CorpusConfig {
+        n_tokens: 500,
+        ..Default::default()
+    });
+    assert!(corpus.n_tokens() >= 500);
+
+    // embeddings
+    let emb = Embedding::new(Mat::identity(4));
+    assert_eq!(emb.dim(), 4);
+    assert_eq!(embedstab::embeddings::Algo::MAIN.len(), 3);
+
+    // quant
+    let q = embedstab::quant::quantize(&emb, embedstab::quant::Precision::new(1), None);
+    assert!(q.mse >= 0.0);
+    assert_eq!(
+        embedstab::quant::bits_per_word(4, embedstab::quant::Precision::FULL),
+        128
+    );
+
+    // core
+    assert_eq!(
+        embedstab::core::disagreement(&[true, false], &[true, true]),
+        0.5
+    );
+    assert_eq!(embedstab::core::measures::MeasureKind::ALL.len(), 5);
+
+    // downstream
+    assert!(embedstab::downstream::N_TAGS >= 2);
+
+    // kge
+    let kg = embedstab::kge::KgSpec {
+        n_entities: 20,
+        n_types: 3,
+        n_relations: 4,
+        triplets_per_relation: 30,
+        ..Default::default()
+    }
+    .generate();
+    assert_eq!(kg.n_entities, 20);
+
+    // ctx
+    let cfg = embedstab::ctx::BertConfig {
+        vocab_size: 30,
+        dim: 8,
+        heads: 2,
+        layers: 1,
+        ..Default::default()
+    };
+    let bert = embedstab::ctx::MiniBert::new(&cfg);
+    assert_eq!(bert.sentence_embedding(&[1, 2, 3]).len(), 8);
+
+    // pipeline
+    let params = embedstab::pipeline::Scale::Tiny.params();
+    assert!(!params.dims.is_empty());
+    assert!(
+        params.seeds.len() >= 3,
+        "tiny scale must keep the 3-seed protocol"
+    );
+}

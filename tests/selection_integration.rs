@@ -50,7 +50,10 @@ fn selection_stack_on_trained_embeddings() {
             .iter()
             .map(|p| p.instability)
             .fold(f64::NEG_INFINITY, f64::max)
-            - points.iter().map(|p| p.instability).fold(f64::INFINITY, f64::min);
+            - points
+                .iter()
+                .map(|p| p.instability)
+                .fold(f64::INFINITY, f64::min);
         assert!(budget.mean_gap <= spread + 1e-12);
         assert!(budget.worst_gap >= budget.mean_gap - 1e-12);
         // Baselines run on the same points.

@@ -79,6 +79,9 @@ fn measure_suite_sanity_on_trained_pairs() {
     let diff = suite.compute_all(x17, x18);
     for kind in MeasureKind::ALL {
         assert!(same.get(kind).abs() < 1e-6, "{kind} on identical pair");
-        assert!(diff.get(kind) > same.get(kind), "{kind} must detect the corpus change");
+        assert!(
+            diff.get(kind) > same.get(kind),
+            "{kind} must detect the corpus change"
+        );
     }
 }

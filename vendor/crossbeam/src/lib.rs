@@ -1,0 +1,73 @@
+//! Vendored minimal stand-in for `crossbeam`'s scoped threads, backed by
+//! `std::thread::scope`.
+//!
+//! One behavioral difference from real crossbeam: a panicking worker
+//! propagates the panic out of [`scope`] directly (std semantics) instead
+//! of surfacing it as `Err`, so callers' `.expect(...)` on the result
+//! still aborts the test/binary with a clear message, just via the
+//! original panic.
+
+use std::any::Any;
+
+/// A scope handle; workers spawned through it may borrow from the
+/// environment of the [`scope`] call.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a worker thread. The closure receives the scope handle,
+    /// mirroring crossbeam's signature (commonly ignored as `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-environment threads can be
+/// spawned; all workers are joined before this returns.
+///
+/// # Errors
+///
+/// Never returns `Err` in this vendored version (worker panics propagate
+/// as panics); the `Result` shape is kept for crossbeam compatibility.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut partial = vec![0u64; 2];
+        super::scope(|scope| {
+            let (a, b) = partial.split_at_mut(1);
+            scope.spawn(|_| a[0] = data[..2].iter().sum());
+            scope.spawn(|_| b[0] = data[2..].iter().sum());
+        })
+        .unwrap();
+        assert_eq!(partial[0] + partial[1], 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let flag = std::sync::atomic::AtomicUsize::new(0);
+        super::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    flag.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(flag.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+}

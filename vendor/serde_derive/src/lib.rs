@@ -1,0 +1,238 @@
+//! Vendored minimal `serde` derive macros.
+//!
+//! Parses the input token stream by hand (no `syn`/`quote` available in
+//! this offline environment) and supports exactly the shapes this
+//! workspace derives on:
+//!
+//! - structs with named fields -> JSON objects, and
+//! - enums whose variants are all unit variants -> JSON strings.
+//!
+//! Generics, tuple structs, and data-carrying enum variants are rejected
+//! with a compile error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Struct name plus ordered named fields.
+    Struct(String, Vec<String>),
+    /// Enum name plus ordered unit variant names.
+    Enum(String, Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Extracts top-level named field idents (struct) from a brace group body:
+/// the ident immediately preceding each top-level `:`.
+fn named_fields(body: &TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut prev_ident: Option<String> = None;
+    let mut depth_angle = 0i32;
+    let mut in_path_sep = false; // just saw the first ':' of a `::`
+    for tt in body.clone() {
+        match &tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth_angle += 1,
+                '>' => depth_angle -= 1,
+                ':' => {
+                    if in_path_sep {
+                        // second ':' of `::`
+                        in_path_sep = false;
+                    } else if p.spacing() == proc_macro::Spacing::Joint {
+                        // first ':' of `::` — path separator, not a field
+                        in_path_sep = true;
+                        prev_ident = None;
+                    } else if depth_angle == 0 {
+                        if let Some(name) = prev_ident.take() {
+                            fields.push(name);
+                        }
+                    }
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s != "pub" {
+                    prev_ident = Some(s);
+                } else {
+                    prev_ident = None;
+                }
+            }
+            _ => prev_ident = None,
+        }
+    }
+    if fields.is_empty() {
+        return Err("derive target has no named fields".into());
+    }
+    Ok(fields)
+}
+
+/// Extracts unit variant names from an enum body, rejecting data variants.
+fn unit_variants(body: &TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut after_hash = false; // the bracket group of a `#[...]` attribute
+    let mut after_ident = false;
+    for tt in body.clone() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                after_hash = true;
+                after_ident = false;
+            }
+            TokenTree::Group(g) => {
+                if after_hash && g.delimiter() == Delimiter::Bracket {
+                    after_hash = false; // skip attribute / doc comment
+                } else if after_ident {
+                    return Err("only unit enum variants are supported".into());
+                }
+                after_ident = false;
+            }
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                after_ident = true;
+                after_hash = false;
+            }
+            _ => {
+                after_hash = false;
+                after_ident = false;
+            }
+        }
+    }
+    if variants.is_empty() {
+        return Err("enum has no variants".into());
+    }
+    Ok(variants)
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (#[...]) and visibility/doc tokens until struct/enum.
+    let mut kind: Option<String> = None;
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                kind = Some(s);
+                break;
+            }
+        }
+    }
+    let kind = kind.ok_or("expected struct or enum")?;
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    // Reject generics: the workspace derives only on concrete types.
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("generic derive targets are not supported".into());
+            }
+            Some(_) => continue,
+            None => return Err("expected braced body".into()),
+        }
+    };
+    if kind == "struct" {
+        Ok(Shape::Struct(name, named_fields(&body)?))
+    } else {
+        Ok(Shape::Enum(name, unit_variants(&body)?))
+    }
+}
+
+/// Derives `serde::Serialize` for named-field structs and unit enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match shape {
+        Shape::Struct(name, fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\
+                     fn to_value(&self) -> serde::Value {{\
+                         let mut fields: Vec<(String, serde::Value)> = Vec::new();\
+                         {pushes}\
+                         serde::Value::Object(fields)\
+                     }}\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => serde::Value::Str({v:?}.to_string()),"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\
+                     fn to_value(&self) -> serde::Value {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            )
+        }
+    };
+    out.parse().unwrap()
+}
+
+/// Derives `serde::Deserialize` for named-field structs and unit enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match shape {
+        Shape::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(\
+                             v.get({f:?}).unwrap_or(&serde::Value::Null)\
+                         )?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\
+                         if !matches!(v, serde::Value::Object(_)) {{\
+                             return Err(serde::Error::msg(concat!(\"expected object for \", stringify!({name}))));\
+                         }}\
+                         Ok({name} {{ {inits} }})\
+                     }}\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\
+                         match v {{\
+                             serde::Value::Str(s) => match s.as_str() {{\
+                                 {arms}\
+                                 other => Err(serde::Error::msg(format!(\"unknown variant {{other}}\"))),\
+                             }},\
+                             _ => Err(serde::Error::msg(concat!(\"expected string for \", stringify!({name})))),\
+                         }}\
+                     }}\
+                 }}"
+            )
+        }
+    };
+    out.parse().unwrap()
+}
