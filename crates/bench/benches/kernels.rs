@@ -18,10 +18,30 @@ use rand::SeedableRng;
 
 fn bench_gemm(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-    let a = Mat::random_normal(256, 256, &mut rng);
-    let b = Mat::random_normal(256, 256, &mut rng);
-    c.bench_function("gemm_256", |bench| {
-        bench.iter(|| black_box(a.matmul(black_box(&b))));
+    // Blocked kernel across the 256-1024 sizes the figures actually hit,
+    // with the naive triple loop as the "before" reference at the sizes
+    // where it finishes in reasonable time.
+    for &s in &[256usize, 512, 1024] {
+        let a = Mat::random_normal(s, s, &mut rng);
+        let b = Mat::random_normal(s, s, &mut rng);
+        c.bench_function(&format!("gemm_{s}"), |bench| {
+            bench.iter(|| black_box(a.matmul(black_box(&b))));
+        });
+        if s <= 512 {
+            c.bench_function(&format!("gemm_naive_{s}"), |bench| {
+                bench.iter(|| black_box(a.matmul_naive(black_box(&b))));
+            });
+        }
+    }
+    // Transposed variants share the packed kernel; keep them visible so a
+    // packing regression in either orientation shows up.
+    let a = Mat::random_normal(512, 512, &mut rng);
+    let b = Mat::random_normal(512, 512, &mut rng);
+    c.bench_function("gemm_tn_512", |bench| {
+        bench.iter(|| black_box(a.matmul_tn(black_box(&b))));
+    });
+    c.bench_function("gemm_nt_512", |bench| {
+        bench.iter(|| black_box(a.matmul_nt(black_box(&b))));
     });
     let tall = Mat::random_normal(1000, 64, &mut rng);
     c.bench_function("gram_1000x64", |bench| {
@@ -30,13 +50,28 @@ fn bench_gemm(c: &mut Criterion) {
 }
 
 fn bench_svd(c: &mut Criterion) {
+    use embedstab_linalg::{RandomizedSvd, SvdMethod};
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    // Auto dispatch (randomized for the tall sizes); bench names predate
+    // the dispatch and are kept stable for baseline comparisons.
     for &(n, d) in &[(200usize, 16usize), (500, 32), (1000, 64)] {
         let a = Mat::random_normal(n, d, &mut rng);
         c.bench_function(&format!("jacobi_svd_{n}x{d}"), |bench| {
             bench.iter(|| black_box(a.svd()));
         });
     }
+    // Before/after at the headline size: exact Jacobi vs the randomized
+    // range finder, plus a truncated sketch as used by rank-k consumers.
+    let a = Mat::random_normal(1000, 64, &mut rng);
+    c.bench_function("svd_exact_1000x64", |bench| {
+        bench.iter(|| black_box(a.svd_with(SvdMethod::Exact)));
+    });
+    c.bench_function("svd_randomized_1000x64", |bench| {
+        bench.iter(|| black_box(a.svd_randomized(RandomizedSvd::full())));
+    });
+    c.bench_function("svd_randomized_1000x64_rank16", |bench| {
+        bench.iter(|| black_box(a.svd_randomized(RandomizedSvd::truncated(16))));
+    });
 }
 
 fn bench_quantization(c: &mut Criterion) {

@@ -2,9 +2,9 @@
 //! the paper's core contribution.
 
 use embedstab_embeddings::Embedding;
-use embedstab_linalg::Mat;
+use embedstab_linalg::{Mat, SvdMethod};
 
-use super::{left_singular_basis, DistanceMeasure};
+use super::{left_singular_basis, left_singular_basis_with, DistanceMeasure};
 
 /// The eigenspace instability measure
 /// `EI_Sigma(X, X~) = tr((U U^T + U~ U~^T - 2 U~ U~^T U U^T) Sigma) / tr(Sigma)`
@@ -106,6 +106,22 @@ impl EisMeasure {
         );
         let ux = left_singular_basis(x.mat());
         let uy = left_singular_basis(y.mat());
+        self.distance_from_bases(&ux, &uy)
+    }
+
+    /// Computes the measure with an explicit SVD backend for the singular
+    /// bases of `x` and `y`; exact and randomized backends must agree to
+    /// roundoff (pinned by the kernel-conformance tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either embedding's vocabulary size differs from the
+    /// references'.
+    pub fn distance_with_svd(&self, x: &Embedding, y: &Embedding, method: SvdMethod) -> f64 {
+        assert_eq!(x.vocab_size(), self.vocab_size, "vocabulary mismatch");
+        assert_eq!(y.vocab_size(), self.vocab_size, "vocabulary mismatch");
+        let ux = left_singular_basis_with(x.mat(), method);
+        let uy = left_singular_basis_with(y.mat(), method);
         self.distance_from_bases(&ux, &uy)
     }
 

@@ -20,6 +20,7 @@ pub use pip::PipLoss;
 
 use embedstab_embeddings::Embedding;
 use embedstab_linalg::Mat;
+pub use embedstab_linalg::{RandomizedSvd, SvdMethod};
 use serde::{Deserialize, Serialize};
 
 /// A pairwise embedding distance: higher = predicted less stable.
@@ -113,6 +114,7 @@ impl MeasureValues {
 pub struct MeasureSuite {
     eis: EisMeasure,
     knn: KnnMeasure,
+    svd: SvdMethod,
 }
 
 impl MeasureSuite {
@@ -123,12 +125,21 @@ impl MeasureSuite {
         MeasureSuite {
             eis: EisMeasure::new(e17, e18, alpha),
             knn: KnnMeasure::new(5, 1000, knn_seed),
+            svd: SvdMethod::Auto,
         }
     }
 
     /// Overrides the k-NN configuration.
     pub fn with_knn(mut self, knn: KnnMeasure) -> Self {
         self.knn = knn;
+        self
+    }
+
+    /// Overrides the SVD backend used for the eigenspace bases (the
+    /// kernel-conformance tests pin `Exact` vs `Randomized` agreement;
+    /// production runs keep the `Auto` default).
+    pub fn with_svd_method(mut self, svd: SvdMethod) -> Self {
+        self.svd = svd;
         self
     }
 
@@ -144,8 +155,8 @@ impl MeasureSuite {
             y.vocab_size(),
             "embeddings must share a vocabulary"
         );
-        let ux = left_singular_basis(x.mat());
-        let uy = left_singular_basis(y.mat());
+        let ux = left_singular_basis_with(x.mat(), self.svd);
+        let uy = left_singular_basis_with(y.mat(), self.svd);
         MeasureValues {
             eis: self.eis.distance_from_bases(&ux, &uy),
             knn_dist: self.knn.distance(x, y),
@@ -156,9 +167,18 @@ impl MeasureSuite {
     }
 }
 
-/// Rank-truncated left singular vectors of an embedding matrix.
+/// Rank-truncated left singular vectors of an embedding matrix, computed
+/// with the default [`SvdMethod::Auto`] backend.
 pub(crate) fn left_singular_basis(m: &Mat) -> Mat {
-    m.svd().u_rank(1e-10)
+    left_singular_basis_with(m, SvdMethod::Auto)
+}
+
+/// Rank-truncated left singular vectors computed with an explicit SVD
+/// backend. This is the seam the eigenspace measures and the
+/// kernel-conformance tests share: swapping the backend here must not
+/// change any measure value beyond roundoff.
+pub fn left_singular_basis_with(m: &Mat, method: SvdMethod) -> Mat {
+    m.svd_with(method).u_rank(1e-10)
 }
 
 #[cfg(test)]

@@ -1,9 +1,9 @@
 //! The eigenspace overlap score (May et al., 2019).
 
 use embedstab_embeddings::Embedding;
-use embedstab_linalg::Mat;
+use embedstab_linalg::{Mat, SvdMethod};
 
-use super::{left_singular_basis, DistanceMeasure};
+use super::{left_singular_basis, left_singular_basis_with, DistanceMeasure};
 
 /// The eigenspace overlap score `1/max(d, k) * ||U^T U~||_F^2` where `U`,
 /// `U~` are the left singular vectors of the two embeddings, reported as
@@ -22,6 +22,20 @@ impl EigenspaceOverlap {
         let ux = left_singular_basis(x.mat());
         let uy = left_singular_basis(y.mat());
         overlap_from_bases(&ux, &uy)
+    }
+
+    /// The distance `1 - overlap` with an explicit SVD backend for the
+    /// singular bases; exact and randomized backends must agree to
+    /// roundoff (pinned by the kernel-conformance tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embeddings have different vocabulary sizes.
+    pub fn distance_with_svd(&self, x: &Embedding, y: &Embedding, method: SvdMethod) -> f64 {
+        assert_eq!(x.vocab_size(), y.vocab_size(), "vocabulary mismatch");
+        let ux = left_singular_basis_with(x.mat(), method);
+        let uy = left_singular_basis_with(y.mat(), method);
+        overlap_distance_from_bases(&ux, &uy)
     }
 }
 

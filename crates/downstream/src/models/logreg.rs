@@ -112,10 +112,30 @@ impl LogReg {
         self.decision(x) > 0.0
     }
 
+    /// Decision values for every row as one `Mat::matvec` call.
+    ///
+    /// Prediction disagreement evaluates every test set once per config
+    /// pair, so batch prediction is a downstream hot path; routing it
+    /// through the linalg entry point keeps it a single call site for
+    /// future batching/kernel work (the arithmetic is the same per-row
+    /// dot product as [`LogReg::decision`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.cols()` differs from the training dimension.
+    pub fn decision_all(&self, features: &Mat) -> Vec<f64> {
+        let mut z = features.matvec(&self.w);
+        for v in &mut z {
+            *v += self.b;
+        }
+        z
+    }
+
     /// Predicted labels for every row.
     pub fn predict_all(&self, features: &Mat) -> Vec<bool> {
-        (0..features.rows())
-            .map(|i| self.predict(features.row(i)))
+        self.decision_all(features)
+            .iter()
+            .map(|&z| z > 0.0)
             .collect()
     }
 

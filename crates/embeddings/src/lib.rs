@@ -15,6 +15,8 @@
 //!   (Jin et al., 2016).
 //! - [`fasttext::FastTextTrainer`] — skipgram with character n-gram buckets
 //!   (Bojanowski et al., 2017).
+//! - [`ppmi_svd::PpmiSvdTrainer`] — spectral baseline: truncated
+//!   (randomized) SVD of the PPMI matrix (Levy & Goldberg, 2014).
 //!
 //! All trainers are deterministic given their seed, and all return an
 //! [`Embedding`] (a `vocab x dim` matrix with frequency-ordered rows).
@@ -39,10 +41,12 @@ pub mod fasttext;
 pub mod glove;
 pub mod mc;
 pub mod negative;
+pub mod ppmi_svd;
 pub mod stats;
 
 pub use algo::{train_embedding, Algo};
 pub use embedding::Embedding;
+pub use ppmi_svd::{PpmiSvdConfig, PpmiSvdTrainer};
 pub use stats::CorpusStats;
 
 /// Loss bookkeeping returned by the `train_with_report` trainer entry points.

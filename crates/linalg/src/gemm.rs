@@ -1,10 +1,45 @@
-//! Matrix products, with optional thread parallelism for large operands.
+//! Matrix products via a single packed, cache-blocked GEMM kernel.
+//!
+//! All four product entry points ([`Mat::matmul`], [`Mat::matmul_tn`],
+//! [`Mat::matmul_nt`], [`Mat::gram`]) lower to one blocked kernel that
+//! follows the classic BLIS/GotoBLAS decomposition:
+//!
+//! - the output is computed in `MC x NC` tiles, with the inner (`k`)
+//!   dimension split into `KC`-deep slabs;
+//! - for each slab, a `KC x NC` panel of `B` is packed into contiguous
+//!   `NR`-wide column strips and an `MC x KC` panel of `A` into `MR`-tall
+//!   row strips, so the inner loops only touch unit-stride memory
+//!   regardless of whether the logical operand is transposed;
+//! - a register-tiled `MR x NR` micro-kernel accumulates into a local
+//!   array the compiler keeps in vector registers.
+//!
+//! Transposition is handled entirely in the packing step through strided
+//! [`View`]s, which is what lets `matmul_tn`/`matmul_nt`/`gram` share the
+//! kernel (and the crossbeam row-block parallelism) with `matmul`.
+//! Products too small to amortize packing fall back to a simple i-k-j
+//! loop, and [`Mat::matmul_naive`] exposes the textbook triple loop as the
+//! reference implementation for the kernel-conformance tests.
 
 use crate::Mat;
 
-/// Above this many multiply-adds, [`Mat::matmul`] splits row blocks across
-/// threads with `crossbeam::scope`.
+/// Above this many multiply-adds, the kernel splits output row blocks
+/// across threads with `crossbeam::scope`.
 const PAR_THRESHOLD: usize = 4_000_000;
+
+/// Below this many multiply-adds, packing costs more than it saves and the
+/// kernel falls back to a simple i-k-j loop.
+const PACK_THRESHOLD: usize = 32 * 32 * 32;
+
+/// Micro-kernel height: rows of `C` per register tile.
+const MR: usize = 6;
+/// Micro-kernel width: columns of `C` per register tile.
+const NR: usize = 8;
+/// Rows of `A` packed per cache block (multiple of `MR`).
+const MC: usize = 120;
+/// Depth (`k`) of one packed slab; bounds the packed-panel working set.
+const KC: usize = 256;
+/// Columns of `B` packed per cache block (multiple of `NR`).
+const NC: usize = 512;
 
 fn n_threads() -> usize {
     std::thread::available_parallelism()
@@ -12,11 +47,62 @@ fn n_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// A strided read-only view of one GEMM operand with logical shape
+/// `rows x cols`; transposed operands are expressed by swapping strides,
+/// so the packing routines never branch on orientation.
+#[derive(Clone, Copy)]
+struct View<'a> {
+    data: &'a [f64],
+    rows: usize,
+    cols: usize,
+    /// Stride between logically consecutive rows.
+    rs: usize,
+    /// Stride between logically consecutive columns.
+    cs: usize,
+}
+
+impl<'a> View<'a> {
+    fn normal(m: &'a Mat) -> Self {
+        View {
+            data: m.as_slice(),
+            rows: m.rows(),
+            cols: m.cols(),
+            rs: m.cols(),
+            cs: 1,
+        }
+    }
+
+    fn transposed(m: &'a Mat) -> Self {
+        View {
+            data: m.as_slice(),
+            rows: m.cols(),
+            cols: m.rows(),
+            rs: 1,
+            cs: m.cols(),
+        }
+    }
+
+    #[inline(always)]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.rs + j * self.cs]
+    }
+
+    /// The sub-view of rows `start..start + len`.
+    fn row_range(&self, start: usize, len: usize) -> View<'a> {
+        View {
+            data: &self.data[start * self.rs..],
+            rows: len,
+            ..*self
+        }
+    }
+}
+
 impl Mat {
     /// Matrix product `self * other`.
     ///
-    /// Uses an i-k-j loop order (cache friendly for row-major data) and
-    /// splits row blocks across threads when the operand sizes justify it.
+    /// Runs the packed cache-blocked kernel (see the module docs), with
+    /// output row blocks split across threads when the operand sizes
+    /// justify it.
     ///
     /// # Panics
     ///
@@ -31,29 +117,13 @@ impl Mat {
             other.rows(),
             other.cols()
         );
-        let (m, k, n) = (self.rows(), self.cols(), other.cols());
-        let mut out = Mat::zeros(m, n);
-        let work = m * k * n;
-        let threads = n_threads();
-        if work >= PAR_THRESHOLD && threads > 1 && m >= 2 * threads {
-            let chunk = m.div_ceil(threads);
-            let out_rows: Vec<&mut [f64]> = out.as_mut_slice().chunks_mut(chunk * n).collect();
-            crossbeam::scope(|scope| {
-                for (t, block) in out_rows.into_iter().enumerate() {
-                    let start = t * chunk;
-                    scope.spawn(move |_| {
-                        mul_block(self, other, block, start, n);
-                    });
-                }
-            })
-            .expect("matmul worker thread panicked");
-        } else {
-            mul_block(self, other, out.as_mut_slice(), 0, n);
-        }
+        let mut out = Mat::zeros(self.rows(), other.cols());
+        gemm(View::normal(self), View::normal(other), &mut out);
         out
     }
 
-    /// Transposed product `self^T * other` without materializing the transpose.
+    /// Transposed product `self^T * other` without materializing the
+    /// transpose (the packing step reads `self` column-wise instead).
     ///
     /// # Panics
     ///
@@ -68,22 +138,8 @@ impl Mat {
             other.rows(),
             other.cols()
         );
-        let (k, m, n) = (self.rows(), self.cols(), other.cols());
-        let mut out = Mat::zeros(m, n);
-        for p in 0..k {
-            let a_row = self.row(p);
-            let b_row = other.row(p);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let o = out.row_mut(i);
-                for (oj, &b) in o.iter_mut().zip(b_row) {
-                    *oj += a * b;
-                }
-            }
-        }
-        let _ = m;
+        let mut out = Mat::zeros(self.cols(), other.cols());
+        gemm(View::transposed(self), View::normal(other), &mut out);
         out
     }
 
@@ -102,15 +158,8 @@ impl Mat {
             other.rows(),
             other.cols()
         );
-        let (m, n) = (self.rows(), other.rows());
-        let mut out = Mat::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let o = out.row_mut(i);
-            for (j, oj) in o.iter_mut().enumerate() {
-                *oj = crate::vecops::dot(a_row, other.row(j));
-            }
-        }
+        let mut out = Mat::zeros(self.rows(), other.rows());
+        gemm(View::normal(self), View::transposed(other), &mut out);
         out
     }
 
@@ -118,44 +167,265 @@ impl Mat {
     pub fn gram(&self) -> Mat {
         self.matmul_tn(self)
     }
-}
 
-fn mul_block(a: &Mat, b: &Mat, out_block: &mut [f64], row_start: usize, n: usize) {
-    let rows_in_block = out_block.len() / n;
-    for bi in 0..rows_in_block {
-        let i = row_start + bi;
-        let a_row = a.row(i);
-        let o = &mut out_block[bi * n..(bi + 1) * n];
-        for (p, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = b.row(p);
-            for (oj, &bv) in o.iter_mut().zip(b_row) {
-                *oj += av * bv;
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rand::SeedableRng;
-
-    fn naive(a: &Mat, b: &Mat) -> Mat {
-        let mut out = Mat::zeros(a.rows(), b.cols());
-        for i in 0..a.rows() {
-            for j in 0..b.cols() {
+    /// Reference matrix product: the textbook i-j-k triple loop with no
+    /// blocking, packing, or threading.
+    ///
+    /// This is the ground truth the kernel-conformance test suite compares
+    /// the blocked kernel against, and the "before" case in the GEMM
+    /// benchmarks. Use [`Mat::matmul`] everywhere else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul_naive(&self, other: &Mat) -> Mat {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul_naive: inner dimensions must agree ({}x{} * {}x{})",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), other.cols());
+        let mut out = Mat::zeros(m, n);
+        for i in 0..m {
+            for j in 0..n {
                 let mut s = 0.0;
-                for p in 0..a.cols() {
-                    s += a[(i, p)] * b[(p, j)];
+                for p in 0..k {
+                    s += self[(i, p)] * other[(p, j)];
                 }
                 out[(i, j)] = s;
             }
         }
         out
     }
+}
+
+/// `out = a * b` for logical views `a` (`m x k`) and `b` (`k x n`):
+/// dispatches between the small-product fallback, the serial blocked
+/// kernel, and the row-block-parallel blocked kernel.
+fn gemm(a: View<'_>, b: View<'_>, out: &mut Mat) {
+    debug_assert_eq!(a.cols, b.rows);
+    debug_assert_eq!(out.shape(), (a.rows, b.cols));
+    let (m, k, n) = (a.rows, a.cols, b.cols);
+    let work = m * k * n;
+    if work < PACK_THRESHOLD {
+        gemm_small(a, b, out.as_mut_slice(), n);
+        return;
+    }
+    let threads = n_threads();
+    if work >= PAR_THRESHOLD && threads > 1 && m >= 2 * threads {
+        let chunk = m.div_ceil(threads);
+        let blocks: Vec<&mut [f64]> = out.as_mut_slice().chunks_mut(chunk * n).collect();
+        crossbeam::scope(|scope| {
+            for (t, block) in blocks.into_iter().enumerate() {
+                let a_sub = a.row_range(t * chunk, block.len() / n);
+                scope.spawn(move |_| gemm_blocked(a_sub, b, block, n));
+            }
+        })
+        .expect("gemm worker thread panicked");
+    } else {
+        gemm_blocked(a, b, out.as_mut_slice(), n);
+    }
+}
+
+/// Unpacked i-k-j product for operands too small to amortize packing.
+fn gemm_small(a: View<'_>, b: View<'_>, c: &mut [f64], n: usize) {
+    for i in 0..a.rows {
+        let crow = &mut c[i * n..(i + 1) * n];
+        for p in 0..a.cols {
+            let av = a.at(i, p);
+            if av == 0.0 {
+                continue;
+            }
+            if b.cs == 1 {
+                let brow = &b.data[p * b.rs..p * b.rs + n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            } else {
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    *cv += av * b.at(p, j);
+                }
+            }
+        }
+    }
+}
+
+/// The packed blocked kernel for one row slab of the output: `c` holds
+/// rows `0..a.rows` of the product as a dense `a.rows x n` block.
+fn gemm_blocked(a: View<'_>, b: View<'_>, c: &mut [f64], n: usize) {
+    let (m, k) = (a.rows, a.cols);
+    let mut bp = vec![0.0; KC * NC];
+    let mut ap = vec![0.0; MC * KC];
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(&mut bp, b, pc, kc, jc, nc);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a(&mut ap, a, ic, mc, pc, kc);
+                macro_kernel(&ap, &bp, c, n, ic, mc, jc, nc, kc);
+            }
+        }
+    }
+}
+
+/// Packs `b[pc..pc+kc][jc..jc+nc]` into `NR`-wide column strips, each laid
+/// out depth-major so the micro-kernel reads `NR` contiguous values per
+/// `k` step. Ragged right edges are zero-padded to a full strip.
+fn pack_b(bp: &mut [f64], b: View<'_>, pc: usize, kc: usize, jc: usize, nc: usize) {
+    let mut idx = 0;
+    for jp in (0..nc).step_by(NR) {
+        let w = NR.min(nc - jp);
+        for p in 0..kc {
+            let base = (pc + p) * b.rs + (jc + jp) * b.cs;
+            let strip = &mut bp[idx..idx + NR];
+            for (c, v) in strip[..w].iter_mut().enumerate() {
+                *v = b.data[base + c * b.cs];
+            }
+            strip[w..].fill(0.0);
+            idx += NR;
+        }
+    }
+}
+
+/// Packs `a[ic..ic+mc][pc..pc+kc]` into `MR`-tall row strips, depth-major,
+/// zero-padding ragged bottom edges to a full strip.
+fn pack_a(ap: &mut [f64], a: View<'_>, ic: usize, mc: usize, pc: usize, kc: usize) {
+    let mut idx = 0;
+    for ip in (0..mc).step_by(MR) {
+        let h = MR.min(mc - ip);
+        for p in 0..kc {
+            let base = (ic + ip) * a.rs + (pc + p) * a.cs;
+            let strip = &mut ap[idx..idx + MR];
+            for (r, v) in strip[..h].iter_mut().enumerate() {
+                *v = a.data[base + r * a.rs];
+            }
+            strip[h..].fill(0.0);
+            idx += MR;
+        }
+    }
+}
+
+/// Runs the register-tiled micro-kernel over one packed `mc x kc` A panel
+/// and `kc x nc` B panel, accumulating into the `c` block.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    ap: &[f64],
+    bp: &[f64],
+    c: &mut [f64],
+    n: usize,
+    ic: usize,
+    mc: usize,
+    jc: usize,
+    nc: usize,
+    kc: usize,
+) {
+    for (pi, ip) in (0..mc).step_by(MR).enumerate() {
+        let a_panel = &ap[pi * kc * MR..(pi + 1) * kc * MR];
+        let h = MR.min(mc - ip);
+        for (pj, jp) in (0..nc).step_by(NR).enumerate() {
+            let b_panel = &bp[pj * kc * NR..(pj + 1) * kc * NR];
+            let w = NR.min(nc - jp);
+            let mut acc = [[0.0f64; NR]; MR];
+            micro_kernel(kc, a_panel, b_panel, &mut acc);
+            for (r, acc_row) in acc.iter().enumerate().take(h) {
+                let crow = &mut c[(ic + ip + r) * n + jc + jp..][..w];
+                for (cv, &av) in crow.iter_mut().zip(&acc_row[..w]) {
+                    *cv += av;
+                }
+            }
+        }
+    }
+}
+
+/// The `MR x NR` register tile: for each depth step, broadcasts `MR`
+/// packed A values against `NR` packed B values. The fixed-size `acc`
+/// array stays in vector registers across the `kc` loop.
+///
+/// The body is monomorphic safe Rust; [`micro_kernel`] dispatches it
+/// either directly (baseline codegen) or through a `#[target_feature]`
+/// wrapper so LLVM can emit AVX2+FMA for the same source when the CPU
+/// supports it.
+#[inline(always)]
+fn micro_kernel_body(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut [[f64; NR]; MR]) {
+    debug_assert_eq!(a_panel.len(), kc * MR);
+    debug_assert_eq!(b_panel.len(), kc * NR);
+    // Two depth steps per iteration: enough independent FMA chains to hide
+    // the instruction latency without spilling the 6x8 accumulator tile.
+    let pairs = kc / 2;
+    for p in 0..pairs {
+        let a: &[f64; 2 * MR] = a_panel[p * 2 * MR..(p + 1) * 2 * MR]
+            .try_into()
+            .expect("MR strip pair");
+        let b: &[f64; 2 * NR] = b_panel[p * 2 * NR..(p + 1) * 2 * NR]
+            .try_into()
+            .expect("NR strip pair");
+        for r in 0..MR {
+            let (a0, a1) = (a[r], a[MR + r]);
+            for (c, av) in acc[r].iter_mut().enumerate() {
+                *av += a0 * b[c] + a1 * b[NR + c];
+            }
+        }
+    }
+    if kc % 2 == 1 {
+        let p = kc - 1;
+        let a: &[f64; MR] = a_panel[p * MR..p * MR + MR].try_into().expect("MR strip");
+        let b: &[f64; NR] = b_panel[p * NR..p * NR + NR].try_into().expect("NR strip");
+        for r in 0..MR {
+            let ar = a[r];
+            for (av, &bv) in acc[r].iter_mut().zip(b) {
+                *av += ar * bv;
+            }
+        }
+    }
+}
+
+/// AVX2+FMA instantiation of the micro-kernel body. The default x86-64
+/// target only guarantees SSE2; re-compiling the same safe body under
+/// `target_feature` roughly doubles the vector width and fuses the
+/// multiply-adds.
+///
+/// # Safety
+///
+/// Callers must have verified `avx2` and `fma` support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn micro_kernel_avx2(
+    kc: usize,
+    a_panel: &[f64],
+    b_panel: &[f64],
+    acc: &mut [[f64; NR]; MR],
+) {
+    micro_kernel_body(kc, a_panel, b_panel, acc);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn micro_kernel(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut [[f64; NR]; MR]) {
+    // Feature detection is cached by std; this is a load + branch per tile.
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        // SAFETY: both required features were just verified.
+        unsafe { micro_kernel_avx2(kc, a_panel, b_panel, acc) }
+    } else {
+        micro_kernel_body(kc, a_panel, b_panel, acc);
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline(always)]
+fn micro_kernel(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut [[f64; NR]; MR]) {
+    micro_kernel_body(kc, a_panel, b_panel, acc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
 
     #[test]
     fn matmul_small_known() {
@@ -171,8 +441,22 @@ mod tests {
         let a = Mat::random_normal(17, 9, &mut rng);
         let b = Mat::random_normal(9, 13, &mut rng);
         let c = a.matmul(&b);
-        let d = naive(&a, &b);
+        let d = a.matmul_naive(&b);
         assert!(c.sub(&d).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn blocked_path_matches_naive_across_block_edges() {
+        // Sizes straddling MR/NR/MC/KC boundaries, all above PACK_THRESHOLD.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for &(m, k, n) in &[(33, 37, 41), (128, 256, 8), (129, 257, 9), (40, 300, 40)] {
+            let a = Mat::random_normal(m, k, &mut rng);
+            let b = Mat::random_normal(k, n, &mut rng);
+            let c = a.matmul(&b);
+            let d = a.matmul_naive(&b);
+            let rel = c.sub(&d).frobenius_norm() / d.frobenius_norm().max(1.0);
+            assert!(rel < 1e-12, "{m}x{k}x{n}: rel err {rel}");
+        }
     }
 
     #[test]
@@ -182,7 +466,7 @@ mod tests {
         let a = Mat::random_normal(200, 200, &mut rng);
         let b = Mat::random_normal(200, 200, &mut rng);
         let c = a.matmul(&b);
-        let d = naive(&a, &b);
+        let d = a.matmul_naive(&b);
         assert!(c.sub(&d).frobenius_norm() / d.frobenius_norm() < 1e-12);
     }
 
@@ -196,6 +480,19 @@ mod tests {
         let c = Mat::random_normal(4, 5, &mut rng);
         let nt = a.matmul_nt(&c);
         assert!(nt.sub(&a.matmul(&c.transpose())).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn tn_and_nt_match_explicit_transpose_blocked() {
+        // Above PACK_THRESHOLD so the packed kernel (strided packing) runs.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let a = Mat::random_normal(90, 70, &mut rng);
+        let b = Mat::random_normal(90, 50, &mut rng);
+        let tn = a.matmul_tn(&b);
+        assert!(tn.sub(&a.transpose().matmul_naive(&b)).frobenius_norm() < 1e-10);
+        let c = Mat::random_normal(60, 70, &mut rng);
+        let nt = a.matmul_nt(&c);
+        assert!(nt.sub(&a.matmul_naive(&c.transpose())).frobenius_norm() < 1e-10);
     }
 
     #[test]
@@ -218,5 +515,21 @@ mod tests {
         let a = Mat::zeros(2, 3);
         let b = Mat::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_tn: row counts must agree")]
+    fn matmul_tn_shape_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(3, 2);
+        let _ = a.matmul_tn(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_nt: column counts must agree")]
+    fn matmul_nt_shape_mismatch_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 4);
+        let _ = a.matmul_nt(&b);
     }
 }

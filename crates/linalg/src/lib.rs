@@ -3,13 +3,41 @@
 //! Everything the embedding-instability measures and trainers need is built
 //! from scratch here on top of a row-major [`Mat`] type:
 //!
-//! - blocked (and optionally multi-threaded) matrix products ([`Mat::matmul`],
-//!   [`Mat::matmul_tn`], [`Mat::matmul_nt`]),
+//! - packed, cache-blocked, register-tiled matrix products
+//!   ([`Mat::matmul`], [`Mat::matmul_tn`], [`Mat::matmul_nt`],
+//!   [`Mat::gram`]) with crossbeam row-block parallelism for large
+//!   operands,
 //! - thin Householder QR ([`Mat::qr`]),
-//! - one-sided Jacobi singular value decomposition ([`Mat::svd`]),
+//! - singular value decomposition ([`Mat::svd`]) with two backends:
+//!   one-sided Jacobi ([`Mat::svd_exact`]) and a randomized range finder
+//!   ([`Mat::svd_randomized`]),
 //! - Cholesky factorization and SPD solves ([`chol`]),
 //! - the orthogonal Procrustes problem ([`procrustes::orthogonal_procrustes`]),
 //!   used by the paper to align Wiki'17/Wiki'18 embeddings before compression.
+//!
+//! # Kernel architecture
+//!
+//! **GEMM.** Every product variant lowers to one packed blocked kernel
+//! (BLIS-style decomposition) in [`gemm`]: `MC x KC` panels of `A` and
+//! `KC x NC` panels of `B` are packed into contiguous `MR`-tall /
+//! `NR`-wide strips, and an `MR x NR = 6 x 8` register-tiled micro-kernel
+//! (recompiled under `target_feature(avx2,fma)` and runtime-dispatched)
+//! accumulates each output tile. The block parameters are
+//! `MC = 120, KC = 256, NC = 512` (an A panel is 240 KiB, a B panel
+//! 1 MiB). Transposed operands (`matmul_tn`, `matmul_nt`, `gram`) are
+//! handled by strided packing, so they share the kernel and its
+//! parallelism. Products under `32^3` multiply-adds skip packing and run
+//! a plain i-k-j loop; the textbook triple loop itself stays available as
+//! [`Mat::matmul_naive`] for conformance testing.
+//!
+//! **SVD.** [`Mat::svd`] auto-dispatches ([`svd::SvdMethod::Auto`]):
+//! matrices whose long side is at least `256` and at least `4x` the short
+//! side take the randomized range-finder path (sketch, QR, Jacobi on the
+//! small projected problem — all blocked-GEMM work), everything else runs
+//! exact one-sided Jacobi. Force a backend with
+//! [`Mat::svd_with`]`(SvdMethod::Exact)` / `svd_with(SvdMethod::
+//! Randomized(cfg))`; truncated sketches with subspace iteration are
+//! available through [`RandomizedSvd::truncated`].
 //!
 //! # Example
 //!
@@ -34,4 +62,4 @@ pub mod vecops;
 pub use chol::{cholesky, lstsq, solve_spd};
 pub use mat::Mat;
 pub use procrustes::{align, orthogonal_procrustes};
-pub use svd::Svd;
+pub use svd::{RandomizedSvd, Svd, SvdMethod};

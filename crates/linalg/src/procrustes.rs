@@ -19,7 +19,10 @@ use crate::Mat;
 pub fn orthogonal_procrustes(x: &Mat, y: &Mat) -> Mat {
     assert_eq!(x.shape(), y.shape(), "procrustes requires equal shapes");
     let m = y.matmul_tn(x); // d x d
-    let svd = m.svd();
+                            // The cross-product is small and square, and the rotation's
+                            // orthogonality is load-bearing for every alignment downstream, so pin
+                            // the exact Jacobi backend rather than relying on the auto dispatch.
+    let svd = m.svd_with(crate::SvdMethod::Exact);
     svd.u.matmul_nt(&svd.v)
 }
 

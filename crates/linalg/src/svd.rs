@@ -1,11 +1,31 @@
-//! Singular value decomposition via the one-sided Jacobi method.
+//! Singular value decomposition: one-sided Jacobi plus a randomized
+//! range-finder fast path.
 //!
-//! One-sided Jacobi orthogonalizes the columns of the input by plane
-//! rotations. It is simple, numerically robust, and well suited to the tall
-//! skinny matrices that arise as embedding matrices (`vocab x dim`), which is
-//! exactly where the paper's eigenspace measures need singular vectors.
+//! Two backends live here, selected by [`SvdMethod`]:
+//!
+//! - **Exact one-sided Jacobi** ([`Mat::svd_exact`]): orthogonalizes the
+//!   columns of the input by plane rotations. Simple and numerically
+//!   robust, but every rotation sweeps full-length columns, so tall
+//!   embedding matrices (`vocab x dim`) pay `O(sweeps * dim^2 * vocab)`
+//!   in memory-bound rotations.
+//! - **Randomized range finder** ([`Mat::svd_randomized`], Halko,
+//!   Martinsson & Tropp, 2011): sketches the column space with a seeded
+//!   Gaussian test matrix, orthonormalizes via QR, optionally refines with
+//!   subspace (power) iterations, and runs Jacobi only on the small
+//!   projected problem `B = Q^T A`. All the heavy lifting becomes blocked
+//!   GEMM calls. With a full-width sketch (`l = min(m, n)`) the projection
+//!   is exact up to roundoff, so the default [`SvdMethod::Auto`] dispatch
+//!   can use it for tall matrices without an accuracy cliff; the
+//!   kernel-conformance test suite pins this.
+//!
+//! [`Mat::svd`] is `svd_with(SvdMethod::Auto)`: randomized for tall
+//! operands (long side at least [`RANDOMIZED_MIN_DIM`] and at least
+//! [`RANDOMIZED_ASPECT`]`x` the short side), exact Jacobi for everything
+//! small, square-ish, or degenerate. Pass [`SvdMethod::Exact`] to force
+//! the Jacobi path (Procrustes rotations and the conformance tests do).
 
 use crate::Mat;
+use rand::SeedableRng;
 
 /// Maximum number of Jacobi sweeps before giving up (in practice well under
 /// 30 sweeps are needed for convergence at `f64` precision).
@@ -14,10 +34,95 @@ const MAX_SWEEPS: usize = 64;
 /// Relative off-diagonal tolerance for convergence.
 const TOL: f64 = 1e-12;
 
+/// [`SvdMethod::Auto`] uses the randomized path only when the long
+/// dimension is at least this large...
+pub const RANDOMIZED_MIN_DIM: usize = 256;
+
+/// ...and at least this many times the short dimension (tall/wide enough
+/// that the projected problem is genuinely small).
+pub const RANDOMIZED_ASPECT: usize = 4;
+
+/// Default sketch seed shared by [`SvdMethod::Auto`] and the
+/// [`RandomizedSvd`] constructors, so results are deterministic without a
+/// caller-provided RNG.
+const DEFAULT_SKETCH_SEED: u64 = 0x5eed_cafe;
+
+/// Which SVD backend to run. See the module docs for the trade-off.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SvdMethod {
+    /// Randomized for tall operands, exact Jacobi otherwise (the
+    /// [`Mat::svd`] default).
+    Auto,
+    /// Always one-sided Jacobi on the full matrix.
+    Exact,
+    /// Always the randomized range finder with the given configuration.
+    Randomized(RandomizedSvd),
+}
+
+/// Configuration for the randomized range-finder SVD.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RandomizedSvd {
+    /// Number of singular triplets to return (clamped to `min(m, n)`).
+    pub rank: usize,
+    /// Extra sketch columns beyond `rank` for range-capture headroom
+    /// (only matters when truncating; clamped so `rank + oversample`
+    /// never exceeds `min(m, n)`).
+    pub oversample: usize,
+    /// Subspace (power) iterations `Q <- orth(A * orth(A^T Q))` that
+    /// sharpen the sketch toward the dominant singular directions; only
+    /// needed for truncated decompositions of slowly decaying spectra.
+    pub power_iters: usize,
+    /// Seed of the Gaussian test matrix (fixed default for determinism).
+    pub seed: u64,
+}
+
+impl RandomizedSvd {
+    /// Full-width sketch: `l = min(m, n)`, no oversampling, no power
+    /// iterations. The range capture is exact up to roundoff, so this is
+    /// a drop-in replacement for [`Mat::svd_exact`] on tall matrices.
+    pub fn full() -> Self {
+        RandomizedSvd {
+            rank: usize::MAX,
+            oversample: 0,
+            power_iters: 0,
+            seed: DEFAULT_SKETCH_SEED,
+        }
+    }
+
+    /// Rank-`k` truncated sketch at the standard defaults (oversample 8,
+    /// two power iterations).
+    pub fn truncated(rank: usize) -> Self {
+        RandomizedSvd {
+            rank,
+            oversample: 8,
+            power_iters: 2,
+            seed: DEFAULT_SKETCH_SEED,
+        }
+    }
+
+    /// Replaces the sketch seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the power-iteration count.
+    #[must_use]
+    pub fn with_power_iters(mut self, iters: usize) -> Self {
+        self.power_iters = iters;
+        self
+    }
+}
+
 /// The result of a singular value decomposition `A = U S V^T`.
 ///
 /// For an `m x n` input with `r = min(m, n)`, `u` is `m x r`, `s` holds the
 /// `r` singular values in non-increasing order, and `v` is `n x r`.
+/// Exception: a truncated randomized decomposition
+/// ([`RandomizedSvd::truncated`]) returns only the leading `r = rank`
+/// triplets, so `u` is `m x rank`, `s` has `rank` entries, and `v` is
+/// `n x rank`.
 /// Columns of `u` corresponding to zero singular values are zero vectors;
 /// use [`Svd::rank`] / [`Svd::u_rank`] to work with the non-degenerate part.
 #[derive(Clone, Debug)]
@@ -69,7 +174,9 @@ impl Svd {
 }
 
 impl Mat {
-    /// Computes the thin singular value decomposition of the matrix.
+    /// Computes the thin singular value decomposition of the matrix with
+    /// the [`SvdMethod::Auto`] backend choice: the randomized range finder
+    /// for tall operands, exact one-sided Jacobi otherwise.
     ///
     /// Works for any shape; internally operates on the transpose when the
     /// matrix is wide. Singular values are returned in non-increasing order.
@@ -84,6 +191,32 @@ impl Mat {
     /// assert!((svd.s[1] - 1.0).abs() < 1e-12);
     /// ```
     pub fn svd(&self) -> Svd {
+        self.svd_with(SvdMethod::Auto)
+    }
+
+    /// Computes the thin SVD with an explicit backend choice.
+    pub fn svd_with(&self, method: SvdMethod) -> Svd {
+        match method {
+            SvdMethod::Exact => self.svd_exact(),
+            SvdMethod::Randomized(cfg) => self.svd_randomized(cfg),
+            SvdMethod::Auto => {
+                let (m, n) = self.shape();
+                let (big, small) = (m.max(n), m.min(n));
+                if small > 0 && big >= RANDOMIZED_MIN_DIM && big >= RANDOMIZED_ASPECT * small {
+                    self.svd_randomized(RandomizedSvd::full())
+                } else {
+                    self.svd_exact()
+                }
+            }
+        }
+    }
+
+    /// Computes the thin SVD by one-sided Jacobi on the full matrix.
+    ///
+    /// This is the accuracy reference the kernel-conformance tests compare
+    /// the randomized backend against, and the fallback [`SvdMethod::Auto`]
+    /// uses for small, square-ish, or empty inputs.
+    pub fn svd_exact(&self) -> Svd {
         if self.rows() >= self.cols() {
             svd_tall(self)
         } else {
@@ -93,6 +226,71 @@ impl Mat {
                 s: t.s,
                 v: t.u,
             }
+        }
+    }
+
+    /// Computes the thin SVD with the randomized range finder (Halko,
+    /// Martinsson & Tropp, 2011): sketch, QR, optional subspace
+    /// iterations, then exact Jacobi on the small projected matrix
+    /// `B = Q^T A`.
+    ///
+    /// With [`RandomizedSvd::full`] the sketch spans the whole short
+    /// dimension and the factorization is exact up to roundoff; with
+    /// [`RandomizedSvd::truncated`] only the leading `rank` triplets are
+    /// returned. Deterministic given `cfg.seed`.
+    pub fn svd_randomized(&self, cfg: RandomizedSvd) -> Svd {
+        if self.rows() >= self.cols() {
+            svd_randomized_tall(self, cfg)
+        } else {
+            let t = svd_randomized_tall(&self.transpose(), cfg);
+            Svd {
+                u: t.v,
+                s: t.s,
+                v: t.u,
+            }
+        }
+    }
+}
+
+/// Randomized range-finder SVD of a tall (`m >= n`) matrix.
+fn svd_randomized_tall(a: &Mat, cfg: RandomizedSvd) -> Svd {
+    let (m, n) = a.shape();
+    debug_assert!(m >= n);
+    if n == 0 {
+        return Svd {
+            u: Mat::zeros(m, 0),
+            s: Vec::new(),
+            v: Mat::zeros(0, 0),
+        };
+    }
+    // Sketch width: requested rank plus oversampling, never wider than the
+    // short dimension (a wider sketch would be rank-deficient anyway).
+    let l = cfg.rank.saturating_add(cfg.oversample).min(n).max(1);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let omega = Mat::random_normal(n, l, &mut rng);
+    // Range finder: Q spans col(A * Omega) which, for l = n, equals col(A)
+    // almost surely, making Q Q^T A = A up to roundoff.
+    let mut q = a.matmul(&omega).orthonormalize();
+    for _ in 0..cfg.power_iters {
+        let z = a.matmul_tn(&q).orthonormalize();
+        q = a.matmul(&z).orthonormalize();
+    }
+    // Projected problem: B = Q^T A is l x n; its SVD lifts back through Q.
+    let b = q.matmul_tn(a);
+    let bs = b.svd_exact();
+    let u = q.matmul(&bs.u);
+    let keep = cfg.rank.min(bs.s.len());
+    if keep < bs.s.len() {
+        Svd {
+            u: u.truncate_cols(keep),
+            s: bs.s[..keep].to_vec(),
+            v: bs.v.truncate_cols(keep),
+        }
+    } else {
+        Svd {
+            u,
+            s: bs.s,
+            v: bs.v,
         }
     }
 }
@@ -235,6 +433,104 @@ mod tests {
         let svd = a.svd();
         assert_eq!(svd.rank(1e-9), 0);
         assert!(svd.s.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn randomized_full_matches_exact() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(40);
+        for &(m, n) in &[(60, 6), (300, 17), (12, 80)] {
+            let a = Mat::random_normal(m, n, &mut rng);
+            let exact = a.svd_exact();
+            let rand_svd = a.svd_randomized(RandomizedSvd::full());
+            let scale = exact.s[0].max(1.0);
+            for (se, sr) in exact.s.iter().zip(&rand_svd.s) {
+                assert!(
+                    (se - sr).abs() < 1e-9 * scale,
+                    "{m}x{n}: exact {se} vs randomized {sr}"
+                );
+            }
+            let recon = rand_svd.reconstruct();
+            assert!(recon.sub(&a).frobenius_norm() / a.frobenius_norm() < 1e-10);
+            let r = rand_svd.s.len();
+            assert!(rand_svd.u.gram().sub(&Mat::identity(r)).frobenius_norm() < 1e-8);
+            assert!(rand_svd.v.gram().sub(&Mat::identity(r)).frobenius_norm() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn randomized_truncated_captures_leading_spectrum() {
+        // Geometric spectrum: sigma_j = 2^-j; rank-4 sketch with power
+        // iterations must nail the first four values.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let u = Mat::random_normal(200, 12, &mut rng).orthonormalize();
+        let v = Mat::random_normal(12, 12, &mut rng).orthonormalize();
+        let mut us = u.clone();
+        for j in 0..12 {
+            let sigma = 0.5f64.powi(j as i32);
+            for i in 0..us.rows() {
+                us[(i, j as usize)] *= sigma;
+            }
+        }
+        let a = us.matmul_nt(&v);
+        let exact = a.svd_exact();
+        let trunc = a.svd_randomized(RandomizedSvd::truncated(4));
+        assert_eq!(trunc.s.len(), 4);
+        assert_eq!(trunc.u.shape(), (200, 4));
+        assert_eq!(trunc.v.shape(), (12, 4));
+        for j in 0..4 {
+            assert!(
+                (trunc.s[j] - exact.s[j]).abs() < 1e-8,
+                "sigma_{j}: {} vs {}",
+                trunc.s[j],
+                exact.s[j]
+            );
+        }
+    }
+
+    #[test]
+    fn randomized_deterministic_given_seed() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let a = Mat::random_normal(300, 10, &mut rng);
+        let s1 = a.svd_randomized(RandomizedSvd::full());
+        let s2 = a.svd_randomized(RandomizedSvd::full());
+        assert_eq!(s1.u, s2.u);
+        assert_eq!(s1.s, s2.s);
+        assert_eq!(s1.v, s2.v);
+    }
+
+    #[test]
+    fn auto_dispatches_randomized_for_tall_and_exact_for_small() {
+        // Tall enough for the randomized path: results must still satisfy
+        // every SVD contract to the same tolerances.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let tall = Mat::random_normal(512, 16, &mut rng);
+        check_svd(&tall, 1e-9);
+        let auto = tall.svd();
+        let exact = tall.svd_exact();
+        for (sa, se) in auto.s.iter().zip(&exact.s) {
+            assert!((sa - se).abs() < 1e-9 * exact.s[0]);
+        }
+        // Not tall enough (aspect < RANDOMIZED_ASPECT): stays on the exact
+        // path bit-for-bit.
+        let squarish = Mat::random_normal(300, 80, &mut rng);
+        let a = squarish.svd();
+        let e = squarish.svd_exact();
+        assert_eq!(a.s, e.s);
+        assert_eq!(a.u, e.u);
+    }
+
+    #[test]
+    fn randomized_rank_deficient_and_zero() {
+        let u = [1.0, 2.0, 3.0, 4.0];
+        let v = [5.0, 6.0];
+        let a = Mat::from_fn(4, 2, |i, j| u[i] * v[j]);
+        let svd = a.svd_randomized(RandomizedSvd::full());
+        assert_eq!(svd.rank(1e-9), 1);
+        assert!(svd.reconstruct().sub(&a).frobenius_norm() < 1e-9 * a.frobenius_norm());
+        let z = Mat::zeros(5, 3);
+        let zs = z.svd_randomized(RandomizedSvd::full());
+        assert!(zs.s.iter().all(|&x| x == 0.0));
+        assert!(zs.reconstruct().frobenius_norm() == 0.0);
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Kernel-conformance suite: pins the accuracy of the packed blocked GEMM
+//! and the randomized range-finder SVD against their reference
+//! implementations (`Mat::matmul_naive`, `Mat::svd_exact`), so the hot
+//! paths can keep changing underneath without the figures drifting.
+//!
+//! Rettenmeier (2020) shows stability estimates are sensitive to numerical
+//! noise in the factorization itself; these bounds are the contract every
+//! kernel rewrite must keep.
+
+use embedstab::linalg::{Mat, RandomizedSvd, SvdMethod};
+use proptest::prelude::*;
+
+/// Relative Frobenius error bound for GEMM vs the naive triple loop.
+const GEMM_TOL: f64 = 1e-10;
+
+fn rel_err(got: &Mat, want: &Mat) -> f64 {
+    got.sub(want).frobenius_norm() / want.frobenius_norm().max(1.0)
+}
+
+/// Adversarial GEMM shapes: degenerate vectors, micro/cache-block
+/// boundaries and off-by-one neighbors, and the packed-vs-small threshold.
+const GEMM_SHAPES: &[(usize, usize, usize)] = &[
+    (1, 40, 1),    // outer product of row/column vectors
+    (1, 1, 40),    // 1xN
+    (40, 1, 1),    // Nx1
+    (3, 5, 7),     // tiny, under the packing threshold
+    (6, 8, 6),     // exactly one register tile
+    (7, 9, 9),     // one tile plus ragged edges
+    (32, 32, 32),  // exactly at the packing threshold
+    (33, 31, 35),  // just across it
+    (120, 40, 8),  // exactly MC rows
+    (121, 40, 9),  // MC + 1 rows, NR + 1 cols
+    (48, 256, 16), // exactly KC deep
+    (48, 257, 16), // KC + 1 deep
+    (16, 40, 512), // exactly NC wide
+    (17, 40, 513), // NC + 1 wide
+];
+
+/// Strategy: one adversarial shape plus random operand data, with roughly
+/// a quarter of A's rows zeroed (the packed kernel and the naive loop take
+/// different shortcuts on zeros).
+fn gemm_case() -> impl Strategy<Value = (Mat, Mat)> {
+    (0usize..GEMM_SHAPES.len()).prop_flat_map(|idx| {
+        let (m, k, n) = GEMM_SHAPES[idx];
+        (
+            proptest::collection::vec(-2.0f64..2.0, m * k),
+            proptest::collection::vec(-2.0f64..2.0, k * n),
+            proptest::collection::vec(0u8..4, m),
+        )
+            .prop_map(move |(da, db, zero_marks)| {
+                let mut a = Mat::from_vec(m, k, da);
+                for (i, &z) in zero_marks.iter().enumerate() {
+                    if z == 0 {
+                        a.row_mut(i).iter_mut().for_each(|v| *v = 0.0);
+                    }
+                }
+                (a, Mat::from_vec(k, n, db))
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Blocked GEMM (all orientations) matches the naive triple loop to
+    /// 1e-10 relative Frobenius error on adversarial shapes with planted
+    /// zero rows.
+    #[test]
+    fn gemm_matches_naive_random_shapes((a, b) in gemm_case()) {
+        let want = a.matmul_naive(&b);
+        prop_assert!(rel_err(&a.matmul(&b), &want) < GEMM_TOL);
+        let at = a.transpose();
+        prop_assert!(rel_err(&at.matmul_tn(&b), &want) < GEMM_TOL);
+        let bt = b.transpose();
+        prop_assert!(rel_err(&a.matmul_nt(&bt), &want) < GEMM_TOL);
+    }
+
+    /// Randomized SVD on random tall matrices: `A ~= U S V^T` with
+    /// orthonormal factors and singular values matching exact Jacobi.
+    #[test]
+    fn randomized_svd_matches_exact_random(
+        data in proptest::collection::vec(-2.0f64..2.0, 60 * 6),
+        wide in 0u8..2,
+    ) {
+        let a = if wide == 0 {
+            Mat::from_vec(60, 6, data)
+        } else {
+            Mat::from_vec(6, 60, data)
+        };
+        prop_assume!(a.frobenius_norm() > 1e-6);
+        let exact = a.svd_exact();
+        let rsvd = a.svd_randomized(RandomizedSvd::full());
+        let scale = exact.s[0].max(1.0);
+        for (se, sr) in exact.s.iter().zip(&rsvd.s) {
+            prop_assert!((se - sr).abs() < 1e-8 * scale);
+        }
+        let rel = rsvd.reconstruct().sub(&a).frobenius_norm() / a.frobenius_norm();
+        prop_assert!(rel < 1e-9, "reconstruction error {rel}");
+        let r = rsvd.rank(1e-10);
+        let ur = rsvd.u_rank(1e-10);
+        prop_assert!(ur.gram().sub(&Mat::identity(r)).frobenius_norm() < 1e-8);
+        let vr = rsvd.v_rank(1e-10);
+        prop_assert!(vr.gram().sub(&Mat::identity(r)).frobenius_norm() < 1e-8);
+    }
+}
+
+#[test]
+fn gemm_all_variants_match_naive_on_adversarial_shapes() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0);
+    for &(m, k, n) in GEMM_SHAPES {
+        let mut a = Mat::random_normal(m, k, &mut rng);
+        let mut b = Mat::random_normal(k, n, &mut rng);
+        // Plant zero rows/columns to hit the zero-skip shortcuts.
+        if m > 2 {
+            a.row_mut(m / 2).iter_mut().for_each(|v| *v = 0.0);
+        }
+        if k > 2 {
+            b.row_mut(k / 2).iter_mut().for_each(|v| *v = 0.0);
+        }
+        let want = a.matmul_naive(&b);
+        assert!(
+            rel_err(&a.matmul(&b), &want) < GEMM_TOL,
+            "matmul {m}x{k}x{n}"
+        );
+        // Transposed variants against explicitly transposed naive products.
+        let at = a.transpose();
+        assert!(
+            rel_err(&at.matmul_tn(&b), &want) < GEMM_TOL,
+            "matmul_tn {m}x{k}x{n}"
+        );
+        let bt = b.transpose();
+        assert!(
+            rel_err(&a.matmul_nt(&bt), &want) < GEMM_TOL,
+            "matmul_nt {m}x{k}x{n}"
+        );
+    }
+}
+
+#[test]
+fn gram_matches_naive_transpose_product() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC1);
+    for &(m, k) in &[(1usize, 7usize), (7, 1), (40, 40), (257, 33), (1000, 64)] {
+        let a = Mat::random_normal(m, k, &mut rng);
+        let want = a.transpose().matmul_naive(&a);
+        assert!(rel_err(&a.gram(), &want) < GEMM_TOL, "gram {m}x{k}");
+    }
+}
+
+/// Checks every SVD contract: reconstruction, orthonormal factors, ordered
+/// non-negative singular values, and agreement with exact Jacobi.
+fn check_randomized_svd(a: &Mat, cfg: RandomizedSvd) {
+    let exact = a.svd_exact();
+    let rsvd = a.svd_randomized(cfg);
+    let scale = exact.s.first().copied().unwrap_or(0.0).max(1.0);
+    // Singular values match exact Jacobi.
+    for (j, (se, sr)) in exact.s.iter().zip(&rsvd.s).enumerate() {
+        assert!(
+            (se - sr).abs() < 1e-8 * scale,
+            "{}x{} sigma_{j}: exact {se} vs randomized {sr}",
+            a.rows(),
+            a.cols()
+        );
+    }
+    // Full-width sketches must reconstruct A.
+    if rsvd.s.len() == a.rows().min(a.cols()) {
+        let recon = rsvd.reconstruct();
+        let rel = recon.sub(a).frobenius_norm() / a.frobenius_norm().max(1.0);
+        assert!(rel < 1e-9, "{}x{} reconstruction {rel}", a.rows(), a.cols());
+    }
+    // Orthonormal factors (restricted to the numerical rank for U).
+    let r = rsvd.rank(1e-10);
+    let ur = rsvd.u_rank(1e-10);
+    assert!(
+        ur.gram().sub(&Mat::identity(r)).frobenius_norm() < 1e-8,
+        "U columns must be orthonormal"
+    );
+    let vr = rsvd.v_rank(1e-10);
+    assert!(
+        vr.gram().sub(&Mat::identity(r)).frobenius_norm() < 1e-8,
+        "V columns must be orthonormal"
+    );
+    // Ordered, non-negative.
+    for w in rsvd.s.windows(2) {
+        assert!(w[0] >= w[1] - 1e-12, "singular values not sorted");
+    }
+    assert!(rsvd.s.iter().all(|&x| x >= 0.0));
+}
+
+#[test]
+fn randomized_svd_conforms_on_adversarial_shapes() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC2);
+    for &(m, n) in &[
+        (1usize, 1usize),
+        (40, 1),
+        (1, 40),
+        (50, 7),
+        (7, 50),
+        (300, 20),
+        (257, 33),
+    ] {
+        let a = Mat::random_normal(m, n, &mut rng);
+        check_randomized_svd(&a, RandomizedSvd::full());
+    }
+}
+
+#[test]
+fn randomized_svd_conforms_on_rank_deficient_inputs() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC3);
+    // Rank-3 matrix embedded in 120x12, plus a zero matrix.
+    let left = Mat::random_normal(120, 3, &mut rng);
+    let right = Mat::random_normal(3, 12, &mut rng);
+    let low_rank = left.matmul(&right);
+    check_randomized_svd(&low_rank, RandomizedSvd::full());
+    let svd = low_rank.svd_randomized(RandomizedSvd::full());
+    assert_eq!(svd.rank(1e-9), 3);
+
+    let zero = Mat::zeros(30, 5);
+    let zsvd = zero.svd_randomized(RandomizedSvd::full());
+    assert!(zsvd.s.iter().all(|&s| s == 0.0));
+    assert_eq!(zsvd.rank(1e-9), 0);
+}
+
+#[test]
+fn randomized_svd_truncated_tracks_leading_triplets() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC4);
+    // Planted geometric spectrum (sigma_j = 2^-j): the leading triplets
+    // are well separated, so the truncated sketch must nail them.
+    let u = Mat::random_normal(400, 24, &mut rng).orthonormalize();
+    let v = Mat::random_normal(24, 24, &mut rng).orthonormalize();
+    let mut us = u.clone();
+    for j in 0..24 {
+        let sigma = 0.5f64.powi(j as i32);
+        for i in 0..us.rows() {
+            us[(i, j)] *= sigma;
+        }
+    }
+    let a = us.matmul_nt(&v);
+    let exact = a.svd_exact();
+    let k = 6;
+    let trunc = a.svd_randomized(RandomizedSvd::truncated(k));
+    assert_eq!(trunc.s.len(), k);
+    assert_eq!(trunc.u.shape(), (400, k));
+    assert_eq!(trunc.v.shape(), (24, k));
+    for j in 0..k {
+        let rel = (trunc.s[j] - exact.s[j]).abs() / exact.s[0];
+        assert!(rel < 1e-8, "sigma_{j} rel err {rel}");
+    }
+    // The truncated factors reproduce the best rank-k approximation error.
+    let best: f64 = exact.s[k..].iter().map(|s| s * s).sum::<f64>().sqrt();
+    let got = trunc.reconstruct().sub(&a).frobenius_norm();
+    assert!(
+        got < best * (1.0 + 1e-6) + 1e-9,
+        "rank-{k} error {got} vs optimal {best}"
+    );
+}
+
+#[test]
+fn randomized_svd_truncated_is_quasi_optimal_on_flat_spectra() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC6);
+    // A Gaussian matrix has a flat (Marchenko-Pastur) spectrum — the
+    // adversarial case for sketched truncation, where exact value-tracking
+    // is not achievable. The HMT guarantee that *is* the contract: the
+    // rank-k reconstruction error stays within a small factor of optimal.
+    let a = Mat::random_normal(400, 24, &mut rng);
+    let exact = a.svd_exact();
+    let k = 6;
+    let trunc = a.svd_randomized(RandomizedSvd::truncated(k));
+    let best: f64 = exact.s[k..].iter().map(|s| s * s).sum::<f64>().sqrt();
+    let got = trunc.reconstruct().sub(&a).frobenius_norm();
+    assert!(got < 1.5 * best, "rank-{k} error {got} vs optimal {best}");
+    // Leading values are still captured to within a few percent.
+    for j in 0..k {
+        let rel = (trunc.s[j] - exact.s[j]).abs() / exact.s[j];
+        assert!(rel < 0.05, "sigma_{j} rel err {rel}");
+    }
+}
+
+#[test]
+fn auto_dispatch_agrees_with_exact_across_the_threshold() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC5);
+    // One shape on each side of the randomized-dispatch heuristic.
+    for &(m, n) in &[(255usize, 16usize), (256, 64), (1024, 32)] {
+        let a = Mat::random_normal(m, n, &mut rng);
+        let auto = a.svd_with(SvdMethod::Auto);
+        let exact = a.svd_with(SvdMethod::Exact);
+        for (sa, se) in auto.s.iter().zip(&exact.s) {
+            assert!(
+                (sa - se).abs() < 1e-8 * exact.s[0].max(1.0),
+                "{m}x{n}: auto {sa} vs exact {se}"
+            );
+        }
+    }
+}

@@ -1,11 +1,14 @@
 //! Cross-crate property-based tests on the core invariants of the
 //! reproduction.
 
-use embedstab::core::measures::{DistanceMeasure, EisMeasure, KnnMeasure, PipLoss};
+use embedstab::core::measures::{
+    DistanceMeasure, EigenspaceOverlap, EisMeasure, KnnMeasure, PipLoss,
+};
 use embedstab::core::selection::{budget_selection, pairwise_selection, ConfigPoint};
 use embedstab::core::stats;
 use embedstab::embeddings::Embedding;
 use embedstab::linalg::Mat;
+use embedstab::linalg::{RandomizedSvd, SvdMethod};
 use embedstab::quant::{bits_per_word, quantize, Precision};
 use proptest::prelude::*;
 
@@ -85,6 +88,39 @@ proptest! {
         let others: Vec<f64> = values.iter().map(|v| (v * 3.7).exp()).collect();
         let rho = stats::spearman(&values, &others);
         prop_assert!((rho - 1.0).abs() < 1e-9);
+    }
+
+    /// The SVD-backed measures are invariant under the kernel swap: the
+    /// eigenspace overlap, PIP loss, and EIS distances agree to 1e-8
+    /// whether the singular bases come from exact Jacobi or the
+    /// randomized range finder on the same embedding pair.
+    #[test]
+    fn measures_invariant_under_svd_backend(
+        x in embedding_strategy(40, 5),
+        y in embedding_strategy(40, 5),
+    ) {
+        prop_assume!(x.mat().frobenius_norm() > 1e-6);
+        prop_assume!(y.mat().frobenius_norm() > 1e-6);
+        let exact = SvdMethod::Exact;
+        let rsvd = SvdMethod::Randomized(RandomizedSvd::full());
+
+        let ov_e = EigenspaceOverlap.distance_with_svd(&x, &y, exact);
+        let ov_r = EigenspaceOverlap.distance_with_svd(&x, &y, rsvd);
+        prop_assert!((ov_e - ov_r).abs() < 1e-8, "overlap: {ov_e} vs {ov_r}");
+
+        let eis = EisMeasure::new(&x, &y, 2.0);
+        let eis_e = eis.distance_with_svd(&x, &y, exact);
+        let eis_r = eis.distance_with_svd(&x, &y, rsvd);
+        prop_assert!((eis_e - eis_r).abs() < 1e-8, "EIS: {eis_e} vs {eis_r}");
+
+        // PIP is unnormalized, so compare at its own scale; the SVD paths
+        // must also agree with the Gram-product implementation.
+        let pip_scale = x.mat().gram().frobenius_norm().max(1.0);
+        let pip_direct = PipLoss.distance(&x, &y);
+        let pip_e = PipLoss.distance_via_svd(&x, &y, exact);
+        let pip_r = PipLoss.distance_via_svd(&x, &y, rsvd);
+        prop_assert!((pip_e - pip_r).abs() < 1e-8 * pip_scale, "PIP: {pip_e} vs {pip_r}");
+        prop_assert!((pip_e - pip_direct).abs() < 1e-6 * pip_scale, "PIP svd vs gram: {pip_e} vs {pip_direct}");
     }
 
     /// k-NN distance and PIP loss are invariant under orthogonal rotation

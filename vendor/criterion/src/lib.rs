@@ -88,8 +88,61 @@ impl Criterion {
             fmt_time(median),
             fmt_time(hi)
         );
+        write_estimates(id, lo, median, hi);
         self
     }
+}
+
+/// Persists per-benchmark estimates to `target/criterion/<id>/estimates.json`
+/// (mirroring real criterion's layout closely enough for CI artifact
+/// upload and cross-run comparison). Point estimates are in nanoseconds.
+/// Failures are ignored: estimates are a best-effort side channel.
+fn write_estimates(id: &str, lo: f64, median: f64, hi: f64) {
+    let safe_id: String = id
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let dir = criterion_dir().join(safe_id);
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let json = format!(
+        concat!(
+            "{{\"median\":{{\"point_estimate\":{:.1},",
+            "\"confidence_interval\":{{\"lower_bound\":{:.1},\"upper_bound\":{:.1}}}}}}}\n"
+        ),
+        median * 1e9,
+        lo * 1e9,
+        hi * 1e9
+    );
+    let _ = std::fs::write(dir.join("estimates.json"), json);
+}
+
+/// The criterion output root: `$CARGO_TARGET_DIR/criterion` when set,
+/// otherwise the nearest ancestor `target/` directory (benches run with
+/// the package directory as cwd, not the workspace root).
+fn criterion_dir() -> std::path::PathBuf {
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            let mut d = std::env::current_dir().unwrap_or_default();
+            loop {
+                let t = d.join("target");
+                if t.is_dir() {
+                    return t;
+                }
+                if !d.pop() {
+                    return std::path::PathBuf::from("target");
+                }
+            }
+        });
+    target.join("criterion")
 }
 
 fn fmt_time(secs: f64) -> String {
