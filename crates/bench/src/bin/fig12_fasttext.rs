@@ -4,9 +4,7 @@
 use embedstab_bench::aggregate;
 use embedstab_embeddings::Algo;
 use embedstab_pipeline::report::{pct, print_table};
-use embedstab_pipeline::{
-    run_ner_grid, run_sentiment_grid, EmbeddingGrid, GridOptions, Scale, World,
-};
+use embedstab_pipeline::{Experiment, Scale, World};
 
 fn main() {
     let scale = Scale::from_args();
@@ -18,15 +16,15 @@ fn main() {
         params.dims.truncate(params.dims.len() - 1);
     }
     let world = World::build(&params, 0);
-    let grid = EmbeddingGrid::build(&world, &[Algo::FastTextSg], &params.dims, &params.seeds);
-    let opts = GridOptions {
-        algos: vec![Algo::FastTextSg],
-        ..Default::default()
-    };
 
     println!("\n=== Figure 12: fastText skipgram memory tradeoff ===");
-    let sst2 = run_sentiment_grid(&world, &grid, "sst2", &opts);
-    let ner = run_ner_grid(&world, &grid, &opts);
+    let mut rows = Experiment::new(&world)
+        .tasks(["sst2", "ner"])
+        .algos([Algo::FastTextSg])
+        .run();
+    let ner: Vec<_> = rows.iter().filter(|r| r.task == "ner").cloned().collect();
+    rows.retain(|r| r.task == "sst2");
+    let sst2 = rows;
     for (task, rows) in [("sst2", &sst2), ("ner", &ner)] {
         println!("\n--- FT-SG, {task} ---");
         let mut table = Vec::new();

@@ -6,23 +6,21 @@
 use embedstab_bench::{aggregate, setup};
 use embedstab_embeddings::Algo;
 use embedstab_pipeline::report::{pct, print_table};
-use embedstab_pipeline::{run_sentiment_grid, GridOptions, Scale};
+use embedstab_pipeline::{Experiment, Scale};
 
 fn main() {
     let scale = Scale::from_args();
     let exp = setup(scale, &[Algo::Cbow, Algo::Mc]);
-    let base = GridOptions {
-        algos: vec![Algo::Cbow, Algo::Mc],
-        ..Default::default()
+    let base = || {
+        Experiment::new(&exp.world)
+            .grid(&exp.grid)
+            .tasks(["sst2"])
+            .algos([Algo::Cbow, Algo::Mc])
     };
 
     println!("\n=== Figure 14a: SST-2 memory tradeoff with relaxed seeds ===");
-    let relaxed = GridOptions {
-        relax_seeds: true,
-        ..base.clone()
-    };
-    let rows = run_sentiment_grid(&exp.world, &exp.grid, "sst2", &relaxed);
-    let fixed = run_sentiment_grid(&exp.world, &exp.grid, "sst2", &base);
+    let rows = base().relax_seeds(true).run();
+    let fixed = base().run();
     let agg_r = aggregate(&rows);
     let agg_f = aggregate(&fixed);
     let mut table = Vec::new();
@@ -49,11 +47,7 @@ fn main() {
     );
 
     println!("\n=== Figure 14b: SST-2 memory tradeoff with fine-tuned embeddings ===");
-    let tuned = GridOptions {
-        fine_tune_lr: Some(0.05),
-        ..base.clone()
-    };
-    let rows_t = run_sentiment_grid(&exp.world, &exp.grid, "sst2", &tuned);
+    let rows_t = base().fine_tune_lr(0.05).run();
     let agg_t = aggregate(&rows_t);
     let mut table = Vec::new();
     for (t, f) in agg_t.iter().zip(&agg_f) {

@@ -5,7 +5,7 @@
 use embedstab_bench::{aggregate, setup};
 use embedstab_embeddings::Algo;
 use embedstab_pipeline::report::{pct, print_table};
-use embedstab_pipeline::{run_sentiment_grid, GridOptions, Scale};
+use embedstab_pipeline::{Experiment, Scale};
 use embedstab_quant::Precision;
 
 fn main() {
@@ -22,14 +22,14 @@ fn main() {
     let mut table = Vec::new();
     for task in ["sst2", "mr"] {
         for &lr in &lrs {
-            let opts = GridOptions {
-                algos: vec![Algo::Cbow, Algo::Mc],
-                lr_override: Some(lr),
-                dims: Some(dims.clone()),
-                precisions: Some(vec![Precision::FULL]),
-                ..Default::default()
-            };
-            let rows = run_sentiment_grid(&exp.world, &exp.grid, task, &opts);
+            let rows = Experiment::new(&exp.world)
+                .grid(&exp.grid)
+                .tasks([task])
+                .algos([Algo::Cbow, Algo::Mc])
+                .lr_override(lr)
+                .dims(dims.clone())
+                .precisions([Precision::FULL])
+                .run();
             for a in aggregate(&rows) {
                 table.push(vec![
                     task.to_string(),

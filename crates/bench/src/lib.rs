@@ -7,14 +7,20 @@
 //! tables.
 
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
 use embedstab_core::measures::MeasureKind;
 use embedstab_core::selection::ConfigPoint;
 use embedstab_core::stats;
-use embedstab_pipeline::{EmbeddingGrid, Row, Scale, World};
+use embedstab_pipeline::{
+    EmbeddingGrid, Experiment, JsonlSink, PairCache, ProgressSink, Row, Scale, World,
+};
 
 /// A built experiment context: world plus trained embedding grid.
-pub struct Experiment {
+///
+/// (Formerly named `Experiment`; that name now belongs to the pipeline's
+/// [`Experiment`] builder, which the binaries run grids through.)
+pub struct Setup {
     /// The corpus pair and datasets.
     pub world: World,
     /// The trained full-precision embedding pairs.
@@ -23,13 +29,63 @@ pub struct Experiment {
 
 /// Builds a world and trains the grid for the given algorithms at the
 /// given scale (master seed 0, shared by all binaries so grids agree).
-pub fn setup(scale: Scale, algos: &[embedstab_embeddings::Algo]) -> Experiment {
+pub fn setup(scale: Scale, algos: &[embedstab_embeddings::Algo]) -> Setup {
+    setup_cached(scale, algos, None)
+}
+
+/// Like [`setup`], but loads/stores trained pairs through an on-disk
+/// [`PairCache`] when a directory is given (the `--cache-dir` flag).
+pub fn setup_cached(
+    scale: Scale,
+    algos: &[embedstab_embeddings::Algo],
+    cache_dir: Option<&Path>,
+) -> Setup {
     let params = scale.params();
     let world = World::build(&params, 0);
-    let dims = params.dims.clone();
-    let seeds = params.seeds.clone();
-    let grid = EmbeddingGrid::build(&world, algos, &dims, &seeds);
-    Experiment { world, grid }
+    let cache = cache_dir.map(|dir| {
+        PairCache::open(dir, world.fingerprint())
+            .unwrap_or_else(|e| panic!("cannot open cache dir {}: {e}", dir.display()))
+    });
+    let grid =
+        EmbeddingGrid::build_cached(&world, algos, &params.dims, &params.seeds, cache.as_ref());
+    Setup { world, grid }
+}
+
+/// Parses `--shard i/n` from the process arguments.
+///
+/// # Panics
+///
+/// Panics with a usage message on a malformed value.
+pub fn shard_from_args() -> Option<(usize, usize)> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--shard" {
+            let val = args.get(i + 1).map(String::as_str).unwrap_or("");
+            let parsed = val.split_once('/').and_then(|(a, b)| {
+                let i = a.parse::<usize>().ok()?;
+                let n = b.parse::<usize>().ok()?;
+                (n > 0 && i < n).then_some((i, n))
+            });
+            return Some(parsed.unwrap_or_else(|| {
+                panic!("bad --shard '{val}'; use i/n with 0 <= i < n, e.g. --shard 0/2")
+            }));
+        }
+    }
+    None
+}
+
+/// Parses `--cache-dir path` from the process arguments.
+pub fn cache_dir_from_args() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == "--cache-dir" {
+            let val = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("--cache-dir needs a path"));
+            return Some(PathBuf::from(val));
+        }
+    }
+    None
 }
 
 /// A row aggregated over seeds for one `(task, algo, dim, bits)`.
@@ -186,10 +242,52 @@ pub fn attach_measures(rows: &mut [Row], with: &[Row]) {
 /// the embedding pair.
 ///
 /// Row caches live under `results/rows_<task>_<scale>.json`.
+///
+/// Two process flags feed straight into the [`Experiment`] builder:
+/// `--cache-dir <path>` shares trained embedding pairs on disk, and
+/// `--shard i/n` makes this process cover only its slice of each task's
+/// grid (rows then stream to
+/// `results/rows_<task>_<scale>.shard<i>of<n>.jsonl` instead of the shared
+/// JSON row cache, so partial results never poison it).
 pub fn standard_rows(scale: Scale, tasks: &[&str]) -> BTreeMap<String, Vec<Row>> {
-    use embedstab_pipeline::{run_ner_grid, run_sentiment_grid, GridOptions};
     let tag = scale_tag(scale);
-    let mut exp: Option<Experiment> = None;
+    let cache_dir = cache_dir_from_args();
+    if let Some((index, n)) = shard_from_args() {
+        // Sharded: no pre-built grid — each task's Experiment trains (or
+        // cache-loads) exactly the pairs its shard touches. Sharding
+        // without a shared cache would retrain pairs per task, so default
+        // the cache on.
+        let cache = cache_dir.unwrap_or_else(|| PathBuf::from("cache"));
+        let params = scale.params();
+        let world = World::build(&params, 0);
+        let mut out: BTreeMap<String, Vec<Row>> = BTreeMap::new();
+        let mut measure_source: Option<Vec<Row>> = None;
+        for (i, &task) in tasks.iter().enumerate() {
+            let first = i == 0;
+            let jsonl = format!("results/rows_{task}_{tag}.shard{index}of{n}.jsonl");
+            std::fs::remove_file(&jsonl).ok(); // append sink: start clean
+            eprintln!(
+                "[run] {task} grid, shard {index}/{n} (cache {})...",
+                cache.display()
+            );
+            let mut rows = Experiment::new(&world)
+                .tasks([task])
+                .with_measures(first)
+                .shard(index, n)
+                .cache_dir(&cache)
+                .sink(JsonlSink::new(&jsonl))
+                .sink(ProgressSink::new(format!("{task}/{tag} {index}/{n}"), 8))
+                .run();
+            if first {
+                measure_source = Some(rows.clone());
+            } else if let Some(src) = &measure_source {
+                attach_measures(&mut rows, src);
+            }
+            out.insert(task.to_string(), rows);
+        }
+        return out;
+    }
+    let mut exp: Option<Setup> = None;
     let mut out: BTreeMap<String, Vec<Row>> = BTreeMap::new();
     let mut measure_source: Option<Vec<Row>> = None;
     for (i, &task) in tasks.iter().enumerate() {
@@ -197,21 +295,18 @@ pub fn standard_rows(scale: Scale, tasks: &[&str]) -> BTreeMap<String, Vec<Row>>
         let first = i == 0;
         let rows = {
             let exp_ref = &mut exp;
+            let cache_dir = cache_dir.as_deref();
             rows_cached(&name, || {
                 let e = exp_ref.get_or_insert_with(|| {
                     eprintln!("[setup] building world + embedding grid ({tag})...");
-                    setup(scale, &embedstab_embeddings::Algo::MAIN)
+                    setup_cached(scale, &embedstab_embeddings::Algo::MAIN, cache_dir)
                 });
-                let opts = GridOptions {
-                    with_measures: first,
-                    ..Default::default()
-                };
                 eprintln!("[run] {task} grid...");
-                if task == "ner" {
-                    run_ner_grid(&e.world, &e.grid, &opts)
-                } else {
-                    run_sentiment_grid(&e.world, &e.grid, task, &opts)
-                }
+                Experiment::new(&e.world)
+                    .grid(&e.grid)
+                    .tasks([task])
+                    .with_measures(first)
+                    .run()
             })
         };
         let mut rows = rows;

@@ -25,3 +25,4 @@ pub mod tasks;
 
 pub use tasks::ner::{NerDataset, NerSpec, TaggedSentence, N_TAGS, TAG_NAMES};
 pub use tasks::sentiment::{SentimentDataset, SentimentExample, SentimentSpec};
+pub use tasks::{NerTask, PairSpec, SentimentTask, Task, TaskOutcome};

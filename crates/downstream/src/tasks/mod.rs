@@ -6,3 +6,6 @@
 
 pub mod ner;
 pub mod sentiment;
+pub mod task;
+
+pub use task::{NerTask, PairSpec, SentimentTask, Task, TaskOutcome};

@@ -1,0 +1,274 @@
+//! The pluggable downstream-task interface behind the experiment grid.
+//!
+//! The paper's protocol is the same for every downstream task: train one
+//! model per embedding of a '17/'18 pair with matched seeds, predict on a
+//! fixed test set, and record the prediction disagreement plus each side's
+//! quality. [`Task`] captures exactly that step, so the grid runner in
+//! `embedstab_pipeline` can sweep any task — sentiment, NER, or a future
+//! KGE/contextual task — without knowing how its models are trained.
+
+use std::sync::Arc;
+
+use embedstab_core::{disagreement, masked_disagreement};
+use embedstab_embeddings::Embedding;
+
+use crate::eval::{entity_micro_f1, flatten_tags};
+use crate::models::{BiLstmTagger, BowSentimentModel, BowTrainOptions, LstmConfig, TrainSpec};
+use crate::tasks::ner::NerDataset;
+use crate::tasks::sentiment::SentimentDataset;
+
+/// The grid-varying knobs for one embedding-pair evaluation.
+///
+/// Task-specific hyperparameters (epochs, hidden sizes, datasets) live on
+/// the task value itself; `PairSpec` carries only what changes from one
+/// grid configuration to the next.
+#[derive(Clone, Debug)]
+pub struct PairSpec {
+    /// Seed shared by embedding and downstream training.
+    pub seed: u64,
+    /// Downstream learning-rate override (Appendix E.5 sweeps this).
+    pub lr_override: Option<f64>,
+    /// Use different model-init/sampling seeds for the '18-side model
+    /// (Appendix E.3's relaxed-seed setting).
+    pub relax_seeds: bool,
+    /// Fine-tune the embeddings during downstream training at the given
+    /// learning rate (Appendix E.4); tasks without fine-tuning ignore it.
+    pub fine_tune_lr: Option<f64>,
+}
+
+impl PairSpec {
+    /// A fixed-seed spec with no overrides.
+    pub fn new(seed: u64) -> Self {
+        PairSpec {
+            seed,
+            lr_override: None,
+            relax_seeds: false,
+            fine_tune_lr: None,
+        }
+    }
+
+    /// The '18-side seeds: identical to the '17 side unless relaxed.
+    fn seeds18(&self) -> (u64, u64) {
+        if self.relax_seeds {
+            (self.seed.wrapping_add(1000), self.seed.wrapping_add(2000))
+        } else {
+            (self.seed, self.seed)
+        }
+    }
+}
+
+/// What one paired train/evaluate step produces.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TaskOutcome {
+    /// Downstream prediction disagreement in `[0, 1]`.
+    pub disagreement: f64,
+    /// Quality of the '17-side model (accuracy / micro-F1).
+    pub quality17: f64,
+    /// Quality of the '18-side model.
+    pub quality18: f64,
+}
+
+/// One downstream task: given an aligned (and possibly compressed)
+/// embedding pair, train the paired models and measure disagreement.
+///
+/// Implementations must be deterministic in `(q17, q18, spec)` — the
+/// sharding and caching layers of the pipeline rely on re-running a
+/// configuration producing bitwise-identical outcomes.
+pub trait Task: Send + Sync {
+    /// Task name recorded on result rows (`sst2`, `ner`, ...).
+    fn name(&self) -> &str;
+
+    /// Trains the paired models on `q17`/`q18` and evaluates them.
+    fn train_eval(&self, q17: &Embedding, q18: &Embedding, spec: &PairSpec) -> TaskOutcome;
+}
+
+/// Binary sentiment classification with the bag-of-words logistic model
+/// (paper Section 3; SST-2, MR, Subj, MPQA).
+pub struct SentimentTask {
+    dataset: Arc<SentimentDataset>,
+    /// Training epochs (the scale's `logreg_epochs`).
+    pub epochs: usize,
+    /// Learning rate when no override is given.
+    pub base_lr: f64,
+}
+
+impl SentimentTask {
+    /// Wraps a sentiment dataset as a grid task.
+    pub fn new(dataset: Arc<SentimentDataset>, epochs: usize) -> Self {
+        SentimentTask {
+            dataset,
+            epochs,
+            base_lr: 0.01,
+        }
+    }
+}
+
+impl Task for SentimentTask {
+    fn name(&self) -> &str {
+        &self.dataset.name
+    }
+
+    fn train_eval(&self, q17: &Embedding, q18: &Embedding, spec: &PairSpec) -> TaskOutcome {
+        let ds = &*self.dataset;
+        let spec17 = TrainSpec {
+            lr: spec.lr_override.unwrap_or(self.base_lr),
+            epochs: self.epochs,
+            init_seed: spec.seed,
+            sample_seed: spec.seed,
+            ..Default::default()
+        };
+        let (init18, sample18) = spec.seeds18();
+        let spec18 = TrainSpec {
+            init_seed: init18,
+            sample_seed: sample18,
+            ..spec17.clone()
+        };
+        let bow_opts = BowTrainOptions {
+            fine_tune_lr: spec.fine_tune_lr,
+        };
+        let m17 = BowSentimentModel::train_with_options(q17, &ds.train, &spec17, &bow_opts);
+        let m18 = BowSentimentModel::train_with_options(q18, &ds.train, &spec18, &bow_opts);
+        let p17 = m17.predict(q17, &ds.test);
+        let p18 = m18.predict(q18, &ds.test);
+        TaskOutcome {
+            disagreement: disagreement(&p17, &p18),
+            quality17: m17.accuracy(q17, &ds.test),
+            quality18: m18.accuracy(q18, &ds.test),
+        }
+    }
+}
+
+/// Named-entity recognition with the BiLSTM tagger; disagreement is
+/// measured over entity tokens only (paper Section 3).
+pub struct NerTask {
+    dataset: Arc<NerDataset>,
+    /// Hidden units per direction (the scale's `lstm_hidden`).
+    pub hidden: usize,
+    /// Training epochs (the scale's `lstm_epochs`).
+    pub epochs: usize,
+    /// Learning rate when no override is given.
+    pub base_lr: f64,
+}
+
+impl NerTask {
+    /// Wraps a NER dataset as a grid task.
+    pub fn new(dataset: Arc<NerDataset>, hidden: usize, epochs: usize) -> Self {
+        NerTask {
+            dataset,
+            hidden,
+            epochs,
+            base_lr: 0.01,
+        }
+    }
+}
+
+impl Task for NerTask {
+    fn name(&self) -> &str {
+        "ner"
+    }
+
+    fn train_eval(&self, q17: &Embedding, q18: &Embedding, spec: &PairSpec) -> TaskOutcome {
+        let ds = &*self.dataset;
+        let cfg17 = LstmConfig {
+            hidden: self.hidden,
+            epochs: self.epochs,
+            lr: spec.lr_override.unwrap_or(self.base_lr),
+            init_seed: spec.seed,
+            sample_seed: spec.seed,
+            ..Default::default()
+        };
+        let (init18, sample18) = spec.seeds18();
+        let cfg18 = LstmConfig {
+            init_seed: init18,
+            sample_seed: sample18,
+            ..cfg17.clone()
+        };
+        let m17 = BiLstmTagger::train(q17, &ds.train, &cfg17);
+        let m18 = BiLstmTagger::train(q18, &ds.train, &cfg18);
+        let p17 = m17.predict_all(q17, &ds.test);
+        let p18 = m18.predict_all(q18, &ds.test);
+        let (flat17, mask) = flatten_tags(&p17, &ds.test);
+        let (flat18, _) = flatten_tags(&p18, &ds.test);
+        TaskOutcome {
+            disagreement: masked_disagreement(&flat17, &flat18, &mask),
+            quality17: entity_micro_f1(&p17, &ds.test),
+            quality18: entity_micro_f1(&p18, &ds.test),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::ner::NerSpec;
+    use crate::tasks::sentiment::SentimentSpec;
+    use embedstab_corpus::{LatentModel, LatentModelConfig};
+    use embedstab_linalg::Mat;
+    use rand::SeedableRng;
+
+    fn tiny_model() -> LatentModel {
+        LatentModel::new(&LatentModelConfig {
+            vocab_size: 80,
+            n_topics: 6, // NER generation needs at least 6 topics
+            ..Default::default()
+        })
+    }
+
+    fn random_embedding(vocab: usize, dim: usize, seed: u64) -> Embedding {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Embedding::new(Mat::random_normal(vocab, dim, &mut rng))
+    }
+
+    #[test]
+    fn sentiment_task_is_deterministic_and_bounded() {
+        let model = tiny_model();
+        let ds = Arc::new(
+            SentimentSpec {
+                n_train: 60,
+                n_valid: 20,
+                n_test: 40,
+                ..SentimentSpec::sst2()
+            }
+            .generate(&model),
+        );
+        let task = SentimentTask::new(ds, 10);
+        assert_eq!(task.name(), "sst2");
+        let q17 = random_embedding(80, 8, 1);
+        let q18 = random_embedding(80, 8, 2);
+        let spec = PairSpec::new(0);
+        let a = task.train_eval(&q17, &q18, &spec);
+        let b = task.train_eval(&q17, &q18, &spec);
+        assert_eq!(a, b, "task must be deterministic");
+        assert!((0.0..=1.0).contains(&a.disagreement));
+        assert!((0.0..=1.0).contains(&a.quality17));
+        // Identical embeddings with matched seeds cannot disagree.
+        let same = task.train_eval(&q17, &q17, &spec);
+        assert_eq!(same.disagreement, 0.0);
+    }
+
+    #[test]
+    fn ner_task_runs_and_relaxed_seeds_differ() {
+        let model = tiny_model();
+        let ds = Arc::new(
+            NerSpec {
+                n_train: 30,
+                n_valid: 10,
+                n_test: 20,
+                ..Default::default()
+            }
+            .generate(&model),
+        );
+        let task = NerTask::new(ds, 4, 1);
+        assert_eq!(task.name(), "ner");
+        let q17 = random_embedding(80, 8, 1);
+        let q18 = random_embedding(80, 8, 2);
+        let fixed = task.train_eval(&q17, &q18, &PairSpec::new(0));
+        assert!((0.0..=1.0).contains(&fixed.disagreement));
+        let relaxed_spec = PairSpec {
+            relax_seeds: true,
+            ..PairSpec::new(0)
+        };
+        let (i18, s18) = relaxed_spec.seeds18();
+        assert_eq!((i18, s18), (1000, 2000));
+    }
+}

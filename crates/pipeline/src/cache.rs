@@ -1,0 +1,214 @@
+//! A versioned on-disk cache of trained + aligned embedding pairs.
+//!
+//! Training the full-precision `(algo, dim, seed)` grid dominates the cost
+//! of an experiment at the `Small`/`Paper` scales. The cache stores each
+//! aligned pair once, keyed by the world fingerprint (scale parameters +
+//! master seed) and the pair key, so re-runs and sibling shard processes
+//! skip straight to downstream training.
+//!
+//! The format is a raw little-endian dump of both matrices — `f64` bits
+//! round-trip exactly, so rows computed from cached pairs are bitwise
+//! identical to rows computed from freshly trained pairs (the
+//! `experiment_api` integration tests pin this). Files are written to a
+//! process-unique temporary sibling and atomically renamed into place,
+//! which makes concurrent shard processes race-safe: the last writer wins
+//! with identical bytes.
+
+use std::fs;
+use std::io::{self, Read as _, Write as _};
+use std::path::PathBuf;
+
+use embedstab_embeddings::Embedding;
+use embedstab_linalg::Mat;
+
+use crate::grid::PairKey;
+
+/// Bump when the file layout changes; old files are ignored, not misread.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+const MAGIC: [u8; 4] = *b"ESPC";
+
+/// Handle to one cache directory, bound to one world fingerprint.
+pub struct PairCache {
+    dir: PathBuf,
+    world_fp: u64,
+}
+
+impl PairCache {
+    /// Opens (creating if needed) a cache directory for a world with the
+    /// given fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory.
+    pub fn open(dir: impl Into<PathBuf>, world_fp: u64) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(PairCache { dir, world_fp })
+    }
+
+    /// The file path for one pair key.
+    pub fn path(&self, key: PairKey) -> PathBuf {
+        let (algo, dim, seed) = key;
+        let algo = algo.name().to_ascii_lowercase();
+        self.dir.join(format!(
+            "pair_v{CACHE_FORMAT_VERSION}_{:016x}_{algo}_d{dim}_s{seed}.bin",
+            self.world_fp
+        ))
+    }
+
+    /// Loads a cached aligned pair, or `None` if absent, stale-versioned,
+    /// or corrupt (corrupt files are treated as misses and retrained over).
+    pub fn load(&self, key: PairKey) -> Option<(Embedding, Embedding)> {
+        let bytes = fs::read(self.path(key)).ok()?;
+        read_pair(&bytes, self.world_fp)
+    }
+
+    /// Atomically stores an aligned pair under its key.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing or renaming the file.
+    pub fn store(&self, key: PairKey, e17: &Embedding, e18: &Embedding) -> io::Result<()> {
+        let path = self.path(key);
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&encode_pair(e17, e18, self.world_fp))?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)
+    }
+}
+
+fn encode_mat(out: &mut Vec<u8>, m: &Mat) {
+    out.extend_from_slice(&(m.rows() as u32).to_le_bytes());
+    out.extend_from_slice(&(m.cols() as u32).to_le_bytes());
+    for &x in m.as_slice() {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn encode_pair(e17: &Embedding, e18: &Embedding, world_fp: u64) -> Vec<u8> {
+    let (n, d) = e17.shape();
+    let mut out = Vec::with_capacity(32 + 2 * n * d * 8);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&CACHE_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&world_fp.to_le_bytes());
+    encode_mat(&mut out, e17.mat());
+    encode_mat(&mut out, e18.mat());
+    out
+}
+
+fn read_mat(r: &mut &[u8]) -> Option<Mat> {
+    let rows = read_u32(r)? as usize;
+    let cols = read_u32(r)? as usize;
+    let n = rows.checked_mul(cols)?;
+    if r.len() < n.checked_mul(8)? {
+        return None;
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut b = [0u8; 8];
+        r.read_exact(&mut b).ok()?;
+        data.push(f64::from_le_bytes(b));
+    }
+    Some(Mat::from_vec(rows, cols, data))
+}
+
+fn read_u32(r: &mut &[u8]) -> Option<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b).ok()?;
+    Some(u32::from_le_bytes(b))
+}
+
+fn read_pair(mut bytes: &[u8], world_fp: u64) -> Option<(Embedding, Embedding)> {
+    let r = &mut bytes;
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).ok()?;
+    if magic != MAGIC || read_u32(r)? != CACHE_FORMAT_VERSION {
+        return None;
+    }
+    let mut fp = [0u8; 8];
+    r.read_exact(&mut fp).ok()?;
+    if u64::from_le_bytes(fp) != world_fp {
+        return None;
+    }
+    let m17 = read_mat(r)?;
+    let m18 = read_mat(r)?;
+    if m17.shape() != m18.shape() || !r.is_empty() {
+        return None;
+    }
+    Some((Embedding::new(m17), Embedding::new(m18)))
+}
+
+/// A process-unique scratch directory under the system temp dir (test
+/// helper; the pipeline never picks cache locations itself).
+pub fn scratch_dir(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("embedstab_{label}_{}", std::process::id()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embedstab_embeddings::Algo;
+    use rand::SeedableRng;
+
+    fn pair(seed: u64) -> (Embedding, Embedding) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (
+            Embedding::new(Mat::random_normal(7, 3, &mut rng)),
+            Embedding::new(Mat::random_normal(7, 3, &mut rng)),
+        )
+    }
+
+    #[test]
+    fn round_trips_bitwise() {
+        let dir = scratch_dir("cache_roundtrip");
+        let cache = PairCache::open(&dir, 42).expect("open");
+        let key = (Algo::Mc, 3, 0);
+        assert!(cache.load(key).is_none());
+        let (e17, e18) = pair(5);
+        cache.store(key, &e17, &e18).expect("store");
+        let (l17, l18) = cache.load(key).expect("hit");
+        assert_eq!(l17, e17);
+        assert_eq!(l18, e18);
+        // No stray temp files left behind.
+        let stray = fs::read_dir(&dir)
+            .expect("dir")
+            .filter(|e| {
+                e.as_ref()
+                    .expect("entry")
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x.to_string_lossy().starts_with("tmp"))
+            })
+            .count();
+        assert_eq!(stray, 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_fingerprint_or_corrupt_file_misses() {
+        let dir = scratch_dir("cache_miss");
+        let cache = PairCache::open(&dir, 1).expect("open");
+        let key = (Algo::Cbow, 3, 7);
+        let (e17, e18) = pair(9);
+        cache.store(key, &e17, &e18).expect("store");
+        // A cache bound to a different world must not see the entry (the
+        // fingerprint is also baked into the file name).
+        let other = PairCache::open(&dir, 2).expect("open");
+        assert!(other.load(key).is_none());
+        // Truncated file: treated as a miss, not a panic.
+        let path = cache.path(key);
+        let bytes = fs::read(&path).expect("read");
+        fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+        assert!(cache.load(key).is_none());
+        // Header with a bumped version: also a miss.
+        let mut stale = bytes.clone();
+        stale[4] = 99;
+        fs::write(&path, &stale).expect("rewrite");
+        assert!(cache.load(key).is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

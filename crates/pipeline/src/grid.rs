@@ -1,13 +1,13 @@
 //! The embedding training grid with caching and parallel training.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use embedstab_embeddings::{train_embedding, Algo, Embedding};
 use embedstab_quant::{quantize_pair, Precision};
-use parking_lot::Mutex;
 
+use crate::cache::PairCache;
+use crate::pool::parallel_map;
 use crate::world::World;
 
 /// Key of one trained embedding pair.
@@ -28,42 +28,56 @@ impl EmbeddingGrid {
     /// Trains the full grid over the given algorithms, dimensions, and
     /// seeds, parallelizing across available cores.
     pub fn build(world: &World, algos: &[Algo], dims: &[usize], seeds: &[u64]) -> Self {
-        let mut jobs: Vec<PairKey> = Vec::new();
+        Self::build_cached(world, algos, dims, seeds, None)
+    }
+
+    /// Like [`EmbeddingGrid::build`], but consults (and fills) a
+    /// [`PairCache`] so re-runs and sibling shard processes skip training.
+    pub fn build_cached(
+        world: &World,
+        algos: &[Algo],
+        dims: &[usize],
+        seeds: &[u64],
+        cache: Option<&PairCache>,
+    ) -> Self {
+        let mut keys: Vec<PairKey> = Vec::new();
         for &algo in algos {
             for &dim in dims {
                 for &seed in seeds {
-                    jobs.push((algo, dim, seed));
+                    keys.push((algo, dim, seed));
                 }
             }
         }
+        Self::build_pairs(world, &keys, cache)
+    }
+
+    /// Trains (or loads) exactly the given pair keys — the entry point the
+    /// [`Experiment`](crate::Experiment) runner uses, so a shard only pays
+    /// for the pairs its configurations actually touch.
+    pub fn build_pairs(world: &World, keys: &[PairKey], cache: Option<&PairCache>) -> Self {
+        let mut jobs: Vec<PairKey> = keys.to_vec();
+        jobs.sort();
+        jobs.dedup();
         // Train the biggest jobs first for better load balancing.
         jobs.sort_by_key(|&(_, dim, _)| std::cmp::Reverse(dim));
-        let next = AtomicUsize::new(0);
-        let results: Mutex<HashMap<PairKey, (Arc<Embedding>, Arc<Embedding>)>> =
-            Mutex::new(HashMap::new());
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        crossbeam::scope(|scope| {
-            for _ in 0..workers.min(jobs.len().max(1)) {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
-                    }
-                    let (algo, dim, seed) = jobs[i];
-                    let x17 = train_embedding(algo, &world.stats17, world.vocab(), dim, seed);
-                    let x18 = train_embedding(algo, &world.stats18, world.vocab(), dim, seed);
-                    let x18 = x18.align_to(&x17);
-                    results
-                        .lock()
-                        .insert((algo, dim, seed), (Arc::new(x17), Arc::new(x18)));
-                });
+        let trained = parallel_map(&jobs, |&(algo, dim, seed)| {
+            if let Some(cache) = cache {
+                if let Some((x17, x18)) = cache.load((algo, dim, seed)) {
+                    return (Arc::new(x17), Arc::new(x18));
+                }
             }
-        })
-        .expect("grid training worker panicked");
+            let x17 = train_embedding(algo, &world.stats17, world.vocab(), dim, seed);
+            let x18 = train_embedding(algo, &world.stats18, world.vocab(), dim, seed);
+            let x18 = x18.align_to(&x17);
+            if let Some(cache) = cache {
+                if let Err(e) = cache.store((algo, dim, seed), &x17, &x18) {
+                    eprintln!("[grid] warning: could not cache ({algo}, d={dim}, s={seed}): {e}");
+                }
+            }
+            (Arc::new(x17), Arc::new(x18))
+        });
         EmbeddingGrid {
-            pairs: results.into_inner(),
+            pairs: jobs.into_iter().zip(trained).collect(),
         }
     }
 
@@ -133,6 +147,30 @@ mod tests {
         // Full precision returns the aligned originals.
         let (f17, _f18) = grid.quantized_pair(Algo::Mc, 8, 0, Precision::FULL);
         assert_eq!(&f17, x17.as_ref());
+    }
+
+    #[test]
+    fn cached_build_round_trips_bitwise() {
+        let params = Scale::Tiny.params();
+        let world = World::build(&params, 0);
+        let dir = crate::cache::scratch_dir("grid_cache");
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = PairCache::open(&dir, world.fingerprint()).expect("open cache");
+        let cold = EmbeddingGrid::build_cached(&world, &[Algo::Mc], &[4], &[0], Some(&cache));
+        assert!(cache.path((Algo::Mc, 4, 0)).exists(), "cache file written");
+        let warm = EmbeddingGrid::build_cached(&world, &[Algo::Mc], &[4], &[0], Some(&cache));
+        let (c17, c18) = cold.pair(Algo::Mc, 4, 0);
+        let (w17, w18) = warm.pair(Algo::Mc, 4, 0);
+        assert_eq!(c17.as_ref(), w17.as_ref(), "cache must round-trip bitwise");
+        assert_eq!(c18.as_ref(), w18.as_ref());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn build_pairs_dedups_keys() {
+        let world = World::build(&Scale::Tiny.params(), 0);
+        let grid = EmbeddingGrid::build_pairs(&world, &[(Algo::Mc, 4, 0), (Algo::Mc, 4, 0)], None);
+        assert_eq!(grid.len(), 1);
     }
 
     #[test]

@@ -7,25 +7,39 @@
 //! 1. **Train and compress embeddings** — [`World`] builds the
 //!    Wiki'17/Wiki'18 corpus pair and downstream datasets;
 //!    [`EmbeddingGrid`] trains the `algo x dim x seed` grid once (in
-//!    parallel), aligns each '18 embedding to its '17 partner, and hands
-//!    out quantized pairs on demand.
-//! 2. **Train downstream models and compute metrics** — [`run`] trains the
-//!    paired downstream models and records prediction disagreement,
-//!    quality, and the five embedding distance measures per configuration.
+//!    parallel, through an optional versioned on-disk [`cache`]), aligns
+//!    each '18 embedding to its '17 partner, and hands out quantized pairs
+//!    on demand.
+//! 2. **Train downstream models and compute metrics** — [`Experiment`]
+//!    sweeps pluggable [`Task`](embedstab_downstream::Task)s over the
+//!    `task x algo x dim x precision x seed` grid, recording prediction
+//!    disagreement, quality, and the five embedding distance measures per
+//!    configuration. Runs shard deterministically across processes
+//!    ([`Experiment::shard`]) and stream rows as they complete
+//!    ([`RowSink`], [`JsonlSink`]). The legacy [`run_sentiment_grid`] /
+//!    [`run_ner_grid`] entry points are thin wrappers over the builder.
 //! 3. **Run analyses** — `embedstab-core`'s statistics and selection
 //!    routines consume the rows; [`report`] renders the paper-style
 //!    tables.
 //!
 //! Scales: [`Scale::Tiny`] for tests, [`Scale::Small`] (default) for the
-//! 2-core reproduction runs, [`Scale::Paper`] for a closer-to-paper grid.
+//! 2-core reproduction runs, [`Scale::Paper`] for a closer-to-paper grid
+//! (where sharding + the pair cache pay off).
 
+pub mod cache;
+pub mod experiment;
 pub mod grid;
+pub mod pool;
 pub mod report;
 pub mod run;
 pub mod scale;
+pub mod sink;
 pub mod world;
 
-pub use grid::EmbeddingGrid;
+pub use cache::{PairCache, CACHE_FORMAT_VERSION};
+pub use experiment::Experiment;
+pub use grid::{EmbeddingGrid, PairKey};
 pub use run::{run_ner_grid, run_sentiment_grid, GridOptions, Row};
 pub use scale::{Scale, ScaleParams};
+pub use sink::{JsonlSink, ProgressSink, RowSink};
 pub use world::World;

@@ -1,0 +1,59 @@
+//! A minimal shared work-queue: the one worker pool behind both embedding
+//! grid training and downstream grid evaluation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Runs `f` over `items` with a scoped worker pool (one worker per
+/// available core, capped at the item count), returning results in input
+/// order.
+///
+/// Workers pull indices from a shared atomic counter, so long items only
+/// delay their own slot. `f` must be deterministic per item for the
+/// pipeline's reproducibility guarantees to hold.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn parallel_map<I: Sync, T: Send>(items: &[I], f: impl Fn(&I) -> T + Sync) -> Vec<T> {
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(items.len()));
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers.min(items.len().max(1)) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                results.lock().push((i, out));
+            });
+        }
+    })
+    .expect("worker panicked");
+    let mut results = results.into_inner();
+    results.sort_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, |&i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_input() {
+        let items: Vec<usize> = Vec::new();
+        assert!(parallel_map(&items, |&i| i).is_empty());
+    }
+}

@@ -32,7 +32,7 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
     out.push_str(&fmt_row(&header_cells, &widths));
     out.push('\n');
-    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1)));
     out.push('\n');
     for row in rows {
         out.push_str(&fmt_row(row, &widths));
@@ -59,6 +59,10 @@ pub fn num(x: f64, decimals: usize) -> String {
 /// Writes a serializable value as pretty JSON under `results/`, creating
 /// the directory if needed. Returns the path written.
 ///
+/// The write is atomic: the body goes to a `.tmp` sibling first and is
+/// renamed into place, so a crash mid-write never leaves a truncated
+/// `results/*.json` for the row cache to misparse.
+///
 /// # Errors
 ///
 /// Returns any I/O error from creating the directory or writing the file.
@@ -66,12 +70,37 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::pa
     let dir = Path::new("results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    let mut f = std::fs::File::create(&path)?;
-    let body = serde_json::to_string_pretty(value)
+    let mut body = serde_json::to_string_pretty(value)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    f.write_all(body.as_bytes())?;
-    f.write_all(b"\n")?;
+    body.push('\n');
+    let tmp = path.with_extension(format!("json.tmp{}", std::process::id()));
+    std::fs::write(&tmp, body.as_bytes())?;
+    std::fs::rename(&tmp, &path)?;
     Ok(path)
+}
+
+/// Appends a serializable value as one JSON line to `path`, creating
+/// parent directories if needed (the streaming counterpart of
+/// [`save_json`], used by [`JsonlSink`](crate::JsonlSink)).
+///
+/// # Errors
+///
+/// Returns any I/O error, or an `InvalidData` error if serialization
+/// fails.
+pub fn save_jsonl_append<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let body = serde_json::to_string(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(body.as_bytes())?;
+    f.write_all(b"\n")
 }
 
 #[cfg(test)]
@@ -104,5 +133,31 @@ mod tests {
     #[should_panic(expected = "row width")]
     fn ragged_rows_panic() {
         let _ = render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn empty_headers_do_not_underflow() {
+        // Regression: `2 * (cols - 1)` underflowed usize when cols == 0.
+        let s = render_table(&[], &[]);
+        assert_eq!(s, "\n\n");
+        // A single column hits the `cols - 1 == 0` edge.
+        let s = render_table(&["only"], &[vec!["x".into()]]);
+        assert!(s.starts_with("only\n----\n"));
+    }
+
+    #[test]
+    fn jsonl_append_accumulates_lines() {
+        let dir = crate::cache::scratch_dir("report_jsonl");
+        let path = dir.join("nested").join("vals.jsonl");
+        std::fs::remove_dir_all(&dir).ok();
+        #[derive(serde::Serialize)]
+        struct V {
+            x: f64,
+        }
+        save_jsonl_append(&path, &V { x: 1.5 }).expect("append");
+        save_jsonl_append(&path, &V { x: -2.0 }).expect("append");
+        let body = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(body.lines().count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

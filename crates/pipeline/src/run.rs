@@ -1,21 +1,18 @@
-//! Grid runners: train paired downstream models over the
-//! `algo x dim x precision x seed` grid and record disagreement, quality,
-//! and embedding distance measures.
+//! Legacy grid entry points and the row/options types they share with the
+//! [`Experiment`](crate::Experiment) builder.
+//!
+//! `run_sentiment_grid` and `run_ner_grid` predate the builder; they are
+//! kept as thin wrappers so existing callers and scripts keep working. New
+//! code should use [`Experiment`] directly — it adds sharding, an on-disk
+//! pair cache, row streaming, and pluggable tasks on top of the same
+//! single grid loop.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use embedstab_core::measures::{KnnMeasure, MeasureSuite};
-use embedstab_core::{disagreement, masked_disagreement, MeasureValues};
-use embedstab_downstream::eval::{entity_micro_f1, flatten_tags};
-use embedstab_downstream::models::{
-    BiLstmTagger, BowSentimentModel, BowTrainOptions, LstmConfig, TrainSpec,
-};
-use embedstab_embeddings::{Algo, Embedding};
-use embedstab_quant::{bits_per_word, Precision};
-use parking_lot::Mutex;
+use embedstab_core::MeasureValues;
+use embedstab_embeddings::Algo;
+use embedstab_quant::Precision;
 use serde::{Deserialize, Serialize};
 
+use crate::experiment::Experiment;
 use crate::grid::EmbeddingGrid;
 use crate::world::World;
 
@@ -87,209 +84,42 @@ impl Default for GridOptions {
     }
 }
 
-/// A configuration enumerated by the runners.
-type Config = (Algo, usize, Precision, u64);
-
-fn enumerate_configs(world: &World, opts: &GridOptions) -> Vec<Config> {
-    let p = &world.params;
-    let dims = opts.dims.as_ref().unwrap_or(&p.dims);
-    let precisions = opts.precisions.as_ref().unwrap_or(&p.precisions);
-    let mut out = Vec::new();
-    for &algo in &opts.algos {
-        for &dim in dims {
-            for &prec in precisions {
-                for &seed in &p.seeds {
-                    out.push((algo, dim, prec, seed));
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Runs a function over configurations with a small worker pool,
-/// collecting results in input order.
-fn parallel_map<T: Send>(configs: &[Config], f: impl Fn(Config) -> T + Sync) -> Vec<T> {
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(configs.len()));
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    crossbeam::scope(|scope| {
-        for _ in 0..workers.min(configs.len().max(1)) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= configs.len() {
-                    break;
-                }
-                let out = f(configs[i]);
-                results.lock().push((i, out));
-            });
-        }
-    })
-    .expect("grid worker panicked");
-    let mut results = results.into_inner();
-    results.sort_by_key(|&(i, _)| i);
-    results.into_iter().map(|(_, t)| t).collect()
-}
-
-/// Builds the per-(algo, seed) measure suites: the EIS references are the
-/// highest-dimensional full-precision pair, as in the paper.
-fn measure_suites(
-    world: &World,
-    grid: &EmbeddingGrid,
-    opts: &GridOptions,
-) -> HashMap<(Algo, u64), MeasureSuite> {
-    let p = &world.params;
-    let max_dim = p.max_dim();
-    let mut suites = HashMap::new();
-    for &algo in &opts.algos {
-        for &seed in &p.seeds {
-            let (e17, e18) = grid.pair(algo, max_dim, seed);
-            let suite = MeasureSuite::new(
-                &e17.top_rows(p.top_m.min(e17.vocab_size())),
-                &e18.top_rows(p.top_m.min(e18.vocab_size())),
-                opts.alpha,
-                seed,
-            )
-            .with_knn(KnnMeasure::new(opts.knn_k, p.knn_queries, seed));
-            suites.insert((algo, seed), suite);
-        }
-    }
-    suites
-}
-
-fn config_measures(
-    world: &World,
-    suites: &HashMap<(Algo, u64), MeasureSuite>,
-    algo: Algo,
-    seed: u64,
-    q17: &Embedding,
-    q18: &Embedding,
-) -> MeasureValues {
-    let m = world.params.top_m.min(q17.vocab_size());
-    suites[&(algo, seed)].compute_all(&q17.top_rows(m), &q18.top_rows(m))
-}
-
 /// Runs the full grid for one sentiment task, returning one row per
 /// configuration (paper Figures 1/2/6, Tables 1-3 inputs).
 ///
+/// Thin wrapper over [`Experiment`]; equivalent to
+/// `Experiment::new(world).grid(grid).tasks([task]).options(opts).run()`.
+///
 /// # Panics
 ///
-/// Panics if `task` is not one of the world's sentiment datasets.
+/// Panics if `task` is not one of the world's sentiment datasets or the
+/// grid is missing a required pair.
 pub fn run_sentiment_grid(
     world: &World,
     grid: &EmbeddingGrid,
     task: &str,
     opts: &GridOptions,
 ) -> Vec<Row> {
-    let ds = world.sentiment_dataset(task);
-    let suites = if opts.with_measures {
-        measure_suites(world, grid, opts)
-    } else {
-        HashMap::new()
-    };
-    let configs = enumerate_configs(world, opts);
-    parallel_map(&configs, |(algo, dim, prec, seed)| {
-        let (q17, q18) = grid.quantized_pair(algo, dim, seed, prec);
-        let spec17 = TrainSpec {
-            lr: opts.lr_override.unwrap_or(0.01),
-            epochs: world.params.logreg_epochs,
-            init_seed: seed,
-            sample_seed: seed,
-            ..Default::default()
-        };
-        let spec18 = if opts.relax_seeds {
-            TrainSpec {
-                init_seed: seed.wrapping_add(1000),
-                sample_seed: seed.wrapping_add(2000),
-                ..spec17.clone()
-            }
-        } else {
-            spec17.clone()
-        };
-        let bow_opts = BowTrainOptions {
-            fine_tune_lr: opts.fine_tune_lr,
-        };
-        let m17 = BowSentimentModel::train_with_options(&q17, &ds.train, &spec17, &bow_opts);
-        let m18 = BowSentimentModel::train_with_options(&q18, &ds.train, &spec18, &bow_opts);
-        let p17 = m17.predict(&q17, &ds.test);
-        let p18 = m18.predict(&q18, &ds.test);
-        let di = disagreement(&p17, &p18);
-        let measures = if opts.with_measures {
-            Some(config_measures(world, &suites, algo, seed, &q17, &q18))
-        } else {
-            None
-        };
-        Row {
-            task: task.to_string(),
-            algo: algo.name().to_string(),
-            dim,
-            bits: prec.bits(),
-            memory: bits_per_word(dim, prec),
-            seed,
-            disagreement: di,
-            quality17: m17.accuracy(&q17, &ds.test),
-            quality18: m18.accuracy(&q18, &ds.test),
-            measures,
-        }
-    })
+    // The builder resolves "ner" to the NER task; this wrapper's contract
+    // is sentiment-only, so keep the documented panic for unknown names.
+    let _ = world.sentiment_dataset(task);
+    Experiment::new(world)
+        .grid(grid)
+        .tasks([task])
+        .options(opts.clone())
+        .run()
 }
 
 /// Runs the full grid for the NER task with the BiLSTM tagger; instability
 /// is measured over entity tokens only (paper Section 3).
+///
+/// Thin wrapper over [`Experiment`], like [`run_sentiment_grid`].
 pub fn run_ner_grid(world: &World, grid: &EmbeddingGrid, opts: &GridOptions) -> Vec<Row> {
-    let ds = &world.ner;
-    let suites = if opts.with_measures {
-        measure_suites(world, grid, opts)
-    } else {
-        HashMap::new()
-    };
-    let configs = enumerate_configs(world, opts);
-    parallel_map(&configs, |(algo, dim, prec, seed)| {
-        let (q17, q18) = grid.quantized_pair(algo, dim, seed, prec);
-        let cfg17 = LstmConfig {
-            hidden: world.params.lstm_hidden,
-            epochs: world.params.lstm_epochs,
-            lr: opts.lr_override.unwrap_or(0.01),
-            init_seed: seed,
-            sample_seed: seed,
-            ..Default::default()
-        };
-        let cfg18 = if opts.relax_seeds {
-            LstmConfig {
-                init_seed: seed.wrapping_add(1000),
-                sample_seed: seed.wrapping_add(2000),
-                ..cfg17.clone()
-            }
-        } else {
-            cfg17.clone()
-        };
-        let m17 = BiLstmTagger::train(&q17, &ds.train, &cfg17);
-        let m18 = BiLstmTagger::train(&q18, &ds.train, &cfg18);
-        let p17 = m17.predict_all(&q17, &ds.test);
-        let p18 = m18.predict_all(&q18, &ds.test);
-        let (flat17, mask) = flatten_tags(&p17, &ds.test);
-        let (flat18, _) = flatten_tags(&p18, &ds.test);
-        let di = masked_disagreement(&flat17, &flat18, &mask);
-        let measures = if opts.with_measures {
-            Some(config_measures(world, &suites, algo, seed, &q17, &q18))
-        } else {
-            None
-        };
-        Row {
-            task: "ner".to_string(),
-            algo: algo.name().to_string(),
-            dim,
-            bits: prec.bits(),
-            memory: bits_per_word(dim, prec),
-            seed,
-            disagreement: di,
-            quality17: entity_micro_f1(&p17, &ds.test),
-            quality18: entity_micro_f1(&p18, &ds.test),
-            measures,
-        }
-    })
+    Experiment::new(world)
+        .grid(grid)
+        .tasks(["ner"])
+        .options(opts.clone())
+        .run()
 }
 
 #[cfg(test)]
@@ -342,6 +172,13 @@ mod tests {
             assert!(r.disagreement >= 0.0 && r.disagreement <= 1.0);
             assert!(r.measures.is_none());
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "no sentiment dataset")]
+    fn sentiment_wrapper_rejects_ner() {
+        let (world, grid) = tiny_setup();
+        let _ = run_sentiment_grid(&world, &grid, "ner", &GridOptions::default());
     }
 
     #[test]

@@ -19,16 +19,20 @@ use crate::scale::ScaleParams;
 pub struct World {
     /// Scale parameters the world was built with.
     pub params: ScaleParams,
+    /// Master seed the world was built with (part of the cache identity).
+    pub master_seed: u64,
     /// The corpus pair and latent models.
     pub pair: TemporalPair,
     /// Trainer statistics for the '17 corpus.
     pub stats17: CorpusStats,
     /// Trainer statistics for the '18 corpus.
     pub stats18: CorpusStats,
-    /// The four sentiment datasets (sst2, mr, subj, mpqa).
-    pub sentiment: Vec<SentimentDataset>,
-    /// The NER dataset.
-    pub ner: NerDataset,
+    /// The four sentiment datasets (sst2, mr, subj, mpqa), shared with
+    /// [`SentimentTask`](embedstab_downstream::SentimentTask) values.
+    pub sentiment: Vec<Arc<SentimentDataset>>,
+    /// The NER dataset, shared with
+    /// [`NerTask`](embedstab_downstream::NerTask) values.
+    pub ner: Arc<NerDataset>,
 }
 
 impl World {
@@ -78,24 +82,51 @@ impl World {
                 spec.n_train = params.sentiment_train;
                 spec.n_valid = (params.sentiment_train / 5).max(20);
                 spec.n_test = params.sentiment_test;
-                spec.generate(&pair.model17)
+                Arc::new(spec.generate(&pair.model17))
             })
             .collect();
-        let ner = NerSpec {
-            n_train: params.ner_train,
-            n_valid: (params.ner_train / 5).max(10),
-            n_test: params.ner_test,
-            ..Default::default()
-        }
-        .generate(&pair.model17);
+        let ner = Arc::new(
+            NerSpec {
+                n_train: params.ner_train,
+                n_valid: (params.ner_train / 5).max(10),
+                n_test: params.ner_test,
+                ..Default::default()
+            }
+            .generate(&pair.model17),
+        );
         World {
             params: params.clone(),
+            master_seed,
             pair,
             stats17,
             stats18,
             sentiment,
             ner,
         }
+    }
+
+    /// A stable fingerprint of everything that determines a trained
+    /// embedding pair's values: the corpus-shaping scale parameters and the
+    /// master seed. Two worlds with equal fingerprints train bitwise-equal
+    /// embeddings for the same `(algo, dim, seed)`, which makes the
+    /// fingerprint the world component of the on-disk pair-cache key.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the corpus-determining fields, in a fixed order.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        let p = &self.params;
+        mix(self.master_seed);
+        mix(p.vocab_size as u64);
+        mix(p.n_topics as u64);
+        mix(p.latent_dim as u64);
+        mix(p.corpus_tokens as u64);
+        mix(p.window as u64);
+        h
     }
 
     /// The shared vocabulary.
@@ -109,6 +140,16 @@ impl World {
     ///
     /// Panics if no dataset has that name.
     pub fn sentiment_dataset(&self, name: &str) -> &SentimentDataset {
+        self.sentiment_dataset_arc(name)
+    }
+
+    /// The shared handle for the sentiment dataset with the given name
+    /// (what [`SentimentTask`](embedstab_downstream::SentimentTask) takes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no dataset has that name.
+    pub fn sentiment_dataset_arc(&self, name: &str) -> &Arc<SentimentDataset> {
         self.sentiment
             .iter()
             .find(|d| d.name == name)

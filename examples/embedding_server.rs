@@ -2,20 +2,20 @@
 //! embedding is shared by several downstream tasks, so a poor
 //! dimension-precision choice amplifies instability across every consumer.
 //!
-//! Given a fixed memory budget, this example enumerates the candidate
-//! (dimension, precision) combinations, ranks them with the eigenspace
-//! instability measure (no downstream training!), then verifies the pick
-//! against the true downstream disagreement of three tasks.
+//! Given a fixed memory budget, this example sweeps the candidate
+//! (dimension, precision) combinations with the `Experiment` builder —
+//! `.filter(...)` restricts the grid to the budget, `.with_measures(true)`
+//! ranks candidates by the eigenspace instability measure (no downstream
+//! training needed for the ranking!) — then verifies the pick against the
+//! true downstream disagreement of the three served tasks.
 //!
 //! Run with: `cargo run --release --example embedding_server`
 
-use embedstab::core::disagreement;
-use embedstab::core::measures::{DistanceMeasure, EisMeasure};
+use std::collections::BTreeMap;
+
 use embedstab::core::selection::ConfigPoint;
-use embedstab::core::stats;
-use embedstab::downstream::models::{BowSentimentModel, TrainSpec};
 use embedstab::embeddings::Algo;
-use embedstab::pipeline::{EmbeddingGrid, Scale, World};
+use embedstab::pipeline::{Experiment, Scale, World};
 use embedstab::quant::Precision;
 
 fn main() {
@@ -28,54 +28,42 @@ fn main() {
         Precision::new(8),
         Precision::FULL,
     ];
+    params.seeds = vec![0];
     let world = World::build(&params, 0);
-    let grid = EmbeddingGrid::build(&world, &[Algo::Cbow], &params.dims, &[0]);
 
     // Candidates under a 32 bits/word budget: (32,1), (16,2), (8,4), (4,8).
     let budget = 32u64;
-    let candidates: Vec<(usize, Precision)> = params
-        .dims
-        .iter()
-        .flat_map(|&d| params.precisions.iter().map(move |&p| (d, p)))
-        .filter(|(d, p)| *d as u64 * p.bits() as u64 == budget)
-        .collect();
-    println!("memory budget: {budget} bits/word; candidates: {candidates:?}\n");
+    println!("memory budget: {budget} bits/word\n");
 
-    // Rank candidates by EIS, computed from the embeddings alone.
-    let (e17, e18) = grid.pair(Algo::Cbow, *params.dims.last().expect("dims"), 0);
-    let eis = EisMeasure::new(e17, e18, 3.0);
-    let spec = TrainSpec {
-        lr: 0.01,
-        epochs: 25,
-        ..Default::default()
-    };
+    // One experiment serves all three tasks; the filter keeps only the
+    // configurations on the budget line.
+    let rows = Experiment::new(&world)
+        .tasks(["sst2", "subj", "mpqa"])
+        .algos([Algo::Cbow])
+        .with_measures(true)
+        .filter(move |_, dim, prec, _| dim as u64 * prec.bits() as u64 == budget)
+        .run();
 
+    // Aggregate the three served tasks per candidate: the EIS comes from
+    // the embeddings alone, the mean disagreement from the downstream
+    // models the measure is meant to replace.
+    let mut by_config: BTreeMap<(usize, u8), (f64, Vec<f64>)> = BTreeMap::new();
+    for r in &rows {
+        let eis = r.measures.expect("measures requested").eis;
+        let e = by_config
+            .entry((r.dim, r.bits))
+            .or_insert((eis, Vec::new()));
+        e.1.push(r.disagreement);
+    }
     let mut points = Vec::new();
     println!("dim  bits  EIS      mean disagreement% over 3 served tasks");
-    for &(dim, prec) in &candidates {
-        let (q17, q18) = grid.quantized_pair(Algo::Cbow, dim, 0, prec);
-        let measure = eis.distance(&q17, &q18);
-        // The server serves three tasks; instability hits all of them.
-        let mut dis = Vec::new();
-        for task in ["sst2", "subj", "mpqa"] {
-            let ds = world.sentiment_dataset(task);
-            let m17 = BowSentimentModel::train(&q17, &ds.train, &spec);
-            let m18 = BowSentimentModel::train(&q18, &ds.train, &spec);
-            dis.push(disagreement(
-                &m17.predict(&q17, &ds.test),
-                &m18.predict(&q18, &ds.test),
-            ));
-        }
-        let mean_di = stats::mean(&dis);
-        println!(
-            "{dim:>3}  {:>4}  {measure:.4}  {:>5.1}",
-            prec.bits(),
-            100.0 * mean_di
-        );
+    for (&(dim, bits), &(eis, ref dis)) in &by_config {
+        let mean_di = dis.iter().sum::<f64>() / dis.len() as f64;
+        println!("{dim:>3}  {bits:>4}  {eis:.4}  {:>5.1}", 100.0 * mean_di);
         points.push(ConfigPoint {
             dim,
-            bits: prec.bits(),
-            measure,
+            bits,
+            measure: eis,
             instability: mean_di,
         });
     }

@@ -5,15 +5,17 @@
 //!
 //! Each "month" the corpus accumulates more documents and drifts a little;
 //! the embedding is retrained and the downstream model retrained on top.
-//! The example tracks prediction churn against the previous month at two
-//! memory budgets, showing that the bigger embedding churns less.
+//! The paired train-and-compare step is exactly what the pipeline's `Task`
+//! trait abstracts, so this example reuses `SentimentTask` outside the
+//! grid: each month's churn is one `train_eval` call on the
+//! (previous, current) embedding pair — the same code path the `Experiment`
+//! grids run.
 //!
 //! Run with: `cargo run --release --example temporal_retraining`
 
-use embedstab::core::disagreement;
 use embedstab::corpus::{CorpusConfig, DriftConfig, LatentModel, LatentModelConfig};
-use embedstab::downstream::models::{BowSentimentModel, TrainSpec};
 use embedstab::downstream::tasks::sentiment::SentimentSpec;
+use embedstab::downstream::{PairSpec, SentimentTask, Task};
 use embedstab::embeddings::{train_embedding, Algo, CorpusStats, Embedding};
 use embedstab::quant::{quantize_pair, Precision};
 use std::sync::Arc;
@@ -27,23 +29,23 @@ fn main() {
         n_topics: 8,
         ..Default::default()
     });
-    let dataset = SentimentSpec {
-        n_train: 350,
-        n_valid: 50,
-        n_test: 250,
-        ..SentimentSpec::sst2()
-    }
-    .generate(&model);
-    let spec = TrainSpec {
-        lr: 0.01,
-        epochs: 25,
-        ..Default::default()
-    };
+    let dataset = Arc::new(
+        SentimentSpec {
+            n_train: 350,
+            n_valid: 50,
+            n_test: 250,
+            ..SentimentSpec::sst2()
+        }
+        .generate(&model),
+    );
+    // The downstream task, shared by every month and both configurations.
+    let task = SentimentTask::new(dataset, 25);
+    let spec = PairSpec::new(0);
 
     // Two serving configurations under comparison: 16 bits/word vs
     // 128 bits/word.
     let configs = [(4usize, Precision::new(4)), (16usize, Precision::new(8))];
-    let mut previous: Vec<Option<(Embedding, Vec<bool>)>> = vec![None, None];
+    let mut previous: Vec<Option<Embedding>> = vec![None, None];
 
     println!("month  tokens   [dim=4,b=4] churn%   [dim=16,b=8] churn%");
     for month in 0..months {
@@ -67,27 +69,19 @@ fn main() {
         for (slot, &(dim, prec)) in configs.iter().enumerate() {
             let emb = train_embedding(Algo::Cbow, &stats, &model.vocab, dim, 0);
             // Align to last month's embedding (as the paper aligns pairs),
-            // sharing the quantization clip.
-            let (emb_q, preds) = match &previous[slot] {
-                Some((prev_emb, _)) => {
-                    let aligned = emb.align_to(prev_emb);
-                    let (_, q_new) = quantize_pair(prev_emb, &aligned, prec);
-                    let m = BowSentimentModel::train(&q_new.embedding, &dataset.train, &spec);
-                    let p = m.predict(&q_new.embedding, &dataset.test);
-                    (aligned, p)
+            // share the quantization clip from the older side, and let the
+            // task train both months' models and count flipped predictions.
+            let (aligned, churn) = match &previous[slot] {
+                Some(prev) => {
+                    let aligned = emb.align_to(prev);
+                    let (q_prev, q_new) = quantize_pair(prev, &aligned, prec);
+                    let outcome = task.train_eval(&q_prev.embedding, &q_new.embedding, &spec);
+                    (aligned, Some(100.0 * outcome.disagreement))
                 }
-                None => {
-                    let (q, _) = quantize_pair(&emb, &emb, prec);
-                    let m = BowSentimentModel::train(&q.embedding, &dataset.train, &spec);
-                    let p = m.predict(&q.embedding, &dataset.test);
-                    (emb, p)
-                }
+                None => (emb, None),
             };
-            let churn = previous[slot]
-                .as_ref()
-                .map(|(_, prev_preds)| 100.0 * disagreement(prev_preds, &preds));
             cells.push(churn);
-            previous[slot] = Some((emb_q, preds));
+            previous[slot] = Some(aligned);
         }
         let fmt = |c: &Option<f64>| {
             c.map(|v| format!("{v:>5.1}"))

@@ -14,12 +14,17 @@
 //! - [`quant`] — uniform quantization with MSE-optimal clipping.
 //! - [`core`] — the paper's contribution: the eigenspace instability measure,
 //!   baseline distance measures, selection algorithms, and statistics.
-//! - [`downstream`] — synthetic sentiment/NER tasks and from-scratch
+//! - [`downstream`] — synthetic sentiment/NER tasks behind the pluggable
+//!   [`Task`](downstream::Task) trait, and from-scratch
 //!   logistic-regression, CNN, and BiLSTM(+CRF) models.
 //! - [`kge`] — TransE knowledge-graph embeddings and their evaluation.
 //! - [`ctx`] — a mini-BERT transformer encoder for contextual embeddings.
 //! - [`pipeline`] — the end-to-end experiment harness used by the
-//!   table/figure reproduction binaries.
+//!   table/figure reproduction binaries: the
+//!   [`Experiment`](pipeline::Experiment) builder sweeps tasks over the
+//!   `algo x dim x precision x seed` grid with deterministic process
+//!   sharding, a versioned on-disk cache of trained embedding pairs, and
+//!   streaming row sinks.
 //!
 //! # Quickstart
 //!

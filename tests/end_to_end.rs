@@ -5,9 +5,7 @@ use embedstab::core::measures::MeasureKind;
 use embedstab::core::selection::{pairwise_selection, ConfigPoint};
 use embedstab::core::stats;
 use embedstab::embeddings::Algo;
-use embedstab::pipeline::{
-    run_ner_grid, run_sentiment_grid, EmbeddingGrid, GridOptions, Row, Scale, World,
-};
+use embedstab::pipeline::{EmbeddingGrid, Experiment, Row, Scale, World};
 use embedstab::quant::Precision;
 
 fn tiny_world() -> (World, EmbeddingGrid) {
@@ -22,11 +20,11 @@ fn tiny_world() -> (World, EmbeddingGrid) {
 #[test]
 fn stability_memory_tradeoff_holds() {
     let (world, grid) = tiny_world();
-    let opts = GridOptions {
-        algos: vec![Algo::Cbow, Algo::Mc],
-        ..Default::default()
-    };
-    let rows = run_sentiment_grid(&world, &grid, "sst2", &opts);
+    let rows = Experiment::new(&world)
+        .grid(&grid)
+        .tasks(["sst2"])
+        .algos([Algo::Cbow, Algo::Mc])
+        .run();
     let lo = mean_di_at_memory_extreme(&rows, true);
     let hi = mean_di_at_memory_extreme(&rows, false);
     assert!(
@@ -67,12 +65,12 @@ fn mean_di_at_memory_extreme(rows: &[Row], lowest: bool) -> f64 {
 #[test]
 fn ner_precision_effect() {
     let (world, grid) = tiny_world();
-    let opts = GridOptions {
-        algos: vec![Algo::Cbow],
-        precisions: Some(vec![Precision::new(1), Precision::FULL]),
-        ..Default::default()
-    };
-    let rows = run_ner_grid(&world, &grid, &opts);
+    let rows = Experiment::new(&world)
+        .grid(&grid)
+        .tasks(["ner"])
+        .algos([Algo::Cbow])
+        .precisions([Precision::new(1), Precision::FULL])
+        .run();
     let one_bit: Vec<f64> = rows
         .iter()
         .filter(|r| r.bits == 1)
@@ -95,12 +93,12 @@ fn ner_precision_effect() {
 #[test]
 fn eis_predicts_downstream_instability() {
     let (world, grid) = tiny_world();
-    let opts = GridOptions {
-        algos: vec![Algo::Cbow],
-        with_measures: true,
-        ..Default::default()
-    };
-    let rows = run_sentiment_grid(&world, &grid, "sst2", &opts);
+    let rows = Experiment::new(&world)
+        .grid(&grid)
+        .tasks(["sst2"])
+        .algos([Algo::Cbow])
+        .with_measures(true)
+        .run();
     let xs: Vec<f64> = rows
         .iter()
         .map(|r| r.measures.expect("measures").get(MeasureKind::Eis))
@@ -134,13 +132,16 @@ fn eis_predicts_downstream_instability() {
 #[test]
 fn pipeline_is_deterministic() {
     let (world, grid) = tiny_world();
-    let opts = GridOptions {
-        algos: vec![Algo::Mc],
-        dims: Some(vec![8]),
-        ..Default::default()
+    let run = || {
+        Experiment::new(&world)
+            .grid(&grid)
+            .tasks(["subj"])
+            .algos([Algo::Mc])
+            .dims([8])
+            .run()
     };
-    let a = run_sentiment_grid(&world, &grid, "subj", &opts);
-    let b = run_sentiment_grid(&world, &grid, "subj", &opts);
+    let a = run();
+    let b = run();
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.disagreement, y.disagreement);
         assert_eq!(x.quality17, y.quality17);

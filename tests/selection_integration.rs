@@ -8,18 +8,16 @@ use embedstab::core::selection::{
 use embedstab::core::stats;
 use embedstab::core::trend::{fit_rule_of_thumb, Observation};
 use embedstab::embeddings::Algo;
-use embedstab::pipeline::{run_sentiment_grid, EmbeddingGrid, GridOptions, Scale, World};
+use embedstab::pipeline::{Experiment, Scale, World};
 
 fn grid_rows() -> Vec<embedstab::pipeline::Row> {
     let params = Scale::Tiny.params();
     let world = World::build(&params, 0);
-    let grid = EmbeddingGrid::build(&world, &[Algo::Cbow], &params.dims, &params.seeds);
-    let opts = GridOptions {
-        algos: vec![Algo::Cbow],
-        with_measures: true,
-        ..Default::default()
-    };
-    run_sentiment_grid(&world, &grid, "sst2", &opts)
+    Experiment::new(&world)
+        .tasks(["sst2"])
+        .algos([Algo::Cbow])
+        .with_measures(true)
+        .run()
 }
 
 /// The full selection stack runs end to end on trained embeddings and the
