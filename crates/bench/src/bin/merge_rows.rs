@@ -1,0 +1,58 @@
+//! Shard coordinator fan-in: merge the per-shard JSONL row files a
+//! sharded grid run leaves behind (`rows_<task>_<scale>.shard<i>of<n>.jsonl`)
+//! into one sorted, de-duplicated JSONL.
+//!
+//! Usage:
+//!
+//! ```text
+//! merge_rows --out results/rows_sst2_small.jsonl \
+//!     results/rows_sst2_small.shard0of2.jsonl \
+//!     results/rows_sst2_small.shard1of2.jsonl
+//! ```
+//!
+//! The output is canonical: rows sorted by `(task, algo, dim, bits, seed)`
+//! with one row per configuration (later duplicates dropped), and — for a
+//! complete shard set — bitwise identical to what the unsharded run would
+//! have produced, so downstream table binaries can consume merged shard
+//! output and the row cache interchangeably.
+
+use embedstab_bench::{merge_shard_rows, rows_to_jsonl};
+use embedstab_pipeline::cache::atomic_write;
+use std::path::PathBuf;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut out: Option<PathBuf> = None;
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            let path = args.next().unwrap_or_else(|| usage("--out needs a path"));
+            out = Some(PathBuf::from(path));
+        } else if arg == "--help" || arg == "-h" {
+            usage("");
+        } else {
+            inputs.push(PathBuf::from(arg));
+        }
+    }
+    let out = out.unwrap_or_else(|| usage("missing --out"));
+    if inputs.is_empty() {
+        usage("no shard files given");
+    }
+    let rows = merge_shard_rows(&inputs).unwrap_or_else(|e| panic!("cannot read shard files: {e}"));
+    atomic_write(&out, rows_to_jsonl(&rows).as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
+    eprintln!(
+        "[merge_rows] merged {} shard file(s) into {} ({} rows)",
+        inputs.len(),
+        out.display(),
+        rows.len()
+    );
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: merge_rows --out <merged.jsonl> <shard.jsonl>...");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

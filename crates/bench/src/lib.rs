@@ -88,6 +88,50 @@ pub fn cache_dir_from_args() -> Option<PathBuf> {
     None
 }
 
+/// The canonical ordering key for merged rows: one entry per grid
+/// configuration, so a sorted run has exactly one row per key.
+pub fn row_merge_key(r: &Row) -> (String, String, usize, u8, u64) {
+    (r.task.clone(), r.algo.clone(), r.dim, r.bits, r.seed)
+}
+
+/// Merges sharded row files (`rows_<task>_<scale>.shard<i>of<n>.jsonl`)
+/// into one canonical row list: the concatenation sorted by
+/// [`row_merge_key`] and de-duplicated by that key (first occurrence, in
+/// input order, wins — re-merging an already-merged file is a no-op).
+///
+/// Because shards partition the configuration enumeration disjointly and
+/// the pair cache round-trips bitwise, the merge of a full shard set
+/// equals the unsharded run's rows exactly — bitwise, not just
+/// approximately (the `merge_rows` integration test pins this).
+///
+/// # Errors
+///
+/// Returns any I/O error from reading a shard file.
+pub fn merge_shard_rows(
+    paths: impl IntoIterator<Item = impl AsRef<Path>>,
+) -> std::io::Result<Vec<Row>> {
+    let mut rows = Vec::new();
+    for path in paths {
+        rows.extend(JsonlSink::load(path)?);
+    }
+    // Stable sort + consecutive dedup: the first occurrence per key in
+    // input order survives.
+    rows.sort_by_cached_key(row_merge_key);
+    rows.dedup_by(|a, b| row_merge_key(a) == row_merge_key(b));
+    Ok(rows)
+}
+
+/// Serializes merged rows back to JSONL (one row per line, trailing
+/// newline), the same line format [`JsonlSink`] writes.
+pub fn rows_to_jsonl(rows: &[Row]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&serde_json::to_string(r).expect("row serializes"));
+        out.push('\n');
+    }
+    out
+}
+
 /// A row aggregated over seeds for one `(task, algo, dim, bits)`.
 #[derive(Clone, Debug)]
 pub struct AggRow {

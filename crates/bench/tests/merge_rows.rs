@@ -1,0 +1,63 @@
+//! Shard fan-in: merging the per-shard JSONL row files must reproduce the
+//! unsharded run exactly — bitwise, after canonical ordering — and be
+//! idempotent under duplicate inputs.
+
+use embedstab_bench::{merge_shard_rows, row_merge_key, rows_to_jsonl};
+use embedstab_pipeline::cache::scratch_dir;
+use embedstab_pipeline::{Experiment, JsonlSink, Scale, World};
+use embedstab_quant::Precision;
+
+#[test]
+fn merged_shards_equal_the_unsharded_run_bitwise() {
+    let mut params = Scale::Tiny.params();
+    params.dims = vec![4, 8];
+    params.precisions = vec![Precision::new(1), Precision::FULL];
+    params.seeds = vec![0, 1];
+    let world = World::build(&params, 0);
+    let experiment = || {
+        Experiment::new(&world)
+            .tasks(["sst2"])
+            .algos([embedstab_embeddings::Algo::Mc])
+    };
+
+    let dir = scratch_dir("merge_rows_test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    // The unsharded reference, in canonical order.
+    let mut reference = experiment().run();
+    assert_eq!(reference.len(), 8);
+    reference.sort_by_key(row_merge_key);
+
+    // Three shard processes streaming to their own JSONL files (completion
+    // order, so the files themselves are unordered).
+    let n = 3;
+    let shard_paths: Vec<_> = (0..n)
+        .map(|i| dir.join(format!("rows_sst2_tiny.shard{i}of{n}.jsonl")))
+        .collect();
+    for (i, path) in shard_paths.iter().enumerate() {
+        experiment().shard(i, n).sink(JsonlSink::new(path)).run();
+    }
+
+    let merged = merge_shard_rows(&shard_paths).expect("merge");
+    assert_eq!(
+        rows_to_jsonl(&merged),
+        rows_to_jsonl(&reference),
+        "merged shards must equal the unsharded run bitwise"
+    );
+
+    // Duplicated inputs (a shard merged twice, or a re-run) de-duplicate
+    // to the same canonical output.
+    let mut doubled = shard_paths.clone();
+    doubled.extend(shard_paths.iter().cloned());
+    let deduped = merge_shard_rows(&doubled).expect("merge with duplicates");
+    assert_eq!(rows_to_jsonl(&deduped), rows_to_jsonl(&reference));
+
+    // And merging the merged output is a no-op (idempotent fan-in).
+    let merged_path = dir.join("merged.jsonl");
+    std::fs::write(&merged_path, rows_to_jsonl(&merged)).expect("write merged");
+    let remerged = merge_shard_rows([&merged_path]).expect("re-merge");
+    assert_eq!(rows_to_jsonl(&remerged), rows_to_jsonl(&reference));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -15,7 +15,7 @@ mod pip;
 pub use displacement::SemanticDisplacement;
 pub use eis::EisMeasure;
 pub use knn::KnnMeasure;
-pub use overlap::EigenspaceOverlap;
+pub use overlap::{overlap_distance_from_bases, EigenspaceOverlap};
 pub use pip::PipLoss;
 
 use embedstab_embeddings::Embedding;

@@ -55,8 +55,11 @@ pub(crate) fn overlap_from_bases(ux: &Mat, uy: &Mat) -> f64 {
     ux.matmul_tn(uy).frobenius_norm_sq() / denom
 }
 
-/// `1 - overlap` from precomputed bases (used by [`super::MeasureSuite`]).
-pub(crate) fn overlap_distance_from_bases(ux: &Mat, uy: &Mat) -> f64 {
+/// `1 - overlap` from precomputed orthonormal bases — the seam shared by
+/// [`super::MeasureSuite`] and callers that already hold the singular
+/// bases (e.g. the serving layer's stability gate, which decomposes each
+/// embedding exactly once per evaluation).
+pub fn overlap_distance_from_bases(ux: &Mat, uy: &Mat) -> f64 {
     (1.0 - overlap_from_bases(ux, uy)).max(0.0)
 }
 

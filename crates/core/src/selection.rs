@@ -95,6 +95,55 @@ pub fn pairwise_selection(points: &[ConfigPoint]) -> PairwiseReport {
     }
 }
 
+/// The candidates of `points` that sit exactly on the `budget` bits/word
+/// line (`dim * bits == budget`), in input order.
+///
+/// This is the candidate set both the Table 3 evaluation and the serving
+/// layer's per-tenant configuration pick rank — one shared definition, so
+/// an operator picking a configuration and the offline evaluation of that
+/// pick can never disagree about which configurations were eligible.
+pub fn candidates_in_budget(points: &[ConfigPoint], budget: u64) -> Vec<ConfigPoint> {
+    points
+        .iter()
+        .filter(|p| p.memory() == budget)
+        .copied()
+        .collect()
+}
+
+/// The candidate a measure ranks most stable: the one with the lowest
+/// measure value. Returns `None` for an empty candidate set.
+///
+/// This is the single candidate-ranking path shared by
+/// [`budget_selection`], the reproduction binaries, and the serving
+/// layer's tenant registry.
+///
+/// # Panics
+///
+/// Panics if a measure value is NaN.
+pub fn pick_lowest_measure<'a>(
+    points: impl IntoIterator<Item = &'a ConfigPoint>,
+) -> Option<&'a ConfigPoint> {
+    points
+        .into_iter()
+        .min_by(|a, b| a.measure.partial_cmp(&b.measure).expect("non-NaN measure"))
+}
+
+/// The oracle pick: the candidate with the lowest *observed* downstream
+/// instability. Returns `None` for an empty candidate set.
+///
+/// # Panics
+///
+/// Panics if an instability value is NaN.
+pub fn pick_oracle<'a>(
+    points: impl IntoIterator<Item = &'a ConfigPoint>,
+) -> Option<&'a ConfigPoint> {
+    points.into_iter().min_by(|a, b| {
+        a.instability
+            .partial_cmp(&b.instability)
+            .expect("non-NaN instability")
+    })
+}
+
 /// Result of the memory-budget selection evaluation.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BudgetReport {
@@ -122,10 +171,7 @@ pub enum BudgetBaseline {
 /// candidate, averaged (and maxed) over budgets.
 pub fn budget_selection(points: &[ConfigPoint]) -> BudgetReport {
     budget_eval(points, |group| {
-        group
-            .iter()
-            .min_by(|a, b| a.measure.partial_cmp(&b.measure).expect("non-NaN measure"))
-            .expect("group is non-empty")
+        pick_lowest_measure(group.iter().copied()).expect("group is non-empty")
     })
 }
 
@@ -266,6 +312,29 @@ mod tests {
         );
         let low = budget_baseline(&points, BudgetBaseline::LowPrecision);
         assert!((low.mean_gap - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_candidates_and_picks() {
+        let points = vec![
+            pt(100, 8, 0.2, 0.06),
+            pt(25, 32, 0.5, 0.04),
+            pt(200, 4, 0.9, 0.10),
+            pt(100, 16, 0.1, 0.03), // off the 800-bit line
+        ];
+        let cands = candidates_in_budget(&points, 800);
+        assert_eq!(cands.len(), 3);
+        let picked = pick_lowest_measure(&cands).expect("non-empty");
+        assert_eq!((picked.dim, picked.bits), (100, 8));
+        let oracle = pick_oracle(&cands).expect("non-empty");
+        assert_eq!((oracle.dim, oracle.bits), (25, 32));
+        // The shared ranking path is exactly what budget_selection scores:
+        // the gap of the pick above equals the single-budget mean gap.
+        let rep = budget_selection(&cands);
+        assert_eq!(rep.budgets, 1);
+        assert!((rep.mean_gap - (picked.instability - oracle.instability)).abs() < 1e-15);
+        assert!(pick_lowest_measure(&[]).is_none());
+        assert!(pick_oracle(&[]).is_none());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use std::fs;
 use std::io::{self, Read as _, Write as _};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use embedstab_embeddings::Embedding;
 use embedstab_linalg::Mat;
@@ -70,18 +70,38 @@ impl PairCache {
     ///
     /// Returns any I/O error from writing or renaming the file.
     pub fn store(&self, key: PairKey, e17: &Embedding, e18: &Embedding) -> io::Result<()> {
-        let path = self.path(key);
-        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(&encode_pair(e17, e18, self.world_fp))?;
-            f.sync_all()?;
-        }
-        fs::rename(&tmp, &path)
+        atomic_write(&self.path(key), &encode_pair(e17, e18, self.world_fp))
     }
 }
 
-fn encode_mat(out: &mut Vec<u8>, m: &Mat) {
+/// Writes `bytes` to `path` through a process-unique temporary sibling and
+/// an atomic rename, the durability convention every on-disk artifact in
+/// this workspace follows (the pair cache here, `report::save_json`, and
+/// the serving layer's snapshot store): readers never observe a partial
+/// file, and concurrent writers race to identical final bytes.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing, syncing, or renaming.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    // Unique per write, not just per process: concurrent same-path writers
+    // in one process must not truncate each other's temporary file.
+    static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp{}_{seq}", std::process::id()));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Appends a matrix to `out` in the cache's raw little-endian layout:
+/// `rows: u32, cols: u32, row-major f64 entries`. `f64` bits round-trip
+/// exactly through [`decode_mat`], so consumers (the pair cache, snapshot
+/// files) get bitwise-identical matrices back.
+pub fn encode_mat(out: &mut Vec<u8>, m: &Mat) {
     out.extend_from_slice(&(m.rows() as u32).to_le_bytes());
     out.extend_from_slice(&(m.cols() as u32).to_le_bytes());
     for &x in m.as_slice() {
@@ -100,7 +120,10 @@ fn encode_pair(e17: &Embedding, e18: &Embedding, world_fp: u64) -> Vec<u8> {
     out
 }
 
-fn read_mat(r: &mut &[u8]) -> Option<Mat> {
+/// Reads one [`encode_mat`]-encoded matrix from the front of `r`,
+/// advancing it past the consumed bytes. Returns `None` on truncated or
+/// inconsistent input (callers treat that as a cache miss, not an error).
+pub fn decode_mat(r: &mut &[u8]) -> Option<Mat> {
     let rows = read_u32(r)? as usize;
     let cols = read_u32(r)? as usize;
     let n = rows.checked_mul(cols)?;
@@ -116,7 +139,10 @@ fn read_mat(r: &mut &[u8]) -> Option<Mat> {
     Some(Mat::from_vec(rows, cols, data))
 }
 
-fn read_u32(r: &mut &[u8]) -> Option<u32> {
+/// Reads one little-endian `u32` from the front of `r`, advancing it —
+/// the length/version primitive of the cache's file layout, shared with
+/// the serving layer's snapshot decoder.
+pub fn read_u32(r: &mut &[u8]) -> Option<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b).ok()?;
     Some(u32::from_le_bytes(b))
@@ -134,8 +160,8 @@ fn read_pair(mut bytes: &[u8], world_fp: u64) -> Option<(Embedding, Embedding)> 
     if u64::from_le_bytes(fp) != world_fp {
         return None;
     }
-    let m17 = read_mat(r)?;
-    let m18 = read_mat(r)?;
+    let m17 = decode_mat(r)?;
+    let m18 = decode_mat(r)?;
     if m17.shape() != m18.shape() || !r.is_empty() {
         return None;
     }

@@ -67,7 +67,7 @@ pub struct Experiment<'w> {
     grid: Option<&'w EmbeddingGrid>,
     tasks: Vec<TaskSpec>,
     opts: GridOptions,
-    filter: Option<Box<ConfigFilter>>,
+    filters: Vec<Box<ConfigFilter>>,
     shard: Option<(usize, usize)>,
     cache_dir: Option<PathBuf>,
     sinks: Vec<Box<dyn RowSink>>,
@@ -82,7 +82,7 @@ impl<'w> Experiment<'w> {
             grid: None,
             tasks: Vec::new(),
             opts: GridOptions::default(),
-            filter: None,
+            filters: Vec::new(),
             shard: None,
             cache_dir: None,
             sinks: Vec::new(),
@@ -164,11 +164,15 @@ impl<'w> Experiment<'w> {
 
     /// Keeps only configurations matching the predicate — applied before
     /// sharding, so all shards agree on the filtered enumeration.
+    ///
+    /// Repeated calls compose with AND: a configuration survives only if
+    /// every registered predicate accepts it, so orthogonal restrictions
+    /// (a memory budget, an algorithm subset) can be added independently.
     pub fn filter(
         mut self,
         f: impl Fn(Algo, usize, Precision, u64) -> bool + Send + Sync + 'static,
     ) -> Self {
-        self.filter = Some(Box::new(f));
+        self.filters.push(Box::new(f));
         self
     }
 
@@ -221,12 +225,9 @@ impl<'w> Experiment<'w> {
                 for &dim in dims {
                     for &prec in precisions {
                         for &seed in &p.seeds {
-                            if let Some(f) = &self.filter {
-                                if !f(algo, dim, prec, seed) {
-                                    continue;
-                                }
+                            if self.filters.iter().all(|f| f(algo, dim, prec, seed)) {
+                                out.push((task, algo, dim, prec, seed));
                             }
-                            out.push((task, algo, dim, prec, seed));
                         }
                     }
                 }
@@ -450,6 +451,33 @@ mod tests {
                 .collect::<std::collections::BTreeSet<_>>()
         };
         assert!(keys(&shard0).is_disjoint(&keys(&shard1)));
+    }
+
+    #[test]
+    fn repeated_filters_compose_with_and() {
+        let world = tiny_world();
+        let exp = || {
+            Experiment::new(&world)
+                .tasks(["sst2"])
+                .algos([Algo::Mc])
+                .filter(|_, dim, _, _| dim == 8)
+        };
+        // One filter: both precisions of dim 8 survive.
+        assert_eq!(exp().run().len(), 2);
+        // A second filter must intersect, not replace: adding a
+        // full-precision restriction keeps only (8, 32).
+        let rows = exp().filter(|_, _, prec, _| prec.is_full()).run();
+        assert_eq!(rows.len(), 1);
+        assert_eq!((rows[0].dim, rows[0].bits), (8, 32));
+        // Order of registration does not matter.
+        let rows = Experiment::new(&world)
+            .tasks(["sst2"])
+            .algos([Algo::Mc])
+            .filter(|_, _, prec, _| prec.is_full())
+            .filter(|_, dim, _, _| dim == 8)
+            .run();
+        assert_eq!(rows.len(), 1);
+        assert_eq!((rows[0].dim, rows[0].bits), (8, 32));
     }
 
     #[test]

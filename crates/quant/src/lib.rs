@@ -85,6 +85,28 @@ impl std::fmt::Display for Precision {
     }
 }
 
+// Serialized as the bare bit width so on-disk metadata (e.g. the serving
+// layer's snapshot headers) stays a plain JSON number. Hand-written rather
+// than derived: the derive would bypass `Precision::new`'s range check,
+// and deserializing must reject widths outside `1..=32`.
+impl serde::Serialize for Precision {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::U64(self.0 as u64)
+    }
+}
+
+impl serde::Deserialize for Precision {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let bits = <u8 as serde::Deserialize>::from_value(v)?;
+        if !(1..=32).contains(&bits) {
+            return Err(serde::Error::msg(format!(
+                "precision must be in 1..=32 bits, got {bits}"
+            )));
+        }
+        Ok(Precision(bits))
+    }
+}
+
 /// Memory footprint, in bits per word (row), of a `dim`-dimensional
 /// embedding stored at `precision` — the x-axis of the paper's
 /// stability-memory plots.
@@ -317,6 +339,20 @@ mod tests {
     #[should_panic(expected = "1..=32")]
     fn zero_bits_rejected() {
         let _ = Precision::new(0);
+    }
+
+    #[test]
+    fn precision_serde_round_trips_and_validates() {
+        use serde::{Deserialize as _, Serialize as _};
+        for p in Precision::SWEEP {
+            let v = p.to_value();
+            assert_eq!(v, serde::Value::U64(p.bits() as u64));
+            assert_eq!(Precision::from_value(&v).expect("round-trip"), p);
+        }
+        // Out-of-range widths are rejected, not constructed.
+        assert!(Precision::from_value(&serde::Value::U64(0)).is_err());
+        assert!(Precision::from_value(&serde::Value::U64(33)).is_err());
+        assert!(Precision::from_value(&serde::Value::Str("8".into())).is_err());
     }
 
     #[test]

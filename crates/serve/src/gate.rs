@@ -1,0 +1,295 @@
+//! The stability gate: score a retrained candidate against the live
+//! snapshot *before* promoting it, using the paper's embedding-distance
+//! measures instead of retraining downstream models.
+//!
+//! This is the serving-side use of the paper's central result: downstream
+//! prediction churn between two embeddings can be predicted cheaply from
+//! the embeddings alone (Section 4, Table 1). The gate follows the
+//! paper's pair-comparison protocol — align the candidate to the live
+//! snapshot with orthogonal Procrustes, quantize it with the clip
+//! threshold *shared from the live side* (Appendix C.2's convention, the
+//! one [`quantize_pair`](embedstab_quant::quantize_pair) implements for
+//! offline pairs), then run the [`MeasureSuite`] — and compares the
+//! gating measure against the tenant's [`Slo`].
+//!
+//! One deliberate difference from the offline `Experiment` sweep: the
+//! sweep anchors EIS on the highest-dimensional full-precision pair and
+//! scores the top-m most frequent words, while the gate has only the live
+//! snapshot to anchor on, so it references the (live, candidate) pair
+//! itself over the full served vocabulary. Gate scores therefore track
+//! sweep measures but are not on an identical numeric scale — calibrate
+//! [`Slo::max_predicted_instability`] against observed *gate* scores
+//! (e.g. dry-run a known-good retrain and set the ceiling with headroom
+//! above its score) rather than copying sweep values verbatim.
+//!
+//! Because the live snapshot, its stored clip, and every measure are
+//! deterministic, scoring the same candidate twice gives bitwise-identical
+//! results (the `serve` proptests pin this).
+
+use embedstab_core::measures::{
+    overlap_distance_from_bases, DistanceMeasure, EisMeasure, KnnMeasure, MeasureKind,
+    MeasureValues, PipLoss, SemanticDisplacement, SvdMethod,
+};
+use embedstab_embeddings::Embedding;
+use embedstab_quant::quantize;
+
+use crate::snapshot::Snapshot;
+
+/// A tenant's serving contract: how much instability each retrain may
+/// introduce, and how much memory the served snapshot may use.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Slo {
+    /// Ceiling on the gate's predicted instability (the gating measure's
+    /// value, e.g. EIS) for a candidate to be promoted.
+    pub max_predicted_instability: f64,
+    /// Memory budget in bits/word; the tenant registry picks the
+    /// (dimension, precision) candidate on exactly this budget line.
+    pub memory_budget_bits: u64,
+}
+
+impl Slo {
+    /// An SLO that promotes every candidate — useful when the gate is run
+    /// for its scores only (e.g. monitoring churn without blocking).
+    pub fn unbounded(memory_budget_bits: u64) -> Slo {
+        Slo {
+            max_predicted_instability: f64::INFINITY,
+            memory_budget_bits,
+        }
+    }
+}
+
+/// The result of scoring one candidate against the live snapshot.
+#[derive(Clone, Debug)]
+pub struct GateEvaluation {
+    /// All five embedding distance measures over the (live, candidate)
+    /// pair, computed by the shared [`MeasureSuite`].
+    pub measures: MeasureValues,
+    /// The gating measure's value — what the SLO is checked against.
+    pub predicted_instability: f64,
+    /// The candidate aligned to the live snapshot (full precision); this
+    /// is what gets published if the gate admits it.
+    pub aligned: Embedding,
+    /// The aligned candidate quantized with the live snapshot's clip (the
+    /// shared-clip convention) — the pair `(live, quantized)` is what the
+    /// measures scored, and what downstream churn monitoring should
+    /// compare.
+    pub quantized: Embedding,
+}
+
+/// Scores candidates against live snapshots with the pluggable measure
+/// suite. One gate is shared by every tenant of a registry; it holds only
+/// measure configuration, no per-tenant state.
+#[derive(Clone, Debug)]
+pub struct StabilityGate {
+    alpha: f64,
+    knn_k: usize,
+    knn_queries: usize,
+    seed: u64,
+    svd: SvdMethod,
+    gating: MeasureKind,
+}
+
+impl Default for StabilityGate {
+    fn default() -> Self {
+        StabilityGate {
+            alpha: 3.0,
+            knn_k: 5,
+            knn_queries: 1000,
+            seed: 0,
+            svd: SvdMethod::Auto,
+            gating: MeasureKind::Eis,
+        }
+    }
+}
+
+impl StabilityGate {
+    /// A gate at the paper's defaults: EIS gating with `alpha = 3`, k-NN
+    /// at `k = 5` over 1000 queries (capped at the vocabulary), the
+    /// auto-dispatched SVD backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the SVD backend behind the eigenspace measures (the
+    /// integration tests pin `Exact` vs the default [`SvdMethod::Auto`]).
+    pub fn with_svd_method(mut self, svd: SvdMethod) -> Self {
+        self.svd = svd;
+        self
+    }
+
+    /// Gates on a different measure than EIS (e.g. [`MeasureKind::Knn`],
+    /// the paper's runner-up selector).
+    pub fn with_gating_measure(mut self, kind: MeasureKind) -> Self {
+        self.gating = kind;
+        self
+    }
+
+    /// Overrides the EIS eigenvalue exponent (paper default 3).
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Overrides the k-NN measure configuration.
+    pub fn with_knn(mut self, k: usize, queries: usize) -> Self {
+        self.knn_k = k;
+        self.knn_queries = queries;
+        self
+    }
+
+    /// Overrides the query-sampling seed shared by the measures.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The measure the SLO is checked against.
+    pub fn gating_measure(&self) -> MeasureKind {
+        self.gating
+    }
+
+    /// Scores a full-precision retrained `candidate` against the live
+    /// snapshot: align (Procrustes), quantize with the live clip
+    /// (shared-clip convention), compute all five measures.
+    ///
+    /// Each side is decomposed exactly once with the configured SVD
+    /// backend; the decomposition feeds both the EIS references and the
+    /// eigenspace bases (this is the serving hot path, so the redundant
+    /// SVDs `MeasureSuite::new` + `compute_all` would spend on a
+    /// self-referenced pair are avoided).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the candidate's shape differs from the live snapshot's.
+    pub fn score(&self, live: &Snapshot, candidate: &Embedding) -> GateEvaluation {
+        assert_eq!(
+            candidate.shape(),
+            live.embedding().shape(),
+            "candidate shape must match the live snapshot"
+        );
+        let aligned = candidate.align_to(live.embedding());
+        let q = quantize(&aligned, live.meta().precision, live.meta().clip);
+        let svd_live = live.embedding().mat().svd_with(self.svd);
+        let svd_cand = q.embedding.mat().svd_with(self.svd);
+        // Rank truncation matches `left_singular_basis_with`'s tolerance.
+        let u_live = svd_live.u_rank(1e-10);
+        let u_cand = svd_cand.u_rank(1e-10);
+        let eis = EisMeasure::from_reference_svds(
+            &svd_live,
+            &svd_cand,
+            live.meta().vocab_size,
+            self.alpha,
+        );
+        let knn = KnnMeasure::new(self.knn_k, self.knn_queries, self.seed);
+        let measures = MeasureValues {
+            eis: eis.distance_from_bases(&u_live, &u_cand),
+            knn_dist: knn.distance(live.embedding(), &q.embedding),
+            semantic_displacement: SemanticDisplacement.distance(live.embedding(), &q.embedding),
+            pip_loss: PipLoss.distance(live.embedding(), &q.embedding),
+            overlap_dist: overlap_distance_from_bases(&u_live, &u_cand),
+        };
+        GateEvaluation {
+            predicted_instability: measures.get(self.gating),
+            measures,
+            aligned,
+            quantized: q.embedding,
+        }
+    }
+
+    /// Whether an evaluation satisfies the SLO (promote) or not (hold).
+    pub fn admits(&self, evaluation: &GateEvaluation, slo: &Slo) -> bool {
+        evaluation.predicted_instability <= slo.max_predicted_instability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embedstab_linalg::Mat;
+    use embedstab_pipeline::cache::scratch_dir;
+    use embedstab_quant::Precision;
+    use rand::SeedableRng;
+
+    use crate::snapshot::SnapshotStore;
+
+    fn emb(seed: u64, n: usize, d: usize) -> Embedding {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Embedding::new(Mat::random_normal(n, d, &mut rng))
+    }
+
+    fn live_store(label: &str, base: &Embedding, prec: Precision) -> SnapshotStore {
+        let dir = scratch_dir(label);
+        std::fs::remove_dir_all(&dir).ok();
+        let mut store = SnapshotStore::open(&dir).expect("open");
+        store.publish(base, prec, None).expect("publish");
+        store
+    }
+
+    #[test]
+    fn identical_candidate_scores_near_zero_and_noise_scores_higher() {
+        let base = emb(0, 40, 6);
+        let store = live_store("gate_scores", &base, Precision::FULL);
+        let live = store.live().expect("live");
+        let gate = StabilityGate::new();
+        let same = gate.score(live, &base);
+        assert!(
+            same.predicted_instability < 1e-6,
+            "identical retrain must score ~0, got {}",
+            same.predicted_instability
+        );
+        let noisy = gate.score(live, &emb(99, 40, 6));
+        assert!(
+            noisy.predicted_instability > same.predicted_instability,
+            "an unrelated retrain must score higher"
+        );
+        // The SLO line separates them.
+        let slo = Slo {
+            max_predicted_instability: (same.predicted_instability + noisy.predicted_instability)
+                / 2.0,
+            memory_budget_bits: 6 * 32,
+        };
+        assert!(gate.admits(&same, &slo));
+        assert!(!gate.admits(&noisy, &slo));
+        assert!(gate.admits(&noisy, &Slo::unbounded(6 * 32)));
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn quantized_candidate_shares_the_live_clip() {
+        let base = emb(1, 30, 4);
+        let prec = Precision::new(4);
+        let store = live_store("gate_clip", &base, prec);
+        let live = store.live().expect("live");
+        let gate = StabilityGate::new();
+        let eval = gate.score(live, &emb(2, 30, 4));
+        // Every quantized value sits on the live clip's uniform levels.
+        let clip = live.meta().clip.expect("quantized snapshot has a clip");
+        for &v in eval.quantized.mat().as_slice() {
+            let requantized = embedstab_quant::quantize_value(v, clip, prec);
+            assert_eq!(requantized.to_bits(), v.to_bits());
+        }
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    fn explicit_svd_backend_agrees_with_auto() {
+        let base = emb(3, 50, 5);
+        let store = live_store("gate_svd", &base, Precision::FULL);
+        let live = store.live().expect("live");
+        let auto = StabilityGate::new().score(live, &emb(4, 50, 5));
+        let exact = StabilityGate::new()
+            .with_svd_method(SvdMethod::Exact)
+            .score(live, &emb(4, 50, 5));
+        assert!((auto.predicted_instability - exact.predicted_instability).abs() < 1e-6);
+        std::fs::remove_dir_all(store.dir()).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate shape")]
+    fn shape_mismatch_panics() {
+        let base = emb(5, 20, 4);
+        let store = live_store("gate_shape", &base, Precision::FULL);
+        let gate = StabilityGate::new();
+        let _ = gate.score(store.live().expect("live"), &emb(6, 20, 5));
+    }
+}

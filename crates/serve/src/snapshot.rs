@@ -1,0 +1,532 @@
+//! Versioned, quantized embedding snapshots and their on-disk store.
+//!
+//! A [`Snapshot`] is what a tenant actually serves: an embedding quantized
+//! to the tenant's precision, plus the metadata the stability gate needs
+//! to score the *next* retrain against it (the quantization clip, the
+//! version lineage, the gate score that admitted it). The
+//! [`SnapshotStore`] persists every published snapshot with the same
+//! atomic tmp+rename convention as the pipeline's
+//! [`PairCache`](embedstab_pipeline::cache::PairCache) — readers never see
+//! a partial file, and re-opening a store round-trips every snapshot
+//! bitwise (`f64` bits are dumped raw, exactly like the pair cache).
+//!
+//! Promotion history is a stack: [`SnapshotStore::publish`] pushes a new
+//! live version, [`SnapshotStore::rollback`] pops back to the previous
+//! one. Rolled-back snapshot files stay on disk for audit; only the `LIVE`
+//! pointer moves.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, Read as _};
+use std::path::{Path, PathBuf};
+
+use embedstab_embeddings::Embedding;
+use embedstab_linalg::Mat;
+use embedstab_pipeline::cache::{atomic_write, decode_mat, encode_mat, read_u32};
+use embedstab_quant::{quantize, Precision};
+use serde::{Deserialize, Serialize};
+
+/// Bump when the snapshot file layout changes; old files are rejected at
+/// [`SnapshotStore::open`], not misread.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+const MAGIC: [u8; 4] = *b"ESSN";
+const LIVE_FILE: &str = "LIVE";
+
+/// A monotonically increasing snapshot version, assigned by the store at
+/// publish time (the first published snapshot is `v1`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Version(pub u64);
+
+impl std::fmt::Display for Version {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Everything about a snapshot except the embedding matrix itself.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotMeta {
+    /// The store-assigned version.
+    pub version: Version,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Vocabulary size (number of rows).
+    pub vocab_size: usize,
+    /// The precision the snapshot is quantized to.
+    pub precision: Precision,
+    /// The clip threshold the snapshot was quantized with — the shared-clip
+    /// anchor for gate evaluations of future candidates (`None` at full
+    /// precision, where quantization is the identity).
+    pub clip: Option<f64>,
+    /// The gate score that admitted this snapshot (`None` for a bootstrap
+    /// publish, which had no live predecessor to compare against).
+    pub predicted_instability: Option<f64>,
+}
+
+/// One served embedding snapshot: quantized values plus metadata.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    meta: SnapshotMeta,
+    embedding: Embedding,
+    /// Per-row L2 norms, precomputed once at construction: the snapshot
+    /// is immutable and [`Snapshot::nearest_batch`] is the serving hot
+    /// path, so cosine denominators must not be recomputed per query
+    /// batch. Derived from `embedding`, not persisted.
+    row_norms: Vec<f64>,
+}
+
+fn row_norms(embedding: &Embedding) -> Vec<f64> {
+    (0..embedding.vocab_size())
+        .map(|i| {
+            let r = embedding.mat().row(i);
+            r.iter().map(|x| x * x).sum::<f64>().sqrt()
+        })
+        .collect()
+}
+
+impl Snapshot {
+    /// Quantizes `embedding` at `precision` with its own MSE-optimal clip
+    /// and wraps it in snapshot form (the store calls this on publish).
+    fn quantized(
+        version: Version,
+        embedding: &Embedding,
+        precision: Precision,
+        predicted_instability: Option<f64>,
+    ) -> Snapshot {
+        let q = quantize(embedding, precision, None);
+        let (vocab_size, dim) = embedding.shape();
+        Snapshot {
+            meta: SnapshotMeta {
+                version,
+                dim,
+                vocab_size,
+                precision,
+                clip: if precision.is_full() {
+                    None
+                } else {
+                    Some(q.clip)
+                },
+                predicted_instability,
+            },
+            row_norms: row_norms(&q.embedding),
+            embedding: q.embedding,
+        }
+    }
+
+    /// The snapshot's metadata.
+    pub fn meta(&self) -> &SnapshotMeta {
+        &self.meta
+    }
+
+    /// The quantized embedding being served.
+    pub fn embedding(&self) -> &Embedding {
+        &self.embedding
+    }
+
+    /// The vector for one word id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn lookup(&self, id: u32) -> &[f64] {
+        self.embedding.vector(id)
+    }
+
+    /// The vectors for a batch of word ids, as one `ids.len() x dim`
+    /// matrix. Row `i` is bitwise identical to `lookup(ids[i])` (the
+    /// `serve_integration` test pins this), so batching is purely a
+    /// throughput optimization for downstream consumers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn lookup_batch(&self, ids: &[u32]) -> Mat {
+        let rows: Vec<usize> = ids.iter().map(|&id| id as usize).collect();
+        self.embedding.mat().select_rows(&rows)
+    }
+
+    /// The `k` nearest words (by cosine similarity) to each query vector,
+    /// for a whole batch of queries at once. The `queries x vocab` score
+    /// matrix is one `matmul_nt` call, so the batch rides the blocked GEMM
+    /// kernel instead of `queries` separate vocabulary scans.
+    ///
+    /// Each result is sorted by descending similarity; ties break toward
+    /// the lower word id, so answers are deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the snapshot's.
+    pub fn nearest_batch(&self, queries: &Mat, k: usize) -> Vec<Vec<(u32, f64)>> {
+        assert_eq!(
+            queries.cols(),
+            self.meta.dim,
+            "query dimension must match the snapshot"
+        );
+        let vocab = self.meta.vocab_size;
+        let k = k.min(vocab);
+        let scores = queries.matmul_nt(self.embedding.mat());
+        let norms = &self.row_norms;
+        (0..queries.rows())
+            .map(|qi| {
+                let qnorm = {
+                    let r = queries.row(qi);
+                    r.iter().map(|x| x * x).sum::<f64>().sqrt()
+                };
+                let mut ranked: Vec<(u32, f64)> = scores
+                    .row(qi)
+                    .iter()
+                    .enumerate()
+                    .map(|(w, &dot)| {
+                        let denom = qnorm * norms[w];
+                        let sim = if denom > 0.0 { dot / denom } else { 0.0 };
+                        (w as u32, sim)
+                    })
+                    .collect();
+                ranked.sort_unstable_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .expect("finite similarities")
+                        .then(a.0.cmp(&b.0))
+                });
+                ranked.truncate(k);
+                ranked
+            })
+            .collect()
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let meta = serde_json::to_string(&self.meta).expect("snapshot meta serializes");
+        let (n, d) = self.embedding.shape();
+        let mut out = Vec::with_capacity(16 + meta.len() + 8 + n * d * 8);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&SNAPSHOT_FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+        out.extend_from_slice(meta.as_bytes());
+        encode_mat(&mut out, self.embedding.mat());
+        out
+    }
+
+    fn decode(mut bytes: &[u8]) -> Option<Snapshot> {
+        let r = &mut bytes;
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic).ok()?;
+        if magic != MAGIC || read_u32(r)? != SNAPSHOT_FORMAT_VERSION {
+            return None;
+        }
+        let meta_len = read_u32(r)? as usize;
+        if r.len() < meta_len {
+            return None;
+        }
+        let meta_bytes = &r[..meta_len];
+        let meta: SnapshotMeta =
+            serde_json::from_str(std::str::from_utf8(meta_bytes).ok()?).ok()?;
+        *r = &r[meta_len..];
+        let mat = decode_mat(r)?;
+        if mat.shape() != (meta.vocab_size, meta.dim) || !r.is_empty() {
+            return None;
+        }
+        let embedding = Embedding::new(mat);
+        Some(Snapshot {
+            meta,
+            row_norms: row_norms(&embedding),
+            embedding,
+        })
+    }
+}
+
+/// A directory of published snapshots plus the `LIVE` promotion history.
+///
+/// Persistence guarantees (the `serve` proptests pin both):
+///
+/// - every publish and every history move is an atomic tmp+rename write,
+///   so a crash leaves either the old or the new state, never a torn one;
+/// - re-opening a store loads every snapshot bitwise identical to what was
+///   published (raw `f64` bit dumps, as in the pipeline's pair cache).
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    snapshots: BTreeMap<u64, Snapshot>,
+    history: Vec<u64>,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) a snapshot store in `dir`, loading every
+    /// published snapshot and the promotion history.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the directory cannot be created or read, or
+    /// if a snapshot file or the `LIVE` pointer is corrupt (a serving
+    /// store must not silently drop versions the history refers to).
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut snapshots = BTreeMap::new();
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !name.starts_with("snap_") || !name.ends_with(".bin") {
+                continue;
+            }
+            let snap = Snapshot::decode(&fs::read(&path)?).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("corrupt snapshot file {}", path.display()),
+                )
+            })?;
+            snapshots.insert(snap.meta.version.0, snap);
+        }
+        let live_path = dir.join(LIVE_FILE);
+        let history: Vec<u64> = match fs::read_to_string(&live_path) {
+            Ok(body) => serde_json::from_str(&body).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("corrupt LIVE pointer {}: {e}", live_path.display()),
+                )
+            })?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        for v in &history {
+            if !snapshots.contains_key(v) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("LIVE history names v{v} but no snapshot file holds it"),
+                ));
+            }
+        }
+        Ok(SnapshotStore {
+            dir,
+            snapshots,
+            history,
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The currently live snapshot, if any version has been published.
+    pub fn live(&self) -> Option<&Snapshot> {
+        self.history.last().map(|v| &self.snapshots[v])
+    }
+
+    /// A published snapshot by version (including rolled-back ones, which
+    /// stay on disk for audit).
+    pub fn get(&self, version: Version) -> Option<&Snapshot> {
+        self.snapshots.get(&version.0)
+    }
+
+    /// All published versions, ascending.
+    pub fn versions(&self) -> Vec<Version> {
+        self.snapshots.keys().map(|&v| Version(v)).collect()
+    }
+
+    /// The promotion history, oldest first; the last entry is live.
+    pub fn history(&self) -> Vec<Version> {
+        self.history.iter().map(|&v| Version(v)).collect()
+    }
+
+    /// Number of published snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// True if nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Quantizes `embedding` at `precision` (with its own MSE-optimal
+    /// clip, which future gate evaluations then share) and publishes it as
+    /// the next version, promoting it live. `predicted_instability`
+    /// records the gate score that admitted it, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from persisting the snapshot or the history.
+    pub fn publish(
+        &mut self,
+        embedding: &Embedding,
+        precision: Precision,
+        predicted_instability: Option<f64>,
+    ) -> io::Result<Version> {
+        let version = Version(self.snapshots.keys().last().copied().unwrap_or(0) + 1);
+        let snap = Snapshot::quantized(version, embedding, precision, predicted_instability);
+        atomic_write(&self.snapshot_path(version), &snap.encode())?;
+        self.snapshots.insert(version.0, snap);
+        self.history.push(version.0);
+        if let Err(e) = self.persist_history() {
+            // Keep memory and disk agreeing on what happened: a failed
+            // history write means the publish did not happen, so take the
+            // snapshot file back out too (best effort — a leftover file
+            // would resurface as a phantom published version on reopen).
+            self.history.pop();
+            self.snapshots.remove(&version.0);
+            std::fs::remove_file(self.snapshot_path(version)).ok();
+            return Err(e);
+        }
+        Ok(version)
+    }
+
+    /// Reverts the live pointer to the previous promoted version. The
+    /// rolled-back snapshot's file stays on disk (it remains loadable via
+    /// [`SnapshotStore::get`]); only the history moves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidInput`] if fewer than two versions
+    /// have been promoted, or any I/O error from persisting the history.
+    pub fn rollback(&mut self) -> io::Result<Version> {
+        if self.history.len() < 2 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "nothing to roll back to: fewer than two promoted versions",
+            ));
+        }
+        let popped = self.history.pop().expect("checked length above");
+        if let Err(e) = self.persist_history() {
+            self.history.push(popped); // memory must keep agreeing with disk
+            return Err(e);
+        }
+        Ok(Version(*self.history.last().expect("non-empty history")))
+    }
+
+    fn snapshot_path(&self, version: Version) -> PathBuf {
+        self.dir.join(format!(
+            "snap_v{SNAPSHOT_FORMAT_VERSION}_{:012}.bin",
+            version.0
+        ))
+    }
+
+    fn persist_history(&self) -> io::Result<()> {
+        let body = serde_json::to_string(&self.history).expect("history serializes");
+        atomic_write(&self.dir.join(LIVE_FILE), body.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn scratch(label: &str) -> PathBuf {
+        let dir = embedstab_pipeline::cache::scratch_dir(label);
+        fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn emb(seed: u64, n: usize, d: usize) -> Embedding {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Embedding::new(Mat::random_normal(n, d, &mut rng))
+    }
+
+    #[test]
+    fn publish_reload_round_trips_bitwise() {
+        let dir = scratch("snap_roundtrip");
+        let mut store = SnapshotStore::open(&dir).expect("open");
+        assert!(store.is_empty());
+        assert!(store.live().is_none());
+        let e = emb(0, 9, 4);
+        let v = store
+            .publish(&e, Precision::new(4), Some(0.02))
+            .expect("publish");
+        assert_eq!(v, Version(1));
+        let reloaded = SnapshotStore::open(&dir).expect("reopen");
+        let live = reloaded.live().expect("live");
+        assert_eq!(live, store.live().expect("live"));
+        assert_eq!(live.meta().predicted_instability, Some(0.02));
+        assert_eq!(live.meta().dim, 4);
+        assert_eq!(live.meta().vocab_size, 9);
+        // Quantized with its own clip, recorded in the metadata.
+        let q = quantize(&e, Precision::new(4), None);
+        assert_eq!(live.embedding(), &q.embedding);
+        assert_eq!(live.meta().clip, Some(q.clip));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn full_precision_snapshot_has_no_clip() {
+        let dir = scratch("snap_full");
+        let mut store = SnapshotStore::open(&dir).expect("open");
+        let e = emb(1, 6, 3);
+        store.publish(&e, Precision::FULL, None).expect("publish");
+        let live = store.live().expect("live");
+        assert_eq!(live.meta().clip, None);
+        assert_eq!(live.embedding(), &e);
+        // And the absent clip survives the JSON round trip.
+        let reloaded = SnapshotStore::open(&dir).expect("reopen");
+        assert_eq!(reloaded.live().expect("live").meta().clip, None);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rollback_pops_history_and_keeps_files() {
+        let dir = scratch("snap_rollback");
+        let mut store = SnapshotStore::open(&dir).expect("open");
+        let v1 = store
+            .publish(&emb(2, 8, 3), Precision::new(2), None)
+            .expect("v1");
+        let v2 = store
+            .publish(&emb(3, 8, 3), Precision::new(2), Some(0.5))
+            .expect("v2");
+        assert_eq!(store.live().expect("live").meta().version, v2);
+        let back = store.rollback().expect("rollback");
+        assert_eq!(back, v1);
+        assert_eq!(store.live().expect("live").meta().version, v1);
+        // The rolled-back version stays published and loadable.
+        assert!(store.get(v2).is_some());
+        assert_eq!(store.versions(), vec![v1, v2]);
+        // A further rollback has nowhere to go.
+        assert_eq!(
+            store.rollback().expect_err("empty").kind(),
+            io::ErrorKind::InvalidInput
+        );
+        // History survives a reopen; the next publish continues numbering.
+        let mut reloaded = SnapshotStore::open(&dir).expect("reopen");
+        assert_eq!(reloaded.history(), vec![v1]);
+        let v3 = reloaded
+            .publish(&emb(4, 8, 3), Precision::new(2), None)
+            .expect("v3");
+        assert_eq!(v3, Version(3));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_file_is_an_open_error() {
+        let dir = scratch("snap_corrupt");
+        let mut store = SnapshotStore::open(&dir).expect("open");
+        let v = store
+            .publish(&emb(5, 7, 3), Precision::new(4), None)
+            .expect("publish");
+        let path = store.snapshot_path(v);
+        let bytes = fs::read(&path).expect("read");
+        fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+        assert!(SnapshotStore::open(&dir).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn nearest_batch_matches_naive_scan() {
+        let dir = scratch("snap_nearest");
+        let mut store = SnapshotStore::open(&dir).expect("open");
+        store
+            .publish(&emb(6, 30, 5), Precision::FULL, None)
+            .expect("publish");
+        let snap = store.live().expect("live");
+        let queries = snap.lookup_batch(&[3, 17]);
+        let results = snap.nearest_batch(&queries, 4);
+        assert_eq!(results.len(), 2);
+        for (qi, &word) in [3u32, 17].iter().enumerate() {
+            // A word's own vector is its top cosine neighbor.
+            assert_eq!(results[qi][0].0, word);
+            assert!((results[qi][0].1 - 1.0).abs() < 1e-12);
+            // Similarities are descending.
+            for w in results[qi].windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the serving layer's two load-bearing invariants:
+//!
+//! 1. the snapshot store's promote -> rollback cycle restores the previous
+//!    live snapshot *bitwise*, including across a reopen from disk, and
+//! 2. the gate's shared-clip quantization (the `quantize_pair` convention:
+//!    the clip comes from the live side) makes gate scores deterministic
+//!    across repeated evaluations — no hidden state, no fresh randomness.
+
+use embedstab_embeddings::Embedding;
+use embedstab_linalg::Mat;
+use embedstab_pipeline::cache::scratch_dir;
+use embedstab_quant::{quantize_pair, Precision};
+use embedstab_serve::{SnapshotStore, StabilityGate};
+use proptest::prelude::*;
+
+/// A pair of same-shape embeddings with entries in `[-1, 1]`, plus a
+/// precision from the paper's sweep.
+type Scenario = ((usize, usize, u8), (Vec<f64>, Vec<f64>));
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (6usize..14, 2usize..5, 0usize..5).prop_flat_map(|(n, d, pi)| {
+        let bits = [1u8, 2, 4, 8, 32][pi];
+        (
+            Just((n, d, bits)),
+            (
+                collection::vec(-1.0f64..1.0, n * d),
+                collection::vec(-1.0f64..1.0, n * d),
+            ),
+        )
+    })
+}
+
+fn emb(n: usize, d: usize, data: Vec<f64>) -> Embedding {
+    Embedding::new(Mat::from_vec(n, d, data))
+}
+
+fn bits_of(e: &Embedding) -> Vec<u64> {
+    e.mat().as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn promote_rollback_round_trips_the_live_snapshot_bitwise(
+        ((n, d, bits), (a, b)) in scenario(),
+    ) {
+        let dir = scratch_dir("serve_prop_rollback");
+        std::fs::remove_dir_all(&dir).ok();
+        let prec = Precision::new(bits);
+        let first = emb(n, d, a);
+        let second = emb(n, d, b);
+
+        let mut store = SnapshotStore::open(&dir).expect("open");
+        let v1 = store.publish(&first, prec, None).expect("v1");
+        let before = store.live().expect("live").clone();
+        store.publish(&second, prec, Some(0.1)).expect("v2");
+        let back = store.rollback().expect("rollback");
+        prop_assert_eq!(back, v1);
+        let after = store.live().expect("live");
+        prop_assert_eq!(after.meta(), before.meta());
+        prop_assert_eq!(bits_of(after.embedding()), bits_of(before.embedding()));
+
+        // The same must hold through the on-disk representation: a fresh
+        // open sees the rolled-back live snapshot bitwise.
+        let reopened = SnapshotStore::open(&dir).expect("reopen");
+        let disk = reopened.live().expect("live");
+        prop_assert_eq!(disk.meta(), before.meta());
+        prop_assert_eq!(bits_of(disk.embedding()), bits_of(before.embedding()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shared_clip_gate_scores_are_deterministic(
+        ((n, d, bits), (a, b)) in scenario(),
+    ) {
+        let dir = scratch_dir("serve_prop_gate");
+        std::fs::remove_dir_all(&dir).ok();
+        let prec = Precision::new(bits);
+        let live_src = emb(n, d, a);
+        let candidate = emb(n, d, b);
+
+        let mut store = SnapshotStore::open(&dir).expect("open");
+        store.publish(&live_src, prec, None).expect("publish");
+        let live = store.live().expect("live");
+        let gate = StabilityGate::new();
+
+        let eval1 = gate.score(live, &candidate);
+        let eval2 = gate.score(live, &candidate);
+        prop_assert_eq!(
+            eval1.predicted_instability.to_bits(),
+            eval2.predicted_instability.to_bits()
+        );
+        prop_assert_eq!(&eval1.measures, &eval2.measures);
+        prop_assert_eq!(bits_of(&eval1.quantized), bits_of(&eval2.quantized));
+
+        // A third evaluation against the reloaded on-disk snapshot agrees
+        // too: the clip rides in the metadata, not in process state.
+        let reopened = SnapshotStore::open(&dir).expect("reopen");
+        let eval3 = gate.score(reopened.live().expect("live"), &candidate);
+        prop_assert_eq!(
+            eval1.predicted_instability.to_bits(),
+            eval3.predicted_instability.to_bits()
+        );
+        prop_assert_eq!(&eval1.measures, &eval3.measures);
+
+        // The gate's quantization *is* quantize_pair's shared-clip
+        // convention: quantizing the (live source, aligned candidate)
+        // pair reproduces both the served snapshot and the scored
+        // candidate bitwise.
+        let (q_live, q_cand) = quantize_pair(&live_src, &eval1.aligned, prec);
+        prop_assert_eq!(bits_of(&q_live.embedding), bits_of(live.embedding()));
+        prop_assert_eq!(bits_of(&q_cand.embedding), bits_of(&eval1.quantized));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

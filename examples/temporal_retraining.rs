@@ -4,20 +4,24 @@
 //! just 1% more data").
 //!
 //! Each "month" the corpus accumulates more documents and drifts a little;
-//! the embedding is retrained and the downstream model retrained on top.
-//! The paired train-and-compare step is exactly what the pipeline's `Task`
-//! trait abstracts, so this example reuses `SentimentTask` outside the
-//! grid: each month's churn is one `train_eval` call on the
-//! (previous, current) embedding pair — the same code path the `Experiment`
-//! grids run.
+//! the embedding is retrained and submitted to the serving layer. The
+//! `TenantRegistry` runs one tenant per serving configuration: the
+//! stability gate aligns the retrain to the live snapshot, quantizes it
+//! with the shared clip, scores it, and promotes it — exactly the
+//! align/quantize/compare protocol the paper's offline grids run, now as
+//! a service lifecycle. Downstream churn is then measured on the very
+//! pair the gate scored (`GateEvaluation::quantized` vs the previous live
+//! snapshot) with the same `SentimentTask` the experiment grids use.
 //!
 //! Run with: `cargo run --release --example temporal_retraining`
 
 use embedstab::corpus::{CorpusConfig, DriftConfig, LatentModel, LatentModelConfig};
 use embedstab::downstream::tasks::sentiment::SentimentSpec;
 use embedstab::downstream::{PairSpec, SentimentTask, Task};
-use embedstab::embeddings::{train_embedding, Algo, CorpusStats, Embedding};
-use embedstab::quant::{quantize_pair, Precision};
+use embedstab::embeddings::{train_embedding, Algo, CorpusStats};
+use embedstab::pipeline::cache::scratch_dir;
+use embedstab::quant::Precision;
+use embedstab::serve::{Slo, TenantRegistry};
 use std::sync::Arc;
 
 fn main() {
@@ -38,14 +42,26 @@ fn main() {
         }
         .generate(&model),
     );
-    // The downstream task, shared by every month and both configurations.
+    // The downstream task, shared by every month and both tenants.
     let task = SentimentTask::new(dataset, 25);
     let spec = PairSpec::new(0);
 
     // Two serving configurations under comparison: 16 bits/word vs
-    // 128 bits/word.
-    let configs = [(4usize, Precision::new(4)), (16usize, Precision::new(8))];
-    let mut previous: Vec<Option<Embedding>> = vec![None, None];
+    // 128 bits/word. Unbounded SLOs: every retrain promotes, so the table
+    // shows the raw month-over-month churn at each budget.
+    let root = scratch_dir("temporal_retraining_example");
+    let _ = std::fs::remove_dir_all(&root);
+    let mut registry = TenantRegistry::new(&root);
+    let configs = [
+        ("budget-16", 4usize, Precision::new(4)),
+        ("budget-128", 16usize, Precision::new(8)),
+    ];
+    for &(name, dim, prec) in &configs {
+        let budget = dim as u64 * prec.bits() as u64;
+        registry
+            .register_config(name, Slo::unbounded(budget), dim, prec)
+            .expect("register tenant");
+    }
 
     println!("month  tokens   [dim=4,b=4] churn%   [dim=16,b=8] churn%");
     for month in 0..months {
@@ -66,22 +82,26 @@ fn main() {
         let stats = CorpusStats::compute(Arc::new(corpus), vocab, 6);
 
         let mut cells = Vec::new();
-        for (slot, &(dim, prec)) in configs.iter().enumerate() {
+        for &(name, dim, _) in &configs {
             let emb = train_embedding(Algo::Cbow, &stats, &model.vocab, dim, 0);
-            // Align to last month's embedding (as the paper aligns pairs),
-            // share the quantization clip from the older side, and let the
-            // task train both months' models and count flipped predictions.
-            let (aligned, churn) = match &previous[slot] {
-                Some(prev) => {
-                    let aligned = emb.align_to(prev);
-                    let (q_prev, q_new) = quantize_pair(prev, &aligned, prec);
-                    let outcome = task.train_eval(&q_prev.embedding, &q_new.embedding, &spec);
-                    (aligned, Some(100.0 * outcome.disagreement))
+            // The gate aligns the retrain to last month's live snapshot,
+            // shares its quantization clip, and scores it; the task then
+            // trains both months' models on the gated pair and counts
+            // flipped predictions.
+            let previous = registry
+                .tenant(name)
+                .expect("registered")
+                .live()
+                .map(|s| s.embedding().clone());
+            let outcome = registry.submit(name, &emb).expect("submit");
+            let churn = match (&previous, outcome.evaluation()) {
+                (Some(prev), Some(eval)) => {
+                    let o = task.train_eval(prev, &eval.quantized, &spec);
+                    Some(100.0 * o.disagreement)
                 }
-                None => (emb, None),
+                _ => None, // bootstrap month: nothing to compare against
             };
             cells.push(churn);
-            previous[slot] = Some(aligned);
         }
         let fmt = |c: &Option<f64>| {
             c.map(|v| format!("{v:>5.1}"))
@@ -91,6 +111,14 @@ fn main() {
             "{month:>5}  {tokens:>6}   {:>18}   {:>19}",
             fmt(&cells[0]),
             fmt(&cells[1])
+        );
+    }
+    for &(name, _, _) in &configs {
+        let store = registry.tenant(name).expect("registered").store();
+        println!(
+            "[serve] tenant '{name}': {} snapshots promoted, live {}",
+            store.len(),
+            store.live().expect("live").meta().version
         );
     }
     println!("\nMonth-over-month churn is consistently lower at the larger memory");

@@ -19,6 +19,10 @@
 //!   logistic-regression, CNN, and BiLSTM(+CRF) models.
 //! - [`kge`] — TransE knowledge-graph embeddings and their evaluation.
 //! - [`ctx`] — a mini-BERT transformer encoder for contextual embeddings.
+//! - [`serve`] — the serving layer: versioned quantized embedding
+//!   snapshots ([`serve::SnapshotStore`]), stability-gated promotion
+//!   against per-tenant SLOs ([`serve::StabilityGate`],
+//!   [`serve::TenantRegistry`]), and batched GEMM-backed query paths.
 //! - [`pipeline`] — the end-to-end experiment harness used by the
 //!   table/figure reproduction binaries: the
 //!   [`Experiment`](pipeline::Experiment) builder sweeps tasks over the
@@ -42,3 +46,4 @@ pub use embedstab_kge as kge;
 pub use embedstab_linalg as linalg;
 pub use embedstab_pipeline as pipeline;
 pub use embedstab_quant as quant;
+pub use embedstab_serve as serve;

@@ -4,17 +4,23 @@
 //! this offline environment) and supports exactly the shapes this
 //! workspace derives on:
 //!
-//! - structs with named fields -> JSON objects, and
+//! - structs with named fields -> JSON objects,
+//! - single-field tuple structs (newtypes) -> the inner value, and
 //! - enums whose variants are all unit variants -> JSON strings.
 //!
-//! Generics, tuple structs, and data-carrying enum variants are rejected
-//! with a compile error rather than silently mis-handled.
+//! Generics, multi-field tuple structs, and data-carrying enum variants
+//! are rejected with a compile error rather than silently mis-handled.
+//! Note that newtype derives construct the struct directly, bypassing any
+//! validating constructor — hand-write the impls for types with invariants
+//! (see `Precision` in `embedstab_quant`).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 enum Shape {
     /// Struct name plus ordered named fields.
     Struct(String, Vec<String>),
+    /// Single-field tuple struct name (serialized as the inner value).
+    Newtype(String),
     /// Enum name plus ordered unit variant names.
     Enum(String, Vec<String>),
 }
@@ -123,21 +129,64 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
         _ => return Err("expected type name".into()),
     };
     // Reject generics: the workspace derives only on concrete types.
-    let body = loop {
+    let (delim, body) = loop {
         match iter.next() {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break (Delimiter::Brace, g.stream());
+            }
+            Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+            {
+                break (Delimiter::Parenthesis, g.stream());
+            }
             Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
                 return Err("generic derive targets are not supported".into());
             }
             Some(_) => continue,
-            None => return Err("expected braced body".into()),
+            None => return Err("expected struct or enum body".into()),
         }
     };
     if kind == "struct" {
+        if delim == Delimiter::Parenthesis {
+            if tuple_field_count(&body) != 1 {
+                return Err("only single-field tuple structs (newtypes) are supported".into());
+            }
+            return Ok(Shape::Newtype(name));
+        }
         Ok(Shape::Struct(name, named_fields(&body)?))
     } else {
         Ok(Shape::Enum(name, unit_variants(&body)?))
     }
+}
+
+/// Counts the fields of a tuple-struct body: one more than the number of
+/// top-level commas (ignoring a trailing comma), zero for an empty body.
+fn tuple_field_count(body: &TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut depth_angle = 0i32;
+    let mut pending = false; // tokens seen since the last top-level comma
+    for tt in body.clone() {
+        match &tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth_angle += 1,
+                '>' => depth_angle -= 1,
+                ',' if depth_angle == 0 => {
+                    if pending {
+                        fields += 1;
+                    }
+                    pending = false;
+                    continue;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        pending = true;
+    }
+    if pending {
+        fields += 1;
+    }
+    fields
 }
 
 /// Derives `serde::Serialize` for named-field structs and unit enums.
@@ -167,6 +216,13 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                  }}"
             )
         }
+        Shape::Newtype(name) => format!(
+            "impl serde::Serialize for {name} {{\
+                 fn to_value(&self) -> serde::Value {{\
+                     serde::Serialize::to_value(&self.0)\
+                 }}\
+             }}"
+        ),
         Shape::Enum(name, variants) => {
             let arms: String = variants
                 .iter()
@@ -214,6 +270,13 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                  }}"
             )
         }
+        Shape::Newtype(name) => format!(
+            "impl serde::Deserialize for {name} {{\
+                 fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\
+                     Ok({name}(serde::Deserialize::from_value(v)?))\
+                 }}\
+             }}"
+        ),
         Shape::Enum(name, variants) => {
             let arms: String = variants
                 .iter()
