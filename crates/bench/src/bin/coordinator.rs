@@ -1,0 +1,274 @@
+//! Shard coordinator: a `Paper`-scale grid on a many-core box as **one
+//! command**.
+//!
+//! ```text
+//! coordinator --shards 8 --bin fig2_memory_tradeoff --scale paper \
+//!     --cache-dir pair-cache --world-cache world-cache [-- extra args...]
+//! ```
+//!
+//! What it does, in order:
+//!
+//! 1. **Builds (or loads) the world exactly once** through the on-disk
+//!    [`WorldCache`](embedstab_pipeline::WorldCache) — previously every
+//!    shard process rebuilt the corpus pair, co-occurrence statistics,
+//!    and downstream datasets from scratch, which dominated sharded runs.
+//! 2. **Spawns N shard subprocesses** of the given figure/rows binary
+//!    with `--shard i/n --cache-dir ... --world-cache ...`, so each shard
+//!    loads the world, trains only its slice of the pair grid (sharing
+//!    trained pairs through the pair cache), and streams its rows to
+//!    `results/rows_<task>_<scale>.shard<i>of<n>.jsonl`. Each shard's
+//!    stdout/stderr goes to `results/coordinator_shard<i>of<n>.log`.
+//! 3. **Waits with per-shard failure reporting**, then fans the shard
+//!    JSONLs through the validated `merge_rows` path into
+//!    `results/<stem>.merged.jsonl` — for a complete fleet the merged
+//!    rows are bitwise identical to the unsharded run (the bench crate's
+//!    `coordinator` integration test pins this end to end).
+//!
+//! The shard binary is resolved next to the coordinator executable by
+//! default; pass a path (anything containing a separator) to override.
+//! Everything after a bare `--` is forwarded to every shard verbatim.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Instant;
+
+use embedstab_bench::{merge_shard_rows, parse_shard_suffix, rows_to_jsonl, scale_tag};
+use embedstab_pipeline::cache::atomic_write;
+use embedstab_pipeline::{Scale, World, WorldCache};
+
+const RESULTS_DIR: &str = "results";
+
+struct Args {
+    shards: usize,
+    bin: String,
+    cache_dir: PathBuf,
+    world_cache: PathBuf,
+    extra: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let mut out = Args {
+        shards: 0,
+        bin: "fig2_memory_tradeoff".to_string(),
+        cache_dir: PathBuf::from("pair-cache"),
+        world_cache: PathBuf::from("world-cache"),
+        extra: Vec::new(),
+    };
+    let next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next()
+            .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shards" => {
+                out.shards = next(&mut args, "--shards")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--shards needs a positive integer"));
+            }
+            "--bin" => out.bin = next(&mut args, "--bin"),
+            "--cache-dir" => out.cache_dir = PathBuf::from(next(&mut args, "--cache-dir")),
+            "--world-cache" => out.world_cache = PathBuf::from(next(&mut args, "--world-cache")),
+            // --scale is read by Scale::from_args from the raw argv; keep
+            // it out of the forwarded extras to avoid passing it twice.
+            "--scale" => {
+                let _ = next(&mut args, "--scale");
+            }
+            "--" => {
+                out.extra.extend(args.by_ref());
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    if out.shards == 0 {
+        usage("missing --shards N (N >= 1)");
+    }
+    out
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: coordinator --shards N [--bin name-or-path] [--scale tiny|small|paper]\n\
+         \x20        [--cache-dir <dir>] [--world-cache <dir>] [-- args forwarded to shards]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Resolves the shard binary: an explicit path is used as-is; a bare name
+/// is looked up next to the coordinator executable (both live in the same
+/// cargo target directory).
+fn resolve_bin(name: &str) -> PathBuf {
+    let path = Path::new(name);
+    if path.components().count() > 1 {
+        return path.to_path_buf();
+    }
+    let exe = std::env::current_exe().expect("coordinator knows its own path");
+    let sibling = exe.with_file_name(name);
+    if !sibling.exists() {
+        panic!(
+            "shard binary {} not found next to the coordinator; \
+             build it first or pass a full path via --bin",
+            sibling.display()
+        );
+    }
+    sibling
+}
+
+fn shard_log_path(index: usize, n: usize) -> PathBuf {
+    Path::new(RESULTS_DIR).join(format!("coordinator_shard{index}of{n}.log"))
+}
+
+/// Removes leftover shard row files with this fleet's shard count: they
+/// are regenerable intermediates, and a stale one from an aborted earlier
+/// fleet would otherwise be merged as if this fleet had produced it.
+fn clean_stale_shard_rows(n: usize) {
+    let Ok(entries) = fs::read_dir(RESULTS_DIR) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if let Some((_, _, file_n)) = parse_shard_suffix(&path) {
+            if file_n == n {
+                fs::remove_file(&path).ok();
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = Scale::from_args();
+    let tag = scale_tag(scale);
+    let bin = resolve_bin(&args.bin);
+    fs::create_dir_all(RESULTS_DIR).unwrap_or_else(|e| panic!("cannot create {RESULTS_DIR}: {e}"));
+    clean_stale_shard_rows(args.shards);
+
+    // Step 1: the world is built (or loaded) exactly once, here. Shards
+    // receive --world-cache and load it instead of rebuilding; the world
+    // itself is dropped before spawning so the coordinator does not sit on
+    // a world-sized allocation while the fleet runs.
+    let t0 = Instant::now();
+    let params = scale.params();
+    let world = World::load_or_build(&params, 0, &args.world_cache).unwrap_or_else(|e| {
+        panic!(
+            "cannot open world cache {}: {e}",
+            args.world_cache.display()
+        )
+    });
+    let world_file = WorldCache::open(&args.world_cache)
+        .expect("world cache just opened")
+        .path(&params, 0);
+    assert!(
+        world_file.exists(),
+        "world cache file {} missing after build; shards would rebuild the world",
+        world_file.display()
+    );
+    drop(world);
+    eprintln!(
+        "[coordinator] world ready in {:.1}s ({})",
+        t0.elapsed().as_secs_f64(),
+        world_file.display()
+    );
+
+    // Step 2: spawn the fleet.
+    let mut children: Vec<(usize, Child)> = Vec::new();
+    for index in 0..args.shards {
+        let log_path = shard_log_path(index, args.shards);
+        let log = fs::File::create(&log_path)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", log_path.display()));
+        let err_log = log.try_clone().expect("log handle clones");
+        let child = Command::new(&bin)
+            .arg("--scale")
+            .arg(tag)
+            .arg("--shard")
+            .arg(format!("{index}/{}", args.shards))
+            .arg("--cache-dir")
+            .arg(&args.cache_dir)
+            .arg("--world-cache")
+            .arg(&args.world_cache)
+            .args(&args.extra)
+            .stdout(Stdio::from(log))
+            .stderr(Stdio::from(err_log))
+            .spawn()
+            .unwrap_or_else(|e| panic!("cannot spawn shard {index}: {e}"));
+        eprintln!(
+            "[coordinator] shard {index}/{} -> pid {}, log {}",
+            args.shards,
+            child.id(),
+            log_path.display()
+        );
+        children.push((index, child));
+    }
+
+    // Step 3: wait, reporting every shard's outcome (not just the first
+    // failure — a fleet post-mortem needs the full picture).
+    let mut failures = Vec::new();
+    for (index, mut child) in children {
+        let status = child
+            .wait()
+            .unwrap_or_else(|e| panic!("cannot wait for shard {index}: {e}"));
+        if status.success() {
+            eprintln!("[coordinator] shard {index}/{} finished", args.shards);
+        } else {
+            eprintln!(
+                "[coordinator] shard {index}/{} FAILED ({status}); see {}",
+                args.shards,
+                shard_log_path(index, args.shards).display()
+            );
+            failures.push(index);
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "[coordinator] {} of {} shards failed ({:?}); not merging — \
+             rerun, or salvage with: merge_rows --partial",
+            failures.len(),
+            args.shards,
+            failures
+        );
+        std::process::exit(1);
+    }
+
+    // Step 4: fan in. Group this fleet's shard files by stem and merge
+    // each complete set into <stem>.merged.jsonl.
+    let mut groups: std::collections::BTreeMap<String, Vec<PathBuf>> =
+        std::collections::BTreeMap::new();
+    for entry in fs::read_dir(RESULTS_DIR)
+        .unwrap_or_else(|e| panic!("cannot read {RESULTS_DIR}: {e}"))
+        .flatten()
+    {
+        let path = entry.path();
+        if let Some((stem, _, n)) = parse_shard_suffix(&path) {
+            if n == args.shards {
+                groups.entry(stem).or_default().push(path);
+            }
+        }
+    }
+    if groups.is_empty() {
+        eprintln!("[coordinator] warning: shards wrote no row files; nothing to merge");
+        return;
+    }
+    for (stem, mut group) in groups {
+        group.sort();
+        let rows = merge_shard_rows(&group)
+            .unwrap_or_else(|e| panic!("merging '{stem}' shard files failed: {e}"));
+        let out = Path::new(RESULTS_DIR).join(format!("{stem}.merged.jsonl"));
+        atomic_write(&out, rows_to_jsonl(&rows).as_bytes())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
+        eprintln!(
+            "[coordinator] merged {} file(s) -> {} ({} rows)",
+            group.len(),
+            out.display(),
+            rows.len()
+        );
+    }
+    eprintln!(
+        "[coordinator] done in {:.1}s total",
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -16,7 +16,9 @@ fn main() {
         println!("\n=== Figure 9 ({algo}): NER disagreement vs measures ===");
         let mut table = Vec::new();
         let mut sorted = sub.clone();
-        sorted.sort_by(|a, b| a.disagreement.partial_cmp(&b.disagreement).expect("finite"));
+        // One NaN disagreement row must not panic the figure; it sorts
+        // to the bottom of the table instead.
+        sorted.sort_by(|a, b| embedstab_core::stats::cmp_nan_last(a.disagreement, b.disagreement));
         for r in &sorted {
             let Some(m) = r.measures else { continue };
             table.push(vec![

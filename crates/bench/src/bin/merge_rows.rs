@@ -5,7 +5,7 @@
 //! Usage:
 //!
 //! ```text
-//! merge_rows --out results/rows_sst2_small.jsonl \
+//! merge_rows [--partial] --out results/rows_sst2_small.jsonl \
 //!     results/rows_sst2_small.shard0of2.jsonl \
 //!     results/rows_sst2_small.shard1of2.jsonl
 //! ```
@@ -15,19 +15,28 @@
 //! complete shard set — bitwise identical to what the unsharded run would
 //! have produced, so downstream table binaries can consume merged shard
 //! output and the row cache interchangeably.
+//!
+//! The shard set is validated before merging: a missing shard or a mix of
+//! shard counts is an error, because the output would silently claim
+//! configurations it does not hold. `--partial` overrides the check to
+//! salvage rows from a fleet with dead shards (the output is then
+//! explicitly non-canonical).
 
-use embedstab_bench::{merge_shard_rows, rows_to_jsonl};
+use embedstab_bench::{merge_shard_rows, merge_shard_rows_partial, rows_to_jsonl};
 use embedstab_pipeline::cache::atomic_write;
 use std::path::PathBuf;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut out: Option<PathBuf> = None;
+    let mut partial = false;
     let mut inputs: Vec<PathBuf> = Vec::new();
     while let Some(arg) = args.next() {
         if arg == "--out" {
             let path = args.next().unwrap_or_else(|| usage("--out needs a path"));
             out = Some(PathBuf::from(path));
+        } else if arg == "--partial" {
+            partial = true;
         } else if arg == "--help" || arg == "-h" {
             usage("");
         } else {
@@ -38,14 +47,25 @@ fn main() {
     if inputs.is_empty() {
         usage("no shard files given");
     }
-    let rows = merge_shard_rows(&inputs).unwrap_or_else(|e| panic!("cannot read shard files: {e}"));
+    let merge = if partial {
+        merge_shard_rows_partial
+    } else {
+        merge_shard_rows
+    };
+    // An incomplete/mixed shard set is an expected operator error, not a
+    // bug: report it cleanly instead of panicking with a backtrace.
+    let rows = merge(&inputs).unwrap_or_else(|e| {
+        eprintln!("error: cannot merge shard files: {e}");
+        std::process::exit(2);
+    });
     atomic_write(&out, rows_to_jsonl(&rows).as_bytes())
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
     eprintln!(
-        "[merge_rows] merged {} shard file(s) into {} ({} rows)",
+        "[merge_rows] merged {} shard file(s) into {} ({} rows{})",
         inputs.len(),
         out.display(),
-        rows.len()
+        rows.len(),
+        if partial { ", partial" } else { "" }
     );
 }
 
@@ -53,6 +73,6 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: merge_rows --out <merged.jsonl> <shard.jsonl>...");
+    eprintln!("usage: merge_rows [--partial] --out <merged.jsonl> <shard.jsonl>...");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -40,8 +40,8 @@ pub fn setup_cached(
     algos: &[embedstab_embeddings::Algo],
     cache_dir: Option<&Path>,
 ) -> Setup {
-    let params = scale.params();
-    let world = World::build(&params, 0);
+    let world = world_from_args(scale);
+    let params = &world.params;
     let cache = cache_dir.map(|dir| {
         PairCache::open(dir, world.fingerprint())
             .unwrap_or_else(|e| panic!("cannot open cache dir {}: {e}", dir.display()))
@@ -49,6 +49,19 @@ pub fn setup_cached(
     let grid =
         EmbeddingGrid::build_cached(&world, algos, &params.dims, &params.seeds, cache.as_ref());
     Setup { world, grid }
+}
+
+/// Builds the world for a scale (master seed 0), honoring the
+/// `--world-cache <path>` flag: when present, the world is loaded from
+/// (or built once into) the on-disk world cache — how the `coordinator`'s
+/// shard subprocesses skip the rebuild that used to dominate sharded runs.
+pub fn world_from_args(scale: Scale) -> World {
+    let params = scale.params();
+    match world_cache_from_args() {
+        Some(dir) => World::load_or_build(&params, 0, &dir)
+            .unwrap_or_else(|e| panic!("cannot open world cache {}: {e}", dir.display())),
+        None => World::build(&params, 0),
+    }
 }
 
 /// Parses `--shard i/n` from the process arguments.
@@ -76,12 +89,21 @@ pub fn shard_from_args() -> Option<(usize, usize)> {
 
 /// Parses `--cache-dir path` from the process arguments.
 pub fn cache_dir_from_args() -> Option<PathBuf> {
+    path_flag_from_args("--cache-dir")
+}
+
+/// Parses `--world-cache path` from the process arguments.
+pub fn world_cache_from_args() -> Option<PathBuf> {
+    path_flag_from_args("--world-cache")
+}
+
+fn path_flag_from_args(flag: &str) -> Option<PathBuf> {
     let args: Vec<String> = std::env::args().collect();
     for i in 0..args.len() {
-        if args[i] == "--cache-dir" {
+        if args[i] == flag {
             let val = args
                 .get(i + 1)
-                .unwrap_or_else(|| panic!("--cache-dir needs a path"));
+                .unwrap_or_else(|| panic!("{flag} needs a path"));
             return Some(PathBuf::from(val));
         }
     }
@@ -94,10 +116,82 @@ pub fn row_merge_key(r: &Row) -> (String, String, usize, u8, u64) {
     (r.task.clone(), r.algo.clone(), r.dim, r.bits, r.seed)
 }
 
+/// Parses the shard suffix out of a shard row file name
+/// (`<stem>.shard<i>of<n>.jsonl`), returning `(stem, i, n)`. Returns
+/// `None` for non-shard files (e.g. an already-merged output), malformed
+/// suffixes, and out-of-range indices (`i >= n` or `n == 0`).
+pub fn parse_shard_suffix(path: &Path) -> Option<(String, usize, usize)> {
+    let name = path.file_name()?.to_str()?;
+    let rest = name.strip_suffix(".jsonl")?;
+    let (stem, shard) = rest.rsplit_once(".shard")?;
+    let (i, n) = shard.split_once("of")?;
+    let (i, n) = (i.parse::<usize>().ok()?, n.parse::<usize>().ok()?);
+    (n > 0 && i < n).then(|| (stem.to_string(), i, n))
+}
+
+/// Checks that the shard files among `paths` form complete sets: for every
+/// stem, all files agree on the shard count `n` and shards `0..n` are all
+/// present. Duplicates are fine (the merge de-duplicates); files without a
+/// `shard<i>of<n>` suffix are fine too (merged outputs re-merge as-is).
+///
+/// This is what keeps a partial fan-in from masquerading as a canonical
+/// row file: merging `shard0of2` without `shard1of2` would *silently*
+/// produce a file that claims to cover the grid but is missing half the
+/// configurations.
+///
+/// # Errors
+///
+/// Returns [`std::io::ErrorKind::InvalidInput`] naming the stem and the
+/// missing shards (or the conflicting counts) on an incomplete or mixed
+/// set.
+pub fn check_shard_set<P: AsRef<Path>>(paths: &[P]) -> std::io::Result<()> {
+    let mut groups: BTreeMap<String, (usize, Vec<bool>)> = BTreeMap::new();
+    for path in paths {
+        let Some((stem, i, n)) = parse_shard_suffix(path.as_ref()) else {
+            continue;
+        };
+        let (first_n, seen) = groups.entry(stem.clone()).or_insert((n, vec![false; n]));
+        if *first_n != n {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "mixed shard counts for '{stem}': both of{first_n} and of{n} \
+                     (merge one fleet at a time, or pass --partial to override)"
+                ),
+            ));
+        }
+        seen[i] = true;
+    }
+    for (stem, (n, seen)) in &groups {
+        let missing: Vec<String> = seen
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| !s)
+            .map(|(i, _)| format!("shard{i}of{n}"))
+            .collect();
+        if !missing.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "incomplete shard set for '{stem}': missing {} \
+                     (pass --partial to merge anyway)",
+                    missing.join(", ")
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Merges sharded row files (`rows_<task>_<scale>.shard<i>of<n>.jsonl`)
 /// into one canonical row list: the concatenation sorted by
 /// [`row_merge_key`] and de-duplicated by that key (first occurrence, in
 /// input order, wins — re-merging an already-merged file is a no-op).
+///
+/// The shard set is validated first ([`check_shard_set`]): a gap or a
+/// mixed shard count is an error, because the output would wrongly claim
+/// to be the canonical full-grid row file. Use
+/// [`merge_shard_rows_partial`] to deliberately merge an incomplete set.
 ///
 /// Because shards partition the configuration enumeration disjointly and
 /// the pair cache round-trips bitwise, the merge of a full shard set
@@ -106,10 +200,18 @@ pub fn row_merge_key(r: &Row) -> (String, String, usize, u8, u64) {
 ///
 /// # Errors
 ///
-/// Returns any I/O error from reading a shard file.
-pub fn merge_shard_rows(
-    paths: impl IntoIterator<Item = impl AsRef<Path>>,
-) -> std::io::Result<Vec<Row>> {
+/// Returns any I/O error from reading a shard file, or
+/// [`std::io::ErrorKind::InvalidInput`] for an incomplete/mixed shard set.
+pub fn merge_shard_rows<P: AsRef<Path>>(paths: &[P]) -> std::io::Result<Vec<Row>> {
+    check_shard_set(paths)?;
+    merge_shard_rows_partial(paths)
+}
+
+/// [`merge_shard_rows`] without the completeness check — the `--partial`
+/// escape hatch for salvaging rows from a fleet with dead shards. The
+/// output is *not* canonical: configurations covered by the missing
+/// shards are absent.
+pub fn merge_shard_rows_partial<P: AsRef<Path>>(paths: &[P]) -> std::io::Result<Vec<Row>> {
     let mut rows = Vec::new();
     for path in paths {
         rows.extend(JsonlSink::load(path)?);
@@ -287,8 +389,10 @@ pub fn attach_measures(rows: &mut [Row], with: &[Row]) {
 ///
 /// Row caches live under `results/rows_<task>_<scale>.json`.
 ///
-/// Two process flags feed straight into the [`Experiment`] builder:
-/// `--cache-dir <path>` shares trained embedding pairs on disk, and
+/// Three process flags feed straight into the pipeline:
+/// `--cache-dir <path>` shares trained embedding pairs on disk,
+/// `--world-cache <path>` loads (or builds once) the world itself from an
+/// on-disk [`WorldCache`](embedstab_pipeline::WorldCache), and
 /// `--shard i/n` makes this process cover only its slice of each task's
 /// grid (rows then stream to
 /// `results/rows_<task>_<scale>.shard<i>of<n>.jsonl` instead of the shared
@@ -302,8 +406,7 @@ pub fn standard_rows(scale: Scale, tasks: &[&str]) -> BTreeMap<String, Vec<Row>>
         // without a shared cache would retrain pairs per task, so default
         // the cache on.
         let cache = cache_dir.unwrap_or_else(|| PathBuf::from("cache"));
-        let params = scale.params();
-        let world = World::build(&params, 0);
+        let world = world_from_args(scale);
         let mut out: BTreeMap<String, Vec<Row>> = BTreeMap::new();
         let mut measure_source: Option<Vec<Row>> = None;
         for (i, &task) in tasks.iter().enumerate() {

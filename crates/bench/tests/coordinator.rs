@@ -1,0 +1,128 @@
+//! End-to-end contract of the shard coordinator, with the real binaries:
+//! a coordinator-driven 2-way sharded Tiny run must (a) build the world
+//! exactly once — every shard subprocess loads it from the world cache,
+//! never rebuilds — and (b) produce merged JSONL rows bitwise identical
+//! to an unsharded run of the same binary against the same world cache.
+
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+use embedstab_bench::{row_merge_key, rows_to_jsonl};
+use embedstab_pipeline::cache::scratch_dir;
+use embedstab_pipeline::Row;
+
+const TASKS: [&str; 5] = ["sst2", "mr", "subj", "mpqa", "ner"];
+
+#[test]
+fn coordinated_shard_fleet_matches_unsharded_run_bitwise() {
+    let root = scratch_dir("coordinator_e2e");
+    fs::remove_dir_all(&root).ok();
+    let sharded_cwd = root.join("sharded");
+    let unsharded_cwd = root.join("unsharded");
+    let world_cache = root.join("world-cache"); // shared by both runs
+    fs::create_dir_all(&sharded_cwd).expect("sharded cwd");
+    fs::create_dir_all(&unsharded_cwd).expect("unsharded cwd");
+
+    // Coordinator-driven fleet: 2 shards of fig2 at Tiny scale.
+    let coordinator = env!("CARGO_BIN_EXE_coordinator");
+    let fig2 = env!("CARGO_BIN_EXE_fig2_memory_tradeoff");
+    let output = Command::new(coordinator)
+        .current_dir(&sharded_cwd)
+        .args(["--shards", "2", "--bin", fig2, "--scale", "tiny"])
+        .arg("--cache-dir")
+        .arg(root.join("pair-cache"))
+        .arg("--world-cache")
+        .arg(&world_cache)
+        .output()
+        .expect("coordinator spawns");
+    let coord_log = String::from_utf8_lossy(&output.stderr).to_string();
+    assert!(
+        output.status.success(),
+        "coordinator failed:\n{coord_log}\n{}",
+        dump_shard_logs(&sharded_cwd)
+    );
+
+    // The coordinator itself built the world (cold cache)...
+    assert!(
+        coord_log.contains("[world] built and stored"),
+        "coordinator must build the cold world:\n{coord_log}"
+    );
+    assert_eq!(
+        coord_log.matches("[world]").count(),
+        1,
+        "world must be built exactly once by the coordinator:\n{coord_log}"
+    );
+    // ...and every shard loaded it instead of rebuilding.
+    for index in 0..2 {
+        let log_path = sharded_cwd
+            .join("results")
+            .join(format!("coordinator_shard{index}of2.log"));
+        let log = fs::read_to_string(&log_path).expect("shard log exists");
+        assert!(
+            log.contains("[world] loaded"),
+            "shard {index} did not load the cached world:\n{log}"
+        );
+        assert!(
+            !log.contains("[world] built"),
+            "shard {index} rebuilt the world:\n{log}"
+        );
+    }
+
+    // Unsharded reference run of the same binary, against the same (now
+    // warm) world cache, in its own working directory with no shared pair
+    // cache — freshly trained pairs must reproduce the shard rows exactly.
+    let output = Command::new(fig2)
+        .current_dir(&unsharded_cwd)
+        .args(["--scale", "tiny", "--fresh"])
+        .arg("--world-cache")
+        .arg(&world_cache)
+        .output()
+        .expect("fig2 spawns");
+    assert!(
+        output.status.success(),
+        "unsharded fig2 failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("[world] loaded"),
+        "reference run must load the coordinator's world"
+    );
+
+    // Merged shard rows == unsharded rows, bitwise, for every task.
+    for task in TASKS {
+        let merged_path = sharded_cwd
+            .join("results")
+            .join(format!("rows_{task}_tiny.merged.jsonl"));
+        let merged = fs::read_to_string(&merged_path)
+            .unwrap_or_else(|e| panic!("missing merged rows for {task}: {e}"));
+        let reference_path = unsharded_cwd
+            .join("results")
+            .join(format!("rows_{task}_tiny.json"));
+        let body = fs::read_to_string(&reference_path)
+            .unwrap_or_else(|e| panic!("missing reference rows for {task}: {e}"));
+        let mut reference: Vec<Row> = serde_json::from_str(&body).expect("reference rows parse");
+        assert!(!reference.is_empty());
+        reference.sort_by_cached_key(row_merge_key);
+        assert_eq!(
+            merged,
+            rows_to_jsonl(&reference),
+            "merged {task} rows differ from the unsharded run"
+        );
+    }
+
+    fs::remove_dir_all(&root).ok();
+}
+
+fn dump_shard_logs(cwd: &Path) -> String {
+    let mut out = String::new();
+    for index in 0..2 {
+        let path = cwd
+            .join("results")
+            .join(format!("coordinator_shard{index}of2.log"));
+        if let Ok(log) = fs::read_to_string(&path) {
+            out.push_str(&format!("--- {}:\n{log}\n", path.display()));
+        }
+    }
+    out
+}

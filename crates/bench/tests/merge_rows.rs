@@ -2,7 +2,10 @@
 //! unsharded run exactly — bitwise, after canonical ordering — and be
 //! idempotent under duplicate inputs.
 
-use embedstab_bench::{merge_shard_rows, row_merge_key, rows_to_jsonl};
+use embedstab_bench::{
+    check_shard_set, merge_shard_rows, merge_shard_rows_partial, parse_shard_suffix, row_merge_key,
+    rows_to_jsonl,
+};
 use embedstab_pipeline::cache::scratch_dir;
 use embedstab_pipeline::{Experiment, JsonlSink, Scale, World};
 use embedstab_quant::Precision;
@@ -56,8 +59,65 @@ fn merged_shards_equal_the_unsharded_run_bitwise() {
     // And merging the merged output is a no-op (idempotent fan-in).
     let merged_path = dir.join("merged.jsonl");
     std::fs::write(&merged_path, rows_to_jsonl(&merged)).expect("write merged");
-    let remerged = merge_shard_rows([&merged_path]).expect("re-merge");
+    let remerged = merge_shard_rows(&[&merged_path]).expect("re-merge");
     assert_eq!(rows_to_jsonl(&remerged), rows_to_jsonl(&reference));
 
+    // An incomplete shard set must be an error, not a silently smaller
+    // "canonical" file; --partial (the _partial variant) overrides.
+    let incomplete = &shard_paths[..2];
+    let err = merge_shard_rows(incomplete).expect_err("gap must error");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(
+        err.to_string().contains("shard2of3"),
+        "names the gap: {err}"
+    );
+    let salvaged = merge_shard_rows_partial(incomplete).expect("partial merge");
+    assert!(salvaged.len() < reference.len());
+    assert!(!salvaged.is_empty());
+
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shard_suffix_parsing_and_set_checking() {
+    let p = |s: &str| std::path::PathBuf::from(s);
+    assert_eq!(
+        parse_shard_suffix(&p("results/rows_sst2_small.shard0of2.jsonl")),
+        Some(("rows_sst2_small".to_string(), 0, 2))
+    );
+    // Non-shard files, malformed and out-of-range suffixes are not shards.
+    assert_eq!(parse_shard_suffix(&p("results/rows.merged.jsonl")), None);
+    assert_eq!(parse_shard_suffix(&p("rows.shard2of2.jsonl")), None);
+    assert_eq!(parse_shard_suffix(&p("rows.shard0of0.jsonl")), None);
+    assert_eq!(parse_shard_suffix(&p("rows.shardXofY.jsonl")), None);
+    assert_eq!(parse_shard_suffix(&p("rows.shard1of2.json")), None);
+
+    // Complete set, duplicates, and plain (non-shard) inputs all pass.
+    check_shard_set(&[
+        p("a.shard0of2.jsonl"),
+        p("a.shard1of2.jsonl"),
+        p("a.shard1of2.jsonl"),
+        p("merged.jsonl"),
+    ])
+    .expect("complete set");
+    // Independent stems are validated independently.
+    check_shard_set(&[
+        p("a.shard0of1.jsonl"),
+        p("b.shard0of2.jsonl"),
+        p("b.shard1of2.jsonl"),
+    ])
+    .expect("two complete stems");
+    // A gap in either stem fails, naming the stem.
+    let err =
+        check_shard_set(&[p("a.shard0of1.jsonl"), p("b.shard0of2.jsonl")]).expect_err("gap in b");
+    assert!(err.to_string().contains('b'), "{err}");
+    assert!(err.to_string().contains("shard1of2"), "{err}");
+    // Mixed shard counts for one stem fail even if each looks complete.
+    let err = check_shard_set(&[
+        p("a.shard0of1.jsonl"),
+        p("a.shard0of2.jsonl"),
+        p("a.shard1of2.jsonl"),
+    ])
+    .expect_err("mixed n");
+    assert!(err.to_string().contains("mixed"), "{err}");
 }

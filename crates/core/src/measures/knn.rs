@@ -93,10 +93,12 @@ fn top_k_neighbors(emb: &Embedding, q: u32, k: usize) -> Vec<u32> {
         .map(|w| (vecops::cosine_similarity(qv, emb.vector(w)), w))
         .collect();
     // Partial selection: k is tiny compared to the vocabulary.
+    // `partial_cmp(..).unwrap_or(Equal)` is not a total order under NaN
+    // similarities (zero vectors), which breaks the selection invariant.
+    // cmp_desc_nan_last keeps it deterministic AND keeps NaNs out of the
+    // neighbor set whenever k finite similarities exist.
     sims.select_nth_unstable_by(k - 1, |a, b| {
-        b.0.partial_cmp(&a.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.1.cmp(&b.1))
+        crate::stats::cmp_desc_nan_last(a.0, b.0).then(a.1.cmp(&b.1))
     });
     sims.truncate(k);
     sims.into_iter().map(|(_, w)| w).collect()

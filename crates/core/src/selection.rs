@@ -117,31 +117,27 @@ pub fn candidates_in_budget(points: &[ConfigPoint], budget: u64) -> Vec<ConfigPo
 /// [`budget_selection`], the reproduction binaries, and the serving
 /// layer's tenant registry.
 ///
-/// # Panics
-///
-/// Panics if a measure value is NaN.
+/// NaN-valued measures order last ([`crate::stats::cmp_nan_last`]), so a
+/// candidate with a NaN measure is only picked when every candidate's
+/// measure is NaN — one degenerate configuration must not panic (or win)
+/// a selection sweep.
 pub fn pick_lowest_measure<'a>(
     points: impl IntoIterator<Item = &'a ConfigPoint>,
 ) -> Option<&'a ConfigPoint> {
     points
         .into_iter()
-        .min_by(|a, b| a.measure.partial_cmp(&b.measure).expect("non-NaN measure"))
+        .min_by(|a, b| crate::stats::cmp_nan_last(a.measure, b.measure))
 }
 
 /// The oracle pick: the candidate with the lowest *observed* downstream
-/// instability. Returns `None` for an empty candidate set.
-///
-/// # Panics
-///
-/// Panics if an instability value is NaN.
+/// instability. Returns `None` for an empty candidate set. NaN
+/// instabilities order last, as in [`pick_lowest_measure`].
 pub fn pick_oracle<'a>(
     points: impl IntoIterator<Item = &'a ConfigPoint>,
 ) -> Option<&'a ConfigPoint> {
-    points.into_iter().min_by(|a, b| {
-        a.instability
-            .partial_cmp(&b.instability)
-            .expect("non-NaN instability")
-    })
+    points
+        .into_iter()
+        .min_by(|a, b| crate::stats::cmp_nan_last(a.instability, b.instability))
 }
 
 /// Result of the memory-budget selection evaluation.
@@ -260,6 +256,24 @@ mod tests {
         let rep = pairwise_selection(&points);
         assert_eq!(rep.error_rate, 1.0);
         assert!((rep.worst_case_increase - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_candidates_never_win_a_pick() {
+        // A runtime NaN is a *negative* NaN on x86-64, which total_cmp
+        // orders before -inf — the picks must still prefer any finite
+        // candidate (and must not panic, as the old partial_cmp did).
+        let runtime_nan: f64 = 0.0f64 / 0.0;
+        let points = vec![
+            pt(25, 32, runtime_nan, runtime_nan),
+            pt(50, 16, 0.4, 0.11),
+            pt(100, 8, 0.2, 0.07),
+        ];
+        assert_eq!(pick_lowest_measure(&points).expect("non-empty").dim, 100);
+        assert_eq!(pick_oracle(&points).expect("non-empty").dim, 100);
+        // All-NaN still returns a candidate rather than panicking.
+        let all_nan = vec![pt(25, 32, runtime_nan, runtime_nan)];
+        assert_eq!(pick_lowest_measure(&all_nan).expect("non-empty").dim, 25);
     }
 
     #[test]

@@ -47,12 +47,44 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
     sxy / (sxx * syy).sqrt()
 }
 
+/// A total order over `f64` that places **every** NaN after every number.
+///
+/// `f64::total_cmp` alone is not enough for "lowest value wins" scans:
+/// runtime-computed NaNs (`0.0 / 0.0`, `inf - inf`) carry the sign bit on
+/// x86-64, and `total_cmp` orders negative NaNs *before* `-inf` — so a
+/// degenerate value would silently win a `min_by`. Here NaNs of either
+/// sign compare greater than all numbers (and equal to each other).
+pub fn cmp_nan_last(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+/// The descending companion of [`cmp_nan_last`]: larger numbers first,
+/// NaNs of either sign still last (a plain reversed comparison would move
+/// them to the front).
+pub fn cmp_desc_nan_last(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+}
+
 /// Average ranks (1-based), with ties receiving the mean of their rank
 /// range — the standard tie handling for Spearman correlation.
 pub fn average_ranks(xs: &[f64]) -> Vec<f64> {
     let n = xs.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("non-NaN values"));
+    // One NaN observation must not panic a whole analysis run; NaNs sort
+    // last (by explicit construction — see cmp_nan_last on why total_cmp
+    // alone would put runtime NaNs first) and form no tie group, so the
+    // finite values' ranks are unchanged.
+    order.sort_by(|&i, &j| cmp_nan_last(xs[i], xs[j]));
     let mut ranks = vec![0.0; n];
     let mut i = 0;
     while i < n {
@@ -159,6 +191,36 @@ mod tests {
     fn ranks_handle_ties() {
         let r = average_ranks(&[10.0, 20.0, 20.0, 30.0]);
         assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn nan_orderings_put_every_nan_last() {
+        // Runtime NaNs carry the sign bit on x86-64, and total_cmp alone
+        // would order them before -inf; the helpers must not.
+        let runtime_nan: f64 = f64::INFINITY - f64::INFINITY;
+        assert!(runtime_nan.is_nan());
+        for nan in [runtime_nan, f64::NAN, -f64::NAN] {
+            assert_eq!(cmp_nan_last(nan, -1.0), std::cmp::Ordering::Greater);
+            assert_eq!(cmp_nan_last(-1.0, nan), std::cmp::Ordering::Less);
+            assert_eq!(cmp_desc_nan_last(nan, 1.0), std::cmp::Ordering::Greater);
+            assert_eq!(cmp_desc_nan_last(1.0, nan), std::cmp::Ordering::Less);
+            assert_eq!(cmp_nan_last(nan, runtime_nan), std::cmp::Ordering::Equal);
+        }
+        assert_eq!(cmp_nan_last(1.0, 2.0), std::cmp::Ordering::Less);
+        assert_eq!(cmp_desc_nan_last(1.0, 2.0), std::cmp::Ordering::Greater);
+    }
+
+    #[test]
+    fn ranks_tolerate_a_nan_without_moving_finite_ranks() {
+        let runtime_nan: f64 = 0.0f64 / 0.0;
+        let r = average_ranks(&[10.0, runtime_nan, 20.0, 20.0, 30.0]);
+        // Finite values keep exactly the ranks they'd have alone; the NaN
+        // takes the last rank.
+        assert_eq!(r[0], 1.0);
+        assert_eq!(r[2], 2.5);
+        assert_eq!(r[3], 2.5);
+        assert_eq!(r[4], 4.0);
+        assert_eq!(r[1], 5.0);
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Little-endian byte-codec primitives for the corpus substrate.
+//!
+//! The pipeline's on-disk caches (the pair cache and the world cache) dump
+//! `f64` bits raw so loads round-trip **bitwise**. This module is the one
+//! definition of that byte layout: everything little-endian, matrices as
+//! `rows: u32, cols: u32, row-major f64 entries`, sequences
+//! length-prefixed. Corpus types (and, downstream, the dataset codecs)
+//! build their `encode_into` / `decode_from` methods from these
+//! primitives, and `embedstab_pipeline::cache` delegates its
+//! `encode_mat`/`decode_mat`/`read_u32` here — so the pair-cache and
+//! world-cache file families stay byte-compatible by construction.
+//!
+//! Decoders take a `&mut &[u8]` cursor and return `Option`: any truncated
+//! or inconsistent input yields `None` (callers treat that as a cache
+//! miss, never a panic), and no decoder trusts a length prefix before
+//! checking the remaining input actually holds that many bytes — a corrupt
+//! file must not trigger a giant allocation.
+
+use embedstab_linalg::Mat;
+
+/// Appends a `u32` in little-endian order.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian order.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its raw little-endian bit pattern (round-trips
+/// exactly, including NaN payloads and signed zeros).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed `u32` slice.
+pub fn put_u32_slice(out: &mut Vec<u8>, vs: &[u32]) {
+    put_u64(out, vs.len() as u64);
+    for &v in vs {
+        put_u32(out, v);
+    }
+}
+
+/// Appends a length-prefixed `u64` slice.
+pub fn put_u64_slice(out: &mut Vec<u8>, vs: &[u64]) {
+    put_u64(out, vs.len() as u64);
+    for &v in vs {
+        put_u64(out, v);
+    }
+}
+
+/// Appends a length-prefixed `f64` slice (raw bits).
+pub fn put_f64_slice(out: &mut Vec<u8>, vs: &[f64]) {
+    put_u64(out, vs.len() as u64);
+    for &v in vs {
+        put_f64(out, v);
+    }
+}
+
+/// Appends a matrix as `rows: u32, cols: u32, row-major f64 entries` — the
+/// pair-cache layout, so matrix bytes are interchangeable between the two
+/// cache families.
+pub fn put_mat(out: &mut Vec<u8>, m: &Mat) {
+    put_u32(out, m.rows() as u32);
+    put_u32(out, m.cols() as u32);
+    for &x in m.as_slice() {
+        put_f64(out, x);
+    }
+}
+
+/// Reads a `u32` from the front of `r`, advancing it.
+pub fn take_u32(r: &mut &[u8]) -> Option<u32> {
+    let (head, rest) = r.split_first_chunk::<4>()?;
+    *r = rest;
+    Some(u32::from_le_bytes(*head))
+}
+
+/// Reads a `u64` from the front of `r`, advancing it.
+pub fn take_u64(r: &mut &[u8]) -> Option<u64> {
+    let (head, rest) = r.split_first_chunk::<8>()?;
+    *r = rest;
+    Some(u64::from_le_bytes(*head))
+}
+
+/// Reads an `f64` bit pattern from the front of `r`, advancing it.
+pub fn take_f64(r: &mut &[u8]) -> Option<f64> {
+    take_u64(r).map(f64::from_bits)
+}
+
+/// Reads a `u64` length prefix, refusing lengths the remaining input
+/// cannot possibly hold (`elem_size` bytes per element).
+pub fn take_len(r: &mut &[u8], elem_size: usize) -> Option<usize> {
+    let n = usize::try_from(take_u64(r)?).ok()?;
+    if r.len() < n.checked_mul(elem_size)? {
+        return None;
+    }
+    Some(n)
+}
+
+/// Reads a length-prefixed `u32` slice.
+pub fn take_u32_slice(r: &mut &[u8]) -> Option<Vec<u32>> {
+    let n = take_len(r, 4)?;
+    (0..n).map(|_| take_u32(r)).collect()
+}
+
+/// Reads a length-prefixed `u64` slice.
+pub fn take_u64_slice(r: &mut &[u8]) -> Option<Vec<u64>> {
+    let n = take_len(r, 8)?;
+    (0..n).map(|_| take_u64(r)).collect()
+}
+
+/// Reads a length-prefixed `f64` slice.
+pub fn take_f64_slice(r: &mut &[u8]) -> Option<Vec<f64>> {
+    let n = take_len(r, 8)?;
+    (0..n).map(|_| take_f64(r)).collect()
+}
+
+/// Reads a [`put_mat`]-encoded matrix.
+pub fn take_mat(r: &mut &[u8]) -> Option<Mat> {
+    let rows = take_u32(r)? as usize;
+    let cols = take_u32(r)? as usize;
+    let n = rows.checked_mul(cols)?;
+    if r.len() < n.checked_mul(8)? {
+        return None;
+    }
+    let data: Option<Vec<f64>> = (0..n).map(|_| take_f64(r)).collect();
+    Some(Mat::from_vec(rows, cols, data?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut out = Vec::new();
+        put_u32(&mut out, 7);
+        put_u64(&mut out, u64::MAX - 3);
+        put_f64(&mut out, -0.0);
+        put_f64(&mut out, f64::NAN);
+        put_u32_slice(&mut out, &[1, 2, 3]);
+        put_f64_slice(&mut out, &[0.5, -1.25]);
+        let r = &mut out.as_slice();
+        assert_eq!(take_u32(r), Some(7));
+        assert_eq!(take_u64(r), Some(u64::MAX - 3));
+        assert_eq!(take_f64(r).map(f64::to_bits), Some((-0.0f64).to_bits()));
+        assert_eq!(take_f64(r).map(f64::to_bits), Some(f64::NAN.to_bits()));
+        assert_eq!(take_u32_slice(r), Some(vec![1, 2, 3]));
+        assert_eq!(take_f64_slice(r), Some(vec![0.5, -1.25]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn mat_round_trips_bitwise() {
+        let m = Mat::from_rows(&[&[1.5, -2.0, 0.25], &[0.0, -0.0, 3.0]]);
+        let mut out = Vec::new();
+        put_mat(&mut out, &m);
+        let r = &mut out.as_slice();
+        let back = take_mat(r).expect("decodes");
+        assert!(r.is_empty());
+        assert_eq!(back.shape(), m.shape());
+        let bits = |m: &Mat| m.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back), bits(&m));
+    }
+
+    #[test]
+    fn truncation_is_a_none_not_a_panic() {
+        let mut out = Vec::new();
+        put_mat(&mut out, &Mat::from_rows(&[&[1.0, 2.0]]));
+        for cut in 0..out.len() {
+            let r = &mut &out[..cut];
+            assert!(take_mat(r).is_none(), "cut at {cut} must not decode");
+        }
+        // A huge claimed length with a short body must be rejected before
+        // any allocation.
+        let mut evil = Vec::new();
+        put_u64(&mut evil, u64::MAX / 2);
+        assert!(take_u64_slice(&mut evil.as_slice()).is_none());
+        assert!(take_f64_slice(&mut evil.as_slice()).is_none());
+    }
+}

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use crate::codec;
 use crate::generate::Corpus;
 
 /// Configuration for co-occurrence counting.
@@ -105,12 +106,67 @@ impl Cooc {
     }
 
     /// Row marginals `r_i = sum_j count(i, j)`.
+    ///
+    /// Accumulated in sorted `(i, j)` order, **not** map-iteration order:
+    /// float addition is order-sensitive, and hash-map iteration order
+    /// varies per process, so summing the map directly would make the PPMI
+    /// statistics (and everything trained from them) differ bitwise
+    /// between processes — breaking the shard-fleet guarantee that a
+    /// sharded run reproduces the unsharded run exactly.
     pub fn row_sums(&self) -> Vec<f64> {
         let mut sums = vec![0.0; self.n];
-        for (&k, &v) in &self.map {
-            sums[(k >> 32) as usize] += v;
+        for (i, _, v) in self.entries() {
+            sums[i as usize] += v;
         }
         sums
+    }
+
+    /// Appends the table to `out` in the world-cache byte layout:
+    /// `n: u64, total: f64 (raw bits), nnz: u64, sorted (i: u32, j: u32,
+    /// count: f64) entries`. The running `total` is stored rather than
+    /// recomputed on decode because it was accumulated in counting order —
+    /// re-summing the sorted entries would round differently.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_u64(out, self.n as u64);
+        codec::put_f64(out, self.total);
+        codec::put_u64(out, self.map.len() as u64);
+        for (i, j, v) in self.entries() {
+            codec::put_u32(out, i);
+            codec::put_u32(out, j);
+            codec::put_f64(out, v);
+        }
+    }
+
+    /// Reads one [`Cooc::encode_into`]-encoded table from the front of
+    /// `r`, advancing it. Returns `None` on truncated or inconsistent
+    /// input — including non-finite or negative counts, which no counting
+    /// run can produce and which would silently poison PPMI (and
+    /// everything trained from it) with NaNs; a decoded table answers
+    /// [`Cooc::get`] / [`Cooc::entries`] / [`Cooc::row_sums`] bitwise
+    /// identically to the one encoded.
+    pub fn decode_from(r: &mut &[u8]) -> Option<Cooc> {
+        let n = usize::try_from(codec::take_u64(r)?).ok()?;
+        let total = codec::take_f64(r)?;
+        if !total.is_finite() || total < 0.0 {
+            return None;
+        }
+        let nnz = codec::take_len(r, 16)?;
+        let mut map = HashMap::with_capacity(nnz);
+        for _ in 0..nnz {
+            let i = codec::take_u32(r)?;
+            let j = codec::take_u32(r)?;
+            if (i as usize) >= n || (j as usize) >= n {
+                return None;
+            }
+            let v = codec::take_f64(r)?;
+            if !v.is_finite() || v < 0.0 {
+                return None;
+            }
+            if map.insert(key(i, j), v).is_some() {
+                return None; // duplicate coordinates: corrupt input
+            }
+        }
+        Some(Cooc { n, map, total })
     }
 }
 
@@ -191,6 +247,54 @@ mod tests {
     fn out_of_vocab_panics() {
         let docs = vec![vec![0, 9]];
         let _ = Cooc::count(&Corpus::from_docs(docs), 2, &CoocConfig::default());
+    }
+
+    #[test]
+    fn codec_round_trips_bitwise() {
+        let docs = vec![vec![2, 0, 1, 2, 0, 3, 1], vec![3, 2, 1]];
+        let c = Cooc::count(
+            &Corpus::from_docs(docs),
+            4,
+            &CoocConfig {
+                window: 3,
+                distance_weighting: true,
+            },
+        );
+        let mut bytes = Vec::new();
+        c.encode_into(&mut bytes);
+        let r = &mut bytes.as_slice();
+        let back = Cooc::decode_from(r).expect("decodes");
+        assert!(r.is_empty());
+        assert_eq!(back.n(), c.n());
+        assert_eq!(back.total().to_bits(), c.total().to_bits());
+        let bits = |c: &Cooc| {
+            c.entries()
+                .into_iter()
+                .map(|(i, j, v)| (i, j, v.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&back), bits(&c));
+        let sum_bits = |c: &Cooc| {
+            c.row_sums()
+                .into_iter()
+                .map(f64::to_bits)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sum_bits(&back), sum_bits(&c));
+        // Truncations decode to None, never panic.
+        for cut in 0..bytes.len() {
+            assert!(Cooc::decode_from(&mut &bytes[..cut]).is_none());
+        }
+        // A corrupt count (negative/NaN via a smashed sign-exponent byte)
+        // is a miss, not NaN statistics: the first entry's f64 occupies
+        // bytes 32..40 (n: 8, total: 8, nnz: 8, i+j: 8).
+        let mut corrupt = bytes.clone();
+        corrupt[39] = 0xFF;
+        assert!(Cooc::decode_from(&mut corrupt.as_slice()).is_none());
+        // Same for a corrupt total.
+        let mut corrupt = bytes;
+        corrupt[15] = 0xFF;
+        assert!(Cooc::decode_from(&mut corrupt.as_slice()).is_none());
     }
 
     #[test]

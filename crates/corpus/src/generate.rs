@@ -2,6 +2,7 @@
 
 use rand::{Rng, RngExt, SeedableRng};
 
+use crate::codec;
 use crate::latent::{DriftConfig, LatentModel, LatentModelConfig};
 
 /// Configuration for sampling one corpus from a [`LatentModel`].
@@ -63,6 +64,28 @@ impl Corpus {
     /// Total number of tokens.
     pub fn n_tokens(&self) -> usize {
         self.n_tokens
+    }
+
+    /// Appends the corpus to `out` in the world-cache byte layout: a
+    /// `u64` document count, then each document as a length-prefixed
+    /// `u32` token list.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_u64(out, self.docs.len() as u64);
+        for doc in &self.docs {
+            codec::put_u32_slice(out, doc);
+        }
+    }
+
+    /// Reads one [`Corpus::encode_into`]-encoded corpus from the front of
+    /// `r`, advancing it. Returns `None` on truncated input.
+    pub fn decode_from(r: &mut &[u8]) -> Option<Corpus> {
+        // Each document costs at least its 8-byte length prefix.
+        let n_docs = codec::take_len(r, 8)?;
+        let mut docs = Vec::with_capacity(n_docs);
+        for _ in 0..n_docs {
+            docs.push(codec::take_u32_slice(r)?);
+        }
+        Some(Corpus::from_docs(docs))
     }
 
     /// Per-word token counts over a vocabulary of the given size.
@@ -185,6 +208,43 @@ pub struct TemporalPair {
 }
 
 impl TemporalPair {
+    /// Appends the pair to `out` in the world-cache byte layout: both
+    /// latent models, then both corpora.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        self.model17.encode_into(out);
+        self.model18.encode_into(out);
+        self.corpus17.encode_into(out);
+        self.corpus18.encode_into(out);
+    }
+
+    /// Reads one [`TemporalPair::encode_into`]-encoded pair from the
+    /// front of `r`, advancing it. Returns `None` on truncated or
+    /// inconsistent input (including corpora whose tokens fall outside the
+    /// models' shared vocabulary).
+    pub fn decode_from(r: &mut &[u8]) -> Option<TemporalPair> {
+        let model17 = LatentModel::decode_from(r)?;
+        let model18 = LatentModel::decode_from(r)?;
+        let corpus17 = Corpus::decode_from(r)?;
+        let corpus18 = Corpus::decode_from(r)?;
+        let vocab = model17.vocab_size();
+        if model18.vocab_size() != vocab {
+            return None;
+        }
+        for corpus in [&corpus17, &corpus18] {
+            for doc in corpus.docs() {
+                if doc.iter().any(|&w| (w as usize) >= vocab) {
+                    return None;
+                }
+            }
+        }
+        Some(TemporalPair {
+            model17,
+            model18,
+            corpus17,
+            corpus18,
+        })
+    }
+
     /// Builds the pair deterministically from its configuration.
     pub fn build(config: &TemporalPairConfig) -> Self {
         let model17 = LatentModel::new(&config.model);
@@ -284,6 +344,32 @@ mod tests {
         let head: u64 = counts[..20].iter().sum();
         let tail: u64 = counts[m.vocab_size() - 20..].iter().sum();
         assert!(head > 5 * tail, "head {head} should dwarf tail {tail}");
+    }
+
+    #[test]
+    fn temporal_pair_codec_round_trips() {
+        let pair = TemporalPair::build(&TemporalPairConfig {
+            model: LatentModelConfig {
+                vocab_size: 120,
+                n_topics: 6,
+                ..Default::default()
+            },
+            corpus: CorpusConfig {
+                n_tokens: 1500,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let mut bytes = Vec::new();
+        pair.encode_into(&mut bytes);
+        let r = &mut bytes.as_slice();
+        let back = TemporalPair::decode_from(r).expect("decodes");
+        assert!(r.is_empty());
+        assert_eq!(back.model17.word_vecs, pair.model17.word_vecs);
+        assert_eq!(back.model18.word_vecs, pair.model18.word_vecs);
+        assert_eq!(back.corpus17.docs(), pair.corpus17.docs());
+        assert_eq!(back.corpus18.docs(), pair.corpus18.docs());
+        assert_eq!(back.corpus18.n_tokens(), pair.corpus18.n_tokens());
     }
 
     #[test]

@@ -4,6 +4,7 @@ use embedstab_linalg::{vecops, Mat};
 use rand::{Rng, RngExt, SeedableRng};
 
 use crate::alias::AliasTable;
+use crate::codec;
 use crate::vocab::Vocab;
 
 /// Configuration for a [`LatentModel`].
@@ -209,6 +210,103 @@ impl LatentModel {
         )
     }
 
+    /// Appends the model to `out` in the world-cache byte layout: the
+    /// configuration scalars, then `word_vecs`, `topic_centers`,
+    /// `word_topics`, and `unigram`. The vocabulary and the per-topic
+    /// sampling tables are **not** stored: both are deterministic
+    /// functions of the stored fields and are rebuilt on decode, exactly
+    /// as [`LatentModel::new`] builds them.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let c = &self.config;
+        codec::put_u64(out, c.vocab_size as u64);
+        codec::put_u64(out, c.latent_dim as u64);
+        codec::put_u64(out, c.n_topics as u64);
+        codec::put_f64(out, c.topic_scale);
+        codec::put_f64(out, c.word_noise);
+        codec::put_f64(out, c.zipf_exponent);
+        codec::put_f64(out, c.temperature);
+        codec::put_u64(out, c.seed);
+        codec::put_mat(out, &self.word_vecs);
+        codec::put_mat(out, &self.topic_centers);
+        codec::put_u64_slice(
+            out,
+            &self
+                .word_topics
+                .iter()
+                .map(|&t| t as u64)
+                .collect::<Vec<_>>(),
+        );
+        codec::put_f64_slice(out, &self.unigram);
+    }
+
+    /// Reads one [`LatentModel::encode_into`]-encoded model from the front
+    /// of `r`, advancing it. Returns `None` on truncated or inconsistent
+    /// input (shape mismatches, out-of-range topic assignments). The
+    /// decoded model is bitwise equivalent to the encoded one: same latent
+    /// vectors, same vocabulary, same sampling tables.
+    pub fn decode_from(r: &mut &[u8]) -> Option<LatentModel> {
+        let config = LatentModelConfig {
+            vocab_size: usize::try_from(codec::take_u64(r)?).ok()?,
+            latent_dim: usize::try_from(codec::take_u64(r)?).ok()?,
+            n_topics: usize::try_from(codec::take_u64(r)?).ok()?,
+            topic_scale: codec::take_f64(r)?,
+            word_noise: codec::take_f64(r)?,
+            zipf_exponent: codec::take_f64(r)?,
+            temperature: codec::take_f64(r)?,
+            seed: codec::take_u64(r)?,
+        };
+        let word_vecs = codec::take_mat(r)?;
+        let topic_centers = codec::take_mat(r)?;
+        let word_topics: Vec<usize> = codec::take_u64_slice(r)?
+            .into_iter()
+            .map(|t| usize::try_from(t).ok())
+            .collect::<Option<_>>()?;
+        let unigram = codec::take_f64_slice(r)?;
+        let (n, d, k) = (config.vocab_size, config.latent_dim, config.n_topics);
+        if n == 0
+            || d == 0
+            || k == 0
+            || word_vecs.shape() != (n, d)
+            || topic_centers.shape() != (k, d)
+            || word_topics.len() != n
+            || unigram.len() != n
+            || word_topics.iter().any(|&t| t >= k)
+        {
+            return None;
+        }
+        // Semantic validation, so corrupt-but-well-shaped bytes stay a
+        // cache miss rather than a panic: rebuilding the sampling tables
+        // feeds `unigram * exp(dot(vec, center)/temperature - max)` into
+        // `AliasTable::new`, which asserts non-negative finite weights
+        // with a positive sum. The bounds below guarantee that
+        // arithmetically — and every legitimately encoded model (vectors
+        // of magnitude O(10), a normalized positive unigram, temperature
+        // near 1) sits far inside them.
+        let bounded = |m: &Mat| {
+            m.as_slice()
+                .iter()
+                .all(|x| x.is_finite() && x.abs() <= 1e100)
+        };
+        if !bounded(&word_vecs)
+            || !bounded(&topic_centers)
+            || !unigram.iter().all(|&u| u > 0.0 && u <= 1.0)
+            || !(config.temperature.is_finite() && (1e-6..=1e6).contains(&config.temperature))
+        {
+            return None;
+        }
+        let vocab = Vocab::synthetic(&word_topics);
+        let topic_tables = build_topic_tables(&word_vecs, &topic_centers, &unigram, &config);
+        Some(LatentModel {
+            config,
+            word_vecs,
+            topic_centers,
+            word_topics,
+            unigram,
+            vocab,
+            topic_tables,
+        })
+    }
+
     /// Returns a drifted copy of the model: the "Wiki'18" latent space.
     ///
     /// A `drifted_fraction` of words receive Gaussian perturbations of their
@@ -381,6 +479,63 @@ mod tests {
         assert_eq!(changed, (0.2f64 * 300.0).round() as usize);
         assert_eq!(m.unigram, drifted.unigram);
         assert_eq!(m.word_topics, drifted.word_topics);
+    }
+
+    #[test]
+    fn codec_round_trips_model_and_samplers() {
+        let m = small_model().drifted(&DriftConfig::default());
+        let mut bytes = Vec::new();
+        m.encode_into(&mut bytes);
+        let r = &mut bytes.as_slice();
+        let back = LatentModel::decode_from(r).expect("decodes");
+        assert!(r.is_empty());
+        assert_eq!(back.word_vecs, m.word_vecs);
+        assert_eq!(back.topic_centers, m.topic_centers);
+        assert_eq!(back.word_topics, m.word_topics);
+        assert_eq!(back.unigram, m.unigram);
+        assert_eq!(back.config().seed, m.config().seed);
+        for i in 0..m.vocab_size() as u32 {
+            assert_eq!(back.vocab.word(i), m.vocab.word(i));
+        }
+        // The rebuilt sampling tables draw identical sequences.
+        let mut ra = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rb = rand::rngs::StdRng::seed_from_u64(11);
+        for k in 0..m.n_topics() {
+            for _ in 0..50 {
+                assert_eq!(m.sample_word(k, &mut ra), back.sample_word(k, &mut rb));
+            }
+        }
+        for cut in 0..bytes.len().min(200) {
+            assert!(LatentModel::decode_from(&mut &bytes[..cut]).is_none());
+        }
+    }
+
+    #[test]
+    fn corrupt_floats_are_a_miss_not_a_panic() {
+        let m = small_model();
+        let mut bytes = Vec::new();
+        m.encode_into(&mut bytes);
+        // The unigram slice is the final section; smashing the last
+        // value's top byte produces a negative/NaN weight, which must be
+        // rejected before the sampling tables are rebuilt (AliasTable
+        // asserts on bad weights — a corrupt cache file must decode to
+        // None, never panic).
+        let n = bytes.len();
+        let mut corrupt = bytes.clone();
+        corrupt[n - 1] = 0xFF;
+        assert!(LatentModel::decode_from(&mut corrupt.as_slice()).is_none());
+        // Same for a non-finite latent vector entry: word_vecs starts
+        // right after the 8 config scalars (mat header = 8 bytes).
+        let vec_region = 8 * 8 + 8;
+        let mut corrupt = bytes.clone();
+        for b in corrupt[vec_region..vec_region + 8].iter_mut() {
+            *b = 0xFF; // 0xFFFF... = a negative NaN
+        }
+        assert!(LatentModel::decode_from(&mut corrupt.as_slice()).is_none());
+        // And an insane temperature (division hazard in the softmax).
+        let mut corrupt = bytes;
+        corrupt[6 * 8..7 * 8].copy_from_slice(&1e-300f64.to_le_bytes());
+        assert!(LatentModel::decode_from(&mut corrupt.as_slice()).is_none());
     }
 
     #[test]

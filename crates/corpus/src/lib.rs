@@ -33,6 +33,7 @@
 //! ```
 
 pub mod alias;
+pub mod codec;
 pub mod cooc;
 pub mod generate;
 pub mod latent;

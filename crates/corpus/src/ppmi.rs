@@ -7,6 +7,7 @@
 
 use embedstab_linalg::Mat;
 
+use crate::codec;
 use crate::cooc::Cooc;
 
 /// A row-sparse matrix (list of `(col, value)` per row), used for PPMI
@@ -90,6 +91,56 @@ impl SparseMatrix {
             .find(|&&(c, _)| c == j)
             .map(|&(_, v)| v)
             .unwrap_or(0.0)
+    }
+
+    /// Appends the matrix to `out` in the world-cache byte layout:
+    /// `n_rows: u64, n_cols: u64`, then per row a `u64` entry count
+    /// followed by `(col: u32, value: f64)` pairs in stored order.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_u64(out, self.n_rows as u64);
+        codec::put_u64(out, self.n_cols as u64);
+        for row in &self.rows {
+            codec::put_u64(out, row.len() as u64);
+            for &(j, v) in row {
+                codec::put_u32(out, j);
+                codec::put_f64(out, v);
+            }
+        }
+    }
+
+    /// Reads one [`SparseMatrix::encode_into`]-encoded matrix from the
+    /// front of `r`, advancing it; per-row entry order is preserved
+    /// exactly. Returns `None` on truncated or inconsistent input —
+    /// including non-finite values, which [`ppmi`] never stores and which
+    /// would silently poison downstream training.
+    pub fn decode_from(r: &mut &[u8]) -> Option<SparseMatrix> {
+        let n_rows = usize::try_from(codec::take_u64(r)?).ok()?;
+        let n_cols = usize::try_from(codec::take_u64(r)?).ok()?;
+        if r.len() < n_rows.checked_mul(8)? {
+            return None; // cheaper bound check before allocating rows
+        }
+        let mut rows = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            let len = codec::take_len(r, 12)?;
+            let mut row = Vec::with_capacity(len);
+            for _ in 0..len {
+                let j = codec::take_u32(r)?;
+                if (j as usize) >= n_cols {
+                    return None;
+                }
+                let v = codec::take_f64(r)?;
+                if !v.is_finite() {
+                    return None;
+                }
+                row.push((j, v));
+            }
+            rows.push(row);
+        }
+        Some(SparseMatrix {
+            n_rows,
+            n_cols,
+            rows,
+        })
     }
 }
 
@@ -176,6 +227,38 @@ mod tests {
         for (_, _, v) in p.iter_entries() {
             assert!(v < 0.15, "uniform text should have near-zero PMI, got {v}");
         }
+    }
+
+    #[test]
+    fn sparse_codec_round_trips_bitwise() {
+        let docs = vec![vec![0, 1, 2, 0, 1], vec![2, 3, 1, 0], vec![3, 3, 0]];
+        let cooc = Cooc::count(&Corpus::from_docs(docs), 4, &CoocConfig::default());
+        let p = ppmi(&cooc);
+        let mut bytes = Vec::new();
+        p.encode_into(&mut bytes);
+        let r = &mut bytes.as_slice();
+        let back = SparseMatrix::decode_from(r).expect("decodes");
+        assert!(r.is_empty());
+        assert_eq!((back.n_rows(), back.n_cols()), (p.n_rows(), p.n_cols()));
+        let bits = |m: &SparseMatrix| {
+            m.iter_entries()
+                .map(|(i, j, v)| (i, j, v.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&back), bits(&p));
+        for cut in 0..bytes.len() {
+            assert!(SparseMatrix::decode_from(&mut &bytes[..cut]).is_none());
+        }
+        // A value corrupted to a NaN/infinity is a miss, not a silently
+        // poisoned matrix: the first entry's f64 sits right after the two
+        // u64 dims, the first row length, and the u32 column index.
+        assert!(!p.row(0).is_empty(), "fixture must exercise the value path");
+        let first_value_end = 8 + 8 + 8 + 4 + 8;
+        let mut corrupt = bytes;
+        for b in corrupt[first_value_end - 8..first_value_end].iter_mut() {
+            *b = 0xFF; // negative NaN bit pattern
+        }
+        assert!(SparseMatrix::decode_from(&mut corrupt.as_slice()).is_none());
     }
 
     #[test]

@@ -316,7 +316,7 @@ mod tests {
             .max_by(|&i, &j| {
                 let si = crf.start[i] + emis[(0, i)] + crf.end[i];
                 let sj = crf.start[j] + emis[(0, j)] + crf.end[j];
-                si.partial_cmp(&sj).expect("finite")
+                si.total_cmp(&sj)
             })
             .expect("non-empty") as u8;
         assert_eq!(tags[0], expected);

@@ -8,7 +8,7 @@
 //! exactly to the extent that embeddings separate the latent clusters —
 //! the same mechanism that makes real NER depend on embedding quality.
 
-use embedstab_corpus::LatentModel;
+use embedstab_corpus::{codec, LatentModel};
 use rand::{Rng, RngExt, SeedableRng};
 
 /// Number of tag classes (`O` plus four entity types).
@@ -45,6 +45,64 @@ pub struct NerDataset {
     pub test: Vec<TaggedSentence>,
     /// The four topic ids used as entity lexicons (`PER, ORG, LOC, MISC`).
     pub entity_topics: [usize; 4],
+}
+
+impl NerDataset {
+    /// Appends the dataset to `out` in the world-cache byte layout: the
+    /// four entity-topic ids, then the train/valid/test splits, each a
+    /// `u64`-counted list of sentences (`tokens` as a length-prefixed
+    /// `u32` list, then one tag byte per token).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        for &t in &self.entity_topics {
+            codec::put_u64(out, t as u64);
+        }
+        for split in [&self.train, &self.valid, &self.test] {
+            codec::put_u64(out, split.len() as u64);
+            for s in split {
+                codec::put_u32_slice(out, &s.tokens);
+                out.extend_from_slice(&s.tags);
+            }
+        }
+    }
+
+    /// Reads one [`NerDataset::encode_into`]-encoded dataset from the
+    /// front of `r`, advancing it. Returns `None` on truncated or
+    /// inconsistent input (tag/token length mismatches are impossible by
+    /// construction; out-of-range tag ids are rejected).
+    pub fn decode_from(r: &mut &[u8]) -> Option<NerDataset> {
+        let mut entity_topics = [0usize; 4];
+        for t in entity_topics.iter_mut() {
+            *t = usize::try_from(codec::take_u64(r)?).ok()?;
+        }
+        let mut splits = Vec::with_capacity(3);
+        for _ in 0..3 {
+            // Each sentence costs at least its 8-byte token-count prefix.
+            let n = codec::take_len(r, 8)?;
+            let mut split = Vec::with_capacity(n);
+            for _ in 0..n {
+                let tokens = codec::take_u32_slice(r)?;
+                if r.len() < tokens.len() {
+                    return None;
+                }
+                let tags = r[..tokens.len()].to_vec();
+                *r = &r[tokens.len()..];
+                if tags.iter().any(|&t| (t as usize) >= N_TAGS) {
+                    return None;
+                }
+                split.push(TaggedSentence { tokens, tags });
+            }
+            splits.push(split);
+        }
+        let test = splits.pop().expect("three splits");
+        let valid = splits.pop().expect("three splits");
+        let train = splits.pop().expect("three splits");
+        Some(NerDataset {
+            train,
+            valid,
+            test,
+            entity_topics,
+        })
+    }
 }
 
 /// Generator parameters for the NER dataset.
@@ -228,6 +286,29 @@ mod tests {
             tags: vec![0, 2, 0],
         };
         assert_eq!(s.entity_mask(), vec![false, true, false]);
+    }
+
+    #[test]
+    fn codec_round_trips_every_split() {
+        let ds = NerSpec {
+            n_train: 30,
+            n_valid: 8,
+            n_test: 12,
+            ..Default::default()
+        }
+        .generate(&model());
+        let mut bytes = Vec::new();
+        ds.encode_into(&mut bytes);
+        let r = &mut bytes.as_slice();
+        let back = NerDataset::decode_from(r).expect("decodes");
+        assert!(r.is_empty());
+        assert_eq!(back.entity_topics, ds.entity_topics);
+        assert_eq!(back.train, ds.train);
+        assert_eq!(back.valid, ds.valid);
+        assert_eq!(back.test, ds.test);
+        for cut in 0..bytes.len() {
+            assert!(NerDataset::decode_from(&mut &bytes[..cut]).is_none());
+        }
     }
 
     #[test]

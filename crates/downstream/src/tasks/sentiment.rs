@@ -11,7 +11,7 @@
 //! label noise, giving the spread of task difficulty the paper's four
 //! datasets exhibit.
 
-use embedstab_corpus::LatentModel;
+use embedstab_corpus::{codec, LatentModel};
 use embedstab_linalg::{vecops, Mat};
 use rand::{RngExt, SeedableRng};
 
@@ -35,6 +35,65 @@ pub struct SentimentDataset {
     pub valid: Vec<SentimentExample>,
     /// Test split (instability is measured here).
     pub test: Vec<SentimentExample>,
+}
+
+impl SentimentDataset {
+    /// Appends the dataset to `out` in the world-cache byte layout: the
+    /// name (length-prefixed UTF-8), then the train/valid/test splits,
+    /// each a `u64`-counted list of `(tokens: length-prefixed u32 list,
+    /// label: u8)` examples.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::put_u32(out, self.name.len() as u32);
+        out.extend_from_slice(self.name.as_bytes());
+        for split in [&self.train, &self.valid, &self.test] {
+            codec::put_u64(out, split.len() as u64);
+            for ex in split {
+                codec::put_u32_slice(out, &ex.tokens);
+                out.push(ex.label as u8);
+            }
+        }
+    }
+
+    /// Reads one [`SentimentDataset::encode_into`]-encoded dataset from
+    /// the front of `r`, advancing it. Returns `None` on truncated or
+    /// inconsistent input.
+    pub fn decode_from(r: &mut &[u8]) -> Option<SentimentDataset> {
+        let name_len = codec::take_u32(r)? as usize;
+        if r.len() < name_len {
+            return None;
+        }
+        let name = std::str::from_utf8(&r[..name_len]).ok()?.to_string();
+        *r = &r[name_len..];
+        let mut splits = Vec::with_capacity(3);
+        for _ in 0..3 {
+            // Each example costs at least its 8-byte token-count prefix
+            // plus the label byte.
+            let n = codec::take_len(r, 9)?;
+            let mut split = Vec::with_capacity(n);
+            for _ in 0..n {
+                let tokens = codec::take_u32_slice(r)?;
+                let (&label, rest) = r.split_first()?;
+                *r = rest;
+                if label > 1 {
+                    return None;
+                }
+                split.push(SentimentExample {
+                    tokens,
+                    label: label == 1,
+                });
+            }
+            splits.push(split);
+        }
+        let test = splits.pop().expect("three splits");
+        let valid = splits.pop().expect("three splits");
+        let train = splits.pop().expect("three splits");
+        Some(SentimentDataset {
+            name,
+            train,
+            valid,
+            test,
+        })
+    }
 }
 
 /// Generator parameters for one sentiment dataset.
@@ -230,6 +289,30 @@ mod tests {
         let b = SentimentSpec::mr().generate(&m);
         assert_eq!(a.train, b.train);
         assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn codec_round_trips_every_split() {
+        let m = model();
+        let ds = SentimentSpec {
+            n_train: 40,
+            n_valid: 10,
+            n_test: 15,
+            ..SentimentSpec::mpqa()
+        }
+        .generate(&m);
+        let mut bytes = Vec::new();
+        ds.encode_into(&mut bytes);
+        let r = &mut bytes.as_slice();
+        let back = SentimentDataset::decode_from(r).expect("decodes");
+        assert!(r.is_empty());
+        assert_eq!(back.name, ds.name);
+        assert_eq!(back.train, ds.train);
+        assert_eq!(back.valid, ds.valid);
+        assert_eq!(back.test, ds.test);
+        for cut in 0..bytes.len() {
+            assert!(SentimentDataset::decode_from(&mut &bytes[..cut]).is_none());
+        }
     }
 
     #[test]

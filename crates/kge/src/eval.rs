@@ -172,7 +172,7 @@ impl TripletClassifier {
             known.push(thresholds[r]);
         }
         // Fallback for unseen relations: median of known thresholds.
-        known.sort_by(|a, b| a.partial_cmp(b).expect("finite thresholds"));
+        known.sort_by(|a, b| a.total_cmp(b));
         let fallback = if known.is_empty() {
             0.0
         } else {
@@ -221,7 +221,7 @@ fn best_threshold(pos: &[f64], neg: &[f64]) -> f64 {
         .map(|&s| (s, true))
         .chain(neg.iter().map(|&s| (s, false)))
         .collect();
-    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0));
     // Sweeping the threshold upward, positives below count as correct.
     let mut best_acc = -1.0;
     let mut best_thr = 0.0;

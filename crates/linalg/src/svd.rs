@@ -338,7 +338,8 @@ fn svd_tall(a: &Mat) -> Svd {
     // Singular values are the column norms; normalize to get U.
     let mut order: Vec<usize> = (0..n).collect();
     let norms: Vec<f64> = (0..n).map(|j| crate::vecops::norm2(w.row(j))).collect();
-    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).expect("finite norms"));
+    // total_cmp: a NaN norm (non-finite input) must not panic mid-factorization.
+    order.sort_by(|&i, &j| norms[j].total_cmp(&norms[i]));
 
     let mut u = Mat::zeros(m, n);
     let mut s = Vec::with_capacity(n);

@@ -23,8 +23,15 @@ use embedstab_linalg::Mat;
 
 use crate::grid::PairKey;
 
-/// Bump when the file layout changes; old files are ignored, not misread.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+/// Bump when the file layout changes — or when a numeric change upstream
+/// alters what trained pairs contain; old files are ignored, not misread.
+///
+/// v2: `Cooc::row_sums` switched to sorted-order accumulation, which
+/// rounds PPMI (and therefore trained embeddings) differently than the
+/// per-process hash-order sums v1 pairs were trained from. Reusing a v1
+/// pair next to freshly trained ones would mix the two numeric regimes
+/// inside one "bitwise reproducible" run, so v1 files are retired.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 const MAGIC: [u8; 4] = *b"ESPC";
 
@@ -101,12 +108,12 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
 /// `rows: u32, cols: u32, row-major f64 entries`. `f64` bits round-trip
 /// exactly through [`decode_mat`], so consumers (the pair cache, snapshot
 /// files) get bitwise-identical matrices back.
+///
+/// Delegates to [`embedstab_corpus::codec`] — the world cache encodes its
+/// matrices through the same single definition of the layout, so the two
+/// cache families stay byte-compatible by construction.
 pub fn encode_mat(out: &mut Vec<u8>, m: &Mat) {
-    out.extend_from_slice(&(m.rows() as u32).to_le_bytes());
-    out.extend_from_slice(&(m.cols() as u32).to_le_bytes());
-    for &x in m.as_slice() {
-        out.extend_from_slice(&x.to_le_bytes());
-    }
+    embedstab_corpus::codec::put_mat(out, m)
 }
 
 fn encode_pair(e17: &Embedding, e18: &Embedding, world_fp: u64) -> Vec<u8> {
@@ -124,28 +131,14 @@ fn encode_pair(e17: &Embedding, e18: &Embedding, world_fp: u64) -> Vec<u8> {
 /// advancing it past the consumed bytes. Returns `None` on truncated or
 /// inconsistent input (callers treat that as a cache miss, not an error).
 pub fn decode_mat(r: &mut &[u8]) -> Option<Mat> {
-    let rows = read_u32(r)? as usize;
-    let cols = read_u32(r)? as usize;
-    let n = rows.checked_mul(cols)?;
-    if r.len() < n.checked_mul(8)? {
-        return None;
-    }
-    let mut data = Vec::with_capacity(n);
-    for _ in 0..n {
-        let mut b = [0u8; 8];
-        r.read_exact(&mut b).ok()?;
-        data.push(f64::from_le_bytes(b));
-    }
-    Some(Mat::from_vec(rows, cols, data))
+    embedstab_corpus::codec::take_mat(r)
 }
 
 /// Reads one little-endian `u32` from the front of `r`, advancing it —
 /// the length/version primitive of the cache's file layout, shared with
 /// the serving layer's snapshot decoder.
 pub fn read_u32(r: &mut &[u8]) -> Option<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b).ok()?;
-    Some(u32::from_le_bytes(b))
+    embedstab_corpus::codec::take_u32(r)
 }
 
 fn read_pair(mut bytes: &[u8], world_fp: u64) -> Option<(Embedding, Embedding)> {

@@ -5,7 +5,9 @@
 //! Appendix A.5):
 //!
 //! 1. **Train and compress embeddings** — [`World`] builds the
-//!    Wiki'17/Wiki'18 corpus pair and downstream datasets;
+//!    Wiki'17/Wiki'18 corpus pair and downstream datasets (once per shard
+//!    fleet, via the on-disk [`world_cache`] and
+//!    [`World::load_or_build`]);
 //!    [`EmbeddingGrid`] trains the `algo x dim x seed` grid once (in
 //!    parallel, through an optional versioned on-disk [`cache`]), aligns
 //!    each '18 embedding to its '17 partner, and hands out quantized pairs
@@ -35,6 +37,7 @@ pub mod run;
 pub mod scale;
 pub mod sink;
 pub mod world;
+pub mod world_cache;
 
 pub use cache::{PairCache, CACHE_FORMAT_VERSION};
 pub use experiment::Experiment;
@@ -43,3 +46,4 @@ pub use run::{run_ner_grid, run_sentiment_grid, GridOptions, Row};
 pub use scale::{Scale, ScaleParams};
 pub use sink::{JsonlSink, ProgressSink, RowSink};
 pub use world::World;
+pub use world_cache::{world_fingerprint, WorldCache, WORLD_CACHE_FORMAT_VERSION};

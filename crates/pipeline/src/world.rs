@@ -110,6 +110,12 @@ impl World {
     /// master seed. Two worlds with equal fingerprints train bitwise-equal
     /// embeddings for the same `(algo, dim, seed)`, which makes the
     /// fingerprint the world component of the on-disk pair-cache key.
+    ///
+    /// Deliberately **narrower** than the world-cache key
+    /// ([`crate::world_cache::world_fingerprint`]), which must also cover
+    /// the dataset-shaping parameters: a trained pair is reusable across a
+    /// `sentiment_train` change, but a cached world (which embeds the
+    /// datasets) is not.
     pub fn fingerprint(&self) -> u64 {
         // FNV-1a over the corpus-determining fields, in a fixed order.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;

@@ -183,10 +183,12 @@ impl Snapshot {
                         (w as u32, sim)
                     })
                     .collect();
+                // A NaN similarity (degenerate snapshot row) must not
+                // panic the serving path — and must rank below every real
+                // neighbor, whatever its sign bit, so the top-k answer
+                // stays meaningful and deterministic.
                 ranked.sort_unstable_by(|a, b| {
-                    b.1.partial_cmp(&a.1)
-                        .expect("finite similarities")
-                        .then(a.0.cmp(&b.0))
+                    embedstab_core::stats::cmp_desc_nan_last(a.1, b.1).then(a.0.cmp(&b.0))
                 });
                 ranked.truncate(k);
                 ranked
@@ -241,12 +243,33 @@ impl Snapshot {
 /// - every publish and every history move is an atomic tmp+rename write,
 ///   so a crash leaves either the old or the new state, never a torn one;
 /// - re-opening a store loads every snapshot bitwise identical to what was
-///   published (raw `f64` bit dumps, as in the pipeline's pair cache).
+///   published (raw `f64` bit dumps, as in the pipeline's pair cache);
+/// - version numbers are **never reused**: the highest version ever
+///   issued is persisted in the `LIVE` file, so a publish after a
+///   rollback — even across a reopen, even if the rolled-back snapshot's
+///   file was archived away in the meantime — always allocates a fresh
+///   version instead of overwriting an audit file.
 #[derive(Debug)]
 pub struct SnapshotStore {
     dir: PathBuf,
     snapshots: BTreeMap<u64, Snapshot>,
     history: Vec<u64>,
+    /// Highest version ever issued by this store (not merely the highest
+    /// currently on disk). Persisted in `LIVE`; monotonic.
+    max_issued: u64,
+}
+
+/// The persisted `LIVE` state: the promotion history plus the
+/// version-allocation high-water mark.
+///
+/// Serialized as a JSON object. Stores written before `max_issued`
+/// existed hold a bare JSON history array; [`SnapshotStore::open`] still
+/// accepts that layout and infers the high-water mark from the snapshot
+/// files and history.
+#[derive(Serialize, Deserialize)]
+struct LiveState {
+    history: Vec<u64>,
+    max_issued: u64,
 }
 
 impl SnapshotStore {
@@ -277,14 +300,22 @@ impl SnapshotStore {
             snapshots.insert(snap.meta.version.0, snap);
         }
         let live_path = dir.join(LIVE_FILE);
-        let history: Vec<u64> = match fs::read_to_string(&live_path) {
-            Ok(body) => serde_json::from_str(&body).map_err(|e| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("corrupt LIVE pointer {}: {e}", live_path.display()),
-                )
-            })?,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        let (history, recorded_max) = match fs::read_to_string(&live_path) {
+            Ok(body) => match serde_json::from_str::<LiveState>(&body) {
+                Ok(state) => (state.history, state.max_issued),
+                // Pre-`max_issued` stores persisted a bare history array;
+                // accept it and infer the high-water mark below.
+                Err(_) => {
+                    let history: Vec<u64> = serde_json::from_str(&body).map_err(|e| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("corrupt LIVE pointer {}: {e}", live_path.display()),
+                        )
+                    })?;
+                    (history, 0)
+                }
+            },
+            Err(e) if e.kind() == io::ErrorKind::NotFound => (Vec::new(), 0),
             Err(e) => return Err(e),
         };
         for v in &history {
@@ -295,10 +326,17 @@ impl SnapshotStore {
                 ));
             }
         }
+        // Snapshot files (or history entries) can outrun the recorded mark
+        // — e.g. a crash between a snapshot write and its history write —
+        // so the allocator floor is the max over all three sources.
+        let max_issued = recorded_max
+            .max(snapshots.keys().last().copied().unwrap_or(0))
+            .max(history.iter().copied().max().unwrap_or(0));
         Ok(SnapshotStore {
             dir,
             snapshots,
             history,
+            max_issued,
         })
     }
 
@@ -352,11 +390,16 @@ impl SnapshotStore {
         precision: Precision,
         predicted_instability: Option<f64>,
     ) -> io::Result<Version> {
-        let version = Version(self.snapshots.keys().last().copied().unwrap_or(0) + 1);
+        // Allocate off the persisted high-water mark, NOT the highest
+        // version currently on disk: after a rollback the popped version's
+        // file may be archived or pruned, and `max present + 1` would then
+        // reissue its number and overwrite the audit trail.
+        let version = Version(self.max_issued + 1);
         let snap = Snapshot::quantized(version, embedding, precision, predicted_instability);
         atomic_write(&self.snapshot_path(version), &snap.encode())?;
         self.snapshots.insert(version.0, snap);
         self.history.push(version.0);
+        self.max_issued = version.0;
         if let Err(e) = self.persist_history() {
             // Keep memory and disk agreeing on what happened: a failed
             // history write means the publish did not happen, so take the
@@ -364,6 +407,7 @@ impl SnapshotStore {
             // would resurface as a phantom published version on reopen).
             self.history.pop();
             self.snapshots.remove(&version.0);
+            self.max_issued = version.0 - 1;
             std::fs::remove_file(self.snapshot_path(version)).ok();
             return Err(e);
         }
@@ -401,7 +445,11 @@ impl SnapshotStore {
     }
 
     fn persist_history(&self) -> io::Result<()> {
-        let body = serde_json::to_string(&self.history).expect("history serializes");
+        let state = LiveState {
+            history: self.history.clone(),
+            max_issued: self.max_issued,
+        };
+        let body = serde_json::to_string(&state).expect("history serializes");
         atomic_write(&self.dir.join(LIVE_FILE), body.as_bytes())
     }
 }
@@ -488,6 +536,84 @@ mod tests {
         assert_eq!(reloaded.history(), vec![v1]);
         let v3 = reloaded
             .publish(&emb(4, 8, 3), Precision::new(2), None)
+            .expect("v3");
+        assert_eq!(v3, Version(3));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn publish_after_rollback_never_clobbers_the_audit_file() {
+        let dir = scratch("snap_monotonic");
+        let mut store = SnapshotStore::open(&dir).expect("open");
+        store
+            .publish(&emb(10, 6, 3), Precision::new(4), None)
+            .expect("v1");
+        let v2 = store
+            .publish(&emb(11, 6, 3), Precision::new(4), Some(0.1))
+            .expect("v2");
+        let v2_path = store.snapshot_path(v2);
+        let v2_bytes = fs::read(&v2_path).expect("v2 bytes");
+        store.rollback().expect("rollback");
+        // The next publish must allocate a fresh version and leave the
+        // rolled-back snapshot's bytes untouched on disk.
+        let v3 = store
+            .publish(&emb(12, 6, 3), Precision::new(4), None)
+            .expect("v3");
+        assert_eq!(v3, Version(3));
+        assert_eq!(
+            fs::read(&v2_path).expect("v2 still readable"),
+            v2_bytes,
+            "rolled-back snapshot clobbered"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn versions_survive_rollback_prune_and_reopen() {
+        let dir = scratch("snap_monotonic_reopen");
+        let mut store = SnapshotStore::open(&dir).expect("open");
+        store
+            .publish(&emb(20, 5, 2), Precision::new(2), None)
+            .expect("v1");
+        let v2 = store
+            .publish(&emb(21, 5, 2), Precision::new(2), None)
+            .expect("v2");
+        store.rollback().expect("rollback");
+        // An auditor archives the rolled-back snapshot's file out of the
+        // store directory. The version number must still never be reused:
+        // before `max_issued` was persisted, a reopen here would have
+        // reissued v2 and a restored archive file would be silently
+        // overwritten.
+        let v2_path = store.snapshot_path(v2);
+        fs::remove_file(&v2_path).expect("archive v2");
+        let mut reopened = SnapshotStore::open(&dir).expect("reopen");
+        assert_eq!(reopened.history(), vec![Version(1)]);
+        let v3 = reopened
+            .publish(&emb(22, 5, 2), Precision::new(2), None)
+            .expect("publish after prune");
+        assert_eq!(v3, Version(3), "pruned version number was reissued");
+        assert!(!v2_path.exists(), "nothing may recreate the archived file");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_bare_array_live_file_still_opens() {
+        let dir = scratch("snap_legacy_live");
+        let mut store = SnapshotStore::open(&dir).expect("open");
+        store
+            .publish(&emb(30, 4, 2), Precision::FULL, None)
+            .expect("v1");
+        store
+            .publish(&emb(31, 4, 2), Precision::FULL, None)
+            .expect("v2");
+        // Rewrite LIVE in the pre-`max_issued` layout: a bare history
+        // array, as older stores persisted it.
+        fs::write(dir.join(LIVE_FILE), "[1,2]").expect("legacy LIVE");
+        let mut reopened = SnapshotStore::open(&dir).expect("reopen legacy");
+        assert_eq!(reopened.history(), vec![Version(1), Version(2)]);
+        // The high-water mark is inferred, so allocation stays monotonic.
+        let v3 = reopened
+            .publish(&emb(32, 4, 2), Precision::FULL, None)
             .expect("v3");
         assert_eq!(v3, Version(3));
         fs::remove_dir_all(&dir).ok();

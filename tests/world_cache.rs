@@ -1,0 +1,127 @@
+//! Integration contract of the on-disk `WorldCache`: a loaded world is
+//! interchangeable with a freshly built one — the full experiment grid
+//! (downstream disagreement, quality, and all five distance measures)
+//! reproduces **bitwise**, across master seeds, and the `Experiment`
+//! builder's `.world_cache(dir)` warms the cache for sibling processes.
+
+use embedstab::embeddings::Algo;
+use embedstab::pipeline::{Experiment, Row, Scale, ScaleParams, World, WorldCache};
+use embedstab::quant::Precision;
+use proptest::prelude::*;
+
+fn tiny_params() -> ScaleParams {
+    let mut params = Scale::Tiny.params();
+    params.dims = vec![4, 8];
+    params.precisions = vec![Precision::new(2), Precision::FULL];
+    params.seeds = vec![0];
+    params.corpus_tokens = 6000;
+    params.sentiment_train = 80;
+    params.sentiment_test = 50;
+    params.ner_train = 40;
+    params.ner_test = 25;
+    params
+}
+
+fn scratch(label: &str) -> std::path::PathBuf {
+    let dir = embedstab::pipeline::cache::scratch_dir(label);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Rows keyed bitwise: every float as raw bits, measures included.
+fn bitwise_keys(rows: &[Row]) -> Vec<(String, String, usize, u8, u64, [u64; 3], Vec<u64>)> {
+    rows.iter()
+        .map(|r| {
+            (
+                r.task.clone(),
+                r.algo.clone(),
+                r.dim,
+                r.bits,
+                r.seed,
+                [
+                    r.disagreement.to_bits(),
+                    r.quality17.to_bits(),
+                    r.quality18.to_bits(),
+                ],
+                r.measures
+                    .map(|m| {
+                        vec![
+                            m.eis.to_bits(),
+                            m.knn_dist.to_bits(),
+                            m.semantic_displacement.to_bits(),
+                            m.pip_loss.to_bits(),
+                            m.overlap_dist.to_bits(),
+                        ]
+                    })
+                    .unwrap_or_default(),
+            )
+        })
+        .collect()
+}
+
+fn grid_rows(world: &World) -> Vec<Row> {
+    Experiment::new(world)
+        .tasks(["sst2", "ner"])
+        .algos([Algo::Mc])
+        .with_measures(true)
+        .run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// The acceptance contract: for any master seed, a world loaded from
+    /// the cache produces grid rows bitwise identical to the freshly
+    /// built world it was stored from — disagreement, quality, and all
+    /// five measures.
+    #[test]
+    fn loaded_world_reproduces_built_world_rows_bitwise(master_seed in 0u64..1000) {
+        let dir = scratch("world_cache_rows");
+        let params = tiny_params();
+        let built = World::build(&params, master_seed);
+        let cache = WorldCache::open(&dir).expect("open");
+        cache.store(&built).expect("store");
+        let loaded = cache.load(&params, master_seed).expect("hit");
+        prop_assert_eq!(bitwise_keys(&grid_rows(&loaded)), bitwise_keys(&grid_rows(&built)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// `Experiment::world_cache(dir)` persists the world at run start (so a
+/// run doubles as the fleet's cache warmer), and leaves an existing cached
+/// world untouched on later runs.
+#[test]
+fn experiment_builder_warms_the_world_cache() {
+    let dir = scratch("world_cache_builder");
+    let params = tiny_params();
+    let world = World::build(&params, 0);
+    let cache = WorldCache::open(&dir).expect("open");
+    assert!(!cache.contains(&params, 0));
+    let rows = Experiment::new(&world)
+        .tasks(["sst2"])
+        .algos([Algo::Mc])
+        .world_cache(&dir)
+        .run();
+    assert_eq!(rows.len(), 4);
+    assert!(cache.contains(&params, 0), "run must store the world");
+    let stored = std::fs::metadata(cache.path(&params, 0)).expect("stat");
+    let first_len = stored.len();
+    // A second run against the same cache leaves the stored file alone
+    // (store-if-absent, not rewrite-every-run).
+    let modified = stored.modified().expect("mtime");
+    let _ = Experiment::new(&world)
+        .tasks(["sst2"])
+        .algos([Algo::Mc])
+        .world_cache(&dir)
+        .run();
+    let restat = std::fs::metadata(cache.path(&params, 0)).expect("stat");
+    assert_eq!(restat.len(), first_len);
+    assert_eq!(restat.modified().expect("mtime"), modified);
+    // And the stored world round-trips into the same rows.
+    let loaded = cache.load(&params, 0).expect("hit");
+    assert_eq!(
+        bitwise_keys(&grid_rows(&loaded)),
+        bitwise_keys(&grid_rows(&world))
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
