@@ -62,6 +62,9 @@ pub fn put_f64_slice(out: &mut Vec<u8>, vs: &[f64]) {
 /// pair-cache layout, so matrix bytes are interchangeable between the two
 /// cache families.
 pub fn put_mat(out: &mut Vec<u8>, m: &Mat) {
+    // A dimension past u32::MAX would truncate into a well-formed header
+    // describing a different matrix; no real vocab/dim comes close.
+    debug_assert!(m.rows() <= u32::MAX as usize && m.cols() <= u32::MAX as usize);
     put_u32(out, m.rows() as u32);
     put_u32(out, m.cols() as u32);
     for &x in m.as_slice() {

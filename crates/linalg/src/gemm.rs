@@ -392,7 +392,16 @@ fn micro_kernel_body(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut [[f6
 ///
 /// # Safety
 ///
-/// Callers must have verified `avx2` and `fma` support at runtime.
+/// The *only* unsafety is instruction-set availability: the body is plain
+/// safe Rust (slice-indexed, bounds-checked), but compiling it under
+/// `target_feature(avx2, fma)` lets rustc emit AVX2/FMA instructions that
+/// fault with SIGILL on CPUs lacking them. Callers must therefore have
+/// verified **both** `avx2` and `fma` via `is_x86_feature_detected!` on the
+/// running CPU before calling — a compile-time `cfg(target_feature)` check
+/// is not enough, since this crate builds for generic x86-64. Panel-layout
+/// expectations (`a_panel.len() >= kc * MR`, `b_panel.len() >= kc * NR`,
+/// packed by `pack_a`/`pack_b`) are enforced by the safe body's slice
+/// indexing, not by this contract.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn micro_kernel_avx2(
@@ -409,7 +418,11 @@ unsafe fn micro_kernel_avx2(
 fn micro_kernel(kc: usize, a_panel: &[f64], b_panel: &[f64], acc: &mut [[f64; NR]; MR]) {
     // Feature detection is cached by std; this is a load + branch per tile.
     if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
-        // SAFETY: both required features were just verified.
+        // SAFETY: `micro_kernel_avx2`'s sole precondition is that the
+        // running CPU supports avx2 and fma; both were verified on the
+        // lines above via runtime feature detection, so the specialized
+        // instructions cannot fault. No pointer or aliasing invariants are
+        // involved — the kernel body itself is safe, bounds-checked code.
         unsafe { micro_kernel_avx2(kc, a_panel, b_panel, acc) }
     } else {
         micro_kernel_body(kc, a_panel, b_panel, acc);

@@ -1,0 +1,304 @@
+//! `lint-allow.toml` — the only suppression mechanism.
+//!
+//! There are no inline `#[allow]`-style escapes: every suppression lives
+//! in one reviewable file at the workspace root, and every entry must
+//! carry a written justification. The format is a tiny TOML subset
+//! (parsed here, dependency-free):
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "hash-order-float-sum"          # a known rule id
+//! path = "crates/corpus/src/cooc.rs"     # workspace-relative file
+//! contains = "self.map.iter()"           # optional: must appear on the line
+//! justification = "entries() sorts immediately after collecting"
+//! ```
+//!
+//! Malformed entries are themselves findings (reported under the
+//! `lint-allow` pseudo-rule and counted as failures): an entry with a
+//! missing or empty justification, an unknown rule id, an unknown key, or
+//! an entry that suppresses nothing (stale) all fail the run. The
+//! allowlist can only ever shrink the finding set it was written for.
+
+use crate::rules::Finding;
+
+/// One parsed `[[allow]]` entry.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    /// Optional substring the flagged line must contain.
+    pub contains: Option<String>,
+    pub justification: String,
+    /// 1-based line of the `[[allow]]` header, for error reporting.
+    pub line: usize,
+}
+
+impl AllowEntry {
+    /// True when this entry suppresses the finding.
+    pub fn matches(&self, f: &Finding) -> bool {
+        self.rule == f.rule
+            && self.path == f.path
+            && self
+                .contains
+                .as_ref()
+                .is_none_or(|c| f.snippet.contains(c.as_str()))
+    }
+}
+
+/// The pseudo-rule id used for allowlist problems.
+pub const ALLOWLIST_RULE: &str = "lint-allow";
+
+fn config_finding(path: &str, line: usize, snippet: &str, message: String) -> Finding {
+    Finding {
+        rule: ALLOWLIST_RULE.to_string(),
+        path: path.to_string(),
+        line,
+        message,
+        snippet: snippet.trim().to_string(),
+    }
+}
+
+/// Strips a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Unquotes a TOML basic string value (`"..."` with `\"`/`\\` escapes).
+fn unquote(raw: &str) -> Option<String> {
+    let raw = raw.trim();
+    let inner = raw.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::new();
+    let mut escaped = false;
+    for c in inner.chars() {
+        if escaped {
+            out.push(match c {
+                'n' => '\n',
+                't' => '\t',
+                other => other,
+            });
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            return None; // an unescaped quote inside means we mis-split
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Parses allowlist text. Returns the usable entries plus findings for
+/// every malformed construct; `display_path` labels the findings.
+pub fn parse_allowlist(
+    text: &str,
+    display_path: &str,
+    known_rules: &[&str],
+) -> (Vec<AllowEntry>, Vec<Finding>) {
+    struct Partial {
+        rule: Option<String>,
+        path: Option<String>,
+        contains: Option<String>,
+        justification: Option<String>,
+        line: usize,
+    }
+    let mut entries = Vec::new();
+    let mut findings = Vec::new();
+    let mut current: Option<Partial> = None;
+
+    let finish =
+        |p: Option<Partial>, findings: &mut Vec<Finding>, entries: &mut Vec<AllowEntry>| {
+            let Some(p) = p else { return };
+            let missing: Vec<&str> = [
+                ("rule", p.rule.is_none()),
+                ("path", p.path.is_none()),
+                ("justification", p.justification.is_none()),
+            ]
+            .iter()
+            .filter(|(_, m)| *m)
+            .map(|(k, _)| *k)
+            .collect();
+            if !missing.is_empty() {
+                findings.push(config_finding(
+                    display_path,
+                    p.line,
+                    "[[allow]]",
+                    format!(
+                        "allowlist entry is missing required key(s): {}; every suppression \
+                     must name a rule, a path, and carry a written justification",
+                        missing.join(", ")
+                    ),
+                ));
+                return;
+            }
+            let (rule, path, justification) = (
+                p.rule.unwrap_or_default(),
+                p.path.unwrap_or_default(),
+                p.justification.unwrap_or_default(),
+            );
+            if justification.trim().is_empty() {
+                findings.push(config_finding(
+                    display_path,
+                    p.line,
+                    "[[allow]]",
+                    format!(
+                        "allowlist entry for `{rule}` at `{path}` has an empty justification; \
+                     a suppression without a written reason is itself an error"
+                    ),
+                ));
+                return;
+            }
+            if !known_rules.contains(&rule.as_str()) {
+                findings.push(config_finding(
+                    display_path,
+                    p.line,
+                    "[[allow]]",
+                    format!(
+                        "allowlist entry names unknown rule `{rule}` (known: {})",
+                        known_rules.join(", ")
+                    ),
+                ));
+                return;
+            }
+            entries.push(AllowEntry {
+                rule,
+                path,
+                contains: p.contains,
+                justification,
+                line: p.line,
+            });
+        };
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(current.take(), &mut findings, &mut entries);
+            current = Some(Partial {
+                rule: None,
+                path: None,
+                contains: None,
+                justification: None,
+                line: lineno,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            findings.push(config_finding(
+                display_path,
+                lineno,
+                raw_line,
+                "unparseable allowlist line; expected `[[allow]]` or `key = \"value\"`".to_string(),
+            ));
+            continue;
+        };
+        let Some(p) = current.as_mut() else {
+            findings.push(config_finding(
+                display_path,
+                lineno,
+                raw_line,
+                "key outside any [[allow]] entry".to_string(),
+            ));
+            continue;
+        };
+        let Some(value) = unquote(value) else {
+            findings.push(config_finding(
+                display_path,
+                lineno,
+                raw_line,
+                "allowlist values must be double-quoted strings".to_string(),
+            ));
+            continue;
+        };
+        match key.trim() {
+            "rule" => p.rule = Some(value),
+            "path" => p.path = Some(value),
+            "contains" => p.contains = Some(value),
+            "justification" => p.justification = Some(value),
+            other => findings.push(config_finding(
+                display_path,
+                lineno,
+                raw_line,
+                format!("unknown allowlist key `{other}`"),
+            )),
+        }
+    }
+    finish(current.take(), &mut findings, &mut entries);
+    (entries, findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: [&str; 2] = ["hash-order-float-sum", "no-panic-in-hot-path"];
+
+    #[test]
+    fn well_formed_entry_parses() {
+        let text = r#"
+# a comment
+[[allow]]
+rule = "hash-order-float-sum"
+path = "crates/foo/src/bar.rs"
+contains = "map.iter()"
+justification = "entries are sorted immediately after collection"
+"#;
+        let (entries, findings) = parse_allowlist(text, "lint-allow.toml", &RULES);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, "hash-order-float-sum");
+        assert_eq!(entries[0].contains.as_deref(), Some("map.iter()"));
+    }
+
+    #[test]
+    fn missing_justification_is_an_error() {
+        let text = "[[allow]]\nrule = \"no-panic-in-hot-path\"\npath = \"a.rs\"\n";
+        let (entries, findings) = parse_allowlist(text, "lint-allow.toml", &RULES);
+        assert!(entries.is_empty());
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn empty_justification_is_an_error() {
+        let text =
+            "[[allow]]\nrule = \"no-panic-in-hot-path\"\npath = \"a.rs\"\njustification = \"  \"\n";
+        let (entries, findings) = parse_allowlist(text, "lint-allow.toml", &RULES);
+        assert!(entries.is_empty());
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("empty justification"));
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let text = "[[allow]]\nrule = \"nope\"\npath = \"a.rs\"\njustification = \"x\"\n";
+        let (_, findings) = parse_allowlist(text, "lint-allow.toml", &RULES);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let text = "[[allow]]\nrule = \"no-panic-in-hot-path\"\npath = \"a.rs\"\njustification = \"issue #42\"\n";
+        let (entries, findings) = parse_allowlist(text, "lint-allow.toml", &RULES);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(entries[0].justification, "issue #42");
+    }
+}

@@ -1,0 +1,225 @@
+//! The walk-and-check engine: enumerates every non-vendored `.rs` file
+//! under the workspace root, runs each path-applicable rule, applies the
+//! allowlist, and renders the report.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::{parse_allowlist, AllowEntry, ALLOWLIST_RULE};
+use crate::rules::{all_rules, rule_ids, Finding};
+use crate::source::SourceFile;
+
+/// Directory names never descended into. `fixtures` keeps the linter's
+/// own true-positive test files out of the real tree's scan.
+const SKIP_DIRS: [&str; 5] = ["vendor", "target", ".git", "fixtures", "results"];
+
+/// The outcome of a full-tree lint.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings (including allowlist-config findings).
+    pub findings: Vec<Finding>,
+    /// Findings matched by an allowlist entry, kept for the report.
+    pub suppressed: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the tree is clean: nothing unsuppressed.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lints one in-memory source file under its workspace-relative path.
+/// This is the fixture-test entry point; path scoping works exactly as it
+/// does on disk.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let file = SourceFile::parse(rel_path, src);
+    let mut findings = Vec::new();
+    for rule in all_rules() {
+        if rule.applies_to(rel_path) {
+            findings.extend(rule.check(&file));
+        }
+    }
+    findings
+}
+
+/// Splits raw findings into (kept, suppressed) under the allowlist and
+/// appends a finding per stale (never-matching) entry.
+pub fn apply_allowlist(
+    raw: Vec<Finding>,
+    entries: &[AllowEntry],
+    allow_path: &str,
+) -> (Vec<Finding>, Vec<Finding>) {
+    let mut used = vec![false; entries.len()];
+    let mut kept = Vec::new();
+    let mut suppressed = Vec::new();
+    for f in raw {
+        match entries.iter().position(|e| e.matches(&f)) {
+            Some(i) => {
+                used[i] = true;
+                suppressed.push(f);
+            }
+            None => kept.push(f),
+        }
+    }
+    for (entry, used) in entries.iter().zip(used) {
+        if !used {
+            kept.push(Finding {
+                rule: ALLOWLIST_RULE.to_string(),
+                path: allow_path.to_string(),
+                line: entry.line,
+                message: format!(
+                    "stale allowlist entry: rule `{}` at `{}` suppresses nothing — \
+                     delete it (the finding it justified is gone)",
+                    entry.rule, entry.path
+                ),
+                snippet: "[[allow]]".to_string(),
+            });
+        }
+    }
+    (kept, suppressed)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut children: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    children.sort();
+    for path in children {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`, applying the allowlist at
+/// `root/lint-allow.toml` when present.
+pub fn lint_root(root: &Path) -> io::Result<Report> {
+    let mut paths = Vec::new();
+    walk(root, &mut paths)?;
+    let mut raw = Vec::new();
+    let mut files_scanned = 0usize;
+    for path in &paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(src) = fs::read_to_string(path) else {
+            continue; // non-UTF8 .rs file: nothing for a lexer to do
+        };
+        files_scanned += 1;
+        raw.extend(lint_source(&rel, &src));
+    }
+
+    let allow_path = root.join("lint-allow.toml");
+    let (entries, mut config_findings) = match fs::read_to_string(&allow_path) {
+        Ok(text) => parse_allowlist(&text, "lint-allow.toml", &rule_ids()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => (Vec::new(), Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let (mut findings, suppressed) = apply_allowlist(raw, &entries, "lint-allow.toml");
+    findings.append(&mut config_findings);
+    findings.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    Ok(Report {
+        findings,
+        suppressed,
+        files_scanned,
+    })
+}
+
+/// Locates the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(body) = fs::read_to_string(&manifest) {
+            if body.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the report as stable, machine-readable JSON (the CI artifact).
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"files_scanned\":{},", report.files_scanned));
+    out.push_str(&format!("\"suppressed\":{},", report.suppressed.len()));
+    out.push_str(&format!("\"clean\":{},", report.is_clean()));
+    out.push_str("\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\",\"snippet\":\"{}\"}}",
+            json_escape(&f.rule),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.message),
+            json_escape(&f.snippet),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the report as human-readable text.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.path, f.line, f.rule, f.message
+        ));
+        if !f.snippet.is_empty() {
+            out.push_str(&format!("    | {}\n", f.snippet));
+        }
+    }
+    if report.is_clean() {
+        out.push_str(&format!(
+            "embedstab-lint: clean ({} files scanned, {} suppressed)\n",
+            report.files_scanned,
+            report.suppressed.len()
+        ));
+    } else {
+        out.push_str(&format!(
+            "embedstab-lint: {} finding(s) ({} files scanned, {} suppressed)\n",
+            report.findings.len(),
+            report.files_scanned,
+            report.suppressed.len()
+        ));
+    }
+    out
+}

@@ -1,0 +1,36 @@
+//! `embedstab-lint` — determinism & safety static analysis for the
+//! embedstab workspace.
+//!
+//! This repo's headline guarantee is that shard-union, warm-cache, and
+//! coordinator fleet runs are **bitwise** equal to the unsharded run.
+//! That guarantee was broken twice by the same family of bugs —
+//! `HashMap`-iteration-order float sums and NaN-panicking `partial_cmp`
+//! sorts — which were found by hand. This crate makes those bug classes
+//! mechanical: a dependency-free lexer (comment/string/lifetime-aware
+//! token stream, no AST) feeds a rule engine that walks every
+//! non-vendored `.rs` file and enforces six rules, each grounded in a bug
+//! the repo shipped or a hazard one edit away:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `float-sort-total-order` | no `partial_cmp` in sort/min/max comparators |
+//! | `hash-order-float-sum` | no hash-ordered iteration feeding float sums or encoders |
+//! | `unsafe-needs-safety-comment` | every `unsafe` documents its invariants |
+//! | `no-panic-in-hot-path` | serve + codec paths return typed errors, never panic |
+//! | `no-wallclock-in-fingerprint` | cache/codec/fingerprint modules never read the clock |
+//! | `no-truncating-cast-in-codec` | codec encoders bounds-check narrowing casts |
+//!
+//! Suppressions live only in `lint-allow.toml` at the workspace root and
+//! must carry a written justification (see [`config`]). The binary exits
+//! nonzero on any unsuppressed finding, so CI fails when a rule is
+//! reintroduced.
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use config::{parse_allowlist, AllowEntry};
+pub use engine::{apply_allowlist, find_workspace_root, lint_root, lint_source, Report};
+pub use rules::{all_rules, rule_ids, Finding, Rule};

@@ -1,0 +1,100 @@
+//! CLI for `embedstab-lint`.
+//!
+//! ```text
+//! cargo run -p embedstab-lint [-- --root PATH --format text|json --out PATH]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 operator error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use embedstab_lint::engine::{find_workspace_root, lint_root, render_json, render_text};
+use embedstab_lint::rules::all_rules;
+
+fn usage() -> String {
+    let mut out = String::from(
+        "embedstab-lint: determinism & safety static analysis for the embedstab workspace\n\n\
+         USAGE:\n    embedstab-lint [--root PATH] [--format text|json] [--out PATH]\n\n\
+         OPTIONS:\n\
+         \x20   --root PATH      workspace root (default: nearest ancestor with [workspace])\n\
+         \x20   --format FORMAT  text (default) or json\n\
+         \x20   --out PATH       also write the rendered report to PATH\n\
+         \x20   --help           this message\n\nRULES:\n",
+    );
+    for rule in all_rules() {
+        out.push_str(&format!("    {:<30} {}\n", rule.id(), rule.description()));
+    }
+    out.push_str(
+        "\nSuppressions: lint-allow.toml at the workspace root; every entry needs a\n\
+         written justification (see the crate README).\n",
+    );
+    out
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = String::from("text");
+    let mut out_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            "--root" => root = args.next().map(PathBuf::from),
+            "--format" => format = args.next().unwrap_or_default(),
+            "--out" => out_path = args.next().map(PathBuf::from),
+            other => {
+                eprintln!("embedstab-lint: unknown argument `{other}`\n\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if format != "text" && format != "json" {
+        eprintln!("embedstab-lint: --format must be `text` or `json`, got `{format}`");
+        return ExitCode::from(2);
+    }
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("embedstab-lint: cannot determine working directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = root.or_else(|| find_workspace_root(&cwd)) else {
+        eprintln!(
+            "embedstab-lint: no workspace root found above {} (pass --root)",
+            cwd.display()
+        );
+        return ExitCode::from(2);
+    };
+    let report = match lint_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("embedstab-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let rendered = if format == "json" {
+        render_json(&report)
+    } else {
+        render_text(&report)
+    };
+    println!("{rendered}");
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, rendered.as_bytes()) {
+            eprintln!(
+                "embedstab-lint: cannot write report to {}: {e}",
+                path.display()
+            );
+            return ExitCode::from(2);
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,85 @@
+//! `float-sort-total-order` — forbid `partial_cmp` inside sort/min/max
+//! comparator closures.
+//!
+//! PR 5 swept ten float sorts whose comparators called
+//! `partial_cmp(..).unwrap()`: `partial_cmp` is not a total order under
+//! NaN, so a single degenerate value panics the sort (or, with
+//! `unwrap_or(Equal)`, silently produces an ordering that depends on the
+//! input permutation — a per-process nondeterminism in disguise). The
+//! repo-wide replacements are `f64::total_cmp` and, where runtime NaNs
+//! must rank after every finite value regardless of their sign bit,
+//! `embedstab_core::stats::cmp_nan_last` / `cmp_desc_nan_last`.
+//!
+//! Applies to every non-vendored file, including tests: a NaN-panicking
+//! comparator in a test is a flake waiting for a degenerate input.
+
+use crate::rules::{Finding, Rule};
+use crate::source::SourceFile;
+
+const SORT_METHODS: [&str; 9] = [
+    "sort_by",
+    "sort_unstable_by",
+    "sort_by_key",
+    "sort_unstable_by_key",
+    "sort_by_cached_key",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+];
+
+pub struct FloatSortTotalOrder;
+
+impl Rule for FloatSortTotalOrder {
+    fn id(&self) -> &'static str {
+        "float-sort-total-order"
+    }
+
+    fn description(&self) -> &'static str {
+        "comparator closures must not call partial_cmp; use f64::total_cmp or \
+         core::stats::cmp_nan_last/cmp_desc_nan_last"
+    }
+
+    fn applies_to(&self, _rel_path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let toks = &file.tokens;
+        let mut findings = Vec::new();
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if !SORT_METHODS.iter().any(|m| t.is_ident(m)) {
+                continue;
+            }
+            if !matches!(toks.get(i + 1), Some(n) if n.is_punct("(")) {
+                continue;
+            }
+            // Scan the balanced argument list for a partial_cmp call.
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct("(") {
+                    depth += 1;
+                } else if toks[j].is_punct(")") {
+                    depth -= 1;
+                } else if toks[j].is_ident("partial_cmp") {
+                    findings.push(Finding::new(
+                        self.id(),
+                        file,
+                        toks[j].line,
+                        format!(
+                            "`partial_cmp` inside `{}` is not a total order: NaN panics the \
+                             unwrap (or permutes the result under unwrap_or); use \
+                             `f64::total_cmp` or `core::stats::cmp_nan_last`/`cmp_desc_nan_last`",
+                            t.text
+                        ),
+                    ));
+                    break;
+                }
+                j += 1;
+            }
+        }
+        findings
+    }
+}

@@ -1,0 +1,182 @@
+//! `hash-order-float-sum` — flag hash-map/set iteration in functions whose
+//! results are order-sensitive.
+//!
+//! The bug class: PR 5 found `Cooc::row_sums` accumulating `f64` counts in
+//! `HashMap` iteration order. Float addition is not associative, and hash
+//! iteration order varies per process (SipHash keys are randomized), so
+//! the sums — and the PPMI statistics and every embedding trained from
+//! them — differed bitwise between processes, silently breaking the
+//! shard-fleet guarantee that a sharded run reproduces the unsharded run.
+//!
+//! Heuristic (no AST, so this is deliberately conservative in both
+//! directions and backed by fixture tests):
+//!
+//! - a *hash iteration* is `.iter()` / `.iter_mut()` / `.keys()` /
+//!   `.values()` / `.values_mut()` / `.into_iter()` / `.drain(..)` on a
+//!   name the same file declares as `HashMap`/`HashSet` (let binding,
+//!   struct field, or parameter annotation), or a `for .. in &name` loop
+//!   over such a name;
+//! - the enclosing function is *order-sensitive* when it also contains a
+//!   `+=` accumulation or feeds an encode/fingerprint path
+//!   (`encode`/`encode_into`/`fingerprint`/`put_*`/`to_le_bytes`/
+//!   `write_all`/`hash`/`emit`);
+//! - the function is *exonerated* when it visibly canonicalizes: any
+//!   `sort*` call or a `BTreeMap`/`BTreeSet` in the same function.
+//!
+//! Test regions are skipped (tests iterate maps to assert membership, and
+//! a test that cared about order would fail loudly, not silently).
+
+use crate::lexer::TokenKind;
+use crate::rules::{Finding, Rule};
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+const ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+];
+
+const ORDER_SENSITIVE_MARKERS: [&str; 10] = [
+    "encode",
+    "encode_into",
+    "fingerprint",
+    "put_f64",
+    "put_u64",
+    "put_u32",
+    "to_le_bytes",
+    "write_all",
+    "hash",
+    "emit",
+];
+
+pub struct HashOrderFloatSum;
+
+/// Names declared with a `HashMap`/`HashSet` type in this file: catches
+/// `name: HashMap<..>` annotations (fields, params, let bindings) and
+/// `let [mut] name = HashMap::new()`-style initializations.
+fn hash_declared_names(file: &SourceFile) -> BTreeSet<String> {
+    let toks = &file.tokens;
+    let mut names = BTreeSet::new();
+    for (k, t) in toks.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back over path/reference noise: `std :: collections ::`, `&`.
+        let mut j = k;
+        while j > 0 {
+            let p = &toks[j - 1];
+            let is_path_noise = p.is_punct("::")
+                || p.is_punct("&")
+                || p.is_ident("std")
+                || p.is_ident("collections")
+                || p.kind == TokenKind::Lifetime;
+            if is_path_noise {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if j == 0 {
+            continue;
+        }
+        let before = &toks[j - 1];
+        // `name : HashMap<..>` (annotation) or `name = HashMap::new()`.
+        if (before.is_punct(":") || before.is_punct("=")) && j >= 2 {
+            let name = &toks[j - 2];
+            if name.kind == TokenKind::Ident {
+                names.insert(name.text.clone());
+            }
+        }
+    }
+    names
+}
+
+impl Rule for HashOrderFloatSum {
+    fn id(&self) -> &'static str {
+        "hash-order-float-sum"
+    }
+
+    fn description(&self) -> &'static str {
+        "no HashMap/HashSet iteration in functions that accumulate floats or feed \
+         encode/fingerprint paths; iterate sorted entries or use BTreeMap"
+    }
+
+    fn applies_to(&self, _rel_path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let names = hash_declared_names(file);
+        if names.is_empty() {
+            return Vec::new();
+        }
+        let toks = &file.tokens;
+        let mut findings = Vec::new();
+        let mut flagged_lines = BTreeSet::new();
+        let mut consider = |idx: usize, name: &str, findings: &mut Vec<Finding>| {
+            if file.test_mask.get(idx).copied().unwrap_or(false) {
+                return;
+            }
+            let Some(span) = file.enclosing_fn(idx) else {
+                return;
+            };
+            let body = &toks[span.start..=span.end];
+            let sensitive = body
+                .iter()
+                .any(|t| t.is_punct("+=") || ORDER_SENSITIVE_MARKERS.iter().any(|m| t.is_ident(m)));
+            let canonicalized = body.iter().any(|t| {
+                (t.kind == TokenKind::Ident && t.text.starts_with("sort"))
+                    || t.is_ident("BTreeMap")
+                    || t.is_ident("BTreeSet")
+            });
+            if sensitive && !canonicalized && flagged_lines.insert(toks[idx].line) {
+                findings.push(Finding::new(
+                    self.id(),
+                    file,
+                    toks[idx].line,
+                    format!(
+                        "iteration over hash-ordered `{name}` in `{}`, which accumulates \
+                         floats or feeds an encode/fingerprint path; hash iteration order \
+                         varies per process — iterate sorted entries or use BTreeMap/BTreeSet",
+                        span.name
+                    ),
+                ));
+            }
+        };
+        for i in 0..toks.len() {
+            // `name.iter()` / `name.values()` / ... method iteration.
+            if toks[i].kind == TokenKind::Ident
+                && ITER_METHODS.iter().any(|m| toks[i].is_ident(m))
+                && matches!(toks.get(i + 1), Some(n) if n.is_punct("("))
+                && i >= 2
+                && toks[i - 1].is_punct(".")
+                && names.contains(&toks[i - 2].text)
+            {
+                let receiver = toks[i - 2].text.clone();
+                consider(i, &receiver, &mut findings);
+            }
+            // `for pat in &name {` / `for pat in name {` loop iteration.
+            if toks[i].is_ident("in") {
+                let mut j = i + 1;
+                while matches!(toks.get(j), Some(t) if t.is_punct("&") || t.is_ident("mut")) {
+                    j += 1;
+                }
+                if let (Some(name_tok), Some(open)) = (toks.get(j), toks.get(j + 1)) {
+                    if name_tok.kind == TokenKind::Ident
+                        && names.contains(&name_tok.text)
+                        && open.is_punct("{")
+                    {
+                        let receiver = name_tok.text.clone();
+                        consider(j, &receiver, &mut findings);
+                    }
+                }
+            }
+        }
+        findings
+    }
+}

@@ -1,0 +1,68 @@
+//! The rule registry. Each rule is grounded in a bug this repository
+//! actually shipped (see the module docs of each rule) or a hazard it is
+//! one edit away from; rules are path-scoped so they bind tightly to the
+//! invariant they protect.
+
+use crate::source::SourceFile;
+
+mod float_sort;
+mod hash_order;
+mod no_panic;
+mod safety_comment;
+mod truncating_cast;
+mod wallclock;
+
+/// One reported violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id, e.g. `float-sort-total-order`.
+    pub rule: String,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    pub message: String,
+    /// The raw source line, trimmed — also what allowlist `contains`
+    /// patterns match against.
+    pub snippet: String,
+}
+
+impl Finding {
+    pub fn new(rule: &str, file: &SourceFile, line: usize, message: String) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            path: file.rel_path.clone(),
+            line,
+            message,
+            snippet: file.line_text(line).trim().to_string(),
+        }
+    }
+}
+
+/// A single static-analysis rule.
+pub trait Rule {
+    /// Stable kebab-case id (used in reports and `lint-allow.toml`).
+    fn id(&self) -> &'static str;
+    /// One-line description for `--help` and the README.
+    fn description(&self) -> &'static str;
+    /// Whether the rule runs on this workspace-relative path.
+    fn applies_to(&self, rel_path: &str) -> bool;
+    fn check(&self, file: &SourceFile) -> Vec<Finding>;
+}
+
+/// Every rule, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(float_sort::FloatSortTotalOrder),
+        Box::new(hash_order::HashOrderFloatSum),
+        Box::new(safety_comment::UnsafeNeedsSafetyComment),
+        Box::new(no_panic::NoPanicInHotPath),
+        Box::new(wallclock::NoWallclockInFingerprint),
+        Box::new(truncating_cast::NoTruncatingCastInCodec),
+    ]
+}
+
+/// The ids of every registered rule (allowlist validation).
+pub fn rule_ids() -> Vec<&'static str> {
+    all_rules().iter().map(|r| r.id()).collect()
+}

@@ -1,0 +1,75 @@
+//! `no-panic-in-hot-path` — serving request paths and codec decode paths
+//! must degrade to typed errors or cache misses, never panic.
+//!
+//! PR 5 established the validated-decode rule: corrupt cache bytes are a
+//! miss (`Option::None`), never an `AliasTable` assert or a NaN-poisoned
+//! statistic. The serving layer extends it: a malformed request or a
+//! corrupt snapshot must surface as `io::Error`/`Option`, because a panic
+//! in `crates/serve` takes down every tenant on the process. This rule
+//! pins both, forbidding `unwrap()`, `expect()`, `panic!`,
+//! `unreachable!`, `todo!`, and `unimplemented!` in:
+//!
+//! - `crates/serve/src/**`
+//! - `crates/corpus/src/codec.rs`
+//!
+//! `assert!`/`debug_assert!` remain allowed: they document programmer
+//! invariants on *inputs the repo itself constructs* (e.g. encode-side
+//! shape limits), not data read from disk or the wire. Test modules are
+//! exempt — `expect` is the idiomatic test-failure path.
+
+use crate::lexer::TokenKind;
+use crate::rules::{Finding, Rule};
+use crate::source::SourceFile;
+
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+pub struct NoPanicInHotPath;
+
+impl Rule for NoPanicInHotPath {
+    fn id(&self) -> &'static str {
+        "no-panic-in-hot-path"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic! in crates/serve/src/** or crates/corpus/src/codec.rs; \
+         corrupt input must be a typed error or a miss"
+    }
+
+    fn applies_to(&self, rel_path: &str) -> bool {
+        rel_path.starts_with("crates/serve/src/") || rel_path == "crates/corpus/src/codec.rs"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let toks = &file.tokens;
+        let mut findings = Vec::new();
+        for i in 0..toks.len() {
+            if file.test_mask[i] {
+                continue;
+            }
+            let t = &toks[i];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let method_call = PANIC_METHODS.iter().any(|m| t.is_ident(m))
+                && i >= 1
+                && toks[i - 1].is_punct(".")
+                && matches!(toks.get(i + 1), Some(n) if n.is_punct("("));
+            let macro_call = PANIC_MACROS.iter().any(|m| t.is_ident(m))
+                && matches!(toks.get(i + 1), Some(n) if n.is_punct("!"));
+            if method_call || macro_call {
+                findings.push(Finding::new(
+                    self.id(),
+                    file,
+                    t.line,
+                    format!(
+                        "panicking `{}` in a hot path: corrupt or unexpected input here \
+                         must become a typed error or a cache miss, never a panic",
+                        t.text
+                    ),
+                ));
+            }
+        }
+        findings
+    }
+}

@@ -1,0 +1,81 @@
+//! `unsafe-needs-safety-comment` — every `unsafe` occurrence must carry a
+//! nearby SAFETY justification.
+//!
+//! The workspace's only `unsafe` lives in the AVX2+FMA micro-kernel
+//! dispatch in `crates/linalg/src/gemm.rs`, where the obligation (runtime
+//! ISA verification before calling a `#[target_feature]` function) is
+//! documented. This rule keeps it that way: any new `unsafe` block, fn,
+//! or impl must state its invariants either within the six raw source
+//! lines ending at the `unsafe` keyword (`// SAFETY:` comment) or
+//! anywhere in the contiguous doc-comment/attribute block directly above
+//! the item (`# Safety` doc section, however long).
+//!
+//! Applies everywhere, including tests: undocumented unsafe in a test is
+//! still undocumented unsafe.
+
+use crate::rules::{Finding, Rule};
+use crate::source::SourceFile;
+
+pub struct UnsafeNeedsSafetyComment;
+
+/// True if the contiguous run of comment/attribute/empty lines ending just
+/// above `line` (1-based) mentions "safety". This lets a long `# Safety`
+/// doc section sit arbitrarily far above the `unsafe fn` it documents, as
+/// long as nothing but the doc block and attributes separate them.
+fn doc_block_mentions_safety(file: &SourceFile, line: usize) -> bool {
+    let mut i = line.saturating_sub(1); // 1-based line above `line`
+    while i >= 1 {
+        let text = file.line_text(i);
+        let t = text.trim_start();
+        let is_block = t.is_empty()
+            || t.starts_with("//")
+            || t.starts_with("#[")
+            || t.starts_with("#!")
+            || t.starts_with("*")
+            || t.starts_with("/*");
+        if !is_block {
+            return false;
+        }
+        if t.to_ascii_lowercase().contains("safety") {
+            return true;
+        }
+        i -= 1;
+    }
+    false
+}
+
+impl Rule for UnsafeNeedsSafetyComment {
+    fn id(&self) -> &'static str {
+        "unsafe-needs-safety-comment"
+    }
+
+    fn description(&self) -> &'static str {
+        "every unsafe block/fn/impl needs a nearby SAFETY comment documenting its invariants"
+    }
+
+    fn applies_to(&self, _rel_path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for t in &file.tokens {
+            if !t.is_ident("unsafe") {
+                continue;
+            }
+            let lo = t.line.saturating_sub(6);
+            if file.lines_contain(lo, t.line, "safety") || doc_block_mentions_safety(file, t.line) {
+                continue;
+            }
+            findings.push(Finding::new(
+                self.id(),
+                file,
+                t.line,
+                "`unsafe` without a nearby `// SAFETY:` comment (or `# Safety` doc \
+                 section) stating the invariants the caller upholds"
+                    .to_string(),
+            ));
+        }
+        findings
+    }
+}

@@ -1,0 +1,93 @@
+//! `no-truncating-cast-in-codec` — narrowing `as` casts in codec encode
+//! paths need a visible bounds check.
+//!
+//! The cache codecs write `u32` headers (`rows`, `cols`, section counts)
+//! from `usize` values. A silent `as u32` truncation would not fail the
+//! write — it would produce a *well-formed file describing a different
+//! matrix*, which the length-validated decoders then accept. That is the
+//! worst failure mode this repo has: bytes that decode cleanly but are
+//! not the data that was encoded. So every narrowing cast on an encode
+//! path must sit next to evidence the value fits: a `try_from`, an
+//! `assert!`/`debug_assert!`, a `checked_*` call, a `::MAX` comparison,
+//! or a `.min(..)` clamp within the six raw lines ending at the cast.
+//!
+//! Scoped to the codec/cache family (`crates/corpus/src/codec.rs`,
+//! `crates/pipeline/src/cache.rs`, `crates/pipeline/src/world_cache.rs`,
+//! `crates/serve/src/snapshot.rs`) and, within those files, to functions
+//! named like encoders (`encode*`, `put_*`, `store*`, `persist*`) —
+//! decoders already validate through `take_len`/`try_from`.
+
+use crate::rules::{Finding, Rule};
+use crate::source::SourceFile;
+
+const NARROW_TARGETS: [&str; 4] = ["u8", "u16", "u32", "usize"];
+const EVIDENCE: [&str; 5] = ["try_from", "assert", "checked_", "::MAX", ".min("];
+
+pub struct NoTruncatingCastInCodec;
+
+fn is_encoder_fn(name: &str) -> bool {
+    name.starts_with("encode")
+        || name.starts_with("put_")
+        || name.starts_with("store")
+        || name.starts_with("persist")
+}
+
+impl Rule for NoTruncatingCastInCodec {
+    fn id(&self) -> &'static str {
+        "no-truncating-cast-in-codec"
+    }
+
+    fn description(&self) -> &'static str {
+        "narrowing `as` casts in codec encode paths need a nearby bounds check \
+         (try_from / assert / checked_* / ::MAX / .min)"
+    }
+
+    fn applies_to(&self, rel_path: &str) -> bool {
+        rel_path == "crates/corpus/src/codec.rs"
+            || rel_path == "crates/pipeline/src/cache.rs"
+            || rel_path == "crates/pipeline/src/world_cache.rs"
+            || rel_path == "crates/serve/src/snapshot.rs"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let toks = &file.tokens;
+        let mut findings = Vec::new();
+        for i in 0..toks.len() {
+            if file.test_mask[i] {
+                continue;
+            }
+            if !toks[i].is_ident("as") {
+                continue;
+            }
+            let Some(target) = toks.get(i + 1) else {
+                continue;
+            };
+            if !NARROW_TARGETS.iter().any(|ty| target.is_ident(ty)) {
+                continue;
+            }
+            let Some(span) = file.enclosing_fn(i) else {
+                continue; // `use x as y` and const items are not encode paths
+            };
+            if !is_encoder_fn(&span.name) {
+                continue;
+            }
+            let line = toks[i].line;
+            let lo = line.saturating_sub(6);
+            if EVIDENCE.iter().any(|e| file.lines_contain(lo, line, e)) {
+                continue;
+            }
+            findings.push(Finding::new(
+                self.id(),
+                file,
+                line,
+                format!(
+                    "narrowing `as {}` cast in encoder `{}` without a nearby bounds \
+                     check: a silent truncation writes a well-formed file describing \
+                     the wrong data; use try_from or assert the range first",
+                    target.text, span.name
+                ),
+            ));
+        }
+        findings
+    }
+}

@@ -1,0 +1,245 @@
+//! A lexed source file plus the two structural overlays rules need:
+//! which tokens are test-only (`#[cfg(test)]` modules, `#[test]` fns) and
+//! the token span of every `fn` item.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One `fn` item: name and inclusive token-index span of `fn ... { ... }`.
+#[derive(Clone, Debug)]
+pub struct FnSpan {
+    pub name: String,
+    pub start: usize,
+    pub end: usize,
+}
+
+/// A parsed file ready for rule checks.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// Raw source lines (comments intact — the SAFETY rule reads these).
+    pub lines: Vec<String>,
+    pub tokens: Vec<Token>,
+    /// `test_mask[i]` is true when token `i` lives inside a
+    /// `#[cfg(test)]` module or a `#[test]` function.
+    pub test_mask: Vec<bool>,
+    pub fn_spans: Vec<FnSpan>,
+}
+
+impl SourceFile {
+    pub fn parse(rel_path: &str, src: &str) -> SourceFile {
+        let tokens = lex(src);
+        let test_mask = compute_test_mask(&tokens);
+        let fn_spans = compute_fn_spans(&tokens);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            lines: src.lines().map(str::to_string).collect(),
+            tokens,
+            test_mask,
+            fn_spans,
+        }
+    }
+
+    /// The raw text of a 1-based line, or "" past the end.
+    pub fn line_text(&self, line: usize) -> &str {
+        self.lines
+            .get(line.saturating_sub(1))
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// The innermost `fn` item containing token `idx`, if any.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&FnSpan> {
+        self.fn_spans
+            .iter()
+            .filter(|s| s.start <= idx && idx <= s.end)
+            .min_by_key(|s| s.end - s.start)
+    }
+
+    /// True when any of the raw lines `lo..=hi` (1-based, clamped)
+    /// contains `needle` case-insensitively.
+    pub fn lines_contain(&self, lo: usize, hi: usize, needle: &str) -> bool {
+        let needle = needle.to_ascii_lowercase();
+        (lo.max(1)..=hi).any(|l| self.line_text(l).to_ascii_lowercase().contains(&needle))
+    }
+}
+
+/// True when the attribute token slice (the tokens between `#[` and `]`)
+/// marks test-only code: exactly `test`, or a `cfg(test...)` form. The
+/// window match deliberately rejects `cfg(not(test))`.
+fn is_test_attr(attr: &[Token]) -> bool {
+    if attr.len() == 1 && attr[0].is_ident("test") {
+        return true;
+    }
+    attr.windows(3)
+        .any(|w| w[0].is_ident("cfg") && w[1].is_punct("(") && (w[2].is_ident("test")))
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+fn matching_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+fn compute_test_mask(toks: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut pending = false;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("#") && matches!(toks.get(i + 1), Some(n) if n.is_punct("[")) {
+            let mut depth = 1usize;
+            let attr_start = i + 2;
+            let mut j = attr_start;
+            while j < toks.len() && depth > 0 {
+                if toks[j].is_punct("[") {
+                    depth += 1;
+                } else if toks[j].is_punct("]") {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+            if is_test_attr(&toks[attr_start..j.saturating_sub(1)]) {
+                pending = true;
+            }
+            i = j;
+            continue;
+        }
+        if pending {
+            match t.text.as_str() {
+                "mod" | "fn" if t.kind == TokenKind::Ident => {
+                    // Mask from the item keyword through the body's `}`.
+                    let mut j = i;
+                    while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+                        j += 1;
+                    }
+                    if j < toks.len() && toks[j].is_punct("{") {
+                        let end = matching_brace(toks, j);
+                        for m in mask.iter_mut().take(end + 1).skip(i) {
+                            *m = true;
+                        }
+                        i = end + 1;
+                    } else {
+                        i = j + 1;
+                    }
+                    pending = false;
+                    continue;
+                }
+                // Tokens that may sit between the attribute and the item
+                // keyword without cancelling it (`pub(crate)`, `async`...).
+                "pub" | "async" | "unsafe" | "const" | "extern" | "crate" | "super" | "self"
+                | "in"
+                    if t.kind == TokenKind::Ident => {}
+                "(" | ")" => {}
+                _ => pending = false,
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+fn compute_fn_spans(toks: &[Token]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        // `fn` in type position (`fn(u32) -> u32`) has no name ident next.
+        let name = match toks.get(i + 1) {
+            Some(n) if n.kind == TokenKind::Ident => n.text.clone(),
+            _ => continue,
+        };
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+            j += 1;
+        }
+        if j < toks.len() && toks[j].is_punct("{") {
+            spans.push(FnSpan {
+                name,
+                start: i,
+                end: matching_brace(toks, j),
+            });
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_masked() {
+        let src = "
+            fn live() { one(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { masked(); }
+            }
+            fn live2() { two(); }
+        ";
+        let f = SourceFile::parse("x.rs", src);
+        let masked = |name: &str| {
+            let idx = f
+                .tokens
+                .iter()
+                .position(|t| t.is_ident(name))
+                .expect("token");
+            f.test_mask[idx]
+        };
+        assert!(!masked("one"));
+        assert!(masked("masked"));
+        assert!(!masked("two"));
+    }
+
+    #[test]
+    fn test_attr_fn_is_masked_but_cfg_not_test_is_not() {
+        let src = "
+            #[test]
+            fn t() { masked(); }
+            #[cfg(not(test))]
+            fn live() { one(); }
+            #[cfg(test)]
+            use std::fmt;
+            fn live2() { two(); }
+        ";
+        let f = SourceFile::parse("x.rs", src);
+        let masked = |name: &str| {
+            let idx = f
+                .tokens
+                .iter()
+                .position(|t| t.is_ident(name))
+                .expect("token");
+            f.test_mask[idx]
+        };
+        assert!(masked("masked"));
+        assert!(!masked("one"));
+        // The cfg(test) `use` must not leak its pending mark onto live2.
+        assert!(!masked("two"));
+    }
+
+    #[test]
+    fn fn_spans_find_innermost() {
+        let src = "fn outer() { fn inner() { deep(); } shallow(); }";
+        let f = SourceFile::parse("x.rs", src);
+        let at = |name: &str| {
+            f.tokens
+                .iter()
+                .position(|t| t.is_ident(name))
+                .expect("token")
+        };
+        assert_eq!(f.enclosing_fn(at("deep")).expect("fn").name, "inner");
+        assert_eq!(f.enclosing_fn(at("shallow")).expect("fn").name, "outer");
+    }
+}

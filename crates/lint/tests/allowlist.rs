@@ -1,0 +1,65 @@
+//! The suppression mechanism end to end: a justified entry silences its
+//! finding, an unjustified entry is itself an error, and a stale entry
+//! (suppressing nothing) is an error too — the allowlist can only shrink
+//! the finding set it was written for.
+
+use embedstab_lint::config::ALLOWLIST_RULE;
+use embedstab_lint::rules::rule_ids;
+use embedstab_lint::{apply_allowlist, lint_source, parse_allowlist};
+
+const BAD: &str = include_str!("fixtures/float_sort_bad.rs");
+const PATH: &str = "crates/demo/src/lib.rs";
+
+#[test]
+fn justified_entry_suppresses_its_finding() {
+    let raw = lint_source(PATH, BAD);
+    assert_eq!(raw.len(), 2, "fixture baseline: {raw:#?}");
+    let text = r#"
+[[allow]]
+rule = "float-sort-total-order"
+path = "crates/demo/src/lib.rs"
+contains = "sort_by"
+justification = "fixture: demonstrating suppression in a test"
+"#;
+    let (entries, config_findings) = parse_allowlist(text, "lint-allow.toml", &rule_ids());
+    assert!(config_findings.is_empty(), "{config_findings:#?}");
+    let (kept, suppressed) = apply_allowlist(raw, &entries, "lint-allow.toml");
+    assert_eq!(suppressed.len(), 1, "the sort_by finding is suppressed");
+    assert_eq!(kept.len(), 1, "the max_by finding survives: {kept:#?}");
+    assert!(kept[0].snippet.contains("max_by"));
+}
+
+#[test]
+fn entry_without_justification_is_itself_an_error() {
+    let text = r#"
+[[allow]]
+rule = "float-sort-total-order"
+path = "crates/demo/src/lib.rs"
+"#;
+    let (entries, findings) = parse_allowlist(text, "lint-allow.toml", &rule_ids());
+    assert!(entries.is_empty(), "the entry must not become usable");
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, ALLOWLIST_RULE);
+    assert!(findings[0].message.contains("justification"));
+}
+
+#[test]
+fn stale_entry_is_an_error() {
+    let text = r#"
+[[allow]]
+rule = "float-sort-total-order"
+path = "crates/demo/src/lib.rs"
+contains = "this snippet exists nowhere"
+justification = "left behind after the finding it excused was fixed"
+"#;
+    let (entries, config_findings) = parse_allowlist(text, "lint-allow.toml", &rule_ids());
+    assert!(config_findings.is_empty(), "{config_findings:#?}");
+    let raw = lint_source(PATH, BAD);
+    let (kept, suppressed) = apply_allowlist(raw, &entries, "lint-allow.toml");
+    assert!(suppressed.is_empty());
+    // Both real findings survive, plus one finding for the stale entry.
+    assert_eq!(kept.len(), 3, "{kept:#?}");
+    let stale: Vec<_> = kept.iter().filter(|f| f.rule == ALLOWLIST_RULE).collect();
+    assert_eq!(stale.len(), 1);
+    assert!(stale[0].message.contains("stale"));
+}

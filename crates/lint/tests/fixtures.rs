@@ -1,0 +1,148 @@
+//! True-positive / clean fixture pairs for every rule.
+//!
+//! Each `*_bad.rs` fixture must trip exactly its rule and each
+//! `*_clean.rs` counterpart must lint empty. Fixtures live under
+//! `tests/fixtures/`, which the repo walker skips by directory name, so
+//! the intentionally-bad files never pollute the real tree's scan; here
+//! they are linted in-memory under synthetic workspace paths so the
+//! path-scoped rules engage exactly as they would on disk.
+
+use embedstab_lint::lint_source;
+
+/// Rule ids raised for `src` linted under `path`.
+fn rules_hit(path: &str, src: &str) -> Vec<String> {
+    lint_source(path, src).into_iter().map(|f| f.rule).collect()
+}
+
+fn assert_clean(path: &str, src: &str) {
+    let findings = lint_source(path, src);
+    assert!(findings.is_empty(), "expected clean, got: {findings:#?}");
+}
+
+#[test]
+fn float_sort_bad_is_flagged() {
+    let hits = rules_hit(
+        "crates/demo/src/lib.rs",
+        include_str!("fixtures/float_sort_bad.rs"),
+    );
+    assert_eq!(
+        hits.iter()
+            .filter(|r| *r == "float-sort-total-order")
+            .count(),
+        2,
+        "both the sort_by and the max_by comparator must be flagged: {hits:?}"
+    );
+}
+
+#[test]
+fn float_sort_clean_passes() {
+    assert_clean(
+        "crates/demo/src/lib.rs",
+        include_str!("fixtures/float_sort_clean.rs"),
+    );
+}
+
+#[test]
+fn hash_order_bad_is_flagged() {
+    let hits = rules_hit(
+        "crates/demo/src/lib.rs",
+        include_str!("fixtures/hash_order_bad.rs"),
+    );
+    assert!(
+        hits.contains(&"hash-order-float-sum".to_string()),
+        "float accumulation in hash order must be flagged: {hits:?}"
+    );
+}
+
+#[test]
+fn hash_order_clean_passes() {
+    assert_clean(
+        "crates/demo/src/lib.rs",
+        include_str!("fixtures/hash_order_clean.rs"),
+    );
+}
+
+#[test]
+fn unsafe_bad_is_flagged() {
+    let hits = rules_hit(
+        "crates/demo/src/lib.rs",
+        include_str!("fixtures/unsafe_bad.rs"),
+    );
+    assert!(
+        hits.contains(&"unsafe-needs-safety-comment".to_string()),
+        "undocumented unsafe must be flagged: {hits:?}"
+    );
+}
+
+#[test]
+fn unsafe_clean_passes() {
+    // Covers both forms: a `// SAFETY:` comment within the window and a
+    // long `# Safety` doc section further above the keyword.
+    assert_clean(
+        "crates/demo/src/lib.rs",
+        include_str!("fixtures/unsafe_clean.rs"),
+    );
+}
+
+#[test]
+fn panic_bad_is_flagged_in_hot_paths() {
+    let src = include_str!("fixtures/panic_bad.rs");
+    let hits = rules_hit("crates/serve/src/fixture.rs", src);
+    assert_eq!(
+        hits.iter().filter(|r| *r == "no-panic-in-hot-path").count(),
+        3,
+        "unwrap, expect, and panic! must each be flagged: {hits:?}"
+    );
+    // The same source outside a hot path is not the rule's business.
+    assert_clean("crates/demo/src/lib.rs", src);
+}
+
+#[test]
+fn panic_clean_passes() {
+    // Includes a #[cfg(test)] module with an unwrap: tests are exempt.
+    assert_clean(
+        "crates/serve/src/fixture.rs",
+        include_str!("fixtures/panic_clean.rs"),
+    );
+}
+
+#[test]
+fn wallclock_bad_is_flagged_in_cache_paths() {
+    let src = include_str!("fixtures/wallclock_bad.rs");
+    let hits = rules_hit("crates/demo/src/cache.rs", src);
+    assert!(
+        hits.contains(&"no-wallclock-in-fingerprint".to_string()),
+        "SystemTime::now in a cache module must be flagged: {hits:?}"
+    );
+    // Outside cache/codec/fingerprint modules the clock is allowed.
+    assert_clean("crates/demo/src/server.rs", src);
+}
+
+#[test]
+fn wallclock_clean_passes() {
+    assert_clean(
+        "crates/demo/src/cache.rs",
+        include_str!("fixtures/wallclock_clean.rs"),
+    );
+}
+
+#[test]
+fn cast_bad_is_flagged_in_codec_encoders() {
+    let src = include_str!("fixtures/cast_bad.rs");
+    let hits = rules_hit("crates/corpus/src/codec.rs", src);
+    assert!(
+        hits.contains(&"no-truncating-cast-in-codec".to_string()),
+        "unchecked narrowing cast in an encoder must be flagged: {hits:?}"
+    );
+    // The rule is scoped to the codec/cache file family.
+    assert_clean("crates/demo/src/lib.rs", src);
+}
+
+#[test]
+fn cast_clean_passes() {
+    // try_from, debug_assert-guarded cast, and a non-encoder cast.
+    assert_clean(
+        "crates/corpus/src/codec.rs",
+        include_str!("fixtures/cast_clean.rs"),
+    );
+}

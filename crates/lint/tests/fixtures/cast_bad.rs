@@ -1,0 +1,6 @@
+// True positive for `no-truncating-cast-in-codec` (linted under a codec
+// path): an unchecked usize -> u32 narrowing in an encoder writes a
+// well-formed header describing the wrong data.
+pub fn put_header(out: &mut Vec<u8>, rows: usize) {
+    out.extend_from_slice(&(rows as u32).to_le_bytes());
+}

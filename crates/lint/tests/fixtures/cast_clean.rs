@@ -1,0 +1,17 @@
+// Clean counterparts: the cast sits next to visible range evidence.
+pub fn put_header(out: &mut Vec<u8>, rows: usize) -> Option<()> {
+    let rows = u32::try_from(rows).ok()?;
+    out.extend_from_slice(&rows.to_le_bytes());
+    Some(())
+}
+
+pub fn put_count(out: &mut Vec<u8>, n: usize) {
+    debug_assert!(n <= u32::MAX as usize);
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+}
+
+// Narrowing casts in non-encoder functions (decoders validate via
+// take_len/try_from already) are out of scope for the rule.
+pub fn widen(i: u32) -> usize {
+    i as usize
+}

@@ -1,0 +1,9 @@
+// True positive for `float-sort-total-order`: the comparator calls
+// partial_cmp, so a single NaN panics the sort.
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn best(xs: &[f64]) -> Option<&f64> {
+    xs.iter().max_by(|a, b| a.partial_cmp(b).unwrap())
+}

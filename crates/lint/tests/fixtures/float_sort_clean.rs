@@ -1,0 +1,13 @@
+// Clean counterpart: total_cmp is a total order, NaN-safe.
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn best(xs: &[f64]) -> Option<&f64> {
+    xs.iter().max_by(|a, b| a.total_cmp(b))
+}
+
+// partial_cmp OUTSIDE a comparator is fine (an Option-returning compare).
+pub fn same(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b) == Some(std::cmp::Ordering::Equal)
+}

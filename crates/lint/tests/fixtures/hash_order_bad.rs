@@ -1,0 +1,9 @@
+// True positive for `hash-order-float-sum`: float accumulation in
+// HashMap iteration order — the exact shape of the Cooc::row_sums bug.
+use std::collections::HashMap;
+
+pub fn row_sums(map: &HashMap<u64, f64>, out: &mut [f64]) {
+    for (&key, &count) in map.iter() {
+        out[(key >> 32) as usize] += count;
+    }
+}

@@ -1,0 +1,15 @@
+// Clean counterpart: collect, sort into a canonical order, then sum.
+use std::collections::HashMap;
+
+pub fn row_sums(map: &HashMap<u64, f64>, out: &mut [f64]) {
+    let mut entries: Vec<(u64, f64)> = map.iter().map(|(&k, &v)| (k, v)).collect();
+    entries.sort_unstable_by_key(|e| e.0);
+    for (key, count) in entries {
+        out[(key >> 32) as usize] += count;
+    }
+}
+
+// Iteration without order sensitivity (pure membership count) is fine.
+pub fn occupied(map: &HashMap<u64, f64>) -> usize {
+    map.iter().filter(|(_, &v)| v != 0.0).count()
+}

@@ -1,0 +1,17 @@
+// True positives for `no-panic-in-hot-path` (linted under a serve path):
+// unwrap, expect, and a panic! all turn bad input into a crashed server.
+pub fn first(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}
+
+pub fn lookup(xs: &[f64], i: usize) -> f64 {
+    *xs.get(i).expect("index in range")
+}
+
+pub fn pick(tag: u8) -> &'static str {
+    match tag {
+        0 => "flat",
+        1 => "weighted",
+        _ => panic!("unknown tag"),
+    }
+}

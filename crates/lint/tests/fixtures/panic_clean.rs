@@ -1,0 +1,26 @@
+// Clean counterpart: hot paths surface Option/Result, never panic.
+pub fn first(xs: &[f64]) -> Option<f64> {
+    xs.first().copied()
+}
+
+pub fn lookup(xs: &[f64], i: usize) -> Option<f64> {
+    xs.get(i).copied()
+}
+
+pub fn pick(tag: u8) -> Option<&'static str> {
+    match tag {
+        0 => Some("flat"),
+        1 => Some("weighted"),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Panics in tests are fine — an assertion failing IS the signal.
+    #[test]
+    fn unwrap_in_tests_is_allowed() {
+        let xs = [1.0f64];
+        assert_eq!(*xs.first().unwrap(), 1.0);
+    }
+}

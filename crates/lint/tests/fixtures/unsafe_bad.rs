@@ -1,0 +1,5 @@
+// True positive: an unsafe block with no stated invariants at all.
+// (This header deliberately avoids the magic word the rule greps for.)
+pub fn read_first(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr() }
+}

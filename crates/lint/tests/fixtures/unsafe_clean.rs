@@ -1,0 +1,20 @@
+// Clean counterpart: the obligation is written down next to the unsafe.
+pub fn read_first(xs: &[u8]) -> u8 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees at least one element, so the
+    // pointer read is in bounds and the slice owns the memory.
+    unsafe { *xs.as_ptr() }
+}
+
+/// # Safety
+///
+/// This long doc section sits more than six lines above the keyword, and
+/// that must still count: callers uphold that `p` is non-null, aligned,
+/// and points to a live `u8` for the duration of the call. Nothing else
+/// is required — the function performs a single read and never retains
+/// the pointer. The distance between this section and the `unsafe fn`
+/// below is exactly what the contiguous-doc-block scan exists for.
+#[allow(dead_code)]
+pub unsafe fn read_raw(p: *const u8) -> u8 {
+    *p
+}

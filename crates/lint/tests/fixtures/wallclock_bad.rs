@@ -1,0 +1,10 @@
+// True positive for `no-wallclock-in-fingerprint` (linted under a cache
+// path): a wall-clock read feeding cache state breaks reproducibility.
+use std::time::SystemTime;
+
+pub fn stamp() -> u64 {
+    match SystemTime::now().duration_since(SystemTime::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

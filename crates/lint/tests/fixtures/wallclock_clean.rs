@@ -1,0 +1,9 @@
+// Clean counterpart: uniqueness from a counter, not the clock (the
+// pattern `atomic_write` uses: pid + atomic counter).
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+pub fn stamp() -> u64 {
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}

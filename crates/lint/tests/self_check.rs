@@ -1,0 +1,28 @@
+//! The linter's standing acceptance criterion: the repo it ships in lints
+//! clean, with zero suppressions. If this test fails, either new code
+//! reintroduced a forbidden pattern (fix the code) or a rule regressed
+//! into a false positive (fix the rule) — an allowlist entry is the last
+//! resort, and this test prints the finding either way.
+
+use std::path::Path;
+
+#[test]
+fn repo_lints_clean_with_no_suppressions() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = embedstab_lint::lint_root(&root).expect("scan the workspace");
+    assert!(
+        report.files_scanned > 50,
+        "walker should see the whole workspace, saw {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.findings.is_empty(),
+        "the repo must lint clean:\n{:#?}",
+        report.findings
+    );
+    assert!(
+        report.suppressed.is_empty(),
+        "the tree currently needs zero suppressions; a new one demands review:\n{:#?}",
+        report.suppressed
+    );
+}

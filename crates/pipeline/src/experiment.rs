@@ -26,7 +26,7 @@
 //! the unsharded run (the `experiment_api` integration tests pin this,
 //! bitwise).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -339,7 +339,7 @@ impl<'w> Experiment<'w> {
         let suites = if self.opts.with_measures {
             measure_suites(self.world, grid, &configs, &self.opts)
         } else {
-            HashMap::new()
+            BTreeMap::new()
         };
         for sink in &mut self.sinks {
             sink.start(configs.len());
@@ -393,10 +393,14 @@ fn measure_suites(
     grid: &EmbeddingGrid,
     configs: &[Config],
     opts: &GridOptions,
-) -> HashMap<(Algo, u64), MeasureSuite> {
+) -> BTreeMap<(Algo, u64), MeasureSuite> {
+    // BTreeMap, not HashMap: suites are only read by keyed lookup today,
+    // but a future "iterate all suites into a summary" would float-sum in
+    // SipHash order and break the bitwise shard/unsharded equivalence.
+    // Key-ordered storage closes that door.
     let p = &world.params;
     let max_dim = p.max_dim();
-    let mut suites = HashMap::new();
+    let mut suites = BTreeMap::new();
     for &(_, algo, _, _, seed) in configs {
         suites.entry((algo, seed)).or_insert_with(|| {
             let (e17, e18) = grid.pair(algo, max_dim, seed);
@@ -414,7 +418,7 @@ fn measure_suites(
 
 fn config_measures(
     world: &World,
-    suites: &HashMap<(Algo, u64), MeasureSuite>,
+    suites: &BTreeMap<(Algo, u64), MeasureSuite>,
     algo: Algo,
     seed: u64,
     q17: &Embedding,

@@ -1,6 +1,6 @@
 //! The embedding training grid with caching and parallel training.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use embedstab_embeddings::{train_embedding, Algo, Embedding};
@@ -21,7 +21,12 @@ pub type PairKey = (Algo, usize, u64);
 /// downstream training. Quantized pairs are derived on demand with the
 /// clip threshold shared from the '17 side (Appendix C.2).
 pub struct EmbeddingGrid {
-    pairs: HashMap<PairKey, (Arc<Embedding>, Arc<Embedding>)>,
+    // BTreeMap, not HashMap: today every consumer goes through keyed
+    // `get`, but the first person to add `for (k, v) in &grid.pairs` to a
+    // float-summing report would silently reintroduce the PR 5 class of
+    // per-process-order bugs. Key-ordered storage makes any future
+    // iteration deterministic by construction.
+    pairs: BTreeMap<PairKey, (Arc<Embedding>, Arc<Embedding>)>,
 }
 
 impl EmbeddingGrid {

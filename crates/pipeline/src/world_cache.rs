@@ -168,6 +168,9 @@ fn encode_world(world: &World) -> Vec<u8> {
         stats.ppmi.encode_into(&mut out);
         codec::put_u64_slice(&mut out, &stats.unigram_counts);
     }
+    // A dataset count past u32::MAX would truncate into a header that
+    // decodes cleanly but describes fewer datasets; real worlds hold two.
+    debug_assert!(world.sentiment.len() <= u32::MAX as usize);
     codec::put_u32(&mut out, world.sentiment.len() as u32);
     for ds in &world.sentiment {
         ds.encode_into(&mut out);

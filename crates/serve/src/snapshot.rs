@@ -196,16 +196,24 @@ impl Snapshot {
             .collect()
     }
 
-    fn encode(&self) -> Vec<u8> {
-        let meta = serde_json::to_string(&self.meta).expect("snapshot meta serializes");
+    fn encode(&self) -> io::Result<Vec<u8>> {
+        let meta = serde_json::to_string(&self.meta).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("snapshot meta: {e}"))
+        })?;
+        let meta_len = u32::try_from(meta.len()).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "snapshot meta exceeds the format's u32 length header",
+            )
+        })?;
         let (n, d) = self.embedding.shape();
         let mut out = Vec::with_capacity(16 + meta.len() + 8 + n * d * 8);
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&SNAPSHOT_FORMAT_VERSION.to_le_bytes());
-        out.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+        out.extend_from_slice(&meta_len.to_le_bytes());
         out.extend_from_slice(meta.as_bytes());
         encode_mat(&mut out, self.embedding.mat());
-        out
+        Ok(out)
     }
 
     fn decode(mut bytes: &[u8]) -> Option<Snapshot> {
@@ -396,7 +404,8 @@ impl SnapshotStore {
         // reissue its number and overwrite the audit trail.
         let version = Version(self.max_issued + 1);
         let snap = Snapshot::quantized(version, embedding, precision, predicted_instability);
-        atomic_write(&self.snapshot_path(version), &snap.encode())?;
+        let bytes = snap.encode()?;
+        atomic_write(&self.snapshot_path(version), &bytes)?;
         self.snapshots.insert(version.0, snap);
         self.history.push(version.0);
         self.max_issued = version.0;
@@ -429,12 +438,22 @@ impl SnapshotStore {
                 "nothing to roll back to: fewer than two promoted versions",
             ));
         }
-        let popped = self.history.pop().expect("checked length above");
+        let Some(popped) = self.history.pop() else {
+            // Unreachable given the length check, but serving code returns
+            // a typed error rather than trusting that across refactors.
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "empty history"));
+        };
         if let Err(e) = self.persist_history() {
             self.history.push(popped); // memory must keep agreeing with disk
             return Err(e);
         }
-        Ok(Version(*self.history.last().expect("non-empty history")))
+        match self.history.last() {
+            Some(&live) => Ok(Version(live)),
+            None => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "history empty after rollback",
+            )),
+        }
     }
 
     fn snapshot_path(&self, version: Version) -> PathBuf {
@@ -449,7 +468,8 @@ impl SnapshotStore {
             history: self.history.clone(),
             max_issued: self.max_issued,
         };
-        let body = serde_json::to_string(&state).expect("history serializes");
+        let body = serde_json::to_string(&state)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("live state: {e}")))?;
         atomic_write(&self.dir.join(LIVE_FILE), body.as_bytes())
     }
 }
