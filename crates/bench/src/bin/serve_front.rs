@@ -1,0 +1,133 @@
+//! The serving front-end binary: a threaded TCP server answering the
+//! `embedstab_serve::wire` protocol from an on-disk snapshot store.
+//!
+//! ```text
+//! # Bootstrap a Tiny-scale snapshot (CBOW on the synthetic '17 corpus)
+//! # into ./serve-data and start serving it:
+//! cargo run --release -p embedstab_bench --bin serve_front -- \
+//!     --snapshot-dir serve-data --bootstrap-tiny --addr 127.0.0.1:7878
+//! ```
+//!
+//! Prints `listening on <addr>` once the socket is bound (the load
+//! generator and the CI smoke step wait for that line), then serves until
+//! killed. Queries arriving concurrently for the same tenant are
+//! coalesced into single batched snapshot calls (`--batch-window-us`,
+//! `--max-batch`); `--max-pending` bounds each tenant's queue, past which
+//! requests are refused with `Overloaded` instead of queueing without
+//! bound.
+//!
+//! Every malformed frame, unknown tenant, out-of-range id, wrong-dim
+//! query, `k = 0`, or empty batch is answered with a typed error response;
+//! the process never panics on client bytes (`serve_loadgen --fuzz`
+//! drives exactly that contract).
+
+use std::net::TcpListener;
+use std::process::exit;
+use std::time::Duration;
+
+use embedstab_embeddings::{train_embedding, Algo};
+use embedstab_pipeline::{Scale, World};
+use embedstab_quant::Precision;
+use embedstab_serve::{serve, ServerConfig, SnapshotStore, TenantConfig};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_front --snapshot-dir PATH [--bootstrap-tiny] \
+         [--addr HOST:PORT] [--tenant NAME] [--batch-window-us N] \
+         [--max-batch N] [--max-pending N]"
+    );
+    exit(2)
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match flag_value(args, flag) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("serve_front: bad value '{v}' for {flag}");
+            usage()
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let Some(dir) = flag_value(&args, "--snapshot-dir") else {
+        eprintln!("serve_front: --snapshot-dir is required");
+        usage()
+    };
+    let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+    let tenant = flag_value(&args, "--tenant").unwrap_or_else(|| "default".into());
+    let window_us: u64 = parse(&args, "--batch-window-us", 200);
+    let max_batch: usize = parse(&args, "--max-batch", 64);
+    let max_pending: usize = parse(&args, "--max-pending", 1024);
+
+    let mut store = SnapshotStore::open(&dir).unwrap_or_else(|e| {
+        eprintln!("serve_front: cannot open snapshot store {dir}: {e}");
+        exit(1)
+    });
+    if store.live().is_none() {
+        if !args.iter().any(|a| a == "--bootstrap-tiny") {
+            eprintln!(
+                "serve_front: store {dir} has no live snapshot; \
+                 pass --bootstrap-tiny to build one at Tiny scale"
+            );
+            exit(1)
+        }
+        // The same deterministic world every Tiny-scale binary builds
+        // (master seed 0), so the served vectors are reproducible.
+        eprintln!("bootstrapping a Tiny-scale snapshot into {dir} ...");
+        let params = Scale::Tiny.params();
+        let world = World::build(&params, 0);
+        let embedding = train_embedding(Algo::Cbow, &world.stats17, world.vocab(), 16, 0);
+        let version = store
+            .publish(&embedding, Precision::new(8), None)
+            .unwrap_or_else(|e| {
+                eprintln!("serve_front: bootstrap publish failed: {e}");
+                exit(1)
+            });
+        eprintln!(
+            "bootstrapped {version} (vocab {}, dim 16, 8 bits)",
+            params.vocab_size
+        );
+    }
+
+    let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
+        eprintln!("serve_front: cannot bind {addr}: {e}");
+        exit(1)
+    });
+    let config = ServerConfig {
+        batch_window: Duration::from_micros(window_us),
+        max_batch,
+    };
+    let handle = serve(
+        listener,
+        vec![TenantConfig {
+            name: tenant.clone(),
+            store,
+            max_pending,
+        }],
+        config,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("serve_front: cannot start server: {e}");
+        exit(1)
+    });
+    // The sentinel line the load generator / CI smoke step waits for.
+    println!("listening on {}", handle.addr());
+    println!(
+        "tenant '{tenant}', batch window {window_us}us, max batch {max_batch}, \
+         max pending {max_pending}"
+    );
+    loop {
+        std::thread::park();
+    }
+}

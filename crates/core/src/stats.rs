@@ -167,6 +167,108 @@ pub fn linear_log_fit(points: &[TrendPoint], n_tasks: usize) -> Option<LinearLog
     Some(LinearLogFit { slope, intercepts })
 }
 
+/// A deterministic log-linear latency histogram for serving benchmarks:
+/// microsecond-scale values land in buckets whose width doubles every
+/// [`LatencyHistogram::SUB_BUCKETS`] steps, giving a bounded relative
+/// quantile error (~1/SUB_BUCKETS) with a few hundred fixed buckets and
+/// no allocation per record.
+///
+/// Unlike a sorted-sample quantile, recording order never changes any
+/// reported quantile, and two histograms [`merge`](Self::merge) by bucket
+/// addition — so per-thread load-generator histograms combine into one
+/// process-wide summary without sharing state on the hot path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Buckets per power of two; bounds the relative quantile error.
+    pub const SUB_BUCKETS: u64 = 16;
+    /// log2 of the largest distinguishable value (~64-bit range).
+    const MAX_EXP: u64 = 40;
+
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        let buckets = (Self::SUB_BUCKETS * Self::MAX_EXP + 1) as usize;
+        LatencyHistogram {
+            counts: vec![0; buckets],
+            total: 0,
+        }
+    }
+
+    fn bucket_of(value_us: u64) -> usize {
+        // Values below SUB_BUCKETS get exact buckets; above, the bucket is
+        // (exponent, mantissa-prefix), log-linear like HDR histograms.
+        if value_us < Self::SUB_BUCKETS {
+            return value_us as usize;
+        }
+        let exp = 63 - value_us.leading_zeros() as u64;
+        let exp = exp.min(Self::MAX_EXP - 1);
+        let sub = (value_us >> (exp.saturating_sub(4))) - Self::SUB_BUCKETS;
+        let idx = exp * Self::SUB_BUCKETS + sub.min(Self::SUB_BUCKETS - 1);
+        (idx as usize).min(Self::SUB_BUCKETS as usize * Self::MAX_EXP as usize)
+    }
+
+    /// The lower edge (µs) of the bucket holding index `idx` — what the
+    /// quantiles report, so reported values are always achievable inputs.
+    fn bucket_floor(idx: usize) -> u64 {
+        let idx = idx as u64;
+        if idx < Self::SUB_BUCKETS {
+            return idx;
+        }
+        let exp = idx / Self::SUB_BUCKETS;
+        let sub = idx % Self::SUB_BUCKETS;
+        (Self::SUB_BUCKETS + sub) << exp.saturating_sub(4)
+    }
+
+    /// Records one latency in microseconds.
+    pub fn record(&mut self, value_us: u64) {
+        self.counts[Self::bucket_of(value_us)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Adds every recorded value of `other` into `self` (bucket-wise, so
+    /// merge order is irrelevant to every quantile).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+
+    /// The value (µs, bucket lower edge) at quantile `q` in `[0, 1]`:
+    /// the smallest bucket such that at least `ceil(q * count)` recorded
+    /// values are at or below it. Returns `None` for an empty histogram
+    /// or a `q` outside `[0, 1]` (including NaN).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_floor(idx));
+            }
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,5 +383,72 @@ mod tests {
     #[test]
     fn degenerate_fit_is_none() {
         assert!(linear_log_fit(&[], 1).is_none());
+    }
+
+    #[test]
+    fn histogram_quantiles_are_order_independent_and_bounded() {
+        let mut fwd = LatencyHistogram::new();
+        let mut rev = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            fwd.record(v);
+        }
+        for v in (1..=10_000u64).rev() {
+            rev.record(v);
+        }
+        assert_eq!(fwd, rev, "recording order must not matter");
+        assert_eq!(fwd.count(), 10_000);
+        // Uniform 1..=10_000: each quantile lands within the log-linear
+        // relative error (~1/SUB_BUCKETS, doubled for bucket-edge slack).
+        for (q, expected) in [(0.5, 5_000.0), (0.99, 9_900.0), (0.999, 9_990.0)] {
+            let got = fwd.quantile(q).expect("non-empty") as f64;
+            let rel = (got - expected).abs() / expected;
+            assert!(rel < 0.15, "q={q}: got {got}, expected ~{expected}");
+        }
+        // Extremes are exact bucket floors.
+        assert_eq!(fwd.quantile(0.0), Some(1));
+        assert!(fwd.quantile(1.0).expect("max") >= 9_216);
+    }
+
+    #[test]
+    fn histogram_small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 2, 3, 15, 15, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(15));
+        assert_eq!(h.quantile(0.5), Some(3));
+    }
+
+    #[test]
+    fn histogram_merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut combined = LatencyHistogram::new();
+        for v in [3u64, 90, 1_000, 77_777] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [5u64, 42, 123_456_789] {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+        assert_eq!(a.count(), 7);
+    }
+
+    #[test]
+    fn histogram_empty_and_bad_quantiles_are_none() {
+        let empty = LatencyHistogram::new();
+        assert_eq!(empty.quantile(0.5), None);
+        let mut h = LatencyHistogram::new();
+        h.record(7);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.1), None);
+        assert_eq!(h.quantile(f64::NAN), None);
+        // Huge values clamp into the top bucket instead of overflowing.
+        h.record(u64::MAX);
+        assert!(h.quantile(1.0).is_some());
     }
 }

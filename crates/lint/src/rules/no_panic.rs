@@ -7,22 +7,35 @@
 //! corrupt snapshot must surface as `io::Error`/`Option`, because a panic
 //! in `crates/serve` takes down every tenant on the process. This rule
 //! pins both, forbidding `unwrap()`, `expect()`, `panic!`,
-//! `unreachable!`, `todo!`, and `unimplemented!` in:
+//! `unreachable!`, `todo!`, `unimplemented!`, `assert!`, `assert_eq!`,
+//! and `assert_ne!` in:
 //!
 //! - `crates/serve/src/**`
 //! - `crates/corpus/src/codec.rs`
 //!
-//! `assert!`/`debug_assert!` remain allowed: they document programmer
-//! invariants on *inputs the repo itself constructs* (e.g. encode-side
-//! shape limits), not data read from disk or the wire. Test modules are
-//! exempt — `expect` is the idiomatic test-failure path.
+//! The assert macros joined the list with the wire front-end: a
+//! "programmer invariant" on a value that ultimately arrives in
+//! client-controlled bytes is a remote crash, and the serving layer's
+//! whole contract is that malformed input degrades to a typed
+//! [`QueryError`](../../serve/src/error.rs) response. `debug_assert!`
+//! remains allowed — it vanishes in release builds, so it documents
+//! invariants without creating a production panic path. Test modules are
+//! exempt — `expect`/`assert` are the idiomatic test-failure path.
 
 use crate::lexer::TokenKind;
 use crate::rules::{Finding, Rule};
 use crate::source::SourceFile;
 
 const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
-const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+const PANIC_MACROS: [&str; 7] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
 
 pub struct NoPanicInHotPath;
 
@@ -32,8 +45,8 @@ impl Rule for NoPanicInHotPath {
     }
 
     fn description(&self) -> &'static str {
-        "no unwrap/expect/panic! in crates/serve/src/** or crates/corpus/src/codec.rs; \
-         corrupt input must be a typed error or a miss"
+        "no unwrap/expect/panic!/assert! in crates/serve/src/** or \
+         crates/corpus/src/codec.rs; corrupt input must be a typed error or a miss"
     }
 
     fn applies_to(&self, rel_path: &str) -> bool {

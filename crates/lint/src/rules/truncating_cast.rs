@@ -13,9 +13,10 @@
 //!
 //! Scoped to the codec/cache family (`crates/corpus/src/codec.rs`,
 //! `crates/pipeline/src/cache.rs`, `crates/pipeline/src/world_cache.rs`,
-//! `crates/serve/src/snapshot.rs`) and, within those files, to functions
-//! named like encoders (`encode*`, `put_*`, `store*`, `persist*`) —
-//! decoders already validate through `take_len`/`try_from`.
+//! `crates/serve/src/snapshot.rs`, `crates/serve/src/wire.rs`) and,
+//! within those files, to functions named like encoders (`encode*`,
+//! `put_*`, `store*`, `persist*`) — decoders already validate through
+//! `take_len`/`try_from`.
 
 use crate::rules::{Finding, Rule};
 use crate::source::SourceFile;
@@ -47,6 +48,7 @@ impl Rule for NoTruncatingCastInCodec {
             || rel_path == "crates/pipeline/src/cache.rs"
             || rel_path == "crates/pipeline/src/world_cache.rs"
             || rel_path == "crates/serve/src/snapshot.rs"
+            || rel_path == "crates/serve/src/wire.rs"
     }
 
     fn check(&self, file: &SourceFile) -> Vec<Finding> {

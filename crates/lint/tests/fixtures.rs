@@ -90,8 +90,9 @@ fn panic_bad_is_flagged_in_hot_paths() {
     let hits = rules_hit("crates/serve/src/fixture.rs", src);
     assert_eq!(
         hits.iter().filter(|r| *r == "no-panic-in-hot-path").count(),
-        3,
-        "unwrap, expect, and panic! must each be flagged: {hits:?}"
+        6,
+        "unwrap, expect, panic!, assert!, assert_eq!, and assert_ne! must \
+         each be flagged: {hits:?}"
     );
     // The same source outside a hot path is not the rule's business.
     assert_clean("crates/demo/src/lib.rs", src);

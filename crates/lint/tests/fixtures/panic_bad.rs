@@ -1,5 +1,6 @@
 // True positives for `no-panic-in-hot-path` (linted under a serve path):
-// unwrap, expect, and a panic! all turn bad input into a crashed server.
+// unwrap, expect, panic!, and the assert family all turn bad input into a
+// crashed server.
 pub fn first(xs: &[f64]) -> f64 {
     *xs.first().unwrap()
 }
@@ -14,4 +15,10 @@ pub fn pick(tag: u8) -> &'static str {
         1 => "weighted",
         _ => panic!("unknown tag"),
     }
+}
+
+pub fn validate(ids: &[u32], vocab: usize, dim: usize, expected_dim: usize) {
+    assert!(!ids.is_empty(), "empty batch");
+    assert_eq!(dim, expected_dim, "dimension mismatch");
+    assert_ne!(vocab, 0, "empty vocabulary");
 }

@@ -15,6 +15,16 @@ pub fn pick(tag: u8) -> Option<&'static str> {
     }
 }
 
+pub fn validate(ids: &[u32], vocab: usize) -> Result<(), String> {
+    // debug_assert! stays allowed: it vanishes in release builds, so it
+    // documents an invariant without creating a production panic path.
+    debug_assert!(vocab > 0);
+    if ids.iter().any(|&id| id as usize >= vocab) {
+        return Err("id out of range".to_string());
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     // Panics in tests are fine — an assertion failing IS the signal.
@@ -22,5 +32,6 @@ mod tests {
     fn unwrap_in_tests_is_allowed() {
         let xs = [1.0f64];
         assert_eq!(*xs.first().unwrap(), 1.0);
+        assert!(super::validate(&[0], 1).is_ok());
     }
 }

@@ -1,0 +1,70 @@
+//! Typed errors for the serving query paths.
+//!
+//! Every query a [`Snapshot`](crate::Snapshot) answers can be driven by
+//! bytes a network client controls (the wire front-end decodes straight
+//! into `try_lookup_batch` / `try_nearest_batch` arguments), so a bad
+//! query must degrade to a value the server can turn into an error
+//! *response* — never a panic, which would take down every tenant on the
+//! process. This module is the vocabulary of those degradations.
+
+use std::fmt;
+
+/// Why a snapshot query could not be answered.
+///
+/// Each variant corresponds to one way client-controlled input can be
+/// invalid against the served snapshot. The wire layer maps these 1:1
+/// onto [`ErrorCode`](crate::wire::ErrorCode)s, so a client sees the same
+/// taxonomy the library exposes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// A word id at or past the snapshot's vocabulary size.
+    IdOutOfRange {
+        /// The offending id.
+        id: u32,
+        /// The snapshot's vocabulary size (valid ids are `0..vocab_size`).
+        vocab_size: usize,
+    },
+    /// Query vectors whose dimension differs from the snapshot's.
+    DimMismatch {
+        /// The queries' column count.
+        got: usize,
+        /// The snapshot's embedding dimension.
+        expected: usize,
+    },
+    /// A batch with no ids / no query rows: nothing to answer, and almost
+    /// certainly a client bug, so it is reported instead of silently
+    /// returning an empty result.
+    EmptyBatch,
+    /// `k = 0` nearest-neighbor request: zero neighbors is never what a
+    /// client wants, so it is reported instead of answering `[]`.
+    ZeroK,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::IdOutOfRange { id, vocab_size } => {
+                write!(
+                    f,
+                    "word id {id} out of range (vocabulary size {vocab_size})"
+                )
+            }
+            QueryError::DimMismatch { got, expected } => {
+                write!(
+                    f,
+                    "query dimension {got} does not match the snapshot's {expected}"
+                )
+            }
+            QueryError::EmptyBatch => write!(f, "empty query batch"),
+            QueryError::ZeroK => write!(f, "nearest-neighbor request with k = 0"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<QueryError> for std::io::Error {
+    fn from(e: QueryError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, e)
+    }
+}

@@ -26,6 +26,8 @@
 //! deterministic, scoring the same candidate twice gives bitwise-identical
 //! results (the `serve` proptests pin this).
 
+use std::io;
+
 use embedstab_core::measures::{
     overlap_distance_from_bases, DistanceMeasure, EisMeasure, KnnMeasure, MeasureKind,
     MeasureValues, PipLoss, SemanticDisplacement, SvdMethod,
@@ -158,15 +160,23 @@ impl StabilityGate {
     /// SVDs `MeasureSuite::new` + `compute_all` would spend on a
     /// self-referenced pair are avoided).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the candidate's shape differs from the live snapshot's.
-    pub fn score(&self, live: &Snapshot, candidate: &Embedding) -> GateEvaluation {
-        assert_eq!(
-            candidate.shape(),
-            live.embedding().shape(),
-            "candidate shape must match the live snapshot"
-        );
+    /// Returns [`io::ErrorKind::InvalidInput`] if the candidate's shape
+    /// differs from the live snapshot's (the same taxonomy
+    /// [`TenantRegistry::submit`](crate::TenantRegistry::submit) reports;
+    /// a serving process must reject such a candidate, not crash on it).
+    pub fn score(&self, live: &Snapshot, candidate: &Embedding) -> io::Result<GateEvaluation> {
+        if candidate.shape() != live.embedding().shape() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "candidate shape {:?} must match the live snapshot's {:?}",
+                    candidate.shape(),
+                    live.embedding().shape()
+                ),
+            ));
+        }
         let aligned = candidate.align_to(live.embedding());
         let q = quantize(&aligned, live.meta().precision, live.meta().clip);
         let svd_live = live.embedding().mat().svd_with(self.svd);
@@ -188,12 +198,12 @@ impl StabilityGate {
             pip_loss: PipLoss.distance(live.embedding(), &q.embedding),
             overlap_dist: overlap_distance_from_bases(&u_live, &u_cand),
         };
-        GateEvaluation {
+        Ok(GateEvaluation {
             predicted_instability: measures.get(self.gating),
             measures,
             aligned,
             quantized: q.embedding,
-        }
+        })
     }
 
     /// Whether an evaluation satisfies the SLO (promote) or not (hold).
@@ -231,13 +241,13 @@ mod tests {
         let store = live_store("gate_scores", &base, Precision::FULL);
         let live = store.live().expect("live");
         let gate = StabilityGate::new();
-        let same = gate.score(live, &base);
+        let same = gate.score(live, &base).expect("score");
         assert!(
             same.predicted_instability < 1e-6,
             "identical retrain must score ~0, got {}",
             same.predicted_instability
         );
-        let noisy = gate.score(live, &emb(99, 40, 6));
+        let noisy = gate.score(live, &emb(99, 40, 6)).expect("score");
         assert!(
             noisy.predicted_instability > same.predicted_instability,
             "an unrelated retrain must score higher"
@@ -261,7 +271,7 @@ mod tests {
         let store = live_store("gate_clip", &base, prec);
         let live = store.live().expect("live");
         let gate = StabilityGate::new();
-        let eval = gate.score(live, &emb(2, 30, 4));
+        let eval = gate.score(live, &emb(2, 30, 4)).expect("score");
         // Every quantized value sits on the live clip's uniform levels.
         let clip = live.meta().clip.expect("quantized snapshot has a clip");
         for &v in eval.quantized.mat().as_slice() {
@@ -276,20 +286,26 @@ mod tests {
         let base = emb(3, 50, 5);
         let store = live_store("gate_svd", &base, Precision::FULL);
         let live = store.live().expect("live");
-        let auto = StabilityGate::new().score(live, &emb(4, 50, 5));
+        let auto = StabilityGate::new()
+            .score(live, &emb(4, 50, 5))
+            .expect("score");
         let exact = StabilityGate::new()
             .with_svd_method(SvdMethod::Exact)
-            .score(live, &emb(4, 50, 5));
+            .score(live, &emb(4, 50, 5))
+            .expect("score");
         assert!((auto.predicted_instability - exact.predicted_instability).abs() < 1e-6);
         std::fs::remove_dir_all(store.dir()).ok();
     }
 
     #[test]
-    #[should_panic(expected = "candidate shape")]
-    fn shape_mismatch_panics() {
+    fn shape_mismatch_is_an_error_not_a_panic() {
         let base = emb(5, 20, 4);
         let store = live_store("gate_shape", &base, Precision::FULL);
         let gate = StabilityGate::new();
-        let _ = gate.score(store.live().expect("live"), &emb(6, 20, 5));
+        let err = gate
+            .score(store.live().expect("live"), &emb(6, 20, 5))
+            .expect_err("mismatched candidate shape must be rejected");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        std::fs::remove_dir_all(store.dir()).ok();
     }
 }

@@ -23,7 +23,14 @@
 //!   evaluates ([`tenant`]).
 //! - Batched query paths — [`Snapshot::lookup_batch`] and
 //!   [`Snapshot::nearest_batch`] answer whole batches through the blocked
-//!   GEMM kernel ([`snapshot`]).
+//!   GEMM kernel, with `try_` variants that degrade malformed input to a
+//!   typed [`QueryError`] instead of panicking ([`snapshot`], [`error`]).
+//! - The network front-end — a length-prefixed binary protocol
+//!   ([`wire`]) and a threaded TCP server ([`server`]) that coalesces
+//!   concurrently arriving queries per tenant into single batched calls,
+//!   with hot snapshot promote/rollback and zero dropped in-flight
+//!   queries (`embedstab_bench`'s `serve_front` binary runs it;
+//!   `serve_loadgen` drives it).
 //!
 //! # Example
 //!
@@ -50,10 +57,15 @@
 //! assert!(outcome.is_live());
 //! ```
 
+pub mod error;
 pub mod gate;
+pub mod server;
 pub mod snapshot;
 pub mod tenant;
+pub mod wire;
 
+pub use error::QueryError;
 pub use gate::{GateEvaluation, Slo, StabilityGate};
+pub use server::{serve, ServeHandle, ServerConfig, TenantConfig};
 pub use snapshot::{Snapshot, SnapshotMeta, SnapshotStore, Version, SNAPSHOT_FORMAT_VERSION};
 pub use tenant::{GateOutcome, Tenant, TenantRegistry};

@@ -20,6 +20,7 @@ use std::fs;
 use std::io::{self, Read as _};
 use std::path::{Path, PathBuf};
 
+use crate::error::QueryError;
 use embedstab_embeddings::Embedding;
 use embedstab_linalg::Mat;
 use embedstab_pipeline::cache::{atomic_write, decode_mat, encode_mat, read_u32};
@@ -128,9 +129,18 @@ impl Snapshot {
     ///
     /// # Panics
     ///
-    /// Panics if `id` is out of range.
+    /// Panics if `id` is out of range. Wire-facing callers use
+    /// [`Snapshot::try_lookup`] instead.
     pub fn lookup(&self, id: u32) -> &[f64] {
         self.embedding.vector(id)
+    }
+
+    /// Like [`Snapshot::lookup`], but an out-of-range id is a typed
+    /// [`QueryError`] instead of a panic — the form the wire front-end
+    /// must use, since the id arrives in client-controlled bytes.
+    pub fn try_lookup(&self, id: u32) -> Result<&[f64], QueryError> {
+        self.check_id(id)?;
+        Ok(self.embedding.vector(id))
     }
 
     /// The vectors for a batch of word ids, as one `ids.len() x dim`
@@ -140,10 +150,36 @@ impl Snapshot {
     ///
     /// # Panics
     ///
-    /// Panics if any id is out of range.
+    /// Panics if any id is out of range. Wire-facing callers use
+    /// [`Snapshot::try_lookup_batch`] instead.
     pub fn lookup_batch(&self, ids: &[u32]) -> Mat {
         let rows: Vec<usize> = ids.iter().map(|&id| id as usize).collect();
         self.embedding.mat().select_rows(&rows)
+    }
+
+    /// Like [`Snapshot::lookup_batch`], but malformed input degrades to a
+    /// typed [`QueryError`]: an out-of-range id (reported with the first
+    /// offender) or an empty batch. This is the entry point the TCP
+    /// front-end's coalesced batches go through.
+    pub fn try_lookup_batch(&self, ids: &[u32]) -> Result<Mat, QueryError> {
+        if ids.is_empty() {
+            return Err(QueryError::EmptyBatch);
+        }
+        for &id in ids {
+            self.check_id(id)?;
+        }
+        Ok(self.lookup_batch(ids))
+    }
+
+    fn check_id(&self, id: u32) -> Result<(), QueryError> {
+        if (id as usize) < self.meta.vocab_size {
+            Ok(())
+        } else {
+            Err(QueryError::IdOutOfRange {
+                id,
+                vocab_size: self.meta.vocab_size,
+            })
+        }
     }
 
     /// The `k` nearest words (by cosine similarity) to each query vector,
@@ -156,13 +192,10 @@ impl Snapshot {
     ///
     /// # Panics
     ///
-    /// Panics if the query dimension differs from the snapshot's.
+    /// Panics (inside the GEMM shape check) if the query dimension
+    /// differs from the snapshot's. Wire-facing callers use
+    /// [`Snapshot::try_nearest_batch`] instead.
     pub fn nearest_batch(&self, queries: &Mat, k: usize) -> Vec<Vec<(u32, f64)>> {
-        assert_eq!(
-            queries.cols(),
-            self.meta.dim,
-            "query dimension must match the snapshot"
-        );
         let vocab = self.meta.vocab_size;
         let k = k.min(vocab);
         let scores = queries.matmul_nt(self.embedding.mat());
@@ -194,6 +227,31 @@ impl Snapshot {
                 ranked
             })
             .collect()
+    }
+
+    /// Like [`Snapshot::nearest_batch`], but malformed input degrades to
+    /// a typed [`QueryError`]: a query-dimension mismatch, an empty query
+    /// batch, or `k = 0`. The happy path is byte-for-byte the panicking
+    /// variant's (one blocked GEMM + deterministic ranking), so batching
+    /// through this entry point changes no answers.
+    pub fn try_nearest_batch(
+        &self,
+        queries: &Mat,
+        k: usize,
+    ) -> Result<Vec<Vec<(u32, f64)>>, QueryError> {
+        if queries.cols() != self.meta.dim {
+            return Err(QueryError::DimMismatch {
+                got: queries.cols(),
+                expected: self.meta.dim,
+            });
+        }
+        if queries.rows() == 0 {
+            return Err(QueryError::EmptyBatch);
+        }
+        if k == 0 {
+            return Err(QueryError::ZeroK);
+        }
+        Ok(self.nearest_batch(queries, k))
     }
 
     fn encode(&self) -> io::Result<Vec<u8>> {
@@ -650,6 +708,69 @@ mod tests {
         let bytes = fs::read(&path).expect("read");
         fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
         assert!(SnapshotStore::open(&dir).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_queries_degrade_to_typed_errors() {
+        let dir = scratch("snap_query_errors");
+        let mut store = SnapshotStore::open(&dir).expect("open");
+        store
+            .publish(&emb(7, 12, 4), Precision::FULL, None)
+            .expect("publish");
+        let snap = store.live().expect("live");
+        // Out-of-range id: single and batched lookups, first offender named.
+        assert_eq!(
+            snap.try_lookup(12)
+                .expect_err("id == vocab is out of range"),
+            QueryError::IdOutOfRange {
+                id: 12,
+                vocab_size: 12
+            }
+        );
+        assert_eq!(
+            snap.try_lookup_batch(&[0, 3, 99, 100])
+                .expect_err("out of range"),
+            QueryError::IdOutOfRange {
+                id: 99,
+                vocab_size: 12
+            }
+        );
+        // Wrong query dimension.
+        let wrong_dim = Mat::zeros(2, 5);
+        assert_eq!(
+            snap.try_nearest_batch(&wrong_dim, 3)
+                .expect_err("dim mismatch"),
+            QueryError::DimMismatch {
+                got: 5,
+                expected: 4
+            }
+        );
+        // k = 0 and empty batches.
+        let ok_queries = snap.lookup_batch(&[1, 2]);
+        assert_eq!(
+            snap.try_nearest_batch(&ok_queries, 0).expect_err("k = 0"),
+            QueryError::ZeroK
+        );
+        assert_eq!(
+            snap.try_nearest_batch(&Mat::zeros(0, 4), 3)
+                .expect_err("no query rows"),
+            QueryError::EmptyBatch
+        );
+        assert_eq!(
+            snap.try_lookup_batch(&[]).expect_err("no ids"),
+            QueryError::EmptyBatch
+        );
+        // And the happy paths agree bitwise with the panicking variants.
+        assert_eq!(snap.try_lookup(5).expect("in range"), snap.lookup(5));
+        assert_eq!(
+            snap.try_lookup_batch(&[1, 2]).expect("in range"),
+            snap.lookup_batch(&[1, 2])
+        );
+        assert_eq!(
+            snap.try_nearest_batch(&ok_queries, 3).expect("well-formed"),
+            snap.nearest_batch(&ok_queries, 3)
+        );
         fs::remove_dir_all(&dir).ok();
     }
 

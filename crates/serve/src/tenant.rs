@@ -92,7 +92,7 @@ impl Tenant {
                 ),
             ));
         }
-        let evaluation = gate.score(live, candidate);
+        let evaluation = gate.score(live, candidate)?;
         if gate.admits(&evaluation, &self.slo) {
             let version = self.store.publish(
                 &evaluation.aligned,

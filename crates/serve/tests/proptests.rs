@@ -85,8 +85,8 @@ proptest! {
         let live = store.live().expect("live");
         let gate = StabilityGate::new();
 
-        let eval1 = gate.score(live, &candidate);
-        let eval2 = gate.score(live, &candidate);
+        let eval1 = gate.score(live, &candidate).expect("score");
+        let eval2 = gate.score(live, &candidate).expect("score");
         prop_assert_eq!(
             eval1.predicted_instability.to_bits(),
             eval2.predicted_instability.to_bits()
@@ -97,7 +97,9 @@ proptest! {
         // A third evaluation against the reloaded on-disk snapshot agrees
         // too: the clip rides in the metadata, not in process state.
         let reopened = SnapshotStore::open(&dir).expect("reopen");
-        let eval3 = gate.score(reopened.live().expect("live"), &candidate);
+        let eval3 = gate
+            .score(reopened.live().expect("live"), &candidate)
+            .expect("score");
         prop_assert_eq!(
             eval1.predicted_instability.to_bits(),
             eval3.predicted_instability.to_bits()

@@ -1,0 +1,268 @@
+//! Live-traffic integration tests for the TCP front-end: hot
+//! promote/rollback with zero dropped queries, and the no-panic contract
+//! under a malformed-input storm.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use embedstab_embeddings::Embedding;
+use embedstab_linalg::Mat;
+use embedstab_pipeline::cache::scratch_dir;
+use embedstab_quant::Precision;
+use embedstab_serve::wire::{self, Request, Response};
+use embedstab_serve::{serve, ServeHandle, ServerConfig, SnapshotStore, TenantConfig};
+use rand::SeedableRng;
+
+fn emb(seed: u64, n: usize, d: usize) -> Embedding {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Embedding::new(Mat::random_normal(n, d, &mut rng))
+}
+
+fn start_server(label: &str, base: &Embedding, max_pending: usize) -> (ServeHandle, String) {
+    let dir = scratch_dir(label);
+    std::fs::remove_dir_all(&dir).ok();
+    let mut store = SnapshotStore::open(&dir).expect("open store");
+    store
+        .publish(base, Precision::new(8), None)
+        .expect("bootstrap publish");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let handle = serve(
+        listener,
+        vec![TenantConfig {
+            name: "t".into(),
+            store,
+            max_pending,
+        }],
+        ServerConfig {
+            batch_window: Duration::from_micros(100),
+            max_batch: 32,
+        },
+    )
+    .expect("serve");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+/// The fixed request set whose answers must be bitwise stable across a
+/// publish + rollback round trip.
+fn probe_requests(dim: usize) -> Vec<Request> {
+    vec![
+        Request::LookupBatch {
+            tenant: "t".into(),
+            ids: vec![0, 3, 7, 19],
+        },
+        Request::NearestBatch {
+            tenant: "t".into(),
+            k: 5,
+            queries: Mat::from_vec(1, dim, (0..dim).map(|i| (i as f64).sin()).collect()),
+        },
+    ]
+}
+
+/// Answers for the probe set, as encoded response bytes (bitwise).
+fn probe_answers(addr: &str, dim: usize) -> Vec<Vec<u8>> {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    probe_requests(dim)
+        .iter()
+        .map(|req| {
+            let resp = wire::call(&mut conn, req).expect("call");
+            assert!(!resp.is_error(), "probe answered with error: {resp:?}");
+            wire::encode_response(&resp).expect("encode")
+        })
+        .collect()
+}
+
+#[test]
+fn promote_and_rollback_drop_no_queries_and_restore_answers_bitwise() {
+    let (n, d) = (60, 8);
+    let before = emb(1, n, d);
+    let after = emb(2, n, d);
+    let (handle, addr) = start_server("server_live_swap", &before, 100_000);
+
+    let baseline = probe_answers(&addr, d);
+
+    // Clients hammer well-formed queries across the promote + rollback
+    // window; every single one must get a non-error answer.
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let addr = addr.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut conn = TcpStream::connect(&addr).expect("client connect");
+                let mut answered = 0u64;
+                let mut i = 0u32;
+                while !stop.load(Ordering::SeqCst) {
+                    let req = if i % 3 == 0 {
+                        Request::NearestBatch {
+                            tenant: "t".into(),
+                            k: 3,
+                            queries: Mat::from_vec(
+                                1,
+                                d,
+                                (0..d).map(|j| ((c + 1) * (j + 1)) as f64).collect(),
+                            ),
+                        }
+                    } else {
+                        Request::LookupBatch {
+                            tenant: "t".into(),
+                            ids: vec![i % n as u32, (i + 7) % n as u32],
+                        }
+                    };
+                    let resp = wire::call(&mut conn, &req)
+                        .expect("transport failure: a query was dropped");
+                    assert!(!resp.is_error(), "in-flight query errored: {resp:?}");
+                    answered += 1;
+                    i = i.wrapping_add(1);
+                }
+                answered
+            })
+        })
+        .collect();
+
+    // Let traffic build, then hot-swap forward and back under load.
+    std::thread::sleep(Duration::from_millis(50));
+    let v2 = handle.promote("t", &after).expect("promote");
+    assert_eq!(v2.0, 2);
+    // The new snapshot is what the server now answers from.
+    let promoted = probe_answers(&addr, d);
+    assert_ne!(
+        baseline, promoted,
+        "a different embedding must answer differently"
+    );
+    std::thread::sleep(Duration::from_millis(50));
+    let back = handle.rollback("t").expect("rollback");
+    assert_eq!(back.0, 1);
+    std::thread::sleep(Duration::from_millis(50));
+
+    stop.store(true, Ordering::SeqCst);
+    let mut total = 0u64;
+    for c in clients {
+        total += c.join().expect("client thread");
+    }
+    assert!(total > 0, "clients must have exercised the swap window");
+
+    // Post-rollback answers are bitwise the pre-publish answers.
+    assert_eq!(
+        probe_answers(&addr, d),
+        baseline,
+        "rollback must restore the exact pre-publish answers"
+    );
+    let (ok, errors) = handle.response_counts();
+    assert!(ok > total, "server counted the traffic");
+    assert_eq!(errors, 0, "no query may error across promote/rollback");
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_input_storm_yields_only_error_responses_and_no_crash() {
+    let (n, d) = (30, 6);
+    let (handle, addr) = start_server("server_live_fuzz", &emb(3, n, d), 100_000);
+    let mut conn = TcpStream::connect(&addr).expect("connect");
+
+    // Every shape of bad query the wire can carry, as decodable requests.
+    let bad_requests = vec![
+        Request::LookupBatch {
+            tenant: "t".into(),
+            ids: vec![n as u32 + 5],
+        },
+        Request::LookupBatch {
+            tenant: "t".into(),
+            ids: Vec::new(),
+        },
+        Request::NearestBatch {
+            tenant: "t".into(),
+            k: 0,
+            queries: Mat::zeros(1, d),
+        },
+        Request::NearestBatch {
+            tenant: "t".into(),
+            k: 3,
+            queries: Mat::zeros(1, d + 2),
+        },
+        Request::NearestBatch {
+            tenant: "t".into(),
+            k: 3,
+            queries: Mat::zeros(0, d),
+        },
+        Request::LookupBatch {
+            tenant: "nobody".into(),
+            ids: vec![0],
+        },
+    ];
+    for req in &bad_requests {
+        let resp = wire::call(&mut conn, req).expect("call");
+        assert!(
+            resp.is_error(),
+            "bad request answered OK: {req:?} -> {resp:?}"
+        );
+    }
+
+    // Undecodable bodies: garbage bytes, truncations, bad version byte.
+    let good = wire::encode_request(&Request::LookupBatch {
+        tenant: "t".into(),
+        ids: vec![0, 1],
+    })
+    .expect("encode");
+    let mut bad_version = good.clone();
+    bad_version[0] ^= 0xFF;
+    let garbage: Vec<Vec<u8>> = vec![
+        vec![0xDE, 0xAD, 0xBE, 0xEF],
+        good[..good.len() - 3].to_vec(),
+        bad_version,
+        Vec::new(),
+    ];
+    for body in &garbage {
+        wire::write_frame(&mut conn, body).expect("write");
+        let frame = wire::read_frame(&mut conn)
+            .expect("server must answer, not die")
+            .expect("server must answer, not close");
+        let resp = wire::decode_response(&frame).expect("decode");
+        assert!(resp.is_error(), "garbage answered OK: {resp:?}");
+    }
+
+    // The same connection still serves well-formed queries afterwards.
+    let resp = wire::call(
+        &mut conn,
+        &Request::LookupBatch {
+            tenant: "t".into(),
+            ids: vec![0, 1, 2],
+        },
+    )
+    .expect("call after storm");
+    assert!(!resp.is_error(), "server must recover: {resp:?}");
+    match resp {
+        Response::Rows(rows) => assert_eq!((rows.rows(), rows.cols()), (3, d)),
+        other => panic!("expected rows, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn overload_degrades_to_typed_refusals_not_queue_collapse() {
+    // max_pending = 0: every queued query is refused up front, so the
+    // admission path itself is what answers — deterministically.
+    let (handle, addr) = start_server("server_live_overload", &emb(4, 20, 4), 0);
+    let mut conn = TcpStream::connect(&addr).expect("connect");
+    let resp = wire::call(
+        &mut conn,
+        &Request::LookupBatch {
+            tenant: "t".into(),
+            ids: vec![0],
+        },
+    )
+    .expect("call");
+    match resp {
+        Response::Error { code, .. } => assert_eq!(code, wire::ErrorCode::Overloaded),
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    // Info bypasses the queue and still works under overload.
+    let resp = wire::call(&mut conn, &Request::Info { tenant: "t".into() }).expect("info");
+    match resp {
+        Response::Info(info) => assert_eq!((info.vocab_size, info.dim), (20, 4)),
+        other => panic!("expected info, got {other:?}"),
+    }
+    handle.shutdown();
+}

@@ -107,8 +107,14 @@ fn slo_holds_violating_candidate_and_promotes_compliant_one() {
     let mut probe = embedstab::serve::SnapshotStore::open(root.join("probe")).expect("open");
     probe.publish(&e17, precision, None).expect("bootstrap");
     let live = probe.live().expect("live");
-    let score_same = gate.score(live, &e18_same).predicted_instability;
-    let score_reseeded = gate.score(live, &e18_reseeded).predicted_instability;
+    let score_same = gate
+        .score(live, &e18_same)
+        .expect("score")
+        .predicted_instability;
+    let score_reseeded = gate
+        .score(live, &e18_reseeded)
+        .expect("score")
+        .predicted_instability;
     assert!(
         score_same != score_reseeded,
         "the two retrains must be distinguishable"
