@@ -1,0 +1,337 @@
+//! Benchmarks the continuous-retraining service: incremental (streamed
+//! count deltas, exact PPMI refresh, warm-started SVD) against the
+//! from-scratch baseline (full recount, full PPMI, cold SVD) on the same
+//! increment sequence, and writes `BENCH_incremental.json`.
+//!
+//! ```text
+//! cargo run --release -p embedstab_bench --bin incremental_retrain -- \
+//!     --scale small --steps 5 --delta-frac 0.10 --min-speedup 1.0
+//! ```
+//!
+//! Both services start from the same base corpus (a bootstrap retrain
+//! warms the incremental side's basis, untimed), then each timed step
+//! feeds an identical drifted increment of `--delta-frac` of the base
+//! token budget through ingest -> retrain -> gate-scored submit. The
+//! report records per-step wall clock for both modes, the speedup, the
+//! gate's predicted instability for both candidates, and the EIS / k-NN
+//! distance between the warm and cold retrains — re-measuring the
+//! [`WARM_SVD_EIS_TOLERANCE`] contract on every run. Exits nonzero if any
+//! step's speedup falls below `--min-speedup` or any warm-vs-cold EIS
+//! exceeds the recorded tolerance.
+
+use std::process::exit;
+use std::time::Instant;
+
+use embedstab_core::MeasureSuite;
+use embedstab_corpus::{CoocConfig, CorpusConfig, DriftConfig, LatentModel, LatentModelConfig};
+use embedstab_embeddings::Embedding;
+use embedstab_pipeline::cache::scratch_dir;
+use embedstab_pipeline::Scale;
+use embedstab_quant::Precision;
+use embedstab_serve::{GateOutcome, Slo, TenantRegistry};
+use embedstab_stream::{ContinuousRetrainer, RetrainMode, RetrainerConfig, WARM_SVD_EIS_TOLERANCE};
+use serde::Serialize;
+
+const TENANT: &str = "bench";
+const MASTER_SEED: u64 = 0xbe7c;
+
+#[derive(Serialize)]
+struct StepRow {
+    step: usize,
+    delta_docs: usize,
+    delta_tokens: usize,
+    incremental_seconds: f64,
+    incremental_submit_seconds: f64,
+    from_scratch_seconds: f64,
+    from_scratch_submit_seconds: f64,
+    speedup: f64,
+    warm_vs_cold_eis: f64,
+    warm_vs_cold_knn_dist: f64,
+    incremental_predicted_instability: Option<f64>,
+    from_scratch_predicted_instability: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    scale: String,
+    vocab_size: usize,
+    window: usize,
+    dim: usize,
+    base_tokens: usize,
+    delta_frac: f64,
+    steps: usize,
+    min_speedup: f64,
+    warm_svd_eis_tolerance: f64,
+    min_observed_speedup: f64,
+    max_warm_vs_cold_eis: f64,
+    per_step: Vec<StepRow>,
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match flag_value(args, flag) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("incremental_retrain: bad value '{v}' for {flag}");
+            exit(2)
+        }),
+    }
+}
+
+fn service(mode: RetrainMode, params: &embedstab_pipeline::ScaleParams) -> ContinuousRetrainer {
+    let label = match mode {
+        RetrainMode::Incremental => "bench_inc",
+        RetrainMode::FromScratch => "bench_scratch",
+    };
+    let dir = scratch_dir(label);
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = TenantRegistry::new(dir);
+    let config = RetrainerConfig {
+        cooc: CoocConfig {
+            window: params.window,
+            distance_weighting: false,
+        },
+        mode,
+        ..RetrainerConfig::default()
+    };
+    ContinuousRetrainer::new(params.vocab_size, config, registry).unwrap_or_else(|e| {
+        eprintln!("incremental_retrain: cannot build service: {e}");
+        exit(1)
+    })
+}
+
+struct StepTiming {
+    ingest_seconds: f64,
+    refresh_seconds: f64,
+    retrain_seconds: f64,
+    submit_seconds: f64,
+}
+
+impl StepTiming {
+    /// The retraining cost the two modes differ on: ingest + statistics
+    /// refresh + SVD. The gate submit is the serving layer's per-candidate
+    /// constant — identical work in both modes — and is reported
+    /// separately.
+    fn retrain_pipeline_seconds(&self) -> f64 {
+        self.ingest_seconds + self.refresh_seconds + self.retrain_seconds
+    }
+}
+
+/// Ingest + retrain + gate-scored submit, each phase timed.
+fn timed_step(
+    svc: &mut ContinuousRetrainer,
+    docs: Vec<Vec<u32>>,
+    dim: usize,
+) -> (StepTiming, Embedding, GateOutcome) {
+    let start = Instant::now();
+    svc.ingest(docs).unwrap_or_else(|e| {
+        eprintln!("incremental_retrain: ingest failed: {e}");
+        exit(1)
+    });
+    let ingest_seconds = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    svc.refresh_statistics().unwrap_or_else(|e| {
+        eprintln!("incremental_retrain: refresh failed: {e}");
+        exit(1)
+    });
+    let refresh_seconds = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let candidate = svc.retrain(dim).unwrap_or_else(|e| {
+        eprintln!("incremental_retrain: retrain failed: {e}");
+        exit(1)
+    });
+    let retrain_seconds = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let outcome = svc
+        .registry_mut()
+        .submit(TENANT, &candidate)
+        .unwrap_or_else(|e| {
+            eprintln!("incremental_retrain: submit failed: {e}");
+            exit(1)
+        });
+    let submit_seconds = start.elapsed().as_secs_f64();
+    (
+        StepTiming {
+            ingest_seconds,
+            refresh_seconds,
+            retrain_seconds,
+            submit_seconds,
+        },
+        candidate,
+        outcome,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::from_args();
+    let params = scale.params();
+    let steps: usize = parse(&args, "--steps", 5);
+    let delta_frac: f64 = parse(&args, "--delta-frac", 0.10);
+    let min_speedup: f64 = parse(&args, "--min-speedup", 1.0);
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_incremental.json".into());
+    // A mid-sweep dimension: large enough that the SVD stage matters,
+    // small enough that counting (the stage incrementality pays for)
+    // still dominates, as it does at paper scale.
+    let dim = params.dims[params.dims.len() / 2];
+
+    let base_model = LatentModel::new(&LatentModelConfig {
+        vocab_size: params.vocab_size,
+        latent_dim: params.latent_dim,
+        n_topics: params.n_topics,
+        seed: MASTER_SEED,
+        ..Default::default()
+    });
+    let base = base_model
+        .generate_corpus(&CorpusConfig {
+            n_tokens: params.corpus_tokens,
+            seed: MASTER_SEED ^ 1,
+            ..Default::default()
+        })
+        .docs()
+        .to_vec();
+    let delta_tokens = ((params.corpus_tokens as f64) * delta_frac) as usize;
+
+    let mut inc = service(RetrainMode::Incremental, &params);
+    let mut scratch = service(RetrainMode::FromScratch, &params);
+    for svc in [&mut inc, &mut scratch] {
+        svc.registry_mut()
+            .register_config(
+                TENANT,
+                Slo::unbounded(dim as u64 * 32),
+                dim,
+                Precision::FULL,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("incremental_retrain: cannot register tenant: {e}");
+                exit(1)
+            });
+    }
+
+    eprintln!(
+        "incremental_retrain: scale {scale:?}, vocab {}, base {} tokens, \
+         {} steps x {} delta tokens, dim {dim}",
+        params.vocab_size, params.corpus_tokens, steps, delta_tokens
+    );
+
+    // Bootstrap both services on the base corpus (untimed): establishes
+    // the live snapshot each later candidate is gated against and warms
+    // the incremental side's SVD basis.
+    let (_, _, _) = timed_step(&mut inc, base.clone(), dim);
+    let (_, _, _) = timed_step(&mut scratch, base, dim);
+
+    let mut per_step = Vec::with_capacity(steps);
+    let mut min_observed_speedup = f64::INFINITY;
+    let mut max_eis: f64 = 0.0;
+    for step in 1..=steps {
+        // Each step's increment comes from a progressively drifted model:
+        // the streaming analogue of the paper's Wiki'17 -> Wiki'18 shift.
+        let drifted = base_model.drifted(&DriftConfig {
+            drift_sigma: 0.2,
+            seed: MASTER_SEED ^ (10 + step as u64),
+            ..Default::default()
+        });
+        let docs = drifted
+            .generate_corpus(&CorpusConfig {
+                n_tokens: delta_tokens,
+                seed: MASTER_SEED ^ (100 + step as u64),
+                ..Default::default()
+            })
+            .docs()
+            .to_vec();
+        let delta_docs = docs.len();
+        let n_tokens: usize = docs.iter().map(Vec::len).sum();
+
+        let (inc_t, warm, inc_outcome) = timed_step(&mut inc, docs.clone(), dim);
+        let (scratch_t, cold, scratch_outcome) = timed_step(&mut scratch, docs, dim);
+
+        let suite = MeasureSuite::new(&cold, &cold, 3.0, 42);
+        let measures = suite.compute_all(&cold, &warm);
+        let inc_s = inc_t.retrain_pipeline_seconds();
+        let scratch_s = scratch_t.retrain_pipeline_seconds();
+        let speedup = scratch_s / inc_s;
+        min_observed_speedup = min_observed_speedup.min(speedup);
+        max_eis = max_eis.max(measures.eis);
+        eprintln!(
+            "step {step}: incremental {inc_s:.3}s (ingest {:.3} + refresh {:.3} + svd {:.3}), \
+             from-scratch {scratch_s:.3}s ({:.3} + {:.3} + {:.3}) -> {speedup:.2}x; \
+             submit {:.3}/{:.3}s; warm-vs-cold EIS {:.4}",
+            inc_t.ingest_seconds,
+            inc_t.refresh_seconds,
+            inc_t.retrain_seconds,
+            scratch_t.ingest_seconds,
+            scratch_t.refresh_seconds,
+            scratch_t.retrain_seconds,
+            inc_t.submit_seconds,
+            scratch_t.submit_seconds,
+            measures.eis
+        );
+        per_step.push(StepRow {
+            step,
+            delta_docs,
+            delta_tokens: n_tokens,
+            incremental_seconds: inc_s,
+            incremental_submit_seconds: inc_t.submit_seconds,
+            from_scratch_seconds: scratch_s,
+            from_scratch_submit_seconds: scratch_t.submit_seconds,
+            speedup,
+            warm_vs_cold_eis: measures.eis,
+            warm_vs_cold_knn_dist: measures.knn_dist,
+            incremental_predicted_instability: inc_outcome
+                .evaluation()
+                .map(|e| e.predicted_instability),
+            from_scratch_predicted_instability: scratch_outcome
+                .evaluation()
+                .map(|e| e.predicted_instability),
+        });
+    }
+
+    let report = Report {
+        scale: format!("{scale:?}").to_lowercase(),
+        vocab_size: params.vocab_size,
+        window: params.window,
+        dim,
+        base_tokens: params.corpus_tokens,
+        delta_frac,
+        steps,
+        min_speedup,
+        warm_svd_eis_tolerance: WARM_SVD_EIS_TOLERANCE,
+        min_observed_speedup,
+        max_warm_vs_cold_eis: max_eis,
+        per_step,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json.as_bytes()).unwrap_or_else(|e| {
+        eprintln!("incremental_retrain: cannot write {out}: {e}");
+        exit(1)
+    });
+    println!(
+        "{} steps, min speedup {:.2}x (threshold {:.2}x), max warm-vs-cold EIS {:.4} \
+         (tolerance {}) -> {out}",
+        report.steps,
+        report.min_observed_speedup,
+        report.min_speedup,
+        report.max_warm_vs_cold_eis,
+        report.warm_svd_eis_tolerance,
+    );
+
+    if report.min_observed_speedup < min_speedup {
+        eprintln!(
+            "incremental_retrain: FAILURE: speedup {:.2}x below threshold {:.2}x",
+            report.min_observed_speedup, min_speedup
+        );
+        exit(1)
+    }
+    if report.max_warm_vs_cold_eis > WARM_SVD_EIS_TOLERANCE {
+        eprintln!(
+            "incremental_retrain: FAILURE: warm-vs-cold EIS {:.4} exceeds tolerance {}",
+            report.max_warm_vs_cold_eis, WARM_SVD_EIS_TOLERANCE
+        );
+        exit(1)
+    }
+}

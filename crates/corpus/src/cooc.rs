@@ -1,9 +1,61 @@
 //! Windowed co-occurrence counting.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use crate::codec;
 use crate::generate::Corpus;
+
+/// A validation error from co-occurrence counting or delta streaming.
+///
+/// Counting used to be panic-only; the streaming path
+/// (`embedstab_stream`) applies increments inside a long-lived service
+/// where malformed input must surface as a typed error, never crash the
+/// process. [`Cooc::count`] keeps its panicking contract by unwrapping
+/// this type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoocError {
+    /// `CoocConfig::window` was zero: every window would be empty, so the
+    /// count would silently be an empty table — statistically meaningless
+    /// and almost certainly a caller bug.
+    ZeroWindow,
+    /// A token id at or beyond the vocabulary size.
+    TokenOutOfVocab {
+        /// The offending token id.
+        token: u32,
+        /// The vocabulary size it failed against.
+        vocab_size: usize,
+    },
+    /// A delta built for one vocabulary size was applied to a table with
+    /// another.
+    VocabMismatch {
+        /// The table's vocabulary size.
+        table: usize,
+        /// The delta's vocabulary size.
+        delta: usize,
+    },
+}
+
+impl fmt::Display for CoocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CoocError::ZeroWindow => {
+                write!(f, "window must be positive (window == 0 counts nothing)")
+            }
+            CoocError::TokenOutOfVocab { token, vocab_size } => {
+                write!(f, "token id {token} out of vocabulary (size {vocab_size})")
+            }
+            CoocError::VocabMismatch { table, delta } => {
+                write!(
+                    f,
+                    "vocabulary mismatch: table has {table} words, delta was built for {delta}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoocError {}
 
 /// Configuration for co-occurrence counting.
 #[derive(Clone, Copy, Debug)]
@@ -47,13 +99,91 @@ impl Cooc {
     /// # Panics
     ///
     /// Panics if `config.window` is zero or a token id is `>= vocab_size`.
+    /// [`Cooc::try_count`] is the non-panicking equivalent.
     pub fn count(corpus: &Corpus, vocab_size: usize, config: &CoocConfig) -> Self {
-        assert!(config.window > 0, "window must be positive");
-        let mut map: HashMap<u64, f64> = HashMap::new();
-        let mut total = 0.0;
-        for doc in corpus.docs() {
+        match Self::try_count(corpus, vocab_size, config) {
+            Ok(c) => c,
+            Err(CoocError::ZeroWindow) => panic!("window must be positive"),
+            Err(e @ CoocError::TokenOutOfVocab { .. }) => {
+                panic!("token id out of vocabulary: {e}")
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Counts co-occurrences like [`Cooc::count`], but reports invalid
+    /// input as a typed [`CoocError`] instead of panicking — the contract
+    /// long-lived services (the streaming retrainer) need.
+    ///
+    /// # Errors
+    ///
+    /// [`CoocError::ZeroWindow`] if `config.window == 0`,
+    /// [`CoocError::TokenOutOfVocab`] if any token id is `>= vocab_size`.
+    pub fn try_count(
+        corpus: &Corpus,
+        vocab_size: usize,
+        config: &CoocConfig,
+    ) -> Result<Self, CoocError> {
+        let mut c = Cooc::empty(vocab_size);
+        c.accumulate(corpus.docs(), config)?;
+        Ok(c)
+    }
+
+    /// An empty table over a vocabulary of size `vocab_size` — the
+    /// starting point for [`Cooc::accumulate`] streaming.
+    pub fn empty(vocab_size: usize) -> Self {
+        Cooc {
+            n: vocab_size,
+            map: HashMap::new(),
+            total: 0.0,
+        }
+    }
+
+    /// Streams additional documents into the table, returning the sorted
+    /// ids of rows whose counts changed (the dirty set).
+    ///
+    /// This is the streaming primitive behind `embedstab_stream`: because
+    /// each map entry and the running `total` are plain `+=` accumulators,
+    /// feeding documents in across any number of `accumulate` calls
+    /// produces **bitwise-identical** state — map values, `total`,
+    /// [`Cooc::entries`] and [`Cooc::row_sums`] — to one
+    /// [`Cooc::count`] over the concatenated corpus: every accumulator
+    /// sees the same additions in the same (document) order, and
+    /// [`Cooc::row_sums`] re-sums in sorted-entry order regardless of how
+    /// the map grew. Windows never cross document boundaries, so
+    /// increments at document granularity leave earlier documents' pair
+    /// contributions untouched.
+    ///
+    /// All tokens are validated *before* any mutation, so an error leaves
+    /// the table exactly as it was (strong exception safety) — a
+    /// half-applied increment would silently skew every statistic
+    /// downstream.
+    ///
+    /// # Errors
+    ///
+    /// [`CoocError::ZeroWindow`] if `config.window == 0`,
+    /// [`CoocError::TokenOutOfVocab`] on the first token id `>= self.n()`.
+    pub fn accumulate(
+        &mut self,
+        docs: &[Vec<u32>],
+        config: &CoocConfig,
+    ) -> Result<Vec<u32>, CoocError> {
+        if config.window == 0 {
+            return Err(CoocError::ZeroWindow);
+        }
+        for doc in docs {
+            for &t in doc {
+                if (t as usize) >= self.n {
+                    return Err(CoocError::TokenOutOfVocab {
+                        token: t,
+                        vocab_size: self.n,
+                    });
+                }
+            }
+        }
+        let mut touched = vec![false; self.n];
+        for doc in docs {
             for (t, &a) in doc.iter().enumerate() {
-                assert!((a as usize) < vocab_size, "token id out of vocabulary");
                 let end = (t + config.window + 1).min(doc.len());
                 for (dist, &b) in doc[t + 1..end].iter().enumerate() {
                     let w = if config.distance_weighting {
@@ -61,17 +191,19 @@ impl Cooc {
                     } else {
                         1.0
                     };
-                    *map.entry(key(a, b)).or_insert(0.0) += w;
-                    *map.entry(key(b, a)).or_insert(0.0) += w;
-                    total += 2.0 * w;
+                    *self.map.entry(key(a, b)).or_insert(0.0) += w;
+                    *self.map.entry(key(b, a)).or_insert(0.0) += w;
+                    self.total += 2.0 * w;
+                    touched[a as usize] = true;
+                    touched[b as usize] = true;
                 }
             }
         }
-        Cooc {
-            n: vocab_size,
-            map,
-            total,
-        }
+        Ok(touched
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &hit)| hit.then_some(i as u32))
+            .collect())
     }
 
     /// Vocabulary size.
@@ -103,6 +235,23 @@ impl Cooc {
             .collect();
         out.sort_unstable_by_key(|&(i, j, _)| ((i as u64) << 32) | j as u64);
         out
+    }
+
+    /// Per-row views of the table: for each row `i`, its `(j, count)`
+    /// entries sorted by `j`. This is [`Cooc::entries`] chunked by row —
+    /// same entries, same within-row order — but built with one
+    /// `O(len log len)` sort *per row* instead of one global sort, which
+    /// is markedly cheaper at large `nnz` and what the incremental PPMI
+    /// refresh ([`crate::ppmi::recompute_rows`]) iterates.
+    pub fn rows_sorted(&self) -> Vec<Vec<(u32, f64)>> {
+        let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); self.n];
+        for (&k, &v) in &self.map {
+            rows[(k >> 32) as usize].push((k as u32, v));
+        }
+        for row in rows.iter_mut() {
+            row.sort_unstable_by_key(|&(j, _)| j);
+        }
+        rows
     }
 
     /// Row marginals `r_i = sum_j count(i, j)`.
@@ -295,6 +444,122 @@ mod tests {
         let mut corrupt = bytes;
         corrupt[15] = 0xFF;
         assert!(Cooc::decode_from(&mut corrupt.as_slice()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics_in_count() {
+        let _ = Cooc::count(
+            &tiny_corpus(),
+            3,
+            &CoocConfig {
+                window: 0,
+                distance_weighting: false,
+            },
+        );
+    }
+
+    #[test]
+    fn try_count_reports_typed_errors() {
+        let zero = CoocConfig {
+            window: 0,
+            distance_weighting: false,
+        };
+        assert_eq!(
+            Cooc::try_count(&tiny_corpus(), 3, &zero).expect_err("zero window"),
+            CoocError::ZeroWindow
+        );
+        let oov = Cooc::try_count(
+            &Corpus::from_docs(vec![vec![0, 9]]),
+            2,
+            &CoocConfig::default(),
+        );
+        assert_eq!(
+            oov.expect_err("out-of-vocab token"),
+            CoocError::TokenOutOfVocab {
+                token: 9,
+                vocab_size: 2
+            }
+        );
+        let ok = Cooc::try_count(&tiny_corpus(), 3, &CoocConfig::default()).expect("valid corpus");
+        let counted = Cooc::count(&tiny_corpus(), 3, &CoocConfig::default());
+        assert_eq!(ok.total().to_bits(), counted.total().to_bits());
+    }
+
+    #[test]
+    fn accumulate_error_leaves_table_untouched() {
+        let config = CoocConfig::default();
+        let mut c = Cooc::count(&tiny_corpus(), 3, &config);
+        let before_total = c.total().to_bits();
+        let before_entries = c.entries();
+        // The bad token sits at the *end* of the batch: a validate-as-you-go
+        // implementation would have already mutated the table by then.
+        let err = c
+            .accumulate(&[vec![0, 1], vec![2, 7]], &config)
+            .expect_err("out-of-vocab batch must be rejected");
+        assert_eq!(
+            err,
+            CoocError::TokenOutOfVocab {
+                token: 7,
+                vocab_size: 3
+            }
+        );
+        assert_eq!(c.total().to_bits(), before_total);
+        assert_eq!(c.entries(), before_entries);
+    }
+
+    #[test]
+    fn accumulate_reports_sorted_dirty_rows() {
+        let mut c = Cooc::empty(6);
+        let dirty = c
+            .accumulate(&[vec![5, 2], vec![2, 0]], &CoocConfig::default())
+            .expect("valid batch");
+        assert_eq!(dirty, vec![0, 2, 5]);
+        // A batch with no in-window pairs dirties nothing.
+        let dirty = c
+            .accumulate(
+                &[vec![4], vec![1]],
+                &CoocConfig {
+                    window: 3,
+                    distance_weighting: false,
+                },
+            )
+            .expect("valid batch");
+        assert!(dirty.is_empty());
+    }
+
+    #[test]
+    fn streamed_batches_match_one_shot_count_bitwise() {
+        let docs = vec![
+            vec![2, 0, 1, 2, 0, 3, 1],
+            vec![3, 2, 1],
+            vec![0, 0, 3],
+            vec![1, 3, 2, 0],
+        ];
+        let config = CoocConfig {
+            window: 2,
+            distance_weighting: true,
+        };
+        let one_shot = Cooc::count(&Corpus::from_docs(docs.clone()), 4, &config);
+        let mut streamed = Cooc::empty(4);
+        for batch in docs.chunks(1) {
+            streamed.accumulate(batch, &config).expect("valid batch");
+        }
+        assert_eq!(streamed.total().to_bits(), one_shot.total().to_bits());
+        let bits = |c: &Cooc| {
+            c.entries()
+                .into_iter()
+                .map(|(i, j, v)| (i, j, v.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&streamed), bits(&one_shot));
+        let sum_bits = |c: &Cooc| {
+            c.row_sums()
+                .into_iter()
+                .map(f64::to_bits)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sum_bits(&streamed), sum_bits(&one_shot));
     }
 
     #[test]

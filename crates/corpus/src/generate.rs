@@ -66,6 +66,69 @@ impl Corpus {
         self.n_tokens
     }
 
+    /// Appends documents in place — the corpus-increment primitive behind
+    /// streaming retrains. Document order is append order, so a corpus
+    /// grown by increments compares equal (and fingerprints equal) to
+    /// [`Corpus::from_docs`] over the concatenated document list.
+    pub fn append_docs(&mut self, docs: Vec<Vec<u32>>) {
+        for doc in docs {
+            self.n_tokens += doc.len();
+            self.docs.push(doc);
+        }
+    }
+
+    /// FNV-1a fingerprint of the corpus *content*: the document count,
+    /// each document's length, and every token id, in order.
+    ///
+    /// Unlike the pipeline's world fingerprint — a hash of the generating
+    /// *parameters* — this keys on what the corpus actually holds, so a
+    /// corpus grown by streaming increments fingerprints as the corpus it
+    /// now is, no matter how the documents arrived (one batch or many).
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        h = fnv_mix(h, self.docs.len() as u64);
+        for doc in &self.docs {
+            h = fnv_mix(h, doc.len() as u64);
+            for &t in doc {
+                h = fnv_mix(h, t as u64);
+            }
+        }
+        h
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv_mix(mut h: u64, v: u64) -> u64 {
+    for byte in v.to_le_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fingerprint of a full counting state: vocabulary size, counting
+/// configuration, and corpus content. This is the checkpoint/identity key
+/// of the streaming retrainer and the pipeline's
+/// `World::stream_fingerprint` — defined here, once, so the two sides
+/// can never drift apart. Two services that reached the same final corpus
+/// under the same configuration fingerprint identically, regardless of
+/// how the corpus was split into increments.
+pub fn corpus_state_fingerprint(
+    corpus: &Corpus,
+    vocab_size: usize,
+    config: &crate::cooc::CoocConfig,
+) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = fnv_mix(h, vocab_size as u64);
+    h = fnv_mix(h, config.window as u64);
+    h = fnv_mix(h, config.distance_weighting as u64);
+    fnv_mix(h, corpus.content_fingerprint())
+}
+
+impl Corpus {
     /// Appends the corpus to `out` in the world-cache byte layout: a
     /// `u64` document count, then each document as a length-prefixed
     /// `u32` token list.
@@ -267,6 +330,52 @@ impl TemporalPair {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn append_docs_matches_from_docs_and_fingerprints_by_content() {
+        let all = vec![vec![0u32, 1, 2], vec![3, 1], vec![2, 2, 0, 3]];
+        let whole = Corpus::from_docs(all.clone());
+        let mut grown = Corpus::from_docs(vec![all[0].clone()]);
+        grown.append_docs(all[1..].to_vec());
+        assert_eq!(grown.n_tokens(), whole.n_tokens());
+        assert_eq!(grown.docs(), whole.docs());
+        assert_eq!(grown.content_fingerprint(), whole.content_fingerprint());
+        // Content changes move the fingerprint; doc-boundary changes do too
+        // (the same tokens split differently count differently).
+        let mut other = Corpus::from_docs(all.clone());
+        other.append_docs(vec![vec![1]]);
+        assert_ne!(other.content_fingerprint(), whole.content_fingerprint());
+        let merged = Corpus::from_docs(vec![all.concat()]);
+        assert_ne!(merged.content_fingerprint(), whole.content_fingerprint());
+    }
+
+    #[test]
+    fn state_fingerprint_covers_config_and_vocab() {
+        use crate::cooc::CoocConfig;
+        let corpus = Corpus::from_docs(vec![vec![0u32, 1, 2], vec![3, 1]]);
+        let base = CoocConfig {
+            window: 4,
+            distance_weighting: false,
+        };
+        let fp = corpus_state_fingerprint(&corpus, 4, &base);
+        assert_eq!(fp, corpus_state_fingerprint(&corpus, 4, &base));
+        assert_ne!(fp, corpus_state_fingerprint(&corpus, 5, &base));
+        assert_ne!(
+            fp,
+            corpus_state_fingerprint(&corpus, 4, &CoocConfig { window: 5, ..base })
+        );
+        assert_ne!(
+            fp,
+            corpus_state_fingerprint(
+                &corpus,
+                4,
+                &CoocConfig {
+                    distance_weighting: true,
+                    ..base
+                }
+            )
+        );
+    }
 
     fn model() -> LatentModel {
         LatentModel::new(&LatentModelConfig {

@@ -41,8 +41,10 @@ pub mod ppmi;
 pub mod vocab;
 
 pub use alias::AliasTable;
-pub use cooc::{Cooc, CoocConfig};
-pub use generate::{Corpus, CorpusConfig, TemporalPair, TemporalPairConfig};
+pub use cooc::{Cooc, CoocConfig, CoocError};
+pub use generate::{
+    corpus_state_fingerprint, Corpus, CorpusConfig, TemporalPair, TemporalPairConfig,
+};
 pub use latent::{DriftConfig, LatentModel, LatentModelConfig};
-pub use ppmi::{ppmi, SparseMatrix};
+pub use ppmi::{ppmi, recompute_rows, SparseMatrix};
 pub use vocab::Vocab;

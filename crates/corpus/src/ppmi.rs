@@ -5,7 +5,7 @@
 //! `max(0, log(p(i,j) / (p(i) p(j))))`, and only the positive (observed)
 //! entries are kept.
 
-use embedstab_linalg::Mat;
+use embedstab_linalg::{vecops, Mat, SketchOp};
 
 use crate::codec;
 use crate::cooc::Cooc;
@@ -144,6 +144,44 @@ impl SparseMatrix {
     }
 }
 
+/// Sparse products for the randomized SVD's range finder: the PPMI
+/// matrix never has to be densified to be factorized. Each product costs
+/// `O(nnz * k)` against the dense path's `O(n_rows * n_cols * k)` — the
+/// difference between the warm incremental retrain and a retrain that
+/// spends most of its time multiplying stored zeros.
+impl SketchOp for SparseMatrix {
+    fn op_shape(&self) -> (usize, usize) {
+        (self.n_rows, self.n_cols)
+    }
+
+    /// `A * x`: accumulates `v * x[j]` into output row `i` per stored
+    /// entry, in row-major stored order (deterministic).
+    fn apply(&self, x: &Mat) -> Mat {
+        assert_eq!(x.rows(), self.n_cols, "A * x shape mismatch");
+        let mut out = Mat::zeros(self.n_rows, x.cols());
+        for (i, row) in self.rows.iter().enumerate() {
+            let out_row = out.row_mut(i);
+            for &(j, v) in row {
+                vecops::axpy(v, x.row(j as usize), out_row);
+            }
+        }
+        out
+    }
+
+    /// `A^T * x`: scatters `v * x[i]` into output row `j` per stored
+    /// entry, in row-major stored order (deterministic).
+    fn apply_t(&self, x: &Mat) -> Mat {
+        assert_eq!(x.rows(), self.n_rows, "A^T * x shape mismatch");
+        let mut out = Mat::zeros(self.n_cols, x.cols());
+        for (i, row) in self.rows.iter().enumerate() {
+            for &(j, v) in row {
+                vecops::axpy(v, x.row(i), out.row_mut(j as usize));
+            }
+        }
+        out
+    }
+}
+
 /// Builds the PPMI matrix from a co-occurrence table.
 ///
 /// `ppmi(i, j) = max(0, ln( c_ij * total / (r_i * r_j) ))` where `r` are row
@@ -172,11 +210,106 @@ pub fn ppmi(cooc: &Cooc) -> SparseMatrix {
     out
 }
 
+/// Rebuilds the listed `rows` of a PPMI matrix against the *current*
+/// co-occurrence table, copying every other row bitwise from `prev` —
+/// the incremental-retrain entry point (`embedstab_stream`).
+///
+/// **Exactness contract.** `ppmi(i, j) = ln(c_ij · T / (r_i · r_j))`
+/// depends on the global total `T` and the *column* marginal `r_j`, so
+/// after a delta that adds any mass, every non-empty row's values shift —
+/// not just the rows whose counts changed. Passing the full row range
+/// (what the streaming service's exact path does) therefore reproduces
+/// [`ppmi`] bitwise — same entries, same f64 bits — while still being
+/// cheaper than [`ppmi`]: the table is traversed once through
+/// [`Cooc::rows_sorted`] (per-row sorts instead of a global one) and the
+/// marginals are summed from it in the same per-row sorted order
+/// [`Cooc::row_sums`] uses, instead of re-collecting and re-sorting the
+/// hash map three times. Passing only the count-dirty rows gives a
+/// cheaper *approximate* refresh whose untouched rows keep their stale
+/// normalization — itself a stability axis (Hellrich et al. 2018), which
+/// is why the choice is the caller's, not hard-coded here.
+///
+/// # Panics
+///
+/// Panics if `prev`'s shape is not `(cooc.n(), cooc.n())` or a row id is
+/// `>= cooc.n()` — shape drift between the cached PPMI and the table it
+/// was built from is a caller logic error, not streamable input.
+pub fn recompute_rows(prev: &SparseMatrix, cooc: &Cooc, rows: &[u32]) -> SparseMatrix {
+    let n = cooc.n();
+    assert!(
+        prev.n_rows() == n && prev.n_cols() == n,
+        "previous PPMI shape {:?} must match the table's vocabulary {n}",
+        (prev.n_rows(), prev.n_cols())
+    );
+    let buckets = cooc.rows_sorted();
+    // Bitwise-identical to `Cooc::row_sums`: a row's entries are summed
+    // in the same j-sorted order (float `+=` per row never crosses rows,
+    // so bucketing cannot change any sum's bits).
+    let mut row_sums = vec![0.0; n];
+    for (i, bucket) in buckets.iter().enumerate() {
+        for &(_, v) in bucket {
+            row_sums[i] += v;
+        }
+    }
+    let total = cooc.total();
+    let mut dirty = vec![false; n];
+    for &r in rows {
+        assert!((r as usize) < n, "row id {r} out of vocabulary (size {n})");
+        dirty[r as usize] = true;
+    }
+    let mut out = SparseMatrix::new(n, n);
+    if total > 0.0 {
+        for (i, bucket) in buckets.iter().enumerate() {
+            if !dirty[i] {
+                continue;
+            }
+            let ri = row_sums[i];
+            if ri <= 0.0 {
+                continue;
+            }
+            for &(j, c) in bucket {
+                let rj = row_sums[j as usize];
+                if rj <= 0.0 {
+                    continue;
+                }
+                let val = (c * total / (ri * rj)).ln();
+                if val > 0.0 {
+                    out.push(i as u32, j, val);
+                }
+            }
+        }
+    }
+    for i in 0..n {
+        if !dirty[i] {
+            out.rows[i] = prev.rows[i].clone();
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cooc::CoocConfig;
     use crate::generate::Corpus;
+
+    #[test]
+    fn sketch_op_products_match_dense() {
+        let docs = vec![vec![0u32, 1, 2, 0, 1], vec![2, 3, 1, 0], vec![3, 3, 0, 4]];
+        let cooc = Cooc::count(&Corpus::from_docs(docs), 5, &CoocConfig::default());
+        let p = ppmi(&cooc);
+        let dense = p.to_dense();
+        let x = Mat::from_fn(5, 3, |i, j| (i * 3 + j) as f64 * 0.25 - 1.0);
+        let (ax, dax) = (p.apply(&x), dense.matmul(&x));
+        let (atx, datx) = (p.apply_t(&x), dense.matmul_tn(&x));
+        assert_eq!(p.op_shape(), (5, 5));
+        for i in 0..5 {
+            for j in 0..3 {
+                assert!((ax[(i, j)] - dax[(i, j)]).abs() < 1e-12);
+                assert!((atx[(i, j)] - datx[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
 
     #[test]
     fn ppmi_nonnegative_and_symmetric() {
@@ -259,6 +392,68 @@ mod tests {
             *b = 0xFF; // negative NaN bit pattern
         }
         assert!(SparseMatrix::decode_from(&mut corrupt.as_slice()).is_none());
+    }
+
+    fn bits(m: &SparseMatrix) -> Vec<(u32, u32, u64)> {
+        m.iter_entries()
+            .map(|(i, j, v)| (i, j, v.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn recompute_all_rows_matches_from_scratch_bitwise() {
+        let base = vec![vec![0u32, 1, 2, 0, 1], vec![2, 3, 1, 0]];
+        let delta = vec![vec![3u32, 3, 0], vec![1, 2, 2]];
+        let config = CoocConfig::default();
+        let mut cooc = Cooc::count(&Corpus::from_docs(base.clone()), 4, &config);
+        let prev = ppmi(&cooc);
+        cooc.accumulate(&delta, &config).expect("valid delta");
+        let all: Vec<u32> = (0..4).collect();
+        let incremental = recompute_rows(&prev, &cooc, &all);
+        let mut full = base;
+        full.extend(delta);
+        let scratch = ppmi(&Cooc::count(&Corpus::from_docs(full), 4, &config));
+        assert_eq!(bits(&incremental), bits(&scratch));
+    }
+
+    #[test]
+    fn partial_recompute_refreshes_dirty_rows_and_keeps_clean_rows_bitwise() {
+        let config = CoocConfig::default();
+        let mut cooc = Cooc::count(
+            &Corpus::from_docs(vec![vec![0u32, 1, 2, 0, 1], vec![2, 3, 1, 0]]),
+            4,
+            &config,
+        );
+        let prev = ppmi(&cooc);
+        let dirty = cooc
+            .accumulate(&[vec![2, 3, 3]], &config)
+            .expect("valid delta");
+        let partial = recompute_rows(&prev, &cooc, &dirty);
+        let fresh = ppmi(&cooc);
+        for i in 0..4u32 {
+            let (got, want) = if dirty.contains(&i) {
+                (partial.row(i as usize), fresh.row(i as usize))
+            } else {
+                (partial.row(i as usize), prev.row(i as usize))
+            };
+            let as_bits =
+                |r: &[(u32, f64)]| r.iter().map(|&(j, v)| (j, v.to_bits())).collect::<Vec<_>>();
+            assert_eq!(as_bits(got), as_bits(want), "row {i}");
+        }
+    }
+
+    #[test]
+    fn recompute_on_unchanged_table_is_exact_for_any_row_subset() {
+        let cooc = Cooc::count(
+            &Corpus::from_docs(vec![vec![0u32, 1, 2, 0, 1], vec![2, 3, 1, 0]]),
+            4,
+            &CoocConfig::default(),
+        );
+        let prev = ppmi(&cooc);
+        let partial = recompute_rows(&prev, &cooc, &[1, 3]);
+        assert_eq!(bits(&partial), bits(&prev));
+        let none = recompute_rows(&prev, &cooc, &[]);
+        assert_eq!(bits(&none), bits(&prev));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! Jacobi sweeps over the `vocab x vocab` matrix.
 
 use embedstab_corpus::SparseMatrix;
-use embedstab_linalg::{RandomizedSvd, SvdMethod};
+use embedstab_linalg::{Mat, RandomizedSvd, SvdMethod};
 
 use crate::Embedding;
 
@@ -23,6 +23,11 @@ pub struct PpmiSvdConfig {
     pub oversample: usize,
     /// Subspace (power) iterations sharpening the sketch.
     pub power_iters: usize,
+    /// Subspace iterations on the **warm** path
+    /// ([`PpmiSvdTrainer::train_warm`]); fewer than `power_iters` because
+    /// the previous basis already nearly spans the answer. Clamped to at
+    /// least 1 by the warm SVD itself.
+    pub warm_power_iters: usize,
 }
 
 impl Default for PpmiSvdConfig {
@@ -31,6 +36,7 @@ impl Default for PpmiSvdConfig {
             eigen_power: 0.5,
             oversample: 8,
             power_iters: 2,
+            warm_power_iters: 1,
         }
     }
 }
@@ -85,6 +91,50 @@ impl PpmiSvdTrainer {
         );
         let dense = ppmi.to_dense();
         let svd = dense.svd_with(method);
+        self.scale_spectrum(svd, dim)
+    }
+
+    /// Trains like [`PpmiSvdTrainer::train`], but seeds the randomized
+    /// SVD's range finder with `warm` — an (approximately) orthonormal
+    /// basis of the previous retrain's embedding columns — via
+    /// [`Mat::svd_randomized_warm`]. This is the incremental-retrain
+    /// path: when the PPMI matrix has only drifted by a corpus delta, the
+    /// stale basis plus `warm_power_iters` subspace refreshes replaces
+    /// the cold sketch and its `power_iters` iterations, roughly halving
+    /// the factorization GEMMs. Results track the cold path within the
+    /// subspace-convergence tolerance (pinned by `embedstab_stream`'s
+    /// keystone test), not bitwise.
+    ///
+    /// An unusable basis (wrong row count, zero columns) falls back to
+    /// the cold path inside the warm SVD, so callers can pass whatever
+    /// they have without pre-validating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PPMI matrix is not square or `dim` is zero or larger
+    /// than the vocabulary.
+    pub fn train_warm(&self, ppmi: &SparseMatrix, dim: usize, seed: u64, warm: &Mat) -> Embedding {
+        assert_eq!(ppmi.n_rows(), ppmi.n_cols(), "PPMI matrix must be square");
+        assert!(
+            dim > 0 && dim <= ppmi.n_rows(),
+            "dim must be in 1..=vocab_size"
+        );
+        let cfg = RandomizedSvd {
+            rank: dim,
+            oversample: self.config.oversample,
+            power_iters: self.config.warm_power_iters,
+            seed,
+        };
+        // The sparse PPMI matrix is its own SketchOp, so the warm range
+        // finder runs on O(nnz * l) sparse products — no densification.
+        match embedstab_linalg::svd_randomized_warm_op(ppmi, cfg, warm) {
+            Some(svd) => self.scale_spectrum(svd, dim),
+            None => self.train(ppmi, dim, seed),
+        }
+    }
+
+    /// `X = U_k diag(s_k)^p` — the shared tail of every training path.
+    fn scale_spectrum(&self, svd: embedstab_linalg::Svd, dim: usize) -> Embedding {
         let k = dim.min(svd.s.len());
         let mut x = svd.u.truncate_cols(k);
         for j in 0..k {
@@ -145,6 +195,30 @@ mod tests {
         let (_, ppmi) = small_world();
         let t = PpmiSvdTrainer::default();
         assert_eq!(t.train(&ppmi, 6, 3), t.train(&ppmi, 6, 3));
+    }
+
+    #[test]
+    fn warm_train_tracks_cold_train_spectrum() {
+        // Warm-start with the orthonormalized previous embedding (trained
+        // on the same PPMI): the warm path must reproduce the cold
+        // factorization's singular profile to subspace-iteration accuracy.
+        let (_, ppmi) = small_world();
+        let t = PpmiSvdTrainer::default();
+        let cold = t.train(&ppmi, 8, 0);
+        let basis = cold.mat().orthonormalize();
+        let warm = t.train_warm(&ppmi, 8, 0, &basis);
+        assert_eq!(warm.shape(), cold.shape());
+        for j in 0..8 {
+            let nw = vecops::norm2(&warm.mat().col(j));
+            let nc = vecops::norm2(&cold.mat().col(j));
+            assert!(
+                (nw - nc).abs() / nc < 1e-2,
+                "column {j}: warm norm {nw} vs cold {nc}"
+            );
+        }
+        // An unusable basis silently takes the cold path.
+        let fallback = t.train_warm(&ppmi, 8, 0, &Mat::zeros(3, 2));
+        assert_eq!(fallback.shape(), cold.shape());
     }
 
     #[test]

@@ -62,4 +62,4 @@ pub mod vecops;
 pub use chol::{cholesky, lstsq, solve_spd};
 pub use mat::Mat;
 pub use procrustes::{align, orthogonal_procrustes};
-pub use svd::{RandomizedSvd, Svd, SvdMethod};
+pub use svd::{svd_randomized_warm_op, RandomizedSvd, SketchOp, Svd, SvdMethod};

@@ -250,6 +250,118 @@ impl Mat {
             }
         }
     }
+
+    /// Randomized SVD with a **warm-started** range finder: instead of
+    /// sketching the column space with a fresh Gaussian test matrix, the
+    /// initial basis is `orth(warm)` — typically the left singular basis
+    /// from the previous step of an incrementally updated matrix — and at
+    /// least one subspace iteration refreshes it against the current
+    /// matrix.
+    ///
+    /// When the matrix has drifted only a little since `warm` was
+    /// computed (the streaming-retrain case), the stale basis already
+    /// nearly spans the dominant left subspace, so the expensive sketch
+    /// GEMM `A * Omega` is skipped and fewer subspace iterations are
+    /// needed than a cold truncated run: with `cfg.power_iters = 1` this
+    /// costs 2 large GEMMs against the cold default's 6 (the final
+    /// refresh doubles as the projection — see below). The mandatory
+    /// iteration is not an optimization knob: projecting onto the stale
+    /// basis *without* refreshing it through the current matrix would
+    /// bias every factor toward the previous step's subspace.
+    ///
+    /// If `warm` is narrower than the sketch width
+    /// (`rank + oversample`), the remaining columns are filled with a
+    /// seeded Gaussian sketch of the current matrix, so lost or brand-new
+    /// directions can still enter the basis. Deterministic given
+    /// `cfg.seed` and `warm`.
+    ///
+    /// Falls back to the cold [`Mat::svd_randomized`] when the warm basis
+    /// is unusable: wrong row count, no columns, or a wide (`m < n`)
+    /// input (whose range finder runs on the transpose, where a *left*
+    /// warm basis is the wrong side).
+    pub fn svd_randomized_warm(&self, cfg: RandomizedSvd, warm: &Mat) -> Svd {
+        svd_randomized_warm_op(self, cfg, warm).unwrap_or_else(|| self.svd_randomized(cfg))
+    }
+}
+
+/// What the randomized range finder actually needs from the matrix being
+/// factorized: its shape and products `A * X` / `A^T * X` against skinny
+/// dense blocks. `Mat` is the dense instance; sparse matrix types (e.g.
+/// the PPMI statistics in `embedstab_corpus`) implement it so the
+/// sketched SVD runs in `O(nnz * l)` per product without densification.
+pub trait SketchOp {
+    /// `(rows, cols)` of the operator.
+    fn op_shape(&self) -> (usize, usize);
+    /// `A * x`, where `x` is `cols x k`.
+    fn apply(&self, x: &Mat) -> Mat;
+    /// `A^T * x`, where `x` is `rows x k`.
+    fn apply_t(&self, x: &Mat) -> Mat;
+}
+
+impl SketchOp for Mat {
+    fn op_shape(&self) -> (usize, usize) {
+        self.shape()
+    }
+
+    fn apply(&self, x: &Mat) -> Mat {
+        self.matmul(x)
+    }
+
+    fn apply_t(&self, x: &Mat) -> Mat {
+        self.matmul_tn(x)
+    }
+}
+
+/// The warm-started range finder behind [`Mat::svd_randomized_warm`],
+/// generic over [`SketchOp`] so implicit operators skip densification.
+///
+/// Returns `None` when the warm basis is unusable for this operator —
+/// wide (`m < n`) shape, wrong row count, no columns, or an empty
+/// operator — in which case the caller falls back to its cold path
+/// (dense callers: [`Mat::svd_randomized`]).
+pub fn svd_randomized_warm_op<A: SketchOp>(a: &A, cfg: RandomizedSvd, warm: &Mat) -> Option<Svd> {
+    let (m, n) = a.op_shape();
+    if m < n || warm.rows() != m || warm.cols() == 0 || n == 0 {
+        return None;
+    }
+    let l = cfg.rank.saturating_add(cfg.oversample).min(n).max(1);
+    let seeded = if warm.cols() > l {
+        warm.truncate_cols(l)
+    } else if warm.cols() < l {
+        let extra = l - warm.cols();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+        let omega = Mat::random_normal(n, extra, &mut rng);
+        let fresh = a.apply(&omega);
+        Mat::from_fn(m, l, |i, j| {
+            if j < warm.cols() {
+                warm[(i, j)]
+            } else {
+                fresh[(i, j - warm.cols())]
+            }
+        })
+    } else {
+        warm.clone()
+    };
+    let mut q = seeded.orthonormalize();
+    for _ in 1..cfg.power_iters.max(1) {
+        let z = a.apply_t(&q).orthonormalize();
+        q = a.apply(&z).orthonormalize();
+    }
+    // The mandatory final iteration refreshes the stale basis into the
+    // *row* space (`Z = orth(A^T Q)`) and projects there: with
+    // `Y = A Z = U S W^T` exactly, `A ~ (A Z) Z^T = U S (Z W)^T`.
+    // This reuses the refresh product as the projection, so the step
+    // costs two full-size products where the cold tail's
+    // project-and-lift would need a third (`Q^T A`).
+    let z = a.apply_t(&q).orthonormalize();
+    let y = a.apply(&z);
+    let ys = y.svd_exact();
+    let keep = cfg.rank.min(ys.s.len());
+    Some(Svd {
+        u: ys.u.truncate_cols(keep),
+        s: ys.s[..keep].to_vec(),
+        v: z.matmul(&ys.v).truncate_cols(keep),
+    })
 }
 
 /// Randomized range-finder SVD of a tall (`m >= n`) matrix.
@@ -275,11 +387,17 @@ fn svd_randomized_tall(a: &Mat, cfg: RandomizedSvd) -> Svd {
         let z = a.matmul_tn(&q).orthonormalize();
         q = a.matmul(&z).orthonormalize();
     }
-    // Projected problem: B = Q^T A is l x n; its SVD lifts back through Q.
+    project_and_lift(a, &q, cfg.rank)
+}
+
+/// Shared tail of the randomized paths: solve the projected problem
+/// `B = Q^T A` exactly, lift the left factors back through `Q`, truncate
+/// to `rank`.
+fn project_and_lift(a: &Mat, q: &Mat, rank: usize) -> Svd {
     let b = q.matmul_tn(a);
     let bs = b.svd_exact();
     let u = q.matmul(&bs.u);
-    let keep = cfg.rank.min(bs.s.len());
+    let keep = rank.min(bs.s.len());
     if keep < bs.s.len() {
         Svd {
             u: u.truncate_cols(keep),
@@ -532,6 +650,88 @@ mod tests {
         let zs = z.svd_randomized(RandomizedSvd::full());
         assert!(zs.s.iter().all(|&x| x == 0.0));
         assert!(zs.reconstruct().frobenius_norm() == 0.0);
+    }
+
+    /// A tall matrix with a geometric spectrum plus a small seeded
+    /// perturbation of it — the "drifted retrain" pair the warm start is
+    /// designed for.
+    fn drifted_pair() -> (Mat, Mat) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let u = Mat::random_normal(200, 12, &mut rng).orthonormalize();
+        let v = Mat::random_normal(12, 12, &mut rng).orthonormalize();
+        let mut us = u.clone();
+        for j in 0..12 {
+            let sigma = 2.0 * 0.7f64.powi(j as i32);
+            for i in 0..us.rows() {
+                us[(i, j)] *= sigma;
+            }
+        }
+        let a = us.matmul_nt(&v);
+        let noise = Mat::random_normal(200, 12, &mut rng);
+        let drifted = Mat::from_fn(200, 12, |i, j| a[(i, j)] + 0.01 * noise[(i, j)]);
+        (a, drifted)
+    }
+
+    #[test]
+    fn warm_start_recovers_leading_spectrum_of_drifted_matrix() {
+        let (a, drifted) = drifted_pair();
+        let prev = a.svd_randomized(RandomizedSvd::truncated(4));
+        let cfg = RandomizedSvd::truncated(4).with_power_iters(1);
+        let warm = drifted.svd_randomized_warm(cfg, &prev.u);
+        let exact = drifted.svd_exact();
+        assert_eq!(warm.s.len(), 4);
+        assert_eq!(warm.u.shape(), (200, 4));
+        for j in 0..4 {
+            assert!(
+                (warm.s[j] - exact.s[j]).abs() < 1e-6 * exact.s[0],
+                "sigma_{j}: warm {} vs exact {}",
+                warm.s[j],
+                exact.s[j]
+            );
+        }
+        // Orthonormal factors, like any other backend.
+        assert!(warm.u.gram().sub(&Mat::identity(4)).frobenius_norm() < 1e-8);
+        assert!(warm.v.gram().sub(&Mat::identity(4)).frobenius_norm() < 1e-8);
+    }
+
+    #[test]
+    fn warm_start_is_deterministic_and_pads_narrow_bases() {
+        let (a, drifted) = drifted_pair();
+        // A warm basis narrower than rank + oversample: the pad columns
+        // come from a seeded sketch, so the result is still deterministic
+        // and still captures the leading spectrum.
+        let prev = a.svd_randomized(RandomizedSvd::truncated(2));
+        let cfg = RandomizedSvd::truncated(6);
+        let w1 = drifted.svd_randomized_warm(cfg, &prev.u);
+        let w2 = drifted.svd_randomized_warm(cfg, &prev.u);
+        assert_eq!(w1.u, w2.u);
+        assert_eq!(w1.s, w2.s);
+        assert_eq!(w1.v, w2.v);
+        let exact = drifted.svd_exact();
+        for j in 0..6 {
+            assert!((w1.s[j] - exact.s[j]).abs() < 1e-6 * exact.s[0]);
+        }
+    }
+
+    #[test]
+    fn warm_start_falls_back_cold_on_unusable_basis() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(78);
+        let a = Mat::random_normal(120, 9, &mut rng);
+        let cfg = RandomizedSvd::truncated(4);
+        let cold = a.svd_randomized(cfg);
+        // Wrong row count, zero columns, and a wide input all take the
+        // cold path bit-for-bit.
+        let bad_rows = Mat::random_normal(60, 4, &mut rng);
+        let got = a.svd_randomized_warm(cfg, &bad_rows);
+        assert_eq!(got.u, cold.u);
+        assert_eq!(got.s, cold.s);
+        let empty = Mat::zeros(120, 0);
+        let got = a.svd_randomized_warm(cfg, &empty);
+        assert_eq!(got.s, cold.s);
+        let wide = a.transpose();
+        let wide_cold = wide.svd_randomized(cfg);
+        let wide_warm = wide.svd_randomized_warm(cfg, &Mat::random_normal(9, 4, &mut rng));
+        assert_eq!(wide_warm.s, wide_cold.s);
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!
 //! - `crates/serve/src/**`
 //! - `crates/corpus/src/codec.rs`
+//! - `crates/stream/src/**` — the continuous retrainer's delta-apply and
+//!   checkpoint paths run inside the same long-lived serving process; a
+//!   malformed increment or corrupt checkpoint must surface as a
+//!   `StreamError` or a resume miss, never take the service down.
 //!
 //! The assert macros joined the list with the wire front-end: a
 //! "programmer invariant" on a value that ultimately arrives in
@@ -45,12 +49,14 @@ impl Rule for NoPanicInHotPath {
     }
 
     fn description(&self) -> &'static str {
-        "no unwrap/expect/panic!/assert! in crates/serve/src/** or \
-         crates/corpus/src/codec.rs; corrupt input must be a typed error or a miss"
+        "no unwrap/expect/panic!/assert! in crates/serve/src/**, crates/stream/src/**, \
+         or crates/corpus/src/codec.rs; corrupt input must be a typed error or a miss"
     }
 
     fn applies_to(&self, rel_path: &str) -> bool {
-        rel_path.starts_with("crates/serve/src/") || rel_path == "crates/corpus/src/codec.rs"
+        rel_path.starts_with("crates/serve/src/")
+            || rel_path.starts_with("crates/stream/src/")
+            || rel_path == "crates/corpus/src/codec.rs"
     }
 
     fn check(&self, file: &SourceFile) -> Vec<Finding> {

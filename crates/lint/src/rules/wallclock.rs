@@ -11,8 +11,12 @@
 //! plus an atomic counter, not the clock.)
 //!
 //! Scoped to files whose path mentions `cache`, `codec`, or
-//! `fingerprint` — timing *measurement* (e.g. the coordinator's shard
-//! wall-clock report) is fine and stays out of scope.
+//! `fingerprint`, plus all of `crates/stream/src/**` — the incremental
+//! service's whole value is that streamed state re-fingerprints and
+//! checkpoints bitwise, so none of its modules may fold the clock into
+//! state. Timing *measurement* (e.g. the coordinator's shard wall-clock
+//! report, the incremental-retrain bench) is fine and stays out of
+//! scope.
 
 use crate::rules::{Finding, Rule};
 use crate::source::SourceFile;
@@ -25,11 +29,14 @@ impl Rule for NoWallclockInFingerprint {
     }
 
     fn description(&self) -> &'static str {
-        "no SystemTime::now/Instant::now in cache/codec/fingerprint modules; \
-         cached artifacts must be bitwise reproducible"
+        "no SystemTime::now/Instant::now in cache/codec/fingerprint modules \
+         or crates/stream/src/**; cached artifacts must be bitwise reproducible"
     }
 
     fn applies_to(&self, rel_path: &str) -> bool {
+        if rel_path.starts_with("crates/stream/src/") {
+            return true;
+        }
         let p = rel_path.to_ascii_lowercase();
         p.contains("cache") || p.contains("codec") || p.contains("fingerprint")
     }

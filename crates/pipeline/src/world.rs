@@ -135,6 +135,29 @@ impl World {
         h
     }
 
+    /// The *content* fingerprint of the world's accumulated ('18) corpus
+    /// under its counting configuration —
+    /// [`embedstab_corpus::corpus_state_fingerprint`] over `corpus18`.
+    ///
+    /// [`World::fingerprint`] keys on generating *parameters*, which is
+    /// right for caches of things this process would regenerate
+    /// identically. A continuous-retraining service seeded from a world
+    /// outgrows its parameters with every streamed increment; its
+    /// checkpoints key on this content fingerprint instead, so an
+    /// incremental world always fingerprints as the corpus it now holds.
+    /// `embedstab_stream`'s `ContinuousRetrainer::from_world` starts at
+    /// exactly this value and moves away from it on the first increment.
+    pub fn stream_fingerprint(&self) -> u64 {
+        embedstab_corpus::corpus_state_fingerprint(
+            &self.pair.corpus18,
+            self.params.vocab_size,
+            &embedstab_corpus::CoocConfig {
+                window: self.params.window,
+                distance_weighting: false,
+            },
+        )
+    }
+
     /// The shared vocabulary.
     pub fn vocab(&self) -> &Vocab {
         &self.pair.model17.vocab

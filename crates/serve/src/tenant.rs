@@ -284,6 +284,13 @@ impl TenantRegistry {
         self.tenants.keys().map(String::as_str).collect()
     }
 
+    /// Iterates over the registered tenants in name order — what a
+    /// retraining service walks to learn which (dimension, precision)
+    /// candidates it must produce each step.
+    pub fn tenants(&self) -> impl Iterator<Item = &Tenant> {
+        self.tenants.values()
+    }
+
     /// Number of registered tenants.
     pub fn len(&self) -> usize {
         self.tenants.len()

@@ -1,0 +1,230 @@
+//! Corpus increments as first-class values.
+//!
+//! A [`CoocDelta`] is a validated batch of appended documents bound to a
+//! vocabulary size and counting configuration. Applying it streams the
+//! documents into an existing [`Cooc`] through
+//! [`Cooc::accumulate`] — the order-preserving `+=` path that keeps the
+//! table bitwise identical to a one-shot count over the concatenated
+//! corpus — and reports which rows the counts touched.
+
+use embedstab_corpus::{Cooc, CoocConfig, CoocError};
+
+/// What applying a delta did to the co-occurrence table.
+#[derive(Clone, Debug)]
+pub struct DeltaReport {
+    /// Sorted ids of rows whose *counts* changed. Note the asymmetry with
+    /// PPMI: any added mass moves the global total and therefore every
+    /// PPMI entry, so this set drives diagnostics and approximate
+    /// refreshes, while the exact refresh passes all rows to
+    /// [`recompute_rows`](embedstab_corpus::recompute_rows).
+    pub dirty_rows: Vec<u32>,
+    /// Number of documents the delta appended.
+    pub added_docs: usize,
+    /// Number of tokens the delta appended.
+    pub added_tokens: usize,
+}
+
+/// A batch of corpus increment documents, validated against a vocabulary
+/// and counting configuration at construction and push time — so by the
+/// time [`CoocDelta::apply`] runs, the only remaining failure mode is a
+/// vocabulary mismatch with the target table.
+#[derive(Clone, Debug)]
+pub struct CoocDelta {
+    vocab_size: usize,
+    config: CoocConfig,
+    docs: Vec<Vec<u32>>,
+    n_tokens: usize,
+}
+
+impl CoocDelta {
+    /// An empty delta for the given vocabulary and configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CoocError::ZeroWindow`] if `config.window == 0` — a window that
+    /// counts nothing is rejected here, at delta-construction time, not
+    /// discovered as a silently empty table later.
+    pub fn new(vocab_size: usize, config: CoocConfig) -> Result<Self, CoocError> {
+        if config.window == 0 {
+            return Err(CoocError::ZeroWindow);
+        }
+        Ok(CoocDelta {
+            vocab_size,
+            config,
+            docs: Vec::new(),
+            n_tokens: 0,
+        })
+    }
+
+    /// Adds one document to the delta.
+    ///
+    /// # Errors
+    ///
+    /// [`CoocError::TokenOutOfVocab`] on the first out-of-range token;
+    /// the document is not added.
+    pub fn push_doc(&mut self, doc: Vec<u32>) -> Result<(), CoocError> {
+        for &t in &doc {
+            if (t as usize) >= self.vocab_size {
+                return Err(CoocError::TokenOutOfVocab {
+                    token: t,
+                    vocab_size: self.vocab_size,
+                });
+            }
+        }
+        self.n_tokens += doc.len();
+        self.docs.push(doc);
+        Ok(())
+    }
+
+    /// Adds a batch of documents; stops at (and does not add) the first
+    /// invalid one.
+    ///
+    /// # Errors
+    ///
+    /// [`CoocError::TokenOutOfVocab`] from the first failing document;
+    /// documents before it *are* added.
+    pub fn push_docs(&mut self, docs: Vec<Vec<u32>>) -> Result<(), CoocError> {
+        for doc in docs {
+            self.push_doc(doc)?;
+        }
+        Ok(())
+    }
+
+    /// The vocabulary size the delta validates against.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// The counting configuration the delta will apply with.
+    pub fn config(&self) -> &CoocConfig {
+        &self.config
+    }
+
+    /// Buffered increment documents.
+    pub fn docs(&self) -> &[Vec<u32>] {
+        &self.docs
+    }
+
+    /// Number of buffered documents.
+    pub fn n_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Number of buffered tokens.
+    pub fn n_tokens(&self) -> usize {
+        self.n_tokens
+    }
+
+    /// True if the delta holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Streams the buffered documents into `cooc`, returning the dirty
+    /// rows. The table afterwards is bitwise what a one-shot
+    /// [`Cooc::count`] over (original corpus ++ these documents) would
+    /// produce — same map values, same `total`, same `entries()` and
+    /// `row_sums()` bits.
+    ///
+    /// # Errors
+    ///
+    /// [`CoocError::VocabMismatch`] if the table's vocabulary size
+    /// differs from the delta's; the table is untouched on error.
+    pub fn apply(&self, cooc: &mut Cooc) -> Result<DeltaReport, CoocError> {
+        if cooc.n() != self.vocab_size {
+            return Err(CoocError::VocabMismatch {
+                table: cooc.n(),
+                delta: self.vocab_size,
+            });
+        }
+        let dirty_rows = cooc.accumulate(&self.docs, &self.config)?;
+        Ok(DeltaReport {
+            dirty_rows,
+            added_docs: self.docs.len(),
+            added_tokens: self.n_tokens,
+        })
+    }
+
+    /// Consumes the delta, yielding its documents (for appending to the
+    /// service's corpus after a successful [`CoocDelta::apply`]).
+    pub fn into_docs(self) -> Vec<Vec<u32>> {
+        self.docs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use embedstab_corpus::Corpus;
+
+    fn config() -> CoocConfig {
+        CoocConfig {
+            window: 2,
+            distance_weighting: false,
+        }
+    }
+
+    #[test]
+    fn zero_window_rejected_at_construction() {
+        let err = CoocDelta::new(
+            4,
+            CoocConfig {
+                window: 0,
+                distance_weighting: false,
+            },
+        )
+        .expect_err("zero window");
+        assert_eq!(err, CoocError::ZeroWindow);
+    }
+
+    #[test]
+    fn push_validates_tokens_eagerly() {
+        let mut delta = CoocDelta::new(3, config()).expect("valid config");
+        delta.push_doc(vec![0, 1, 2]).expect("in vocab");
+        let err = delta.push_doc(vec![1, 3]).expect_err("out of vocab");
+        assert_eq!(
+            err,
+            CoocError::TokenOutOfVocab {
+                token: 3,
+                vocab_size: 3
+            }
+        );
+        assert_eq!(delta.n_docs(), 1);
+        assert_eq!(delta.n_tokens(), 3);
+    }
+
+    #[test]
+    fn apply_streams_bitwise_and_reports_dirty_rows() {
+        let base = vec![vec![0u32, 1, 2], vec![2, 0]];
+        let inc = vec![vec![3u32, 1], vec![1, 1, 3]];
+        let mut cooc = Cooc::count(&Corpus::from_docs(base.clone()), 4, &config());
+        let mut delta = CoocDelta::new(4, config()).expect("valid config");
+        delta.push_docs(inc.clone()).expect("in vocab");
+        let report = delta.apply(&mut cooc).expect("same vocab");
+        assert_eq!(report.dirty_rows, vec![1, 3]);
+        assert_eq!(report.added_docs, 2);
+        assert_eq!(report.added_tokens, 5);
+        let mut full = base;
+        full.extend(inc);
+        let one_shot = Cooc::count(&Corpus::from_docs(full), 4, &config());
+        assert_eq!(cooc.total().to_bits(), one_shot.total().to_bits());
+        let bits = |c: &Cooc| {
+            c.entries()
+                .into_iter()
+                .map(|(i, j, v)| (i, j, v.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&cooc), bits(&one_shot));
+    }
+
+    #[test]
+    fn vocab_mismatch_is_typed_and_leaves_table_untouched() {
+        let mut cooc = Cooc::count(&Corpus::from_docs(vec![vec![0, 1]]), 2, &config());
+        let before = cooc.total().to_bits();
+        let mut delta = CoocDelta::new(3, config()).expect("valid config");
+        delta.push_doc(vec![0, 2]).expect("in the delta's vocab");
+        let err = delta.apply(&mut cooc).expect_err("vocab mismatch");
+        assert_eq!(err, CoocError::VocabMismatch { table: 2, delta: 3 });
+        assert_eq!(cooc.total().to_bits(), before);
+    }
+}

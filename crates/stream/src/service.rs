@@ -1,0 +1,392 @@
+//! The continuous-retraining service.
+//!
+//! [`ContinuousRetrainer`] owns one world's counting state — corpus,
+//! co-occurrence table, PPMI — plus a [`TenantRegistry`] to publish
+//! through. Feed it corpus increments; it keeps the statistics current
+//! (incrementally or from scratch, per [`RetrainMode`]), trains one
+//! candidate per tenant dimension, and submits each through the serving
+//! layer's stability gate. This is the ROADMAP's gate-scored `Submit`
+//! path: retrains arrive as increments and reach tenants only if their
+//! predicted instability clears the SLO.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use embedstab_corpus::{
+    corpus_state_fingerprint, ppmi, recompute_rows, Cooc, CoocConfig, Corpus, SparseMatrix,
+};
+use embedstab_embeddings::{Embedding, PpmiSvdConfig, PpmiSvdTrainer};
+use embedstab_linalg::Mat;
+use embedstab_pipeline::World;
+use embedstab_serve::{GateOutcome, TenantRegistry};
+
+use crate::delta::{CoocDelta, DeltaReport};
+use crate::error::StreamError;
+
+/// Measured ceiling on the EIS distance between a warm-started retrain
+/// and the cold retrain of the *same* PPMI matrix. The exact-PPMI half of
+/// the pipeline is bitwise; the warm SVD is the one approximate stage,
+/// and its drift is pinned under this tolerance by the keystone test
+/// (`tests/keystone.rs`) and recorded in `BENCH_incremental.json` so
+/// every bench run re-measures it.
+pub const WARM_SVD_EIS_TOLERANCE: f64 = 0.05;
+
+/// How the service refreshes statistics and trains when a retrain is due.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetrainMode {
+    /// Recount the full accumulated corpus, rebuild PPMI with
+    /// [`ppmi`], and train with a cold randomized SVD — the batch
+    /// pipeline's exact behavior, kept as the reference (and the bench
+    /// baseline). Cost grows with the corpus.
+    FromScratch,
+    /// Stream count deltas into the standing table, refresh PPMI through
+    /// [`recompute_rows`] over all rows (exact: bitwise identical to
+    /// [`FromScratch`](RetrainMode::FromScratch)'s PPMI), and warm-start
+    /// the SVD with the previous step's basis. Cost grows with the
+    /// *delta*; only the SVD stage is approximate, within
+    /// [`WARM_SVD_EIS_TOLERANCE`].
+    Incremental,
+}
+
+/// Configuration for a [`ContinuousRetrainer`].
+#[derive(Clone, Debug)]
+pub struct RetrainerConfig {
+    /// Counting configuration every increment is applied with.
+    pub cooc: CoocConfig,
+    /// Refresh/training strategy.
+    pub mode: RetrainMode,
+    /// Trainer hyperparameters (shared by the warm and cold paths).
+    pub trainer: PpmiSvdConfig,
+    /// SVD sketch seed, fixed so retrains are deterministic functions of
+    /// the accumulated corpus.
+    pub svd_seed: u64,
+}
+
+impl Default for RetrainerConfig {
+    fn default() -> Self {
+        RetrainerConfig {
+            cooc: CoocConfig::default(),
+            mode: RetrainMode::Incremental,
+            trainer: PpmiSvdConfig::default(),
+            svd_seed: 0x5eed,
+        }
+    }
+}
+
+/// One tenant's gate outcome within a [`StepReport`].
+#[derive(Debug)]
+pub struct TenantOutcome {
+    /// The tenant the candidate was submitted to.
+    pub tenant: String,
+    /// What the gate did with it.
+    pub outcome: GateOutcome,
+}
+
+/// What one [`ContinuousRetrainer::step`] did: the applied delta and the
+/// per-tenant gate outcomes, in tenant-name order.
+#[derive(Debug)]
+pub struct StepReport {
+    /// The increment's effect on the co-occurrence table.
+    pub delta: DeltaReport,
+    /// Gate outcome per registered tenant.
+    pub outcomes: Vec<TenantOutcome>,
+}
+
+/// A long-lived retraining service: owns the counting state of one world,
+/// accepts corpus increments, and publishes gate-scored candidates to its
+/// tenants.
+///
+/// The service is a deterministic function of (initial state, increment
+/// sequence, configuration): no clocks, no ambient randomness — which is
+/// what makes its checkpoints ([`crate::checkpoint`]) and the bitwise
+/// keystone test possible.
+pub struct ContinuousRetrainer {
+    vocab_size: usize,
+    config: RetrainerConfig,
+    registry: TenantRegistry,
+    corpus: Corpus,
+    cooc: Cooc,
+    ppmi: SparseMatrix,
+    ppmi_fresh: bool,
+    pending_dirty: BTreeSet<u32>,
+    bases: BTreeMap<usize, Mat>,
+    increments: u64,
+}
+
+impl ContinuousRetrainer {
+    /// A service over an initially empty corpus.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Cooc`] with
+    /// [`CoocError::ZeroWindow`](embedstab_corpus::CoocError::ZeroWindow)
+    /// if the counting window is zero.
+    pub fn new(
+        vocab_size: usize,
+        config: RetrainerConfig,
+        registry: TenantRegistry,
+    ) -> Result<Self, StreamError> {
+        // Surfaces ZeroWindow now rather than on the first increment.
+        CoocDelta::new(vocab_size, config.cooc)?;
+        Ok(ContinuousRetrainer {
+            vocab_size,
+            config,
+            registry,
+            corpus: Corpus::from_docs(Vec::new()),
+            cooc: Cooc::empty(vocab_size),
+            ppmi: SparseMatrix::new(vocab_size, vocab_size),
+            ppmi_fresh: true,
+            pending_dirty: BTreeSet::new(),
+            bases: BTreeMap::new(),
+            increments: 0,
+        })
+    }
+
+    /// A service seeded from a built [`World`]: the accumulated ('18)
+    /// corpus, its flat co-occurrence table, and its PPMI matrix are
+    /// adopted as the starting state — no recounting. The world cached
+    /// its table in counting order, so streaming continues the exact
+    /// accumulation sequence a from-scratch count would have produced:
+    /// the bitwise contract holds across the seed boundary.
+    ///
+    /// `config.cooc` is overridden with the world's counting parameters
+    /// (its window, flat weighting) — the adopted statistics were counted
+    /// that way, and mixing configurations would silently break the
+    /// bitwise contract. Consequently
+    /// [`ContinuousRetrainer::fingerprint`] starts equal to
+    /// [`World::stream_fingerprint`] and diverges on the first increment.
+    pub fn from_world(
+        world: &World,
+        mut config: RetrainerConfig,
+        registry: TenantRegistry,
+    ) -> Result<Self, StreamError> {
+        config.cooc = CoocConfig {
+            window: world.params.window,
+            distance_weighting: false,
+        };
+        let mut svc = Self::new(world.params.vocab_size, config, registry)?;
+        svc.corpus = world.pair.corpus18.clone();
+        svc.cooc = world.stats18.cooc_flat.clone();
+        svc.ppmi = world.stats18.ppmi.clone();
+        Ok(svc)
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &RetrainerConfig {
+        &self.config
+    }
+
+    /// The accumulated corpus.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The standing co-occurrence table.
+    pub fn cooc(&self) -> &Cooc {
+        &self.cooc
+    }
+
+    /// The PPMI matrix as of the last refresh (empty until the first
+    /// retrain if the service started empty).
+    pub fn ppmi(&self) -> &SparseMatrix {
+        &self.ppmi
+    }
+
+    /// The tenant registry candidates are submitted through.
+    pub fn registry(&self) -> &TenantRegistry {
+        &self.registry
+    }
+
+    /// Mutable registry access (tenant registration).
+    pub fn registry_mut(&mut self) -> &mut TenantRegistry {
+        &mut self.registry
+    }
+
+    /// Number of increments applied over the service's lifetime
+    /// (checkpoint-persistent).
+    pub fn increments(&self) -> u64 {
+        self.increments
+    }
+
+    /// Rows whose counts changed since the last PPMI refresh.
+    pub fn pending_dirty_rows(&self) -> Vec<u32> {
+        self.pending_dirty.iter().copied().collect()
+    }
+
+    /// The content fingerprint of the world this service now holds:
+    /// [`corpus_state_fingerprint`] over the accumulated corpus under the
+    /// service's counting configuration. Two services that reached the
+    /// same final corpus by different increment splits fingerprint
+    /// identically — and identically to [`World::stream_fingerprint`]
+    /// when seeded from a world before any increment. Checkpoints key on
+    /// this value.
+    pub fn fingerprint(&self) -> u64 {
+        corpus_state_fingerprint(&self.corpus, self.vocab_size, &self.config.cooc)
+    }
+
+    /// Applies a corpus increment: validates it, streams it into the
+    /// co-occurrence table, and appends it to the corpus. Statistics are
+    /// refreshed lazily at the next [`ContinuousRetrainer::retrain`].
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Cooc`] if the increment fails validation; the
+    /// service state is untouched on error.
+    pub fn ingest(&mut self, docs: Vec<Vec<u32>>) -> Result<DeltaReport, StreamError> {
+        let mut delta = CoocDelta::new(self.vocab_size, self.config.cooc)?;
+        delta.push_docs(docs)?;
+        self.apply(delta)
+    }
+
+    /// Applies a pre-built [`CoocDelta`] (the zero-copy form of
+    /// [`ContinuousRetrainer::ingest`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Cooc`] on vocabulary mismatch or invalid content;
+    /// the service state is untouched on error.
+    pub fn apply(&mut self, delta: CoocDelta) -> Result<DeltaReport, StreamError> {
+        let report = delta.apply(&mut self.cooc)?;
+        self.corpus.append_docs(delta.into_docs());
+        if !report.dirty_rows.is_empty() {
+            // Any added mass moves the PPMI total, so *all* rows are due
+            // for the exact refresh; the dirty set is what changed in the
+            // counts (diagnostics, approximate refreshes).
+            self.pending_dirty.extend(report.dirty_rows.iter().copied());
+            self.ppmi_fresh = false;
+        }
+        self.increments += 1;
+        Ok(report)
+    }
+
+    /// Brings the PPMI matrix up to date with the counting state, per the
+    /// configured [`RetrainMode`]. Normally called through
+    /// [`ContinuousRetrainer::retrain`]; exposed for callers that want
+    /// fresh statistics without training.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Cooc`] only in
+    /// [`RetrainMode::FromScratch`], if the accumulated corpus fails
+    /// revalidation (cannot happen for state built through this API).
+    pub fn refresh_statistics(&mut self) -> Result<(), StreamError> {
+        if self.ppmi_fresh {
+            return Ok(());
+        }
+        match self.config.mode {
+            RetrainMode::FromScratch => {
+                self.cooc = Cooc::try_count(&self.corpus, self.vocab_size, &self.config.cooc)?;
+                self.ppmi = ppmi(&self.cooc);
+            }
+            RetrainMode::Incremental => {
+                let all_rows: Vec<u32> = (0..self.vocab_size as u32).collect();
+                self.ppmi = recompute_rows(&self.ppmi, &self.cooc, &all_rows);
+            }
+        }
+        self.pending_dirty.clear();
+        self.ppmi_fresh = true;
+        Ok(())
+    }
+
+    /// Trains a `dim`-dimensional candidate on the current statistics
+    /// (refreshing them first if stale). In
+    /// [`RetrainMode::Incremental`], the SVD warm-starts from the
+    /// previous basis at this dimension when one exists; the new basis is
+    /// retained for the next step.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::InvalidDim`] if `dim` is outside
+    /// `1..=vocab_size`, plus anything
+    /// [`ContinuousRetrainer::refresh_statistics`] can return.
+    pub fn retrain(&mut self, dim: usize) -> Result<Embedding, StreamError> {
+        if dim == 0 || dim > self.vocab_size {
+            return Err(StreamError::InvalidDim {
+                dim,
+                vocab_size: self.vocab_size,
+            });
+        }
+        self.refresh_statistics()?;
+        let trainer = PpmiSvdTrainer::new(self.config.trainer.clone());
+        let seed = self.config.svd_seed;
+        let candidate = match (self.config.mode, self.bases.get(&dim)) {
+            (RetrainMode::Incremental, Some(warm)) => {
+                trainer.train_warm(&self.ppmi, dim, seed, warm)
+            }
+            _ => trainer.train(&self.ppmi, dim, seed),
+        };
+        if self.config.mode == RetrainMode::Incremental {
+            // The orthonormalized embedding columns span the candidate's
+            // dominant left subspace — next step's warm seed.
+            self.bases.insert(dim, candidate.mat().orthonormalize());
+        }
+        Ok(candidate)
+    }
+
+    /// One full service step: ingest the increment, retrain one candidate
+    /// per distinct tenant dimension, and submit to every tenant through
+    /// the stability gate. Outcomes come back in tenant-name order.
+    ///
+    /// # Errors
+    ///
+    /// Anything [`ContinuousRetrainer::ingest`],
+    /// [`ContinuousRetrainer::retrain`], or
+    /// [`TenantRegistry::submit`] can return; tenants before the failure
+    /// keep their outcomes (snapshot stores are per-tenant, so there is
+    /// no cross-tenant rollback to do).
+    pub fn step(&mut self, docs: Vec<Vec<u32>>) -> Result<StepReport, StreamError> {
+        let delta = self.ingest(docs)?;
+        let specs: Vec<(String, usize)> = self
+            .registry
+            .tenants()
+            .map(|t| (t.name().to_string(), t.dim()))
+            .collect();
+        let mut candidates: BTreeMap<usize, Embedding> = BTreeMap::new();
+        let mut outcomes = Vec::with_capacity(specs.len());
+        for (tenant, dim) in specs {
+            if !candidates.contains_key(&dim) {
+                let candidate = self.retrain(dim)?;
+                candidates.insert(dim, candidate);
+            }
+            let outcome = self.registry.submit(&tenant, &candidates[&dim])?;
+            outcomes.push(TenantOutcome { tenant, outcome });
+        }
+        Ok(StepReport { delta, outcomes })
+    }
+
+    /// Internal constructor for checkpoint resume: adopts decoded state
+    /// wholesale.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        vocab_size: usize,
+        config: RetrainerConfig,
+        registry: TenantRegistry,
+        corpus: Corpus,
+        cooc: Cooc,
+        ppmi: SparseMatrix,
+        bases: BTreeMap<usize, Mat>,
+        increments: u64,
+    ) -> Self {
+        ContinuousRetrainer {
+            vocab_size,
+            config,
+            registry,
+            corpus,
+            cooc,
+            ppmi,
+            ppmi_fresh: true,
+            pending_dirty: BTreeSet::new(),
+            bases,
+            increments,
+        }
+    }
+
+    /// Checkpoint-internal view of the warm bases.
+    pub(crate) fn bases(&self) -> &BTreeMap<usize, Mat> {
+        &self.bases
+    }
+}

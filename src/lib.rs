@@ -23,6 +23,12 @@
 //!   snapshots ([`serve::SnapshotStore`]), stability-gated promotion
 //!   against per-tenant SLOs ([`serve::StabilityGate`],
 //!   [`serve::TenantRegistry`]), and batched GEMM-backed query paths.
+//! - [`stream`] — incremental worlds: streaming co-occurrence deltas
+//!   ([`stream::CoocDelta`]) that keep the table bitwise identical to a
+//!   one-shot count, incremental PPMI refresh, warm-started retrains,
+//!   and a continuous-retraining service
+//!   ([`stream::ContinuousRetrainer`]) that submits gated candidates to
+//!   the serving layer.
 //! - [`pipeline`] — the end-to-end experiment harness used by the
 //!   table/figure reproduction binaries: the
 //!   [`Experiment`](pipeline::Experiment) builder sweeps tasks over the
@@ -47,3 +53,4 @@ pub use embedstab_linalg as linalg;
 pub use embedstab_pipeline as pipeline;
 pub use embedstab_quant as quant;
 pub use embedstab_serve as serve;
+pub use embedstab_stream as stream;
