@@ -31,10 +31,9 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use embedstab_bench::{merge_shard_rows, parse_shard_suffix, rows_to_jsonl, scale_tag};
-use embedstab_pipeline::cache::atomic_write;
+use embedstab_bench::{clean_stale_shard_rows, merge_fleet_results, resolve_bin, scale_tag};
 use embedstab_pipeline::{Scale, World, WorldCache};
 
 const RESULTS_DIR: &str = "results";
@@ -99,45 +98,8 @@ fn usage(err: &str) -> ! {
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
-/// Resolves the shard binary: an explicit path is used as-is; a bare name
-/// is looked up next to the coordinator executable (both live in the same
-/// cargo target directory).
-fn resolve_bin(name: &str) -> PathBuf {
-    let path = Path::new(name);
-    if path.components().count() > 1 {
-        return path.to_path_buf();
-    }
-    let exe = std::env::current_exe().expect("coordinator knows its own path");
-    let sibling = exe.with_file_name(name);
-    if !sibling.exists() {
-        panic!(
-            "shard binary {} not found next to the coordinator; \
-             build it first or pass a full path via --bin",
-            sibling.display()
-        );
-    }
-    sibling
-}
-
 fn shard_log_path(index: usize, n: usize) -> PathBuf {
     Path::new(RESULTS_DIR).join(format!("coordinator_shard{index}of{n}.log"))
-}
-
-/// Removes leftover shard row files with this fleet's shard count: they
-/// are regenerable intermediates, and a stale one from an aborted earlier
-/// fleet would otherwise be merged as if this fleet had produced it.
-fn clean_stale_shard_rows(n: usize) {
-    let Ok(entries) = fs::read_dir(RESULTS_DIR) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if let Some((_, _, file_n)) = parse_shard_suffix(&path) {
-            if file_n == n {
-                fs::remove_file(&path).ok();
-            }
-        }
-    }
 }
 
 fn main() {
@@ -146,7 +108,7 @@ fn main() {
     let tag = scale_tag(scale);
     let bin = resolve_bin(&args.bin);
     fs::create_dir_all(RESULTS_DIR).unwrap_or_else(|e| panic!("cannot create {RESULTS_DIR}: {e}"));
-    clean_stale_shard_rows(args.shards);
+    clean_stale_shard_rows(Path::new(RESULTS_DIR), args.shards);
 
     // Step 1: the world is built (or loaded) exactly once, here. Shards
     // receive --world-cache and load it instead of rebuilding; the world
@@ -205,22 +167,35 @@ fn main() {
         children.push((index, child));
     }
 
-    // Step 3: wait, reporting every shard's outcome (not just the first
-    // failure — a fleet post-mortem needs the full picture).
+    // Step 3: reap shards as they exit (polling, not sequential waits in
+    // spawn order — shard 0 finishing last must not delay the report, or
+    // the zombie reap, of every other shard), reporting every outcome
+    // rather than just the first failure.
     let mut failures = Vec::new();
-    for (index, mut child) in children {
-        let status = child
-            .wait()
-            .unwrap_or_else(|e| panic!("cannot wait for shard {index}: {e}"));
-        if status.success() {
-            eprintln!("[coordinator] shard {index}/{} finished", args.shards);
-        } else {
-            eprintln!(
-                "[coordinator] shard {index}/{} FAILED ({status}); see {}",
-                args.shards,
-                shard_log_path(index, args.shards).display()
-            );
-            failures.push(index);
+    let mut live: Vec<(usize, Child)> = children;
+    while !live.is_empty() {
+        let mut still_running = Vec::with_capacity(live.len());
+        for (index, mut child) in live {
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    if status.success() {
+                        eprintln!("[coordinator] shard {index}/{} finished", args.shards);
+                    } else {
+                        eprintln!(
+                            "[coordinator] shard {index}/{} FAILED ({status}); see {}",
+                            args.shards,
+                            shard_log_path(index, args.shards).display()
+                        );
+                        failures.push(index);
+                    }
+                }
+                Ok(None) => still_running.push((index, child)),
+                Err(e) => panic!("cannot wait for shard {index}: {e}"),
+            }
+        }
+        live = still_running;
+        if !live.is_empty() {
+            std::thread::sleep(Duration::from_millis(50));
         }
     }
     if !failures.is_empty() {
@@ -236,35 +211,18 @@ fn main() {
 
     // Step 4: fan in. Group this fleet's shard files by stem and merge
     // each complete set into <stem>.merged.jsonl.
-    let mut groups: std::collections::BTreeMap<String, Vec<PathBuf>> =
-        std::collections::BTreeMap::new();
-    for entry in fs::read_dir(RESULTS_DIR)
-        .unwrap_or_else(|e| panic!("cannot read {RESULTS_DIR}: {e}"))
-        .flatten()
-    {
-        let path = entry.path();
-        if let Some((stem, _, n)) = parse_shard_suffix(&path) {
-            if n == args.shards {
-                groups.entry(stem).or_default().push(path);
-            }
-        }
-    }
-    if groups.is_empty() {
+    let merged = merge_fleet_results(Path::new(RESULTS_DIR), args.shards)
+        .unwrap_or_else(|e| panic!("merging shard files failed: {e}"));
+    if merged.is_empty() {
         eprintln!("[coordinator] warning: shards wrote no row files; nothing to merge");
         return;
     }
-    for (stem, mut group) in groups {
-        group.sort();
-        let rows = merge_shard_rows(&group)
-            .unwrap_or_else(|e| panic!("merging '{stem}' shard files failed: {e}"));
-        let out = Path::new(RESULTS_DIR).join(format!("{stem}.merged.jsonl"));
-        atomic_write(&out, rows_to_jsonl(&rows).as_bytes())
-            .unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
+    for (_, out, rows) in merged {
         eprintln!(
-            "[coordinator] merged {} file(s) -> {} ({} rows)",
-            group.len(),
+            "[coordinator] merged {} shard(s) -> {} ({} rows)",
+            args.shards,
             out.display(),
-            rows.len()
+            rows
         );
     }
     eprintln!(

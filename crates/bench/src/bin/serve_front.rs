@@ -107,6 +107,7 @@ fn main() {
     let config = ServerConfig {
         batch_window: Duration::from_micros(window_us),
         max_batch,
+        io_timeout: Some(Duration::from_secs(60)),
     };
     let handle = serve(
         listener,

@@ -223,6 +223,85 @@ pub fn merge_shard_rows_partial<P: AsRef<Path>>(paths: &[P]) -> std::io::Result<
     Ok(rows)
 }
 
+/// Resolves a shard/worker binary: an explicit path (anything with a
+/// separator) is used as-is; a bare name is looked up next to the current
+/// executable (all the bench binaries live in the same cargo target
+/// directory).
+///
+/// # Panics
+///
+/// Panics with a build-it-first message when a bare name has no sibling —
+/// this is a binary-side helper, not a library-call path.
+pub fn resolve_bin(name: &str) -> PathBuf {
+    let path = Path::new(name);
+    if path.components().count() > 1 {
+        return path.to_path_buf();
+    }
+    let exe = std::env::current_exe().expect("binary knows its own path");
+    let sibling = exe.with_file_name(name);
+    if !sibling.exists() {
+        panic!(
+            "binary {} not found next to {}; build it first or pass a full path",
+            sibling.display(),
+            exe.display()
+        );
+    }
+    sibling
+}
+
+/// Removes leftover shard row files with shard count `n` from
+/// `results_dir`: they are regenerable intermediates, and a stale one
+/// from an aborted earlier fleet would otherwise be merged as if the new
+/// fleet had produced it.
+pub fn clean_stale_shard_rows(results_dir: &Path, n: usize) {
+    let Ok(entries) = std::fs::read_dir(results_dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if let Some((_, _, file_n)) = parse_shard_suffix(&path) {
+            if file_n == n {
+                std::fs::remove_file(&path).ok();
+            }
+        }
+    }
+}
+
+/// Fans a fleet's shard row files back in: groups every
+/// `<stem>.shard<i>of<n>.jsonl` in `results_dir` with `n == shards` by
+/// stem, merges each complete group through the validated
+/// [`merge_shard_rows`] path, and writes `<stem>.merged.jsonl` next to
+/// them (atomically). Returns `(stem, merged path, row count)` per group,
+/// sorted by stem; an empty result means the fleet wrote no row files.
+///
+/// # Errors
+///
+/// Any error from reading the directory, an incomplete/mixed shard set
+/// ([`check_shard_set`]), or writing a merged file.
+pub fn merge_fleet_results(
+    results_dir: &Path,
+    shards: usize,
+) -> std::io::Result<Vec<(String, PathBuf, usize)>> {
+    let mut groups: BTreeMap<String, Vec<PathBuf>> = BTreeMap::new();
+    for entry in std::fs::read_dir(results_dir)?.flatten() {
+        let path = entry.path();
+        if let Some((stem, _, n)) = parse_shard_suffix(&path) {
+            if n == shards {
+                groups.entry(stem).or_default().push(path);
+            }
+        }
+    }
+    let mut merged = Vec::new();
+    for (stem, mut group) in groups {
+        group.sort();
+        let rows = merge_shard_rows(&group)?;
+        let out = results_dir.join(format!("{stem}.merged.jsonl"));
+        embedstab_pipeline::cache::atomic_write(&out, rows_to_jsonl(&rows).as_bytes())?;
+        merged.push((stem, out, rows.len()));
+    }
+    Ok(merged)
+}
+
 /// Serializes merged rows back to JSONL (one row per line, trailing
 /// newline), the same line format [`JsonlSink`] writes.
 pub fn rows_to_jsonl(rows: &[Row]) -> String {

@@ -1,0 +1,480 @@
+//! The fleet coordinator: serves the work queue and the cache store over
+//! TCP, stages pushed rows, and commits them only on completion.
+//!
+//! Thread-per-connection, mirroring `embedstab_serve::server`: an accept
+//! thread spawns one handler per worker connection; the caller's thread
+//! sits in [`run_coordinator`] polling the queue until it drains or a
+//! slice exhausts its attempts. Time is injected (`now_ms` closure) so
+//! this crate never reads a clock; the bench binary supplies a monotonic
+//! epoch.
+//!
+//! Correctness properties, pinned by `crates/bench/tests/fleet.rs`:
+//!
+//! - **No panics on worker bytes.** Malformed frames, unknown ops, bad
+//!   keys, out-of-range chunks and slices all become typed
+//!   [`wire::ErrorCode`] responses.
+//! - **Staged commits.** `PushRows` lands in memory, keyed by slice, and
+//!   is accepted only from the slice's current leaseholder; granting a
+//!   slice clears its staging. Row files reach `results_dir` (atomically)
+//!   only when `Complete` arrives while the lease is still held — a
+//!   worker that dies mid-slice leaves **zero** bytes on disk, which is
+//!   what makes the re-dispatched merge bitwise equal to an unsharded
+//!   run.
+//! - **Crash-fast re-dispatch.** A dropped connection releases every
+//!   lease its worker held (no need to wait out the heartbeat timeout);
+//!   heartbeat expiry covers hangs.
+
+use std::collections::BTreeMap;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use embedstab_pipeline::cache::atomic_write;
+use embedstab_pipeline::{store, CacheStore};
+use parking_lot::Mutex;
+
+use crate::queue::{LeaseOutcome, QueueConfig, WorkQueue};
+use crate::transfer::chunk_range;
+use crate::wire::{self, ErrorCode, FleetSpec, Request, Response};
+use crate::FleetError;
+
+/// One pushed row file may not exceed this (staged in memory until
+/// commit; a frame caps near 16 MiB anyway).
+const MAX_ROW_FILE_BYTES: usize = 12 << 20;
+
+/// Everything a coordinator run needs beyond the listener and the store.
+pub struct CoordinatorConfig {
+    /// What every worker is told to run.
+    pub spec: FleetSpec,
+    /// Lease/retry tuning.
+    pub queue: QueueConfig,
+    /// Per-connection socket read/write timeouts (`None` = blocking
+    /// forever). Should comfortably exceed the workers' poll cadence.
+    pub io_timeout: Option<Duration>,
+    /// Where committed row files land (the merge reads them from here).
+    pub results_dir: PathBuf,
+    /// How long to keep answering `Drained` after the last commit, so
+    /// polling workers learn the fleet is done before the socket closes.
+    pub linger: Duration,
+    /// Poll cadence of the supervising loop.
+    pub poll: Duration,
+}
+
+impl CoordinatorConfig {
+    /// A config with library defaults for everything but the spec and
+    /// results directory.
+    pub fn new(spec: FleetSpec, results_dir: PathBuf) -> CoordinatorConfig {
+        CoordinatorConfig {
+            spec,
+            queue: QueueConfig::default(),
+            io_timeout: Some(Duration::from_secs(60)),
+            results_dir,
+            linger: Duration::from_millis(1_000),
+            poll: Duration::from_millis(25),
+        }
+    }
+}
+
+struct Shared {
+    spec: FleetSpec,
+    store: CacheStore,
+    queue: Mutex<WorkQueue>,
+    /// Pushed-but-uncommitted row files: slice → name → bytes. Cleared
+    /// when the slice is granted (fresh dispatch starts clean), drained
+    /// to disk on `Complete` from the holder.
+    staged: Mutex<BTreeMap<u32, BTreeMap<String, Vec<u8>>>>,
+    results_dir: PathBuf,
+    /// Set once the queue drains — `Lease` answers `Drained` from then on.
+    drained: AtomicBool,
+    /// Set once a slice exhausts its attempts — `Lease` answers a
+    /// `FleetFailed` error from then on.
+    failed: AtomicBool,
+    shutdown: AtomicBool,
+    now_ms: Box<dyn Fn() -> u64 + Send + Sync>,
+    io_timeout: Option<Duration>,
+}
+
+/// Runs a fleet to completion: accepts workers on `listener`, dispatches
+/// every slice of `config.spec`, and returns once all row files are
+/// committed under `config.results_dir` (after a short linger so workers
+/// hear `Drained`).
+///
+/// `now_ms` must be monotonic; it is the only clock the coordinator has.
+///
+/// # Errors
+///
+/// [`FleetError::Exhausted`] when a slice burns through
+/// [`QueueConfig::max_attempts`], [`FleetError::Io`] if the listener
+/// cannot be inspected or the accept thread cannot spawn.
+pub fn run_coordinator(
+    listener: TcpListener,
+    store: CacheStore,
+    config: CoordinatorConfig,
+    now_ms: impl Fn() -> u64 + Send + Sync + 'static,
+) -> Result<(), FleetError> {
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(WorkQueue::new(config.spec.shards, config.queue)),
+        spec: config.spec,
+        store,
+        staged: Mutex::new(BTreeMap::new()),
+        results_dir: config.results_dir,
+        drained: AtomicBool::new(false),
+        failed: AtomicBool::new(false),
+        shutdown: AtomicBool::new(false),
+        now_ms: Box::new(now_ms),
+        io_timeout: config.io_timeout,
+    });
+    let accept_shared = shared.clone();
+    thread::Builder::new()
+        .name("fleet-accept".into())
+        .spawn(move || accept_loop(&listener, &accept_shared))?;
+    let outcome = loop {
+        let now = (shared.now_ms)();
+        let (drained, exhausted, expired) = {
+            let mut queue = shared.queue.lock();
+            (queue.is_drained(), queue.exhausted(), queue.expire(now))
+        };
+        for slice in expired {
+            eprintln!("[fleet] lease on slice {slice} expired; requeued");
+        }
+        if let Some((slice, attempts)) = exhausted {
+            shared.failed.store(true, Ordering::SeqCst);
+            break Err(FleetError::Exhausted { slice, attempts });
+        }
+        if drained {
+            shared.drained.store(true, Ordering::SeqCst);
+            break Ok(());
+        }
+        thread::sleep(config.poll);
+    };
+    // Let polling workers hear Drained / FleetFailed before the socket
+    // disappears.
+    thread::sleep(config.linger);
+    shared.shutdown.store(true, Ordering::SeqCst);
+    // Unblock the accept loop with one throwaway connection.
+    TcpStream::connect(addr).ok();
+    outcome
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(shared.io_timeout).ok();
+        stream.set_write_timeout(shared.io_timeout).ok();
+        let shared = shared.clone();
+        // A failed thread spawn drops the connection; the fleet lives on
+        // (the worker reconnects).
+        thread::Builder::new()
+            .name("fleet-conn".into())
+            .spawn(move || connection_loop(stream, &shared))
+            .ok();
+    }
+}
+
+/// Per-connection state: the worker's declared name (set by `Hello`) and
+/// a one-file cache for chunked pulls so a 100-chunk transfer does not
+/// re-read and re-verify the file 100 times.
+struct Connection {
+    worker: Option<String>,
+    served_file: Option<(String, Arc<Vec<u8>>)>,
+}
+
+fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let mut conn = Connection {
+        worker: None,
+        served_file: None,
+    };
+    loop {
+        let body = match wire::read_frame(&mut stream) {
+            Ok(Some(body)) => body,
+            // EOF or transport error: the worker is gone. Its leases go
+            // straight back to the queue — no heartbeat wait.
+            Ok(None) | Err(_) => break,
+        };
+        let response = match wire::decode_request(&body) {
+            None => Response::Error {
+                code: ErrorCode::Malformed,
+                message: "request body did not decode".into(),
+            },
+            Some(req) => dispatch(shared, &mut conn, req),
+        };
+        let Some(out) = wire::encode_response(&response) else {
+            break;
+        };
+        if wire::write_frame(&mut stream, &out).is_err() {
+            break;
+        }
+    }
+    if let Some(worker) = &conn.worker {
+        release(shared, worker, "disconnected");
+    }
+}
+
+/// Requeues every lease `worker` holds (connection drop or re-`Hello`).
+fn release(shared: &Arc<Shared>, worker: &str, why: &str) {
+    let now = (shared.now_ms)();
+    let released = shared.queue.lock().release_worker(worker, now);
+    for slice in &released {
+        eprintln!("[fleet] worker '{worker}' {why}; slice {slice} requeued");
+    }
+}
+
+fn dispatch(shared: &Arc<Shared>, conn: &mut Connection, req: Request) -> Response {
+    if let Request::Hello { worker } = &req {
+        // A reconnect under the same name frees whatever the previous
+        // incarnation held, instead of waiting out its lease.
+        release(shared, worker, "reconnected");
+        conn.worker = Some(worker.clone());
+        return Response::Welcome(shared.spec.clone());
+    }
+    let Some(worker) = conn.worker.clone() else {
+        return Response::Error {
+            code: ErrorCode::MustHello,
+            message: "send Hello before any other request".into(),
+        };
+    };
+    let now = (shared.now_ms)();
+    match req {
+        Request::Hello { .. } => Response::Error {
+            code: ErrorCode::Internal,
+            message: "unreachable: Hello handled above".into(),
+        },
+        Request::Lease => {
+            if shared.failed.load(Ordering::SeqCst) {
+                return Response::Error {
+                    code: ErrorCode::FleetFailed,
+                    message: "a slice ran out of dispatch attempts".into(),
+                };
+            }
+            if shared.drained.load(Ordering::SeqCst) {
+                return Response::Drained;
+            }
+            match shared.queue.lock().lease(&worker, now) {
+                LeaseOutcome::Job { slice } => {
+                    // A fresh dispatch starts with clean staging — any
+                    // partial pushes from a dead predecessor vanish here.
+                    shared.staged.lock().remove(&slice);
+                    eprintln!("[fleet] slice {slice} leased to '{worker}'");
+                    Response::Job {
+                        slice,
+                        shards: shared.spec.shards,
+                    }
+                }
+                LeaseOutcome::Wait { millis } => Response::Wait { millis },
+                LeaseOutcome::Drained => {
+                    shared.drained.store(true, Ordering::SeqCst);
+                    Response::Drained
+                }
+                LeaseOutcome::Exhausted { slice, attempts } => {
+                    shared.failed.store(true, Ordering::SeqCst);
+                    Response::Error {
+                        code: ErrorCode::FleetFailed,
+                        message: format!("slice {slice} failed {attempts} dispatch attempts"),
+                    }
+                }
+            }
+        }
+        Request::Heartbeat { slice } => {
+            if slice >= shared.spec.shards {
+                return unknown_slice(slice, shared.spec.shards);
+            }
+            if shared.queue.lock().heartbeat(&worker, slice, now) {
+                Response::Ack
+            } else {
+                Response::Lost
+            }
+        }
+        Request::CacheKeys => match shared.store.keys() {
+            Ok(keys) => Response::Keys { keys },
+            Err(e) => Response::Error {
+                code: ErrorCode::Internal,
+                message: format!("listing cache keys failed: {e}"),
+            },
+        },
+        Request::CacheGet { key, chunk } => serve_chunk(shared, conn, &key, chunk),
+        Request::PushRows { slice, name, bytes } => {
+            if slice >= shared.spec.shards {
+                return unknown_slice(slice, shared.spec.shards);
+            }
+            if shared.queue.lock().holder(slice) != Some(worker.as_str()) {
+                return Response::Lost;
+            }
+            if let Some(detail) = row_file_objection(&name, slice, shared.spec.shards, &bytes) {
+                return Response::Error {
+                    code: ErrorCode::BadRowFile,
+                    message: detail,
+                };
+            }
+            shared
+                .staged
+                .lock()
+                .entry(slice)
+                .or_default()
+                .insert(name, bytes);
+            Response::Ack
+        }
+        Request::Complete { slice } => {
+            if slice >= shared.spec.shards {
+                return unknown_slice(slice, shared.spec.shards);
+            }
+            if !shared.queue.lock().complete(&worker, slice, now) {
+                return Response::Lost;
+            }
+            let files = shared.staged.lock().remove(&slice).unwrap_or_default();
+            let count = files.len();
+            for (name, bytes) in files {
+                let path = shared.results_dir.join(&name);
+                if let Err(e) = atomic_write(&path, &bytes) {
+                    return Response::Error {
+                        code: ErrorCode::Internal,
+                        message: format!("committing '{name}' failed: {e}"),
+                    };
+                }
+            }
+            eprintln!("[fleet] slice {slice} complete: {count} row file(s) committed");
+            Response::Ack
+        }
+        Request::Failed { slice, message } => {
+            if slice >= shared.spec.shards {
+                return unknown_slice(slice, shared.spec.shards);
+            }
+            eprintln!("[fleet] worker '{worker}' failed slice {slice}: {message}");
+            shared.queue.lock().fail(&worker, slice, now);
+            Response::Ack
+        }
+    }
+}
+
+fn unknown_slice(slice: u32, shards: u32) -> Response {
+    Response::Error {
+        code: ErrorCode::UnknownSlice,
+        message: format!("slice {slice} is outside 0..{shards}"),
+    }
+}
+
+/// Why a pushed row file is unacceptable, or `None` if it is fine. The
+/// name must be a bare `<stem>.shard<i>of<n>.jsonl` whose suffix agrees
+/// with the leased slice and the fleet's shard count.
+fn row_file_objection(name: &str, slice: u32, shards: u32, bytes: &[u8]) -> Option<String> {
+    if bytes.len() > MAX_ROW_FILE_BYTES {
+        return Some(format!(
+            "row file '{name}' is {} bytes (cap {MAX_ROW_FILE_BYTES})",
+            bytes.len()
+        ));
+    }
+    if name.contains('/') || name.contains('\\') || name.contains("..") {
+        return Some(format!("row file name '{name}' is not a bare file name"));
+    }
+    match parse_shard_name(name) {
+        Some((i, n)) if i == slice && n == shards => None,
+        Some((i, n)) => Some(format!(
+            "row file '{name}' claims shard {i}of{n}, lease is {slice}of{shards}"
+        )),
+        None => Some(format!(
+            "row file '{name}' does not match <stem>.shard<i>of<n>.jsonl"
+        )),
+    }
+}
+
+/// Parses `<stem>.shard<i>of<n>.jsonl` into `(i, n)` — the fleet-local
+/// twin of the bench crate's path-based `parse_shard_suffix` (this crate
+/// sits below bench in the dependency order).
+pub(crate) fn parse_shard_name(name: &str) -> Option<(u32, u32)> {
+    let stem = name.strip_suffix(".jsonl")?;
+    let (_, suffix) = stem.rsplit_once('.')?;
+    let rest = suffix.strip_prefix("shard")?;
+    let (i, n) = rest.split_once("of")?;
+    if i.is_empty() || n.is_empty() || !i.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    Some((i.parse().ok()?, n.parse().ok()?))
+}
+
+fn serve_chunk(shared: &Arc<Shared>, conn: &mut Connection, key: &str, chunk: u32) -> Response {
+    if store::parse_key(key).is_none() {
+        return Response::Error {
+            code: ErrorCode::BadKey,
+            message: format!("'{key}' is not a well-formed cache key"),
+        };
+    }
+    let bytes = match &conn.served_file {
+        Some((k, bytes)) if k == key => bytes.clone(),
+        _ => match shared.store.get(key) {
+            Ok(Some(bytes)) => {
+                let bytes = Arc::new(bytes);
+                conn.served_file = Some((key.to_string(), bytes.clone()));
+                bytes
+            }
+            Ok(None) => {
+                return Response::Error {
+                    code: ErrorCode::UnknownKey,
+                    message: format!("cache key '{key}' is not present"),
+                }
+            }
+            Err(e) => {
+                return Response::Error {
+                    code: ErrorCode::Internal,
+                    message: format!("reading '{key}' failed: {e}"),
+                }
+            }
+        },
+    };
+    let Some(range) = chunk_range(bytes.len(), chunk) else {
+        return Response::Error {
+            code: ErrorCode::ChunkOutOfRange,
+            message: format!(
+                "chunk {chunk} is out of range for '{key}' ({} bytes)",
+                bytes.len()
+            ),
+        };
+    };
+    let total_len = bytes.len() as u64;
+    Response::Chunk {
+        total_len,
+        chunks: crate::transfer::chunk_count(bytes.len()),
+        content_hash: embedstab_pipeline::content_hash(&bytes),
+        bytes: bytes[range].to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_names_parse_and_reject() {
+        assert_eq!(
+            parse_shard_name("rows_sst2_tiny.shard1of2.jsonl"),
+            Some((1, 2))
+        );
+        assert_eq!(parse_shard_name("a.b.c.shard0of16.jsonl"), Some((0, 16)));
+        assert_eq!(parse_shard_name("rows.shardof2.jsonl"), None);
+        assert_eq!(parse_shard_name("rows.shard1of.jsonl"), None);
+        assert_eq!(parse_shard_name("rows.shard1of2.json"), None);
+        assert_eq!(parse_shard_name("shard1of2.jsonl"), None);
+        assert_eq!(parse_shard_name("rows.shard-1of2.jsonl"), None);
+    }
+
+    #[test]
+    fn row_file_objections() {
+        assert_eq!(
+            row_file_objection("rows_sst2_tiny.shard1of2.jsonl", 1, 2, b"{}"),
+            None
+        );
+        assert!(row_file_objection("../evil.shard1of2.jsonl", 1, 2, b"{}").is_some());
+        assert!(row_file_objection("a/b.shard1of2.jsonl", 1, 2, b"{}").is_some());
+        assert!(row_file_objection("rows.shard0of2.jsonl", 1, 2, b"{}").is_some());
+        assert!(row_file_objection("rows.shard1of4.jsonl", 1, 2, b"{}").is_some());
+        assert!(row_file_objection("rows.jsonl", 1, 2, b"{}").is_some());
+        let big = vec![0u8; MAX_ROW_FILE_BYTES + 1];
+        assert!(row_file_objection("rows.shard1of2.jsonl", 1, 2, &big).is_some());
+    }
+}

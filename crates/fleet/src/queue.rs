@@ -1,0 +1,406 @@
+//! The coordinator's work queue: slices, leases, and capped-backoff retry.
+//!
+//! Each slice `0..shards` moves through `Ready → Leased → Done`, with a
+//! failure edge back to `Ready` that burns one attempt and delays the
+//! slice by an exponentially growing, capped backoff. A slice that burns
+//! [`QueueConfig::max_attempts`] attempts poisons the queue: the fleet
+//! has failed and [`WorkQueue::exhausted`] names the culprit.
+//!
+//! Time is **injected**: every method takes `now_ms` and the queue never
+//! reads a clock (the `no-wallclock-in-fingerprint` lint covers this
+//! crate). The bench binaries supply a monotonic epoch; tests supply
+//! synthetic instants, which makes timeout behaviour deterministic to
+//! test.
+//!
+//! Leases are held by worker *name*, not connection: a worker that
+//! reconnects after a crash re-sends `Hello` and the coordinator calls
+//! [`WorkQueue::release_worker`] to requeue whatever its dead predecessor
+//! held, without waiting out the lease timeout.
+
+use std::collections::BTreeMap;
+
+/// Retry and lease tuning for a fleet run.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueConfig {
+    /// A lease with no heartbeat for this long is expired and requeued.
+    pub lease_timeout_ms: u64,
+    /// Dispatch attempts per slice before the fleet fails.
+    pub max_attempts: u32,
+    /// Backoff before redispatch no. 2 (doubles per failure).
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling.
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for QueueConfig {
+    fn default() -> QueueConfig {
+        QueueConfig {
+            lease_timeout_ms: 30_000,
+            max_attempts: 5,
+            backoff_base_ms: 200,
+            backoff_cap_ms: 10_000,
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum SliceState {
+    /// Dispatchable once `now_ms >= available_at_ms`.
+    Ready { available_at_ms: u64 },
+    /// Held by a worker until heartbeats stop.
+    Leased { worker: String, expires_ms: u64 },
+    /// Committed; never dispatched again.
+    Done,
+}
+
+/// What a `Lease` request gets back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LeaseOutcome {
+    /// Run this slice.
+    Job {
+        /// The granted slice.
+        slice: u32,
+    },
+    /// Nothing dispatchable yet; retry after this delay.
+    Wait {
+        /// Milliseconds until the nearest slice frees up (or a probe
+        /// interval when everything is leased out).
+        millis: u64,
+    },
+    /// Every slice is done.
+    Drained,
+    /// A slice ran out of attempts; the fleet has failed.
+    Exhausted {
+        /// The slice that could not be completed.
+        slice: u32,
+        /// The attempts it burned.
+        attempts: u32,
+    },
+}
+
+/// The coordinator's slice ledger. Single-threaded by design — the
+/// coordinator wraps it in a lock; the queue itself holds no clock and
+/// spawns nothing.
+#[derive(Debug)]
+pub struct WorkQueue {
+    config: QueueConfig,
+    slices: Vec<SliceState>,
+    /// Dispatch attempts burned per slice (indexed like `slices`).
+    attempts: Vec<u32>,
+    /// First slice to exceed the attempt cap, with its attempt count.
+    exhausted: Option<(u32, u32)>,
+}
+
+impl WorkQueue {
+    /// A queue with `shards` slices, all immediately dispatchable.
+    pub fn new(shards: u32, config: QueueConfig) -> WorkQueue {
+        let n = shards as usize;
+        WorkQueue {
+            config,
+            slices: vec![SliceState::Ready { available_at_ms: 0 }; n],
+            attempts: vec![0; n],
+            exhausted: None,
+        }
+    }
+
+    /// The first slice to run out of attempts, if any, as
+    /// `(slice, attempts)`. Once set, the queue refuses further leases.
+    pub fn exhausted(&self) -> Option<(u32, u32)> {
+        self.exhausted
+    }
+
+    /// True when every slice is `Done`.
+    pub fn is_drained(&self) -> bool {
+        self.slices.iter().all(|s| matches!(s, SliceState::Done))
+    }
+
+    /// The worker currently holding `slice`, if it is leased.
+    pub fn holder(&self, slice: u32) -> Option<&str> {
+        match self.slices.get(slice as usize)? {
+            SliceState::Leased { worker, .. } => Some(worker),
+            _ => None,
+        }
+    }
+
+    /// Requeues every lease whose heartbeat deadline has passed. Returns
+    /// the slices that expired (already requeued with backoff).
+    pub fn expire(&mut self, now_ms: u64) -> Vec<u32> {
+        let mut expired = Vec::new();
+        for i in 0..self.slices.len() {
+            if let SliceState::Leased { expires_ms, .. } = &self.slices[i] {
+                if *expires_ms <= now_ms {
+                    // Indexing with a loop-bound index; u32 per the ctor.
+                    let slice = i as u32;
+                    self.requeue(slice, now_ms);
+                    expired.push(slice);
+                }
+            }
+        }
+        expired
+    }
+
+    /// Grants the oldest dispatchable slice to `worker`, or says why not.
+    /// Expired leases are swept first, so a caller needs no separate
+    /// `expire` cadence.
+    pub fn lease(&mut self, worker: &str, now_ms: u64) -> LeaseOutcome {
+        self.expire(now_ms);
+        if let Some((slice, attempts)) = self.exhausted {
+            return LeaseOutcome::Exhausted { slice, attempts };
+        }
+        let mut nearest: Option<u64> = None;
+        for (i, state) in self.slices.iter_mut().enumerate() {
+            if let SliceState::Ready { available_at_ms } = state {
+                if *available_at_ms <= now_ms {
+                    let slice = i as u32;
+                    self.attempts[i] += 1;
+                    *state = SliceState::Leased {
+                        worker: worker.to_string(),
+                        expires_ms: now_ms.saturating_add(self.config.lease_timeout_ms),
+                    };
+                    return LeaseOutcome::Job { slice };
+                }
+                let wait = *available_at_ms - now_ms;
+                nearest = Some(nearest.map_or(wait, |n| n.min(wait)));
+            }
+        }
+        if self.is_drained() {
+            return LeaseOutcome::Drained;
+        }
+        // Backed-off slices dictate the wait; with everything leased out,
+        // probe at a fraction of the lease timeout.
+        let millis = nearest.unwrap_or_else(|| (self.config.lease_timeout_ms / 4).max(1));
+        LeaseOutcome::Wait { millis }
+    }
+
+    /// Extends `worker`'s lease on `slice`. False if the lease is no
+    /// longer theirs (expired and moved on) — the worker must drop the
+    /// work.
+    pub fn heartbeat(&mut self, worker: &str, slice: u32, now_ms: u64) -> bool {
+        self.expire(now_ms);
+        match self.slices.get_mut(slice as usize) {
+            Some(SliceState::Leased {
+                worker: holder,
+                expires_ms,
+            }) if holder == worker => {
+                *expires_ms = now_ms.saturating_add(self.config.lease_timeout_ms);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Marks `slice` done if `worker` still holds it. False means the
+    /// lease was lost and the completion must be discarded.
+    pub fn complete(&mut self, worker: &str, slice: u32, now_ms: u64) -> bool {
+        self.expire(now_ms);
+        match self.slices.get_mut(slice as usize) {
+            Some(state @ SliceState::Leased { .. }) => {
+                let held = matches!(state, SliceState::Leased { worker: h, .. } if h == worker);
+                if held {
+                    *state = SliceState::Done;
+                }
+                held
+            }
+            _ => false,
+        }
+    }
+
+    /// Reports `worker`'s run of `slice` as failed; requeues it with
+    /// backoff if the lease is still theirs. False if the lease was
+    /// already lost (the slice is requeued either way in that case).
+    pub fn fail(&mut self, worker: &str, slice: u32, now_ms: u64) -> bool {
+        self.expire(now_ms);
+        let held = matches!(
+            self.slices.get(slice as usize),
+            Some(SliceState::Leased { worker: h, .. }) if h == worker
+        );
+        if held {
+            self.requeue(slice, now_ms);
+        }
+        held
+    }
+
+    /// Requeues every slice `worker` holds — the connection-drop path and
+    /// the re-`Hello` path. Returns the slices released.
+    pub fn release_worker(&mut self, worker: &str, now_ms: u64) -> Vec<u32> {
+        let mut released = Vec::new();
+        for i in 0..self.slices.len() {
+            if matches!(&self.slices[i], SliceState::Leased { worker: h, .. } if h == worker) {
+                let slice = i as u32;
+                self.requeue(slice, now_ms);
+                released.push(slice);
+            }
+        }
+        released
+    }
+
+    /// Attempts burned per slice, keyed by slice, for end-of-run logging.
+    pub fn attempt_counts(&self) -> BTreeMap<u32, u32> {
+        self.attempts
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (i as u32, a))
+            .collect()
+    }
+
+    /// Puts a leased slice back to `Ready` with capped exponential
+    /// backoff, or poisons the queue if its attempts are spent.
+    fn requeue(&mut self, slice: u32, now_ms: u64) {
+        let i = slice as usize;
+        let attempts = match self.attempts.get(i) {
+            Some(&a) => a,
+            None => return,
+        };
+        if attempts >= self.config.max_attempts {
+            if self.exhausted.is_none() {
+                self.exhausted = Some((slice, attempts));
+            }
+            // Leave it Ready-but-never-dispatched: `lease` checks
+            // `exhausted` before scanning.
+        }
+        let shift = attempts.saturating_sub(1).min(u32::BITS - 1);
+        let backoff = self
+            .config
+            .backoff_base_ms
+            .checked_shl(shift)
+            .unwrap_or(self.config.backoff_cap_ms)
+            .min(self.config.backoff_cap_ms);
+        if let Some(state) = self.slices.get_mut(i) {
+            *state = SliceState::Ready {
+                available_at_ms: now_ms.saturating_add(backoff),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> QueueConfig {
+        QueueConfig {
+            lease_timeout_ms: 1_000,
+            max_attempts: 3,
+            backoff_base_ms: 100,
+            backoff_cap_ms: 400,
+        }
+    }
+
+    #[test]
+    fn leases_every_slice_once_then_waits_then_drains() {
+        let mut q = WorkQueue::new(2, config());
+        assert_eq!(q.lease("a", 0), LeaseOutcome::Job { slice: 0 });
+        assert_eq!(q.lease("b", 0), LeaseOutcome::Job { slice: 1 });
+        assert!(matches!(q.lease("c", 0), LeaseOutcome::Wait { .. }));
+        assert!(q.complete("a", 0, 10));
+        assert!(q.complete("b", 1, 10));
+        assert!(q.is_drained());
+        assert_eq!(q.lease("a", 10), LeaseOutcome::Drained);
+    }
+
+    #[test]
+    fn missed_heartbeats_expire_the_lease_and_redispatch() {
+        let mut q = WorkQueue::new(1, config());
+        assert_eq!(q.lease("a", 0), LeaseOutcome::Job { slice: 0 });
+        assert!(q.heartbeat("a", 0, 500));
+        // Heartbeat extended the deadline to 1_500; it lapses at 1_500.
+        assert!(matches!(q.lease("b", 1_400), LeaseOutcome::Wait { .. }));
+        // First requeue carries backoff_base (attempts=1 → shift 0).
+        assert!(matches!(q.lease("b", 1_500), LeaseOutcome::Wait { millis } if millis == 100));
+        assert_eq!(q.lease("b", 1_600), LeaseOutcome::Job { slice: 0 });
+        // The original holder has lost the lease.
+        assert!(!q.heartbeat("a", 0, 1_650));
+        assert!(!q.complete("a", 0, 1_650));
+        assert!(q.complete("b", 0, 1_700));
+        assert!(q.is_drained());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut q = WorkQueue::new(1, config());
+        let mut now = 0;
+        let mut delays = Vec::new();
+        for _ in 0..2 {
+            assert_eq!(q.lease("a", now), LeaseOutcome::Job { slice: 0 });
+            assert!(q.fail("a", 0, now));
+            let LeaseOutcome::Wait { millis } = q.lease("a", now) else {
+                panic!("expected backoff wait");
+            };
+            delays.push(millis);
+            now += millis;
+        }
+        // attempts 1, 2 → 100ms, 200ms; a third failure exhausts at
+        // max_attempts=3, so the doubling sequence caps the test here.
+        assert_eq!(delays, vec![100, 200]);
+        assert_eq!(q.lease("a", now), LeaseOutcome::Job { slice: 0 });
+        assert!(q.fail("a", 0, now));
+        assert!(matches!(
+            q.lease("a", now),
+            LeaseOutcome::Exhausted {
+                slice: 0,
+                attempts: 3
+            }
+        ));
+        assert_eq!(q.exhausted(), Some((0, 3)));
+    }
+
+    #[test]
+    fn backoff_cap_applies_with_generous_attempt_budget() {
+        let mut q = WorkQueue::new(
+            1,
+            QueueConfig {
+                max_attempts: 10,
+                ..config()
+            },
+        );
+        let mut now = 0;
+        let mut last = 0;
+        for _ in 0..6 {
+            assert!(matches!(q.lease("a", now), LeaseOutcome::Job { .. }));
+            assert!(q.fail("a", 0, now));
+            let LeaseOutcome::Wait { millis } = q.lease("a", now) else {
+                panic!("expected backoff wait");
+            };
+            last = millis;
+            now += millis;
+        }
+        assert_eq!(last, 400, "backoff must stop at the cap");
+    }
+
+    #[test]
+    fn release_worker_requeues_only_that_workers_leases() {
+        let mut q = WorkQueue::new(3, config());
+        assert_eq!(q.lease("a", 0), LeaseOutcome::Job { slice: 0 });
+        assert_eq!(q.lease("b", 0), LeaseOutcome::Job { slice: 1 });
+        assert_eq!(q.lease("a", 0), LeaseOutcome::Job { slice: 2 });
+        assert_eq!(q.release_worker("a", 10), vec![0, 2]);
+        assert_eq!(q.holder(1), Some("b"));
+        assert_eq!(q.holder(0), None);
+        // Released slices come back after their backoff.
+        assert_eq!(q.lease("c", 10 + 100), LeaseOutcome::Job { slice: 0 });
+    }
+
+    #[test]
+    fn completion_from_a_non_holder_is_rejected() {
+        let mut q = WorkQueue::new(1, config());
+        assert_eq!(q.lease("a", 0), LeaseOutcome::Job { slice: 0 });
+        assert!(!q.complete("b", 0, 1));
+        assert!(!q.fail("b", 0, 1));
+        assert!(q.heartbeat("a", 0, 1), "holder unaffected by impostors");
+        assert!(!q.complete("a", 99, 1), "out-of-range slice");
+    }
+
+    #[test]
+    fn attempt_counts_reflect_dispatches() {
+        let mut q = WorkQueue::new(2, config());
+        assert_eq!(q.lease("a", 0), LeaseOutcome::Job { slice: 0 });
+        assert!(q.fail("a", 0, 0));
+        assert_eq!(q.lease("a", 100), LeaseOutcome::Job { slice: 0 });
+        assert!(q.complete("a", 0, 100));
+        assert_eq!(q.lease("a", 100), LeaseOutcome::Job { slice: 1 });
+        assert!(q.complete("a", 1, 100));
+        let counts = q.attempt_counts();
+        assert_eq!(counts.get(&0), Some(&2));
+        assert_eq!(counts.get(&1), Some(&1));
+    }
+}

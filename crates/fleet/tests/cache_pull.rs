@@ -1,0 +1,155 @@
+//! Cache shipping under fire: a scripted coordinator-side peer serves a
+//! corrupted chunk on the first pull; the worker-side transfer must
+//! surface a typed `CorruptTransfer` (never write the bytes), re-pull,
+//! and end up with a file **bitwise identical** to the original.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use embedstab_fleet::transfer::{chunk_count, chunk_range, ensure_key, pull_key};
+use embedstab_fleet::wire::{
+    decode_request, encode_response, read_frame, write_frame, Request, Response, CHUNK_BYTES,
+};
+use embedstab_fleet::FleetError;
+use embedstab_pipeline::cache::scratch_dir;
+use embedstab_pipeline::{content_hash, CacheStore};
+
+/// A synthetic world-cache file: the real `ESWC` header (magic, version,
+/// fingerprint) followed by a deterministic payload. Large enough to span
+/// two chunks, so assembly and interior-chunk checks are exercised.
+fn world_file(fingerprint: u64, payload_len: usize) -> (String, Vec<u8>) {
+    let key = format!("world_v1_{fingerprint:016x}.bin");
+    let mut bytes = Vec::with_capacity(16 + payload_len);
+    bytes.extend_from_slice(b"ESWC");
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    bytes.extend_from_slice(&fingerprint.to_le_bytes());
+    for i in 0..payload_len {
+        bytes.push((i % 251) as u8);
+    }
+    (key, bytes)
+}
+
+/// Serves chunked `CacheGet`s for exactly one file over one listener.
+/// Every pull attempt whose index is in `corrupt_attempts` gets its first
+/// chunk's last payload byte flipped (with the *correct* whole-file hash
+/// advertised, so only receipt-time verification can catch it).
+fn scripted_peer(
+    listener: TcpListener,
+    file: Vec<u8>,
+    corrupt_attempts: &'static [usize],
+) -> thread::JoinHandle<()> {
+    let attempt = Arc::new(AtomicUsize::new(0));
+    thread::spawn(move || {
+        // One connection is enough: pulls share the worker's stream.
+        let Ok((mut stream, _)) = listener.accept() else {
+            return;
+        };
+        loop {
+            let body = match read_frame(&mut stream) {
+                Ok(Some(body)) => body,
+                _ => return,
+            };
+            let Some(Request::CacheGet { chunk, .. }) = decode_request(&body) else {
+                return;
+            };
+            if chunk == 0 {
+                attempt.fetch_add(1, Ordering::SeqCst);
+            }
+            let this_attempt = attempt.load(Ordering::SeqCst) - 1;
+            let Some(range) = chunk_range(file.len(), chunk) else {
+                return;
+            };
+            let mut piece = file[range].to_vec();
+            if chunk == 0 && corrupt_attempts.contains(&this_attempt) {
+                if let Some(last) = piece.last_mut() {
+                    *last ^= 0xFF;
+                }
+            }
+            let resp = Response::Chunk {
+                total_len: file.len() as u64,
+                chunks: chunk_count(file.len()),
+                content_hash: content_hash(&file),
+                bytes: piece,
+            };
+            let Some(out) = encode_response(&resp) else {
+                return;
+            };
+            if write_frame(&mut stream, &out).is_err() {
+                return;
+            }
+        }
+    })
+}
+
+fn connect(listener: &TcpListener) -> TcpStream {
+    let addr = listener.local_addr().expect("listener addr");
+    TcpStream::connect(addr).expect("connect to scripted peer")
+}
+
+#[test]
+fn corrupt_transfer_is_typed_and_repull_restores_bitwise() {
+    let root = scratch_dir("fleet_cache_pull");
+    std::fs::remove_dir_all(&root).ok();
+    let (key, file) = world_file(0xdead_beef_cafe_f00d, CHUNK_BYTES + 4_096);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let mut stream = connect(&listener);
+    // Attempt 0 corrupt, attempt 1 clean.
+    let peer = scripted_peer(listener, file.clone(), &[0]);
+
+    // Direct pull of the corrupted attempt: a typed CorruptTransfer
+    // naming the key, not an Io error and certainly not bad bytes.
+    match pull_key(&mut stream, &key) {
+        Err(FleetError::CorruptTransfer { key: k, detail }) => {
+            assert_eq!(k, key);
+            assert!(
+                detail.contains("content hash"),
+                "the whole-file hash is what catches a flipped payload byte: {detail}"
+            );
+        }
+        other => panic!("expected CorruptTransfer, got {other:?}"),
+    }
+
+    // ensure_key on an empty store: sees the miss, pulls (clean this
+    // time), verifies, and stores.
+    let store = CacheStore::open(root.join("world"), root.join("pair")).expect("store opens");
+    assert!(!store.has(&key));
+    let pulled = ensure_key(&mut stream, &store, &key).expect("clean pull succeeds");
+    assert!(pulled, "the store was empty; a pull must have happened");
+    let local = store
+        .path(&key)
+        .expect("key parses")
+        .canonicalize()
+        .expect("pulled file exists");
+    let on_disk = std::fs::read(local).expect("read pulled file");
+    assert_eq!(on_disk, file, "pulled file must be bitwise identical");
+
+    // A second ensure_key is a no-op: the store already has it.
+    assert!(!ensure_key(&mut stream, &store, &key).expect("cached"));
+
+    drop(stream);
+    peer.join().expect("peer thread");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn repeatedly_corrupt_transfer_fails_after_one_retry() {
+    let root = scratch_dir("fleet_cache_pull_hard");
+    std::fs::remove_dir_all(&root).ok();
+    let (key, file) = world_file(0x0123_4567_89ab_cdef, 2_048);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let mut stream = connect(&listener);
+    // Both attempts corrupt: ensure_key must give up with the typed error
+    // rather than loop forever, and the store must stay empty.
+    let peer = scripted_peer(listener, file, &[0, 1]);
+    let store = CacheStore::open(root.join("world"), root.join("pair")).expect("store opens");
+    match ensure_key(&mut stream, &store, &key) {
+        Err(FleetError::CorruptTransfer { .. }) => {}
+        other => panic!("expected CorruptTransfer after retry, got {other:?}"),
+    }
+    assert!(!store.has(&key), "corrupt bytes must never reach the store");
+    drop(stream);
+    peer.join().expect("peer thread");
+    std::fs::remove_dir_all(&root).ok();
+}

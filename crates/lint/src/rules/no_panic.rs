@@ -16,6 +16,11 @@
 //!   checkpoint paths run inside the same long-lived serving process; a
 //!   malformed increment or corrupt checkpoint must surface as a
 //!   `StreamError` or a resume miss, never take the service down.
+//! - `crates/fleet/src/**` — every byte the coordinator and worker
+//!   exchange crosses a machine boundary and is peer-controlled; a
+//!   malformed frame, bad cache key, or corrupt transfer must cost one
+//!   connection or one lease (a typed `FleetError`/`ErrorCode`), never
+//!   the fleet.
 //!
 //! The assert macros joined the list with the wire front-end: a
 //! "programmer invariant" on a value that ultimately arrives in
@@ -50,12 +55,14 @@ impl Rule for NoPanicInHotPath {
 
     fn description(&self) -> &'static str {
         "no unwrap/expect/panic!/assert! in crates/serve/src/**, crates/stream/src/**, \
-         or crates/corpus/src/codec.rs; corrupt input must be a typed error or a miss"
+         crates/fleet/src/**, or crates/corpus/src/codec.rs; corrupt input must be a \
+         typed error or a miss"
     }
 
     fn applies_to(&self, rel_path: &str) -> bool {
         rel_path.starts_with("crates/serve/src/")
             || rel_path.starts_with("crates/stream/src/")
+            || rel_path.starts_with("crates/fleet/src/")
             || rel_path == "crates/corpus/src/codec.rs"
     }
 

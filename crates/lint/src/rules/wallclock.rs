@@ -14,9 +14,13 @@
 //! `fingerprint`, plus all of `crates/stream/src/**` — the incremental
 //! service's whole value is that streamed state re-fingerprints and
 //! checkpoints bitwise, so none of its modules may fold the clock into
-//! state. Timing *measurement* (e.g. the coordinator's shard wall-clock
-//! report, the incremental-retrain bench) is fine and stays out of
-//! scope.
+//! state — and all of `crates/fleet/src/**`: the fleet ships cache files
+//! between machines by fingerprint and re-dispatches work on lease
+//! timeouts, so its library code takes time as an *injected* `now_ms`
+//! (the bench binaries supply a monotonic epoch) rather than reading a
+//! clock that could leak into retry schedules or shipped state. Timing
+//! *measurement* (e.g. the coordinator binaries' wall-clock reports, the
+//! incremental-retrain bench) is fine and stays out of scope.
 
 use crate::rules::{Finding, Rule};
 use crate::source::SourceFile;
@@ -29,12 +33,13 @@ impl Rule for NoWallclockInFingerprint {
     }
 
     fn description(&self) -> &'static str {
-        "no SystemTime::now/Instant::now in cache/codec/fingerprint modules \
-         or crates/stream/src/**; cached artifacts must be bitwise reproducible"
+        "no SystemTime::now/Instant::now in cache/codec/fingerprint modules, \
+         crates/stream/src/**, or crates/fleet/src/**; cached artifacts and \
+         fleet schedules must be bitwise reproducible"
     }
 
     fn applies_to(&self, rel_path: &str) -> bool {
-        if rel_path.starts_with("crates/stream/src/") {
+        if rel_path.starts_with("crates/stream/src/") || rel_path.starts_with("crates/fleet/src/") {
             return true;
         }
         let p = rel_path.to_ascii_lowercase();

@@ -99,6 +99,19 @@ fn panic_bad_is_flagged_in_hot_paths() {
 }
 
 #[test]
+fn panic_rule_covers_fleet_sources() {
+    // The fleet's request paths are peer-controlled bytes from other
+    // machines; the hot-path rule must engage there like it does in serve.
+    let src = include_str!("fixtures/panic_bad.rs");
+    let hits = rules_hit("crates/fleet/src/worker.rs", src);
+    assert_eq!(
+        hits.iter().filter(|r| *r == "no-panic-in-hot-path").count(),
+        6,
+        "fleet sources must be in the hot-path rule's scope: {hits:?}"
+    );
+}
+
+#[test]
 fn panic_clean_passes() {
     // Includes a #[cfg(test)] module with an unwrap: tests are exempt.
     assert_clean(
@@ -117,6 +130,18 @@ fn wallclock_bad_is_flagged_in_cache_paths() {
     );
     // Outside cache/codec/fingerprint modules the clock is allowed.
     assert_clean("crates/demo/src/server.rs", src);
+}
+
+#[test]
+fn wallclock_rule_covers_fleet_sources() {
+    // Fleet lease/retry scheduling takes injected time; a clock read
+    // anywhere in the crate (not just cache-named files) must be flagged.
+    let src = include_str!("fixtures/wallclock_bad.rs");
+    let hits = rules_hit("crates/fleet/src/queue.rs", src);
+    assert!(
+        hits.contains(&"no-wallclock-in-fingerprint".to_string()),
+        "fleet sources must be in the wallclock rule's scope: {hits:?}"
+    );
 }
 
 #[test]

@@ -36,6 +36,7 @@ pub mod report;
 pub mod run;
 pub mod scale;
 pub mod sink;
+pub mod store;
 pub mod world;
 pub mod world_cache;
 
@@ -45,5 +46,6 @@ pub use grid::{EmbeddingGrid, PairKey};
 pub use run::{run_ner_grid, run_sentiment_grid, GridOptions, Row};
 pub use scale::{Scale, ScaleParams};
 pub use sink::{JsonlSink, ProgressSink, RowSink};
+pub use store::{content_hash, CacheFamily, CacheKey, CacheStore, StoreError};
 pub use world::World;
 pub use world_cache::{world_fingerprint, WorldCache, WORLD_CACHE_FORMAT_VERSION};

@@ -63,6 +63,10 @@ pub struct ServerConfig {
     pub batch_window: Duration,
     /// Maximum jobs coalesced into one batched call.
     pub max_batch: usize,
+    /// Per-connection socket read/write timeouts. `None` (the default)
+    /// blocks forever — fine for trusted clients; set it when a stalled
+    /// or half-dead peer must not pin a handler thread indefinitely.
+    pub io_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +74,7 @@ impl Default for ServerConfig {
         ServerConfig {
             batch_window: Duration::from_micros(200),
             max_batch: 64,
+            io_timeout: None,
         }
     }
 }
@@ -120,6 +125,7 @@ struct TenantState {
 struct Shared {
     tenants: BTreeMap<String, Arc<TenantState>>,
     addr: SocketAddr,
+    io_timeout: Option<Duration>,
     shutdown: AtomicBool,
     ok_responses: AtomicU64,
     error_responses: AtomicU64,
@@ -252,6 +258,7 @@ pub fn serve(
     let shared = Arc::new(Shared {
         tenants: states,
         addr,
+        io_timeout: config.io_timeout,
         shutdown: AtomicBool::new(false),
         ok_responses: AtomicU64::new(0),
         error_responses: AtomicU64::new(0),
@@ -277,6 +284,9 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         // Frames are small and latency-bound; Nagle would stall every
         // response behind the peer's delayed ACK.
         stream.set_nodelay(true).ok();
+        // A stalled peer surfaces as a read/write timeout in the handler
+        // (which drops the connection) instead of pinning it forever.
+        wire::set_io_timeouts(&stream, shared.io_timeout).ok();
         let shared = shared.clone();
         // A failed thread spawn drops the connection; the server lives on.
         thread::Builder::new()

@@ -520,6 +520,39 @@ pub fn call(stream: &mut (impl Read + Write), req: &Request) -> io::Result<Respo
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "undecodable response frame"))
 }
 
+/// Applies one read/write timeout pair to a TCP stream (`None` restores
+/// fully blocking I/O). Shared by the serve and fleet connection handlers
+/// and their clients, so neither side can hang forever on a stalled peer.
+///
+/// # Errors
+///
+/// Any error from the socket option calls (e.g. a zero `Duration`, which
+/// the OS rejects).
+pub fn set_io_timeouts(
+    stream: &std::net::TcpStream,
+    timeout: Option<std::time::Duration>,
+) -> io::Result<()> {
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)
+}
+
+/// [`call`] over a TCP stream with a per-exchange deadline: the timeouts
+/// are applied before the exchange, and a stalled server surfaces as
+/// [`io::ErrorKind::WouldBlock`]/[`io::ErrorKind::TimedOut`] instead of
+/// hanging the client.
+///
+/// # Errors
+///
+/// Everything [`call`] returns, plus socket-option and timeout errors.
+pub fn call_with_timeout(
+    stream: &mut std::net::TcpStream,
+    req: &Request,
+    timeout: Option<std::time::Duration>,
+) -> io::Result<Response> {
+    set_io_timeouts(stream, timeout)?;
+    call(stream, req)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -38,6 +38,9 @@ fn start_server(label: &str, base: &Embedding, max_pending: usize) -> (ServeHand
         ServerConfig {
             batch_window: Duration::from_micros(100),
             max_batch: 32,
+            // Generous: tests must never hang on a stuck handler, but
+            // must not flake under load either.
+            io_timeout: Some(Duration::from_secs(30)),
         },
     )
     .expect("serve");

@@ -23,6 +23,10 @@
 //!   snapshots ([`serve::SnapshotStore`]), stability-gated promotion
 //!   against per-tenant SLOs ([`serve::StabilityGate`],
 //!   [`serve::TenantRegistry`]), and batched GEMM-backed query paths.
+//! - [`fleet`] — machine-spanning shard fleets: a TCP coordinator/worker
+//!   pair with content-addressed cache shipping
+//!   ([`pipeline::CacheStore`]), lease-based work-queue retry
+//!   ([`fleet::WorkQueue`]), and bitwise-reproducible fan-in.
 //! - [`stream`] — incremental worlds: streaming co-occurrence deltas
 //!   ([`stream::CoocDelta`]) that keep the table bitwise identical to a
 //!   one-shot count, incremental PPMI refresh, warm-started retrains,
@@ -48,6 +52,7 @@ pub use embedstab_corpus as corpus;
 pub use embedstab_ctx as ctx;
 pub use embedstab_downstream as downstream;
 pub use embedstab_embeddings as embeddings;
+pub use embedstab_fleet as fleet;
 pub use embedstab_kge as kge;
 pub use embedstab_linalg as linalg;
 pub use embedstab_pipeline as pipeline;
