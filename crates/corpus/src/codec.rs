@@ -128,7 +128,7 @@ pub fn take_mat(r: &mut &[u8]) -> Option<Mat> {
         return None;
     }
     let data: Option<Vec<f64>> = (0..n).map(|_| take_f64(r)).collect();
-    Some(Mat::from_vec(rows, cols, data?))
+    Mat::try_from_vec(rows, cols, data?)
 }
 
 #[cfg(test)]

@@ -257,7 +257,11 @@ fn dispatch(shared: &Arc<Shared>, conn: &mut Connection, req: Request) -> Respon
             if shared.drained.load(Ordering::SeqCst) {
                 return Response::Drained;
             }
-            match shared.queue.lock().lease(&worker, now) {
+            // Hoisted out of the match scrutinee: a scrutinee temporary
+            // would hold the queue guard through every arm, pinning it
+            // across the staged-map lock and console IO below.
+            let outcome = shared.queue.lock().lease(&worker, now);
+            match outcome {
                 LeaseOutcome::Job { slice } => {
                     // A fresh dispatch starts with clean staging — any
                     // partial pushes from a dead predecessor vanish here.

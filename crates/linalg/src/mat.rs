@@ -61,6 +61,17 @@ impl Mat {
         Mat { rows, cols, data }
     }
 
+    /// Fallible [`Mat::from_vec`]: `None` when `data.len() != rows * cols`
+    /// (or the product overflows). Decoders and serve paths must use this
+    /// — the shape there comes from wire bytes or batched user input, and
+    /// a malformed shape is a protocol error, not a programmer error.
+    pub fn try_from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Option<Self> {
+        if rows.checked_mul(cols) != Some(data.len()) {
+            return None;
+        }
+        Some(Mat { rows, cols, data })
+    }
+
     /// Creates a matrix by evaluating `f(i, j)` at every position.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
@@ -423,6 +434,15 @@ mod tests {
         assert_eq!(i[(0, 0)], 1.0);
         assert_eq!(i[(0, 1)], 0.0);
         assert_eq!(i.trace(), 3.0);
+    }
+
+    #[test]
+    fn try_from_vec_validates_shape() {
+        let m = Mat::try_from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m, Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        assert!(Mat::try_from_vec(2, 2, vec![1.0]).is_none());
+        assert!(Mat::try_from_vec(usize::MAX, 2, vec![1.0]).is_none());
+        assert!(Mat::try_from_vec(0, 0, Vec::new()).is_some());
     }
 
     #[test]

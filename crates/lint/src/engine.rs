@@ -6,8 +6,9 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::callgraph::{CallGraphStats, Workspace};
 use crate::config::{parse_allowlist, AllowEntry, ALLOWLIST_RULE};
-use crate::rules::{all_rules, rule_ids, Finding};
+use crate::rules::{all_rules, all_workspace_rules, rule_ids, Finding};
 use crate::source::SourceFile;
 
 /// Directory names never descended into. `fixtures` keeps the linter's
@@ -22,6 +23,8 @@ pub struct Report {
     /// Findings matched by an allowlist entry, kept for the report.
     pub suppressed: Vec<Finding>,
     pub files_scanned: usize,
+    /// Resolver health of the workspace call graph (the CI artifact).
+    pub callgraph: CallGraphStats,
 }
 
 impl Report {
@@ -31,18 +34,42 @@ impl Report {
     }
 }
 
-/// Lints one in-memory source file under its workspace-relative path.
-/// This is the fixture-test entry point; path scoping works exactly as it
-/// does on disk.
-pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
-    let file = SourceFile::parse(rel_path, src);
+/// Runs every rule — per-file, then workspace-level over the call graph —
+/// on already-parsed files. The core both `lint_root` and the in-memory
+/// entry points share.
+fn lint_parsed(files: Vec<SourceFile>) -> (Vec<Finding>, CallGraphStats) {
     let mut findings = Vec::new();
-    for rule in all_rules() {
-        if rule.applies_to(rel_path) {
-            findings.extend(rule.check(&file));
+    for file in &files {
+        for rule in all_rules() {
+            if rule.applies_to(&file.rel_path) {
+                findings.extend(rule.check(file));
+            }
         }
     }
-    findings
+    let ws = Workspace::build(files);
+    for rule in all_workspace_rules() {
+        findings.extend(rule.check(&ws));
+    }
+    (findings, ws.graph.stats)
+}
+
+/// Lints one in-memory source file under its workspace-relative path.
+/// This is the single-file fixture-test entry point; path scoping works
+/// exactly as it does on disk. Workspace rules run over the one file.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    lint_sources(&[(rel_path, src)])
+}
+
+/// Lints a set of in-memory source files as one workspace — the entry
+/// point for multi-file fixtures exercising the call-graph rules (a
+/// transitive panic chain spanning two files resolves here exactly as it
+/// does on disk).
+pub fn lint_sources(sources: &[(&str, &str)]) -> Vec<Finding> {
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(rel, src)| SourceFile::parse(rel, src))
+        .collect();
+    lint_parsed(files).0
 }
 
 /// Splits raw findings into (kept, suppressed) under the allowlist and
@@ -108,8 +135,7 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 pub fn lint_root(root: &Path) -> io::Result<Report> {
     let mut paths = Vec::new();
     walk(root, &mut paths)?;
-    let mut raw = Vec::new();
-    let mut files_scanned = 0usize;
+    let mut files = Vec::new();
     for path in &paths {
         let rel = path
             .strip_prefix(root)
@@ -119,9 +145,10 @@ pub fn lint_root(root: &Path) -> io::Result<Report> {
         let Ok(src) = fs::read_to_string(path) else {
             continue; // non-UTF8 .rs file: nothing for a lexer to do
         };
-        files_scanned += 1;
-        raw.extend(lint_source(&rel, &src));
+        files.push(SourceFile::parse(&rel, &src));
     }
+    let files_scanned = files.len();
+    let (raw, callgraph) = lint_parsed(files);
 
     let allow_path = root.join("lint-allow.toml");
     let (entries, mut config_findings) = match fs::read_to_string(&allow_path) {
@@ -136,6 +163,7 @@ pub fn lint_root(root: &Path) -> io::Result<Report> {
         findings,
         suppressed,
         files_scanned,
+        callgraph,
     })
 }
 
@@ -177,6 +205,10 @@ pub fn render_json(report: &Report) -> String {
     out.push_str(&format!("\"files_scanned\":{},", report.files_scanned));
     out.push_str(&format!("\"suppressed\":{},", report.suppressed.len()));
     out.push_str(&format!("\"clean\":{},", report.is_clean()));
+    out.push_str(&format!(
+        "\"callgraph\":{},",
+        report.callgraph.render_json()
+    ));
     out.push_str("\"findings\":[");
     for (i, f) in report.findings.iter().enumerate() {
         if i > 0 {
@@ -207,18 +239,29 @@ pub fn render_text(report: &Report) -> String {
             out.push_str(&format!("    | {}\n", f.snippet));
         }
     }
+    let cg = &report.callgraph;
     if report.is_clean() {
         out.push_str(&format!(
-            "embedstab-lint: clean ({} files scanned, {} suppressed)\n",
+            "embedstab-lint: clean ({} files scanned, {} suppressed; callgraph: {} fns, \
+             {} edges, {}/{} calls unresolved)\n",
             report.files_scanned,
-            report.suppressed.len()
+            report.suppressed.len(),
+            cg.functions,
+            cg.edges,
+            cg.unresolved_calls,
+            cg.calls,
         ));
     } else {
         out.push_str(&format!(
-            "embedstab-lint: {} finding(s) ({} files scanned, {} suppressed)\n",
+            "embedstab-lint: {} finding(s) ({} files scanned, {} suppressed; callgraph: \
+             {} fns, {} edges, {}/{} calls unresolved)\n",
             report.findings.len(),
             report.files_scanned,
-            report.suppressed.len()
+            report.suppressed.len(),
+            cg.functions,
+            cg.edges,
+            cg.unresolved_calls,
+            cg.calls,
         ));
     }
     out

@@ -8,8 +8,10 @@
 //! sorts — which were found by hand. This crate makes those bug classes
 //! mechanical: a dependency-free lexer (comment/string/lifetime-aware
 //! token stream, no AST) feeds a rule engine that walks every
-//! non-vendored `.rs` file and enforces six rules, each grounded in a bug
-//! the repo shipped or a hazard one edit away:
+//! non-vendored `.rs` file and enforces nine rules, each grounded in a
+//! bug the repo shipped or a hazard one edit away. Six are per-file
+//! token-pattern rules; three ride on a whole-workspace symbol index and
+//! conservative name-resolved call graph ([`callgraph`]):
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -19,18 +21,26 @@
 //! | `no-panic-in-hot-path` | serve + codec paths return typed errors, never panic |
 //! | `no-wallclock-in-fingerprint` | cache/codec/fingerprint modules never read the clock |
 //! | `no-truncating-cast-in-codec` | codec encoders bounds-check narrowing casts |
+//! | `alloc-before-length-check` | decoders bound freshly read lengths before allocating |
+//! | `no-transitive-panic-in-hot-path` | hot entry points reach no panic within 2 call edges |
+//! | `lock-order` | one global lock order; no guard held across locking calls or socket IO |
 //!
 //! Suppressions live only in `lint-allow.toml` at the workspace root and
 //! must carry a written justification (see [`config`]). The binary exits
 //! nonzero on any unsuppressed finding, so CI fails when a rule is
 //! reintroduced.
 
+pub mod callgraph;
 pub mod config;
 pub mod engine;
 pub mod lexer;
 pub mod rules;
 pub mod source;
+pub mod symbols;
 
+pub use callgraph::{CallGraph, CallGraphStats, Workspace};
 pub use config::{parse_allowlist, AllowEntry};
-pub use engine::{apply_allowlist, find_workspace_root, lint_root, lint_source, Report};
-pub use rules::{all_rules, rule_ids, Finding, Rule};
+pub use engine::{
+    apply_allowlist, find_workspace_root, lint_root, lint_source, lint_sources, Report,
+};
+pub use rules::{all_rules, all_workspace_rules, rule_catalog, rule_ids, Finding, Rule};

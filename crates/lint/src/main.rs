@@ -2,28 +2,35 @@
 //!
 //! ```text
 //! cargo run -p embedstab-lint [-- --root PATH --format text|json --out PATH]
+//! cargo run -p embedstab-lint -- --explain lock-order
 //! ```
 //!
-//! Exit codes: 0 clean, 1 unsuppressed findings, 2 operator error.
+//! Exit codes: 0 clean, 1 unsuppressed findings (or a regressed
+//! callgraph/baseline threshold), 2 operator error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use embedstab_lint::engine::{find_workspace_root, lint_root, render_json, render_text};
-use embedstab_lint::rules::all_rules;
+use embedstab_lint::rules::rule_catalog;
 
 fn usage() -> String {
     let mut out = String::from(
         "embedstab-lint: determinism & safety static analysis for the embedstab workspace\n\n\
          USAGE:\n    embedstab-lint [--root PATH] [--format text|json] [--out PATH]\n\n\
          OPTIONS:\n\
-         \x20   --root PATH      workspace root (default: nearest ancestor with [workspace])\n\
-         \x20   --format FORMAT  text (default) or json\n\
-         \x20   --out PATH       also write the rendered report to PATH\n\
-         \x20   --help           this message\n\nRULES:\n",
+         \x20   --root PATH                 workspace root (default: nearest ancestor with [workspace])\n\
+         \x20   --format FORMAT             text (default) or json\n\
+         \x20   --out PATH                  also write the rendered report to PATH\n\
+         \x20   --explain RULE              print a rule's rationale, example, and suppression guidance\n\
+         \x20   --callgraph-stats PATH      write resolver stats JSON (fn/edge/unresolved counts)\n\
+         \x20   --max-unresolved-ratio X    fail (exit 1) when unresolved calls exceed this ratio\n\
+         \x20   --baseline PATH             fail (exit 1) when finding/suppression counts exceed\n\
+         \x20                               the committed baseline JSON\n\
+         \x20   --help                      this message\n\nRULES:\n",
     );
-    for rule in all_rules() {
-        out.push_str(&format!("    {:<30} {}\n", rule.id(), rule.description()));
+    for (id, desc, _) in rule_catalog() {
+        out.push_str(&format!("    {:<33} {}\n", id, desc));
     }
     out.push_str(
         "\nSuppressions: lint-allow.toml at the workspace root; every entry needs a\n\
@@ -32,10 +39,30 @@ fn usage() -> String {
     out
 }
 
+fn explain(rule: &str) -> Option<String> {
+    rule_catalog()
+        .into_iter()
+        .find(|(id, _, _)| *id == rule)
+        .map(|(id, desc, body)| format!("{id}\n  {desc}\n\n{body}\n"))
+}
+
+/// Extracts the integer following `"key":` in a flat JSON object —
+/// enough for the committed baseline file, with no parser dependency.
+fn json_usize(text: &str, key: &str) -> Option<usize> {
+    let tag = format!("\"{key}\":");
+    let at = text.find(&tag)? + tag.len();
+    let rest = text[at..].trim_start();
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut format = String::from("text");
     let mut out_path: Option<PathBuf> = None;
+    let mut stats_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut max_unresolved: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -43,9 +70,47 @@ fn main() -> ExitCode {
                 print!("{}", usage());
                 return ExitCode::SUCCESS;
             }
+            "--explain" => {
+                let Some(rule) = args.next() else {
+                    eprintln!("embedstab-lint: --explain needs a rule id\n\n{}", usage());
+                    return ExitCode::from(2);
+                };
+                match explain(&rule) {
+                    Some(text) => {
+                        print!("{text}");
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!(
+                            "embedstab-lint: unknown rule `{rule}`; known rules:\n{}",
+                            rule_catalog()
+                                .iter()
+                                .map(|(id, _, _)| format!("    {id}"))
+                                .collect::<Vec<_>>()
+                                .join("\n")
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--root" => root = args.next().map(PathBuf::from),
             "--format" => format = args.next().unwrap_or_default(),
             "--out" => out_path = args.next().map(PathBuf::from),
+            "--callgraph-stats" => stats_path = args.next().map(PathBuf::from),
+            "--baseline" => baseline_path = args.next().map(PathBuf::from),
+            "--max-unresolved-ratio" => {
+                let raw = args.next().unwrap_or_default();
+                match raw.parse::<f64>() {
+                    Ok(x) if (0.0..=1.0).contains(&x) => max_unresolved = Some(x),
+                    _ => {
+                        eprintln!(
+                            "embedstab-lint: --max-unresolved-ratio needs a number in \
+                             [0, 1], got `{raw}`"
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             other => {
                 eprintln!("embedstab-lint: unknown argument `{other}`\n\n{}", usage());
                 return ExitCode::from(2);
@@ -92,9 +157,60 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    if report.is_clean() {
-        ExitCode::SUCCESS
-    } else {
+    if let Some(path) = stats_path {
+        if let Err(e) = std::fs::write(&path, report.callgraph.render_json().as_bytes()) {
+            eprintln!(
+                "embedstab-lint: cannot write callgraph stats to {}: {e}",
+                path.display()
+            );
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut failed = !report.is_clean();
+    if let Some(limit) = max_unresolved {
+        let ratio = report.callgraph.unresolved_ratio();
+        if ratio > limit {
+            eprintln!(
+                "embedstab-lint: call-graph resolver regressed: {:.4} of calls \
+                 unresolved ({} of {}), committed threshold is {:.4}",
+                ratio, report.callgraph.unresolved_calls, report.callgraph.calls, limit
+            );
+            failed = true;
+        }
+    }
+    if let Some(path) = baseline_path {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let base_findings = json_usize(&text, "findings").unwrap_or(0);
+                let base_suppressed = json_usize(&text, "suppressed").unwrap_or(0);
+                if report.findings.len() > base_findings
+                    || report.suppressed.len() > base_suppressed
+                {
+                    eprintln!(
+                        "embedstab-lint: counts regressed vs baseline {}: findings \
+                         {} (baseline {}), suppressed {} (baseline {})",
+                        path.display(),
+                        report.findings.len(),
+                        base_findings,
+                        report.suppressed.len(),
+                        base_suppressed
+                    );
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "embedstab-lint: cannot read baseline {}: {e}",
+                    path.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if failed {
         ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -1,0 +1,290 @@
+//! `alloc-before-length-check` — a decoder must bound a freshly read
+//! length *before* allocating by it.
+//!
+//! The bug class PR 7/9's frame pre-checks exist to prevent: a wire
+//! decoder reads a `u32` length from peer-controlled bytes and calls
+//! `Vec::with_capacity(len)` / `vec![0u8; len]` before comparing it
+//! against anything — a four-byte frame then asks the process for 4 GiB.
+//! `serve::wire::read_frame` does it right:
+//!
+//! ```text
+//! let len = u32::from_le_bytes(len_bytes) as usize;
+//! if len > MAX_FRAME_BYTES { return Err(oversize(len)); }
+//! let mut body = vec![0u8; len];
+//! ```
+//!
+//! Heuristic: inside decoder-named fns (`decode*`/`read*`/`parse*`/
+//! `take*`) in the codec/wire/transfer/store/cache file family, find
+//! `Vec::with_capacity(..)`, `vec![x; n]`, and `.reserve(..)` whose size
+//! argument involves a variable whose `let` binding calls a reader
+//! (`read_*`/`take_*`/`decode_*`/`parse_*`/`from_le_bytes`/...), or a
+//! reader call directly in the argument. Such an allocation is clean
+//! only when a comparison touching that variable (`len >`, `< len`,
+//! `<=`, `>=`), a `.min(..)` clamp, or a `MAX`-named bound appears
+//! between the binding and the allocation. Validating readers that
+//! return pre-bounded lengths (`take_len`, `take_count`) are trusted.
+
+use crate::lexer::TokenKind;
+use crate::rules::{Finding, Rule};
+use crate::source::SourceFile;
+
+/// Fn-name prefixes that mark a decode path.
+const DECODER_PREFIXES: [&str; 4] = ["decode", "read", "parse", "take"];
+/// Call-name prefixes that produce a fresh, attacker-influenced integer.
+const READER_PREFIXES: [&str; 7] = [
+    "read_",
+    "take_",
+    "decode_",
+    "parse_",
+    "from_le_bytes",
+    "from_be_bytes",
+    "get_u",
+];
+/// Readers whose contract already bounds the returned length against the
+/// remaining input (see `corpus::codec::take_len`, `serve::wire`'s
+/// `take_count`).
+const VALIDATING_READERS: [&str; 2] = ["take_len", "take_count"];
+
+pub struct AllocBeforeLengthCheck;
+
+fn is_decoder_fn(name: &str) -> bool {
+    DECODER_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+fn is_reader_call(name: &str) -> bool {
+    READER_PREFIXES.iter().any(|p| name.starts_with(p)) && !VALIDATING_READERS.contains(&name)
+}
+
+impl Rule for AllocBeforeLengthCheck {
+    fn id(&self) -> &'static str {
+        "alloc-before-length-check"
+    }
+
+    fn description(&self) -> &'static str {
+        "decoder fns in codec/wire/transfer/store/cache modules must bound a freshly \
+         read length (MAX_* / ::MAX / len comparison / .min) before Vec::with_capacity, \
+         vec![x; n], or reserve"
+    }
+
+    fn explain(&self) -> &'static str {
+        "WHY: a wire decoder that allocates by an unchecked length turns a 4-byte \
+         malicious frame into a multi-GiB allocation — denial of service by \
+         arithmetic. Every length that crosses the wire must be compared against \
+         a bound (MAX_FRAME_BYTES, remaining input len) before it sizes memory.\n\
+         EXAMPLE: let len = take_u32(r)? as usize; let mut v = \
+         Vec::with_capacity(len);  // no check between read and alloc\n\
+         FIX: `if len > MAX_FRAME_BYTES { return ...; }` first, or clamp with \
+         `.min(bound)`, or derive the capacity from the already-validated \
+         remaining input (`take_len`/`take_count` are trusted for exactly this).\n\
+         SUPPRESS: only when the bound is enforced by the caller on every path; \
+         name that call site in the justification."
+    }
+
+    fn applies_to(&self, rel_path: &str) -> bool {
+        let p = rel_path.to_ascii_lowercase();
+        p.contains("codec")
+            || p.contains("wire")
+            || p.contains("transfer")
+            || p.contains("store")
+            || p.contains("cache")
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let toks = &file.tokens;
+        let mut findings = Vec::new();
+        for i in 0..toks.len() {
+            if file.test_mask[i] {
+                continue;
+            }
+            // Locate an allocation site and its size-argument token range.
+            let (arg_lo, arg_hi, alloc_desc) = if toks[i].is_ident("with_capacity")
+                && i >= 1
+                && toks[i - 1].is_punct("::")
+                && matches!(toks.get(i + 1), Some(n) if n.is_punct("("))
+            {
+                let close = matching_close(toks, i + 1, "(", ")");
+                (i + 2, close, "with_capacity")
+            } else if (toks[i].is_ident("reserve") || toks[i].is_ident("reserve_exact"))
+                && i >= 1
+                && toks[i - 1].is_punct(".")
+                && matches!(toks.get(i + 1), Some(n) if n.is_punct("("))
+            {
+                let close = matching_close(toks, i + 1, "(", ")");
+                (i + 2, close, "reserve")
+            } else if toks[i].is_ident("vec")
+                && matches!(toks.get(i + 1), Some(n) if n.is_punct("!"))
+                && matches!(toks.get(i + 2), Some(n) if n.is_punct("["))
+            {
+                let close = matching_close(toks, i + 2, "[", "]");
+                // Only the `vec![elem; n]` form sizes by `n`.
+                let Some(semi) = (i + 3..close)
+                    .find(|&k| toks[k].is_punct(";") && bracket_depth(toks, i + 3, k) == 0)
+                else {
+                    continue;
+                };
+                (semi + 1, close, "vec![..; n]")
+            } else {
+                continue;
+            };
+            let Some(span) = file.enclosing_fn(i) else {
+                continue;
+            };
+            if !is_decoder_fn(&span.name) {
+                continue;
+            }
+
+            // The size argument is safe when it is all literals, carries a
+            // MAX-style constant, or is visibly clamped in place.
+            let arg = &toks[arg_lo..arg_hi.min(toks.len())];
+            if arg.iter().any(|t| {
+                (t.kind == TokenKind::Ident
+                    && t.text.chars().all(|c| c.is_uppercase() || c == '_')
+                    && t.text.len() > 1)
+                    || t.is_ident("min")
+                    || t.is_ident("MAX")
+                    || t.is_ident("clamp")
+            }) {
+                continue;
+            }
+
+            // Directly reading inside the argument is never checked.
+            let direct_read = arg
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && is_reader_call(&t.text));
+
+            // Otherwise: find argument variables bound from a reader call
+            // with no comparison between binding and allocation.
+            let mut culprit: Option<String> = None;
+            if direct_read {
+                culprit = Some("<read value>".to_string());
+            } else {
+                for t in arg {
+                    if t.kind != TokenKind::Ident
+                        || t.text.chars().next().is_some_and(|c| !c.is_lowercase())
+                    {
+                        continue;
+                    }
+                    let v = t.text.as_str();
+                    if !binding_reads_fresh(toks, span.start, i, v) {
+                        continue;
+                    }
+                    if bound_evidence(toks, span.start, i, v) {
+                        continue;
+                    }
+                    culprit = Some(v.to_string());
+                    break;
+                }
+            }
+            let Some(culprit) = culprit else { continue };
+            findings.push(Finding::new(
+                self.id(),
+                file,
+                toks[i].line,
+                format!(
+                    "`{}` in decoder `{}` sized by freshly read `{}` with no preceding \
+                     bound check — a malicious length here is a giant allocation; \
+                     compare against a MAX_*/remaining-input bound first",
+                    alloc_desc, span.name, culprit
+                ),
+            ));
+        }
+        findings
+    }
+}
+
+/// Index of the closer matching `toks[open]` (which must be `open_p`).
+fn matching_close(toks: &[crate::lexer::Token], open: usize, open_p: &str, close_p: &str) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(open_p) {
+            depth += 1;
+        } else if t.is_punct(close_p) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Net `(`/`[` depth of `toks[lo..k]`.
+fn bracket_depth(toks: &[crate::lexer::Token], lo: usize, k: usize) -> i32 {
+    let mut depth = 0i32;
+    for t in &toks[lo..k] {
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        }
+    }
+    depth
+}
+
+/// Whether `let [mut] v = ...;` between `lo` and `hi` initializes `v`
+/// from a reader call (and without an in-line clamp/bound).
+fn binding_reads_fresh(toks: &[crate::lexer::Token], lo: usize, hi: usize, v: &str) -> bool {
+    for k in lo..hi {
+        if !toks[k].is_ident("let") {
+            continue;
+        }
+        let mut n = k + 1;
+        if matches!(toks.get(n), Some(t) if t.is_ident("mut")) {
+            n += 1;
+        }
+        if !matches!(toks.get(n), Some(t) if t.is_ident(v)) {
+            continue;
+        }
+        // Initializer tokens up to the statement's `;`.
+        let mut fresh = false;
+        let mut clamped = false;
+        let mut j = n + 1;
+        let mut depth = 0i32;
+        while j < hi {
+            let t = &toks[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if t.is_punct(";") && depth <= 0 {
+                break;
+            } else if t.kind == TokenKind::Ident {
+                if is_reader_call(&t.text) {
+                    fresh = true;
+                }
+                if t.is_ident("min") || t.is_ident("clamp") || t.text.contains("MAX") {
+                    clamped = true;
+                }
+            }
+            j += 1;
+        }
+        if fresh && !clamped {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether a comparison or clamp touching `v` appears in `toks[lo..hi]`:
+/// `v` adjacent to `<`/`>`/`<=`/`>=`, or `v.min(..)`.
+fn bound_evidence(toks: &[crate::lexer::Token], lo: usize, hi: usize, v: &str) -> bool {
+    const CMP: [&str; 4] = ["<", ">", "<=", ">="];
+    for k in lo..hi {
+        if !toks[k].is_ident(v) {
+            continue;
+        }
+        let prev_cmp = k >= 1
+            && toks[k - 1].kind == TokenKind::Punct
+            && CMP.contains(&toks[k - 1].text.as_str());
+        let next_cmp = matches!(
+            toks.get(k + 1),
+            Some(t) if t.kind == TokenKind::Punct && CMP.contains(&t.text.as_str())
+        );
+        let clamps = matches!(toks.get(k + 1), Some(t) if t.is_punct("."))
+            && matches!(toks.get(k + 2), Some(t) if t.is_ident("min") || t.is_ident("clamp"));
+        if prev_cmp || next_cmp || clamps {
+            return true;
+        }
+    }
+    false
+}

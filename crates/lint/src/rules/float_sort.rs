@@ -40,6 +40,18 @@ impl Rule for FloatSortTotalOrder {
          core::stats::cmp_nan_last/cmp_desc_nan_last"
     }
 
+    fn explain(&self) -> &'static str {
+        "WHY: `partial_cmp` is not a total order under NaN. PR 5 swept ten float \
+         sorts whose comparators called `partial_cmp(..).unwrap()` — one degenerate \
+         value panics the sort, and `unwrap_or(Equal)` silently produces an ordering \
+         that depends on the input permutation (per-process nondeterminism).\n\
+         EXAMPLE: scores.sort_by(|a, b| a.partial_cmp(b).unwrap())\n\
+         FIX: `f64::total_cmp`, or `core::stats::cmp_nan_last`/`cmp_desc_nan_last` \
+         when runtime NaNs must rank last regardless of sign bit.\n\
+         SUPPRESS: only for a comparator over a type proven NaN-free at \
+         construction; say so in the lint-allow.toml justification."
+    }
+
     fn applies_to(&self, _rel_path: &str) -> bool {
         true
     }

@@ -106,6 +106,18 @@ impl Rule for HashOrderFloatSum {
          encode/fingerprint paths; iterate sorted entries or use BTreeMap"
     }
 
+    fn explain(&self) -> &'static str {
+        "WHY: float addition is not associative and SipHash iteration order is \
+         randomized per process, so a HashMap-order float sum differs bitwise \
+         between processes. PR 5 found `Cooc::row_sums` doing exactly this — it \
+         silently broke the shard-fleet guarantee that sharded == unsharded.\n\
+         EXAMPLE: for (_, v) in counts.iter() { total += v; }  // counts: HashMap\n\
+         FIX: collect-and-sort the keys first, or switch the container to \
+         BTreeMap/BTreeSet so iteration is ordered.\n\
+         SUPPRESS: only when the accumulation is provably order-free (integer \
+         sums, max), with that argument written in the justification."
+    }
+
     fn applies_to(&self, _rel_path: &str) -> bool {
         true
     }

@@ -2,13 +2,23 @@
 //! actually shipped (see the module docs of each rule) or a hazard it is
 //! one edit away from; rules are path-scoped so they bind tightly to the
 //! invariant they protect.
+//!
+//! Two rule shapes exist: per-file [`Rule`]s work on one
+//! [`SourceFile`]'s token stream, and [`WorkspaceRule`]s see the whole
+//! parsed tree plus its call graph ([`Workspace`]) — that's what lets
+//! `no-transitive-panic-in-hot-path` follow a serve request into a
+//! `linalg` assert two calls away.
 
+use crate::callgraph::Workspace;
 use crate::source::SourceFile;
 
+mod alloc_check;
 mod float_sort;
 mod hash_order;
+mod lock_order;
 mod no_panic;
 mod safety_comment;
+mod transitive_panic;
 mod truncating_cast;
 mod wallclock;
 
@@ -39,18 +49,31 @@ impl Finding {
     }
 }
 
-/// A single static-analysis rule.
+/// A single per-file static-analysis rule.
 pub trait Rule {
     /// Stable kebab-case id (used in reports and `lint-allow.toml`).
     fn id(&self) -> &'static str;
     /// One-line description for `--help` and the README.
     fn description(&self) -> &'static str;
+    /// Long-form rationale, example finding, and suppression guidance
+    /// for `--explain <rule>`.
+    fn explain(&self) -> &'static str;
     /// Whether the rule runs on this workspace-relative path.
     fn applies_to(&self, rel_path: &str) -> bool;
     fn check(&self, file: &SourceFile) -> Vec<Finding>;
 }
 
-/// Every rule, in reporting order.
+/// A rule that needs the whole workspace: every parsed file plus the
+/// call graph over them. Path scoping happens inside `check` (entry-file
+/// sets, per-crate scopes) because one finding can span files.
+pub trait WorkspaceRule {
+    fn id(&self) -> &'static str;
+    fn description(&self) -> &'static str;
+    fn explain(&self) -> &'static str;
+    fn check(&self, ws: &Workspace) -> Vec<Finding>;
+}
+
+/// Every per-file rule, in reporting order.
 pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(float_sort::FloatSortTotalOrder),
@@ -59,10 +82,36 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(no_panic::NoPanicInHotPath),
         Box::new(wallclock::NoWallclockInFingerprint),
         Box::new(truncating_cast::NoTruncatingCastInCodec),
+        Box::new(alloc_check::AllocBeforeLengthCheck),
     ]
 }
 
-/// The ids of every registered rule (allowlist validation).
+/// Every workspace-level rule, in reporting order.
+pub fn all_workspace_rules() -> Vec<Box<dyn WorkspaceRule>> {
+    vec![
+        Box::new(transitive_panic::NoTransitivePanicInHotPath),
+        Box::new(lock_order::LockOrder),
+    ]
+}
+
+/// The ids of every registered rule (allowlist validation, `--help`).
 pub fn rule_ids() -> Vec<&'static str> {
-    all_rules().iter().map(|r| r.id()).collect()
+    let mut ids: Vec<&'static str> = all_rules().iter().map(|r| r.id()).collect();
+    ids.extend(all_workspace_rules().iter().map(|r| r.id()));
+    ids
+}
+
+/// (id, description, explain) for every rule, file-level then
+/// workspace-level — the `--help`/`--explain` catalog.
+pub fn rule_catalog() -> Vec<(&'static str, &'static str, &'static str)> {
+    let mut out: Vec<(&'static str, &'static str, &'static str)> = all_rules()
+        .iter()
+        .map(|r| (r.id(), r.description(), r.explain()))
+        .collect();
+    out.extend(
+        all_workspace_rules()
+            .iter()
+            .map(|r| (r.id(), r.description(), r.explain())),
+    );
+    out
 }

@@ -59,6 +59,20 @@ impl Rule for NoPanicInHotPath {
          typed error or a miss"
     }
 
+    fn explain(&self) -> &'static str {
+        "WHY: a panic in serve/stream/fleet code takes down every tenant on the \
+         process, and much of what those paths touch is peer-controlled bytes off \
+         a socket. Corrupt input must cost one request or one lease (a typed \
+         QueryError/StreamError/FleetError), never the process.\n\
+         EXAMPLE: let dim = header.dims.first().unwrap();\n\
+         FIX: return a typed error (`ok_or`, `?`), degrade to a miss, or \
+         `debug_assert!` when the invariant is internal and release-irrelevant. \
+         See also no-transitive-panic-in-hot-path, which follows calls out of \
+         these files.\n\
+         SUPPRESS: only for a panic proven unreachable from untrusted input, with \
+         the proof sketched in the justification."
+    }
+
     fn applies_to(&self, rel_path: &str) -> bool {
         rel_path.starts_with("crates/serve/src/")
             || rel_path.starts_with("crates/stream/src/")

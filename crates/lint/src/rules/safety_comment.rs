@@ -53,6 +53,17 @@ impl Rule for UnsafeNeedsSafetyComment {
         "every unsafe block/fn/impl needs a nearby SAFETY comment documenting its invariants"
     }
 
+    fn explain(&self) -> &'static str {
+        "WHY: the workspace's only `unsafe` is the AVX2+FMA micro-kernel dispatch, \
+         whose obligation (runtime ISA check before a #[target_feature] call) is \
+         documented where it is discharged. Undocumented unsafe rots: the next \
+         editor cannot tell which invariant they are about to break.\n\
+         EXAMPLE: unsafe { kernel_avx2(a, b, c) }  // no SAFETY comment in sight\n\
+         FIX: a `// SAFETY: ...` comment within the six lines above, or a \
+         `# Safety` doc section on the item.\n\
+         SUPPRESS: never — write the comment instead; it is strictly cheaper."
+    }
+
     fn applies_to(&self, _rel_path: &str) -> bool {
         true
     }

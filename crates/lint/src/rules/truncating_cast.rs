@@ -43,6 +43,19 @@ impl Rule for NoTruncatingCastInCodec {
          (try_from / assert / checked_* / ::MAX / .min)"
     }
 
+    fn explain(&self) -> &'static str {
+        "WHY: a silent `as u32` truncation on an encode path does not fail the \
+         write — it produces a *well-formed file describing a different matrix*, \
+         which the length-validated decoders then happily accept. Bytes that \
+         decode cleanly but are not the data that was encoded is the worst \
+         failure mode this repo has.\n\
+         EXAMPLE: put_u32(out, rows as u32);  // rows: usize, no check anywhere\n\
+         FIX: `u32::try_from(rows)` with a typed error, or an assert/debug_assert \
+         within the six lines above the cast.\n\
+         SUPPRESS: only when the value's range is pinned by construction (e.g. a \
+         constant); cite the bound in the justification."
+    }
+
     fn applies_to(&self, rel_path: &str) -> bool {
         rel_path == "crates/corpus/src/codec.rs"
             || rel_path == "crates/pipeline/src/cache.rs"

@@ -38,6 +38,18 @@ impl Rule for NoWallclockInFingerprint {
          fleet schedules must be bitwise reproducible"
     }
 
+    fn explain(&self) -> &'static str {
+        "WHY: every cache artifact is keyed and validated by content-derived \
+         fingerprints so warm re-runs and shard fleets reproduce cold runs \
+         bitwise. A clock read folded into a fingerprint, header, or retry \
+         schedule varies every run — guaranteed nondeterminism.\n\
+         EXAMPLE: let stamp = SystemTime::now();  // in a cache/codec module\n\
+         FIX: derive state from content (fingerprints, counters) and take time as \
+         an injected `now_ms` parameter where scheduling needs it.\n\
+         SUPPRESS: justified only for pure *measurement* (a bench report) that \
+         provably never leaks into cached state."
+    }
+
     fn applies_to(&self, rel_path: &str) -> bool {
         if rel_path.starts_with("crates/stream/src/") || rel_path.starts_with("crates/fleet/src/") {
             return true;

@@ -64,14 +64,40 @@ impl SourceFile {
 }
 
 /// True when the attribute token slice (the tokens between `#[` and `]`)
-/// marks test-only code: exactly `test`, or a `cfg(test...)` form. The
-/// window match deliberately rejects `cfg(not(test))`.
+/// marks test-only code: exactly `test`, or a `cfg(...)` predicate in
+/// which `test` appears positively — `cfg(test)`, `cfg(all(test, ...))`,
+/// `cfg(any(test, ...))`, arbitrarily nested. A `test` under a `not(...)`
+/// combinator never counts, so `cfg(not(test))` and
+/// `cfg(all(not(test), unix))` stay unmasked (they are production code).
 fn is_test_attr(attr: &[Token]) -> bool {
     if attr.len() == 1 && attr[0].is_ident("test") {
         return true;
     }
-    attr.windows(3)
-        .any(|w| w[0].is_ident("cfg") && w[1].is_punct("(") && (w[2].is_ident("test")))
+    let Some(cfg) = attr
+        .windows(2)
+        .position(|w| w[0].is_ident("cfg") && w[1].is_punct("("))
+    else {
+        return false;
+    };
+    // Walk the predicate tracking, per open paren, whether it was opened
+    // by a `not(...)` combinator.
+    let mut negated: Vec<bool> = Vec::new();
+    let mut i = cfg + 1; // the `(` after `cfg`
+    while i < attr.len() {
+        let t = &attr[i];
+        if t.is_punct("(") {
+            let by_not = i > 0 && attr[i - 1].is_ident("not");
+            negated.push(by_not);
+        } else if t.is_punct(")") {
+            if negated.pop().is_none() {
+                break; // left the cfg predicate
+            }
+        } else if t.is_ident("test") && !negated.iter().any(|&n| n) {
+            return true;
+        }
+        i += 1;
+    }
+    false
 }
 
 /// Index of the `}` matching the `{` at `open` (or the last token).
@@ -227,6 +253,35 @@ mod tests {
         assert!(!masked("one"));
         // The cfg(test) `use` must not leak its pending mark onto live2.
         assert!(!masked("two"));
+    }
+
+    #[test]
+    fn cfg_all_and_any_test_modules_are_masked() {
+        let src = r#"
+            #[cfg(all(test, feature = "slow"))]
+            mod slow_tests { fn t() { masked_all(); } }
+            #[cfg(any(test, doc))]
+            mod doc_tests { fn t() { masked_any(); } }
+            #[cfg(all(not(test), unix))]
+            fn live() { one(); }
+            #[cfg(any(windows, not(test)))]
+            fn live2() { two(); }
+            fn live3() { three(); }
+        "#;
+        let f = SourceFile::parse("x.rs", src);
+        let masked = |name: &str| {
+            let idx = f
+                .tokens
+                .iter()
+                .position(|t| t.is_ident(name))
+                .expect("token");
+            f.test_mask[idx]
+        };
+        assert!(masked("masked_all"));
+        assert!(masked("masked_any"));
+        assert!(!masked("one"));
+        assert!(!masked("two"));
+        assert!(!masked("three"));
     }
 
     #[test]

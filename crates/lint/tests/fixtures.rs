@@ -7,7 +7,7 @@
 //! they are linted in-memory under synthetic workspace paths so the
 //! path-scoped rules engage exactly as they would on disk.
 
-use embedstab_lint::lint_source;
+use embedstab_lint::{lint_source, lint_sources};
 
 /// Rule ids raised for `src` linted under `path`.
 fn rules_hit(path: &str, src: &str) -> Vec<String> {
@@ -170,5 +170,123 @@ fn cast_clean_passes() {
     assert_clean(
         "crates/corpus/src/codec.rs",
         include_str!("fixtures/cast_clean.rs"),
+    );
+}
+
+#[test]
+fn transitive_panic_bad_reports_full_two_hop_chain() {
+    // The entry lives in a hot-path file, the panic two call edges away
+    // in a file no textual rule covers: only the call graph connects them.
+    let findings = lint_sources(&[
+        (
+            "crates/serve/src/server.rs",
+            include_str!("fixtures/transitive_bad_entry.rs"),
+        ),
+        (
+            "crates/demo/src/helpers.rs",
+            include_str!("fixtures/transitive_bad_helpers.rs"),
+        ),
+    ]);
+    let chains: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "no-transitive-panic-in-hot-path")
+        .collect();
+    assert_eq!(chains.len(), 1, "exactly one chain expected: {findings:#?}");
+    let f = chains[0];
+    assert_eq!(
+        f.path, "crates/serve/src/server.rs",
+        "anchored at the entry"
+    );
+    for hop in ["handle_query", "mid_step", "deep_parse", "unwrap"] {
+        assert!(
+            f.message.contains(hop),
+            "chain must name `{hop}`: {}",
+            f.message
+        );
+    }
+    assert_eq!(
+        findings.len(),
+        1,
+        "no other rule may fire on this pair: {findings:#?}"
+    );
+}
+
+#[test]
+fn transitive_panic_clean_passes() {
+    let findings = lint_sources(&[
+        (
+            "crates/serve/src/server.rs",
+            include_str!("fixtures/transitive_clean_entry.rs"),
+        ),
+        (
+            "crates/demo/src/helpers.rs",
+            include_str!("fixtures/transitive_clean_helpers.rs"),
+        ),
+    ]);
+    assert!(findings.is_empty(), "expected clean, got: {findings:#?}");
+}
+
+#[test]
+fn lock_order_bad_flags_inversion_self_deadlock_and_io() {
+    let hits = lint_source(
+        "crates/demo/src/lib.rs",
+        include_str!("fixtures/lock_order_bad.rs"),
+    );
+    assert!(
+        hits.iter().all(|f| f.rule == "lock-order"),
+        "only lock-order may fire: {hits:#?}"
+    );
+    let messages: Vec<&str> = hits.iter().map(|f| f.message.as_str()).collect();
+    assert_eq!(
+        messages
+            .iter()
+            .filter(|m| m.contains("lock-order hazard"))
+            .count(),
+        2,
+        "both halves of the AB/BA inversion must be named: {messages:#?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("self-deadlocks")),
+        "double acquisition of `queue` must be flagged: {messages:#?}"
+    );
+    assert!(
+        messages
+            .iter()
+            .any(|m| m.contains("blocking IO `eprintln!`")),
+        "console IO under a guard must be flagged: {messages:#?}"
+    );
+}
+
+#[test]
+fn lock_order_clean_passes() {
+    // One blessed order everywhere, plus an `if`-condition temporary
+    // (which drops before the body) followed by IO and a second lock.
+    assert_clean(
+        "crates/demo/src/lib.rs",
+        include_str!("fixtures/lock_order_clean.rs"),
+    );
+}
+
+#[test]
+fn alloc_check_bad_flags_unchecked_decoder_allocations() {
+    let hits = rules_hit(
+        "crates/demo/src/codec.rs",
+        include_str!("fixtures/alloc_check_bad.rs"),
+    );
+    assert_eq!(
+        hits.iter()
+            .filter(|r| *r == "alloc-before-length-check")
+            .count(),
+        2,
+        "both the with_capacity and the vec![0; n] site must be flagged: {hits:?}"
+    );
+}
+
+#[test]
+fn alloc_check_clean_passes() {
+    // MAX comparison, in-argument `.min` clamp, and a literal capacity.
+    assert_clean(
+        "crates/demo/src/codec.rs",
+        include_str!("fixtures/alloc_check_clean.rs"),
     );
 }

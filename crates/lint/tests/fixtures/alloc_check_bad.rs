@@ -1,0 +1,21 @@
+//! True positives for `alloc-before-length-check`: decoder fns that size
+//! an allocation by a freshly read integer with no intervening bound.
+
+pub fn read_u32(r: &mut &[u8]) -> Option<u32> {
+    let head: [u8; 4] = r.get(..4)?.try_into().ok()?;
+    *r = &r[4..];
+    Some(u32::from_le_bytes(head))
+}
+
+pub fn read_block(r: &mut &[u8]) -> Option<Vec<u8>> {
+    let n = read_u32(r)? as usize;
+    let mut out = Vec::with_capacity(n);
+    out.resize(n.min(r.len()), 0);
+    Some(out)
+}
+
+pub fn decode_rows(r: &mut &[u8]) -> Option<Vec<u8>> {
+    let count = read_u32(r)? as usize;
+    let buf = vec![0u8; count];
+    Some(buf)
+}

@@ -1,0 +1,31 @@
+//! Clean counterpart of `alloc_check_bad.rs`: every allocation is bounded
+//! before (or as) it is sized — an explicit MAX comparison, an in-place
+//! `.min` clamp, and a constant capacity.
+
+pub const MAX_BLOCK_BYTES: usize = 1 << 20;
+
+pub fn read_u32(r: &mut &[u8]) -> Option<u32> {
+    let head: [u8; 4] = r.get(..4)?.try_into().ok()?;
+    *r = &r[4..];
+    Some(u32::from_le_bytes(head))
+}
+
+pub fn read_block(r: &mut &[u8]) -> Option<Vec<u8>> {
+    let n = read_u32(r)? as usize;
+    if n > MAX_BLOCK_BYTES {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    out.resize(n, 0);
+    Some(out)
+}
+
+pub fn decode_rows(r: &mut &[u8]) -> Option<Vec<u8>> {
+    let count = read_u32(r)? as usize;
+    let buf = vec![0u8; count.min(r.len())];
+    Some(buf)
+}
+
+pub fn read_header(_r: &mut &[u8]) -> Vec<u8> {
+    Vec::with_capacity(16)
+}

@@ -1,0 +1,40 @@
+//! True positives for `lock-order`: an AB/BA inversion across two fns, a
+//! same-lock double acquisition, and console IO under a guard.
+//!
+//! Regression note: the inversion-by-scrutinee shape below is exactly the
+//! bug class fixed in `fleet::coordinator`'s Lease arm, where
+//! `match shared.queue.lock().lease(..)` kept the queue guard live across
+//! the staged-map lock and an `eprintln!` in every match arm.
+
+use parking_lot::Mutex;
+
+pub struct Shared {
+    pub queue: Mutex<Vec<u32>>,
+    pub staged: Mutex<Vec<u32>>,
+}
+
+pub fn forward(s: &Shared) {
+    let q = s.queue.lock();
+    let st = s.staged.lock();
+    drop(st);
+    drop(q);
+}
+
+pub fn inverted(s: &Shared) {
+    let st = s.staged.lock();
+    let q = s.queue.lock();
+    drop(q);
+    drop(st);
+}
+
+pub fn double(s: &Shared) {
+    let first = s.queue.lock();
+    let again = s.queue.lock();
+    drop(again);
+    drop(first);
+}
+
+pub fn chatty(s: &Shared) {
+    let q = s.queue.lock();
+    eprintln!("queue has {} entries", q.len());
+}

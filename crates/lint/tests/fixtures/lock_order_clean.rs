@@ -1,0 +1,40 @@
+//! Clean counterpart of `lock_order_bad.rs`: every fn nests in the one
+//! blessed order (`queue` before `staged`), guards are dropped before
+//! console IO, and condition temporaries (which drop before the body
+//! runs) are exercised on purpose.
+
+use parking_lot::Mutex;
+
+pub struct Shared {
+    pub queue: Mutex<Vec<u32>>,
+    pub staged: Mutex<Vec<u32>>,
+}
+
+pub fn forward(s: &Shared) {
+    let q = s.queue.lock();
+    let st = s.staged.lock();
+    drop(st);
+    drop(q);
+}
+
+pub fn also_forward(s: &Shared) {
+    let q = s.queue.lock();
+    let st = s.staged.lock();
+    drop(st);
+    drop(q);
+}
+
+pub fn quiet(s: &Shared) {
+    let n = s.queue.lock().len();
+    eprintln!("queue has {n} entries");
+}
+
+pub fn condition_temporary(s: &Shared) {
+    // An `if`-condition guard drops before the body runs, so the IO and
+    // the second lock in the body are both fine.
+    if s.queue.lock().is_empty() {
+        let st = s.staged.lock();
+        drop(st);
+        eprintln!("drained");
+    }
+}

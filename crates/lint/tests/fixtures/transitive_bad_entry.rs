@@ -1,0 +1,11 @@
+//! Entry half of the two-file transitive-panic fixture: linted under
+//! `crates/serve/src/server.rs` (a hot entry point) together with
+//! `transitive_bad_helpers.rs` under `crates/demo/src/helpers.rs`.
+//! `handle_query` itself never panics — the textual no-panic rule stays
+//! silent — but two call hops away `deep_parse` unwraps, and the
+//! transitive rule must report the full chain.
+
+pub fn handle_query(raw: &[u8]) -> Vec<u8> {
+    let parsed = mid_step(raw);
+    parsed.to_le_bytes().to_vec()
+}

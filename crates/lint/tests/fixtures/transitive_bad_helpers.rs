@@ -1,0 +1,13 @@
+//! Helper half of the two-file transitive-panic fixture (see
+//! `transitive_bad_entry.rs`). Lives under `crates/demo/src/helpers.rs`,
+//! outside every textual hot-path scope: only the call-graph walk can
+//! connect the entry point to the unwrap here.
+
+pub fn mid_step(raw: &[u8]) -> u32 {
+    deep_parse(raw)
+}
+
+pub fn deep_parse(raw: &[u8]) -> u32 {
+    let head: [u8; 4] = raw[..4].try_into().unwrap();
+    u32::from_le_bytes(head)
+}

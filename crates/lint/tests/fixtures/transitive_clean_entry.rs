@@ -1,0 +1,8 @@
+//! Clean counterpart of `transitive_bad_entry.rs`: the same two-file
+//! call shape, but every hop returns a typed `Option` instead of
+//! unwrapping, so no rule may fire.
+
+pub fn handle_query(raw: &[u8]) -> Option<Vec<u8>> {
+    let parsed = mid_step(raw)?;
+    Some(parsed.to_le_bytes().to_vec())
+}

@@ -1,0 +1,11 @@
+//! Clean counterpart of `transitive_bad_helpers.rs`: `deep_parse`
+//! validates instead of unwrapping.
+
+pub fn mid_step(raw: &[u8]) -> Option<u32> {
+    deep_parse(raw)
+}
+
+pub fn deep_parse(raw: &[u8]) -> Option<u32> {
+    let head: [u8; 4] = raw.get(..4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(head))
+}

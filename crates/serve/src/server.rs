@@ -480,8 +480,16 @@ fn run_batch(state: &Arc<TenantState>, jobs: Vec<Job>) {
                     let cnt = ids.len();
                     let data = rows.as_slice()[start * dim..(start + cnt) * dim].to_vec();
                     start += cnt;
-                    resp.send(Response::Rows(Mat::from_vec(cnt, dim, data)))
-                        .ok();
+                    // Fallible split: a shape mismatch here is a server
+                    // bug, but it must fail the job, not the process.
+                    let reply = match Mat::try_from_vec(cnt, dim, data) {
+                        Some(m) => Response::Rows(m),
+                        None => Response::Error {
+                            code: ErrorCode::Internal,
+                            message: "batch split produced a malformed row block".into(),
+                        },
+                    };
+                    resp.send(reply).ok();
                 }
             }
             // Unreachable after per-job validation, but a coalesced
@@ -500,7 +508,16 @@ fn run_batch(state: &Arc<TenantState>, jobs: Vec<Job>) {
         for (_, queries, _) in &nearests {
             data.extend_from_slice(queries.as_slice());
         }
-        let coalesced = Mat::from_vec(total_rows, dim, data);
+        let Some(coalesced) = Mat::try_from_vec(total_rows, dim, data) else {
+            for (.., resp) in nearests {
+                resp.send(Response::Error {
+                    code: ErrorCode::Internal,
+                    message: "coalesced query block has a malformed shape".into(),
+                })
+                .ok();
+            }
+            return;
+        };
         let k_max = nearests.iter().map(|&(k, ..)| k).max().unwrap_or(1);
         match snap.try_nearest_batch(&coalesced, k_max) {
             Ok(per_query) => {
